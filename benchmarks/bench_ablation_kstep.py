@@ -1,0 +1,78 @@
+"""Ablation — execution time vs the PCR step count k.
+
+Sweeps k around the Table III transition points at fixed workloads and
+records measured wall-clock + predicted GPU time per k.  The measured
+CPU numerics shift work between the (vectorized, O(kN)) PCR sweep and
+the (sequential-over-rows, O(N/2^k)-deep) p-Thomas loop, so wall-clock
+itself shows the tradeoff the GPU heuristic navigates.
+"""
+
+import pytest
+
+from repro.core.hybrid import HybridSolver
+from repro.core.pcr import pcr_then_thomas_batch
+
+from .conftest import make_batch, verify
+
+
+@pytest.mark.parametrize("k", [0, 2, 4, 6, 8])
+def test_kstep_measured_small_m(benchmark, k):
+    """M = 8 (starved): deeper PCR shortens the Python-level row loop."""
+    m, n = 8, 16384
+    a, b, c, d = make_batch(m, n, seed=k)
+    x = benchmark(pcr_then_thomas_batch, a, b, c, d, k)
+    verify(a, b, c, d, x)
+    benchmark.extra_info.update({"ablation": "kstep", "M": m, "k": k})
+
+
+@pytest.mark.parametrize("k", [0, 2, 4])
+def test_kstep_measured_large_m(benchmark, k):
+    """M = 4096 (saturated): extra PCR is pure overhead (k = 0 optimal)."""
+    m, n = 4096, 256
+    a, b, c, d = make_batch(m, n, seed=k)
+    x = benchmark(pcr_then_thomas_batch, a, b, c, d, k)
+    verify(a, b, c, d, x)
+    benchmark.extra_info.update({"ablation": "kstep", "M": m, "k": k})
+
+
+def test_kstep_model_basin(benchmark):
+    """The model's time-vs-k curve has its basin at Table III's k."""
+    from repro.gpusim.device import GTX480
+    from repro.gpusim.timing import GpuTimingModel
+    from repro.kernels.pthomas_kernel import pthomas_counters
+    from repro.kernels.tiled_pcr_kernel import tiled_pcr_counters
+
+    def basin():
+        model = GpuTimingModel(GTX480)
+        m, n = 128, 16384
+        out = {}
+        for k in range(0, 9):
+            g = 1 << k
+            t = 0.0
+            if k:
+                t += model.time(tiled_pcr_counters(m, n, k, 8), 8).total_s
+            t += model.time(pthomas_counters(m * g, -(-n // g), 8), 8).total_s
+            out[k] = t
+        return out
+
+    times = benchmark(basin)
+    best = min(times, key=times.get)
+    assert best == 6  # Table III: 32 <= M < 512 -> k = 6
+    benchmark.extra_info.update(
+        {"ablation": "kstep", "model_best_k": best,
+         "times_ms": {str(k): round(v * 1e3, 2) for k, v in times.items()}}
+    )
+
+
+def test_kstep_sweep_with_real_tiling(benchmark):
+    """Full hybrid (streaming window) across k — answers all identical."""
+    import numpy as np
+
+    def run():
+        a, b, c, d = make_batch(4, 2048, seed=7)
+        return [HybridSolver(k=k).solve_batch(a, b, c, d) for k in (0, 2, 4, 6)]
+
+    xs = benchmark.pedantic(run, rounds=1, iterations=1)
+    for x in xs[1:]:
+        assert np.allclose(xs[0], x, atol=1e-9)
+    benchmark.extra_info["ablation"] = "kstep"

@@ -1,0 +1,94 @@
+"""Ablation — cached sliding window vs naive halo tiling (Fig. 7 vs 8).
+
+The design choice the paper spends Section III-A on: naive tiling pays
+``2·f(k)`` redundant loads and ``g(k)``-class redundant eliminations per
+tile boundary (Eqs. 8-9, both exponential in k); the buffered sliding
+window pays nothing.  This benchmark runs both *implementations* on the
+same input, confirms identical numerics, and records the measured
+redundancy next to the closed forms.
+"""
+
+import pytest
+
+from repro.core.cost_model import f_redundant_loads, g_redundant_elims
+from repro.core.tiled_pcr import TilingCounters, naive_tiled_pcr_sweep, tiled_pcr_sweep
+
+from .conftest import make_batch
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_cached_window(benchmark, k):
+    n = 4096
+    a, b, c, d = make_batch(1, n, seed=k)
+    counters = TilingCounters()
+
+    def run():
+        counters.__init__()
+        return tiled_pcr_sweep(a, b, c, d, k, counters=counters)
+
+    benchmark(run)
+    assert counters.rows_loaded_redundant == 0
+    benchmark.extra_info.update(
+        {
+            "ablation": "tiling",
+            "variant": "cached-window",
+            "k": k,
+            "rows_loaded": counters.rows_loaded,
+            "redundant_loads": counters.rows_loaded_redundant,
+            "eliminations": counters.eliminations,
+        }
+    )
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_naive_tiling(benchmark, k):
+    n, tile = 4096, 64
+    a, b, c, d = make_batch(1, n, seed=k)
+    counters = TilingCounters()
+
+    def run():
+        counters.__init__()
+        return naive_tiled_pcr_sweep(a, b, c, d, k, tile=tile, counters=counters)
+
+    benchmark(run)
+    boundaries = n // tile - 1
+    # Eq. 8 made concrete: 2 f(k) redundant loads per internal boundary
+    assert counters.rows_loaded_redundant == 2 * f_redundant_loads(k) * boundaries
+    assert counters.eliminations_redundant > 0
+    benchmark.extra_info.update(
+        {
+            "ablation": "tiling",
+            "variant": "naive",
+            "k": k,
+            "rows_loaded": counters.rows_loaded,
+            "redundant_loads": counters.rows_loaded_redundant,
+            "redundant_elims": counters.eliminations_redundant,
+            "f_k": f_redundant_loads(k),
+            "g_k": g_redundant_elims(k),
+        }
+    )
+
+
+def test_redundancy_grows_exponentially_with_k(benchmark):
+    """The quantitative argument for the cache: the naive/cached load
+    ratio explodes as k grows while the cached cost stays flat."""
+
+    def measure():
+        out = {}
+        n, tile = 2048, 64
+        a, b, c, d = make_batch(1, n, seed=0)
+        for k in (2, 3, 4, 5):
+            naive = TilingCounters()
+            cached = TilingCounters()
+            naive_tiled_pcr_sweep(a, b, c, d, k, tile=tile, counters=naive)
+            tiled_pcr_sweep(a, b, c, d, k, counters=cached)
+            out[k] = naive.rows_loaded / cached.rows_loaded
+        return out
+
+    ratios = benchmark(measure)
+    assert ratios[5] > ratios[2]
+    assert ratios[5] > 1.5
+    benchmark.extra_info.update(
+        {"ablation": "tiling", "naive_over_cached_loads":
+         {str(k): round(v, 3) for k, v in ratios.items()}}
+    )

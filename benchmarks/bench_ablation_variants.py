@@ -1,0 +1,120 @@
+"""Ablation — the Fig. 11 mapping variants.
+
+(a) one window per system per block — zero redundancy, parallelism = M;
+(b) W windows per system — ``2·f(k)`` redundant loads per boundary buys
+    W× more blocks (the only way a single huge system fills the GPU);
+(c) several systems' windows multiplexed per block — more latency hiding
+    per block at a shared-memory occupancy cost.
+
+Numerics are identical across variants (asserted); the tradeoffs appear
+in the counters and the model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import f_redundant_loads
+from repro.core.hybrid import HybridSolver
+from repro.core.tiled_pcr import TilingCounters, tiled_pcr_sweep
+from repro.gpusim.device import GTX480
+from repro.gpusim.occupancy import occupancy
+from repro.gpusim.timing import GpuTimingModel
+from repro.kernels.tiled_pcr_kernel import tiled_pcr_counters
+
+from .conftest import make_batch, verify
+
+
+@pytest.mark.parametrize("windows", [1, 4, 16])
+def test_variant_b_measured(benchmark, windows):
+    """One large system split across windows (Fig. 11b)."""
+    n, k = 65536, 6
+    a, b, c, d = make_batch(1, n, seed=windows)
+    solver = HybridSolver(k=k, n_windows=windows, subtile_scale=4)
+    x = benchmark.pedantic(solver.solve_batch, args=(a, b, c, d), rounds=2, iterations=1)
+    verify(a, b, c, d, x)
+    red = solver.last_report.tiling.rows_loaded_redundant
+    assert red == (windows - 1) * 2 * f_redundant_loads(k)
+    benchmark.extra_info.update(
+        {"ablation": "variants", "variant": "b", "windows": windows,
+         "redundant_rows": red}
+    )
+
+
+def test_variant_b_redundancy_vs_parallelism(benchmark):
+    """The Fig. 11b tradeoff curve: redundant load fraction vs windows."""
+
+    def curve():
+        n, k = 32768, 6
+        a, b, c, d = make_batch(1, n, seed=0)
+        out = {}
+        for w in (1, 2, 4, 8, 16, 32):
+            cnt = TilingCounters()
+            tiled_pcr_sweep(a, b, c, d, k, n_windows=w, subtile_scale=4,
+                            counters=cnt)
+            out[w] = cnt.rows_loaded_redundant / n
+        return out
+
+    frac = benchmark(curve)
+    assert frac[1] == 0.0
+    assert all(frac[w] <= frac[2 * w] for w in (1, 2, 4, 8, 16))
+    assert frac[32] < 0.15  # redundancy stays modest even at 32 windows
+    benchmark.extra_info.update(
+        {"ablation": "variants",
+         "redundant_fraction": {str(k): round(v, 4) for k, v in frac.items()}}
+    )
+
+
+def test_variant_c_occupancy_tradeoff(benchmark):
+    """Multiplexing windows per block (Fig. 11c): more warps per block,
+    fewer blocks per SM."""
+
+    def occ_pair():
+        c1 = tiled_pcr_counters(64, 8192, 6, 8, windows_per_block=1)
+        c4 = tiled_pcr_counters(64, 8192, 6, 8, windows_per_block=4)
+        o1 = occupancy(GTX480, c1.threads_per_block, c1.smem_per_block)
+        o4 = occupancy(GTX480, c4.threads_per_block, c4.smem_per_block)
+        return o1, o4
+
+    o1, o4 = benchmark(occ_pair)
+    assert o4.blocks_per_sm < o1.blocks_per_sm
+    benchmark.extra_info.update(
+        {"ablation": "variants",
+         "blocks_per_sm": {"wpb1": o1.blocks_per_sm, "wpb4": o4.blocks_per_sm},
+         "warps_per_sm": {"wpb1": o1.warps_per_sm, "wpb4": o4.warps_per_sm}}
+    )
+
+
+def test_variant_b_model_helps_single_system(benchmark):
+    """For M = 1 the model must prefer multiple windows (else the PCR
+    stage runs on one block and exposes its whole dependent chain)."""
+
+    def times():
+        model = GpuTimingModel(GTX480)
+        n, k = 1 << 20, 8
+        out = {}
+        for w in (1, 4, 15, 60):
+            c = tiled_pcr_counters(1, n, k, 8, n_windows=w)
+            out[w] = model.time(c, 8).total_s
+        return out
+
+    t = benchmark(times)
+    assert t[60] < t[1]
+    benchmark.extra_info.update(
+        {"ablation": "variants",
+         "pcr_stage_ms": {str(k): round(v * 1e3, 2) for k, v in t.items()}}
+    )
+
+
+def test_variants_identical_numerics(benchmark):
+    def run():
+        a, b, c, d = make_batch(2, 4096, seed=3)
+        xs = [
+            HybridSolver(k=4, n_windows=w).solve_batch(a, b, c, d)
+            for w in (1, 3, 8)
+        ]
+        return xs
+
+    xs = benchmark.pedantic(run, rounds=1, iterations=1)
+    for x in xs[1:]:
+        assert np.array_equal(xs[0], x)
+    benchmark.extra_info["ablation"] = "variants"

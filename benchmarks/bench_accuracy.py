@@ -1,0 +1,73 @@
+"""Extension — numerical-accuracy study (not a paper figure).
+
+Regenerates the accuracy tables of ``repro.analysis.accuracy``: residual
+and forward error per algorithm across system size (Poisson, condition
+~n²), dominance margin and precision.  Attached to ``extra_info`` so the
+benchmark JSON carries the full study.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import ALGORITHMS, dominance_sweep, measure, poisson_sweep
+from repro.workloads.generators import random_batch
+
+
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+def test_accuracy_measure_speed(benchmark, name):
+    """Time the measurement harness itself per algorithm (includes the
+    LAPACK reference solve)."""
+    a, b, c, d = random_batch(8, 1024, seed=3)
+    row = benchmark(measure, name, a, b, c, d)
+    assert row["residual"] < 1e-13
+    benchmark.extra_info.update(
+        {"suite": "accuracy", "algorithm": name,
+         "residual": f"{row['residual']:.2e}",
+         "forward_error": f"{row['forward_error']:.2e}"}
+    )
+
+
+def test_accuracy_poisson_table(benchmark):
+    rows = benchmark.pedantic(poisson_sweep, rounds=1, iterations=1)
+    worst = max(r["residual"] for r in rows)
+    assert worst < 1e-12
+    benchmark.extra_info.update(
+        {
+            "suite": "accuracy",
+            "poisson": {
+                f"{r['algorithm']}@n={r['n']}": f"{r['forward_error']:.2e}"
+                for r in rows
+            },
+        }
+    )
+
+
+def test_accuracy_dominance_table(benchmark):
+    rows = benchmark.pedantic(dominance_sweep, rounds=1, iterations=1)
+    assert all(np.isfinite(r["forward_error"]) for r in rows)
+    benchmark.extra_info.update(
+        {
+            "suite": "accuracy",
+            "dominance": {
+                f"{r['algorithm']}@margin={r['margin']}": f"{r['forward_error']:.2e}"
+                for r in rows
+            },
+        }
+    )
+
+
+def test_accuracy_fp32_table(benchmark):
+    def sweep():
+        return poisson_sweep(sizes=(256, 1024), dtype=np.float32)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(r["residual"] < 1e-4 for r in rows)
+    benchmark.extra_info.update(
+        {
+            "suite": "accuracy",
+            "fp32": {
+                f"{r['algorithm']}@n={r['n']}": f"{r['residual']:.2e}"
+                for r in rows
+            },
+        }
+    )

@@ -1,0 +1,85 @@
+"""Supporting benchmark — the classic algorithms head to head.
+
+Not a paper figure, but the substrate evidence behind Table II: measured
+wall-clock of Thomas / CR / PCR / RD / hybrid across workload shapes,
+plus the in-shared-memory baselines' behaviour (Zhang's size wall,
+CR's bank-conflict model).
+"""
+
+import pytest
+
+from repro.baselines.zhang import SharedMemoryCapacityError, ZhangSolver
+from repro.core.cr import cr_solve_batch
+from repro.core.pcr import pcr_solve_batch
+from repro.core.rd import rd_solve_batch
+from repro.core.solver import solve_batch
+from repro.core.thomas import thomas_solve_batch
+from repro.gpusim.device import GTX480
+from repro.gpusim.timing import GpuTimingModel
+from repro.kernels.cr_kernel import cr_counters
+
+from .conftest import make_batch, verify
+
+ALGOS = {
+    "thomas": thomas_solve_batch,
+    "cr": cr_solve_batch,
+    "pcr": pcr_solve_batch,
+    "rd": rd_solve_batch,
+}
+
+
+@pytest.mark.parametrize("name", list(ALGOS))
+@pytest.mark.parametrize("shape", [(1024, 64), (16, 4096)], ids=["wide", "deep"])
+def test_algorithm_measured(benchmark, name, shape):
+    m, n = shape
+    a, b, c, d = make_batch(m, n, seed=n)
+    x = benchmark(ALGOS[name], a, b, c, d)
+    verify(a, b, c, d, x)
+    benchmark.extra_info.update({"suite": "algorithms", "algo": name, "M": m, "N": n})
+
+
+@pytest.mark.parametrize("shape", [(1024, 64), (16, 4096)], ids=["wide", "deep"])
+def test_hybrid_auto_measured(benchmark, shape):
+    m, n = shape
+    a, b, c, d = make_batch(m, n, seed=n)
+    x = benchmark(solve_batch, a, b, c, d)
+    verify(a, b, c, d, x)
+    benchmark.extra_info.update({"suite": "algorithms", "algo": "hybrid", "M": m, "N": n})
+
+
+def test_zhang_size_wall(benchmark):
+    """The motivating failure: in-shared-memory hybrids cannot scale."""
+
+    def attempt():
+        a, b, c, d = make_batch(1, 4096, seed=0)
+        solver = ZhangSolver()
+        try:
+            solver.solve_batch(a, b, c, d)
+            return False
+        except SharedMemoryCapacityError:
+            return True
+
+    failed = benchmark(attempt)
+    assert failed
+    benchmark.extra_info.update(
+        {"suite": "algorithms", "zhang_capacity_fp64": ZhangSolver().capacity(8)}
+    )
+
+
+def test_cr_bank_conflicts_model(benchmark):
+    """Göddeke & Strzodka's point, on the model: the conflict-free CR
+    layout removes most shared-memory serialization."""
+
+    def pair():
+        model = GpuTimingModel(GTX480)
+        naive = model.time(cr_counters(512, 1024, 8, conflict_free=False), 8)
+        fixed = model.time(cr_counters(512, 1024, 8, conflict_free=True), 8)
+        return naive.smem_s, fixed.smem_s
+
+    naive_s, fixed_s = benchmark(pair)
+    assert naive_s > 2 * fixed_s
+    benchmark.extra_info.update(
+        {"suite": "algorithms",
+         "cr_smem_ms": {"naive": round(naive_s * 1e3, 3),
+                        "conflict_free": round(fixed_s * 1e3, 3)}}
+    )

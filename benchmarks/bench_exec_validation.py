@@ -1,0 +1,97 @@
+"""Extension — measured-vs-analytic ledger cross-validation.
+
+Runs the executable SIMT kernels (explicit addresses, shared memory,
+barriers) and compares their *measured* traffic against the closed-form
+ledgers that drive every figure reproduction.  If the two accounts of
+the same kernel drift apart, the figure pipeline is lying — this bench
+is the tripwire.
+"""
+
+import pytest
+
+from repro.core.layout import Layout
+from repro.gpusim.device import GTX480
+from repro.kernels.exec_kernels import run_pthomas, run_tiled_pcr
+from repro.kernels.pthomas_kernel import pthomas_counters
+from repro.kernels.tiled_pcr_kernel import tiled_pcr_counters
+
+from .conftest import make_batch
+
+
+@pytest.mark.parametrize("interleaved", [True, False], ids=["interleaved", "contiguous"])
+def test_pthomas_ledger_agreement(benchmark, interleaved):
+    s, L = 256, 64
+    a, b, c, d = make_batch(s, L, seed=1)
+
+    def run():
+        return run_pthomas(a, b, c, d, interleaved=interleaved)
+
+    _, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    layout = Layout.INTERLEAVED if interleaved else Layout.CONTIGUOUS
+    analytic = pthomas_counters(s, L, 8, device=GTX480, layout=layout)
+    # the executable kernel provably skips two loads per system
+    expected_loads = analytic.traffic.load_bytes - 2 * s * 8
+    ratio = stats.load_bytes_useful / expected_loads
+    assert 0.99 < ratio < 1.01
+    tx_ratio = stats.load_transactions / analytic.traffic.load_transactions
+    assert 0.9 < tx_ratio < 1.1
+    benchmark.extra_info.update(
+        {
+            "suite": "exec-validation",
+            "layout": layout.value,
+            "measured_load_tx": stats.load_transactions,
+            "analytic_load_tx": analytic.traffic.load_transactions,
+            "measured_efficiency": round(stats.coalescing_efficiency, 4),
+            "analytic_efficiency": round(
+                analytic.traffic.coalescing_efficiency, 4
+            ),
+        }
+    )
+
+
+@pytest.mark.parametrize("k", [3, 5, 7])
+def test_window_ledger_agreement(benchmark, k):
+    n = 2048
+    a, b, c, d = make_batch(1, n, seed=k)
+
+    def run():
+        return run_tiled_pcr(a[0], b[0], c[0], d[0], k)
+
+    _, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    analytic = tiled_pcr_counters(1, n, k, 8, device=GTX480)
+    # both accounts: every row's 4 values loaded exactly once
+    assert stats.load_bytes_useful == analytic.traffic.load_bytes == 4 * n * 8
+    benchmark.extra_info.update(
+        {
+            "suite": "exec-validation",
+            "k": k,
+            "measured_barriers": stats.barriers,
+            "analytic_barriers": analytic.barriers,
+            "measured_smem_accesses": stats.smem_reads + stats.smem_writes,
+            "analytic_smem_accesses": analytic.smem_accesses,
+        }
+    )
+
+
+def test_window_barriers_track_analytic(benchmark):
+    """Barrier counts agree within the accounting convention (the
+    analytic ledger bills k+1 per round; the executable program issues
+    exactly that)."""
+
+    def measure():
+        out = {}
+        for k in (3, 5):
+            n = 1024
+            a, b, c, d = make_batch(1, n, seed=k)
+            _, stats = run_tiled_pcr(a[0], b[0], c[0], d[0], k)
+            analytic = tiled_pcr_counters(1, n, k, 8, device=GTX480)
+            out[k] = stats.barriers / analytic.barriers
+        return out
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for k, r in ratios.items():
+        assert 0.8 < r < 1.25, (k, r)
+    benchmark.extra_info.update(
+        {"suite": "exec-validation",
+         "barrier_ratio": {str(k): round(v, 3) for k, v in ratios.items()}}
+    )

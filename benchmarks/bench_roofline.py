@@ -1,0 +1,65 @@
+"""Extension — roofline survey of the kernel family.
+
+Places every kernel on the GTX480 roofline and asserts the structural
+story: p-Thomas memory-bound, tiled PCR crossing the fp64 ridge at
+moderate k, fusion raising the hybrid's arithmetic intensity, and the
+contiguous layout collapsing it.
+"""
+
+import pytest
+
+from repro.analysis.roofline import kernel_survey, ridge_intensity, roofline_point
+from repro.gpusim.device import GTX480, TESLA_C2050
+from repro.kernels.tiled_pcr_kernel import tiled_pcr_counters
+
+
+def test_roofline_survey(benchmark):
+    pts = benchmark(kernel_survey)
+    by_name = {p.name: p for p in pts}
+    assert by_name["p-Thomas (interleaved)"].bound == "memory"
+    assert (
+        by_name["fused hybrid (k=6)"].intensity
+        > by_name["tiled PCR (k=6)"].intensity
+    )
+    benchmark.extra_info.update(
+        {
+            "suite": "roofline",
+            "points": {
+                p.name: {"ai": round(p.intensity, 3), "bound": p.bound}
+                for p in pts
+            },
+            "ridge_fp64": round(ridge_intensity(GTX480, 8), 3),
+        }
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 6, 8])
+def test_pcr_intensity_grows_with_k(benchmark, k):
+    def point():
+        return roofline_point(tiled_pcr_counters(64, 16384, k, 8), 8)
+
+    p = benchmark(point)
+    assert p.intensity == pytest.approx(k * 12 / 64, rel=0.2)
+    benchmark.extra_info.update(
+        {"suite": "roofline", "k": k, "ai": round(p.intensity, 3), "bound": p.bound}
+    )
+
+
+def test_fp64_penalty_moves_ridge(benchmark):
+    """GeForce's 1/8-rate fp64 pulls the ridge down 8x — the reason the
+    PCR stage is compute-bound on the GTX480 but memory-bound on a
+    Tesla C2050 at the same k."""
+
+    def bounds():
+        c = tiled_pcr_counters(64, 16384, 6, 8)
+        return (
+            roofline_point(c, 8, device=GTX480).bound,
+            roofline_point(c, 8, device=TESLA_C2050).bound,
+        )
+
+    gtx, tesla = benchmark(bounds)
+    assert gtx == "compute"
+    assert tesla == "memory"
+    benchmark.extra_info.update(
+        {"suite": "roofline", "gtx480": gtx, "c2050": tesla}
+    )

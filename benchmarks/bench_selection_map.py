@@ -1,0 +1,48 @@
+"""Extension — the full algorithm-selection surface and heuristic regret.
+
+Generalizes Table III from a 1-D M-lookup to the full (M, N) plane on
+the device model and scores the paper's heuristic against the per-cell
+optimum.
+"""
+
+from repro.analysis.selection_map import heuristic_regret, selection_map
+from repro.gpusim.device import GTX480, TESLA_C2050
+
+
+def test_selection_surface_gtx480(benchmark):
+    cells = benchmark.pedantic(selection_map, rounds=1, iterations=1)
+    stats = heuristic_regret(cells)
+    assert stats["worst"] < 1.5
+    benchmark.extra_info.update(
+        {
+            "suite": "selection-map",
+            "device": GTX480.name,
+            "regret_worst": round(stats["worst"], 3),
+            "regret_median": round(stats["median"], 3),
+            "exact_matches": round(stats["exact_matches"], 3),
+            "best_k_by_cell": {
+                f"M={c.m},N={c.n}": c.best_k for c in cells if c.n == 16384
+            },
+        }
+    )
+
+
+def test_selection_surface_c2050(benchmark):
+    """The surface shifts with the device — the reason the transition is
+    a runtime decision, not a constant."""
+
+    def run():
+        return selection_map(device=TESLA_C2050)
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = heuristic_regret(cells)
+    benchmark.extra_info.update(
+        {
+            "suite": "selection-map",
+            "device": TESLA_C2050.name,
+            "regret_worst": round(stats["worst"], 3),
+            "regret_median": round(stats["median"], 3),
+        }
+    )
+    # the GTX480-tuned table should still be serviceable on the C2050
+    assert stats["median"] < 1.3

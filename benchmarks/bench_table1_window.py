@@ -1,0 +1,74 @@
+"""Table I — buffered-sliding-window properties, and their cost in vivo.
+
+The table itself is a set of closed forms (asserted against the
+implementation); the benchmark measures how the sliding window's
+wall-clock behaves as k and the sub-tile scale c change, at fixed total
+work — the practical content of Table I's ``c·k·2^k`` eliminations and
+``3·f(k)`` cache rows.
+"""
+
+import pytest
+
+from repro.analysis.tables import table1_rows
+from repro.core.tiled_pcr import TiledPCR, TilingCounters, tiled_pcr_sweep
+from repro.core.window import BufferedSlidingWindow
+
+from .conftest import make_batch
+
+
+def test_table1_rows_match_formulas(benchmark):
+    rows = benchmark(table1_rows)
+    for row in rows:
+        k = row["k"]
+        assert row["subtile"] == 2**k
+        assert row["cache_capacity"] == 3 * (2**k - 1)
+        assert row["threads_per_block"] == 2**k
+        assert row["elim_per_subtile"] == k * 2**k
+    benchmark.extra_info["paper_table"] = "I"
+    benchmark.extra_info["rows"] = {str(r["k"]): r["cache_capacity"] for r in rows}
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+def test_window_sweep_cost_vs_k(benchmark, k):
+    """Same N, growing k: eliminations grow as k·N (Table I row 6)."""
+    n = 8192
+    a, b, c, d = make_batch(1, n, seed=k)
+    counters = TilingCounters()
+
+    def sweep():
+        counters.__init__()
+        return tiled_pcr_sweep(a, b, c, d, k, counters=counters)
+
+    benchmark(sweep)
+    assert counters.eliminations >= k * n
+    benchmark.extra_info.update(
+        {
+            "paper_table": "I",
+            "k": k,
+            "eliminations": counters.eliminations,
+            "expected_min": k * n,
+            "cache_rows": TiledPCR(k=k).cache_rows(),
+            "smem_bytes_fp64": BufferedSlidingWindow(k=k).smem_bytes(),
+        }
+    )
+
+
+@pytest.mark.parametrize("c", [1, 4, 16])
+def test_window_sweep_cost_vs_c(benchmark, c):
+    """Larger sub-tiles amortize the per-round overhead (same math)."""
+    n, k = 16384, 4
+    a, b, cc, d = make_batch(1, n, seed=c)
+    counters = TilingCounters()
+
+    def sweep():
+        counters.__init__()
+        return tiled_pcr_sweep(a, b, cc, d, k, subtile_scale=c, counters=counters)
+
+    benchmark(sweep)
+    # rounds = ceil((n + 2 f(k)) / S): the stream covers the body plus the
+    # lead-in and the final drain
+    expected = -(-(n + 2 * (2**k - 1)) // (c * 2**k))
+    assert abs(counters.subtiles - expected) <= 1
+    benchmark.extra_info.update(
+        {"paper_table": "I", "c": c, "rounds": counters.subtiles}
+    )

@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark in this directory does three things:
+
+1. **measures** the real NumPy implementation's wall-clock on the
+   benchmark machine (pytest-benchmark timing);
+2. **verifies** the computed solution against LAPACK before timing — a
+   benchmark of a wrong answer is worthless;
+3. **attaches** the paper's reference number and the calibrated
+   GTX480/i7-975 model prediction via ``benchmark.extra_info`` so the
+   emitted JSON/table is the paper-vs-reproduction record.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_banded
+
+
+def make_batch(m, n, dtype=np.float64, seed=0, dominance=3.0):
+    """Random strictly diagonally dominant (M, N) batch."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n)).astype(dtype)
+    c = rng.standard_normal((m, n)).astype(dtype)
+    a[:, 0] = 0.0
+    c[:, -1] = 0.0
+    b = (dominance + np.abs(a) + np.abs(c)).astype(dtype)
+    d = rng.standard_normal((m, n)).astype(dtype)
+    return a, b, c, d
+
+
+def verify(a, b, c, d, x, tol=1e-7, sample=4):
+    """Spot-check the solution against LAPACK on a few systems."""
+    m, n = b.shape
+    idx = np.linspace(0, m - 1, min(sample, m)).astype(int)
+    ab = np.zeros((3, n), dtype=np.float64)
+    for i in idx:
+        ab[0, 1:] = c[i, :-1]
+        ab[1, :] = b[i]
+        ab[2, :-1] = a[i, 1:]
+        ref = solve_banded((1, 1), ab, d[i], check_finite=False)
+        err = np.max(np.abs(x[i] - ref) / np.maximum(np.abs(ref), 1.0))
+        assert err < tol, f"system {i}: error {err:.2e}"

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Hockney's fast Poisson solver (the paper's ref [6]) at work.
+
+Solves ``−∇²u = f`` on a 255×255 Dirichlet grid by sine-transforming in
+x and batch-solving one tridiagonal system per mode in y — the original
+1965 algorithm whose middle stage is exactly the batched workload the
+ICPP paper accelerates (M = 255 systems of N = 255 here; real Poisson
+grids push this into the paper's large-M regime).
+
+Checks: the discrete residual is at machine level, and a manufactured
+solution is recovered to truncation accuracy.
+
+Run:  python examples/fast_poisson.py
+"""
+
+import numpy as np
+
+from repro.kernels.hybrid_gpu import GpuHybridSolver
+from repro.workloads.poisson_fft import poisson_dirichlet_fft, poisson_residual
+
+
+def main() -> None:
+    ny = nx = 255
+    h = 1.0 / (nx + 1)
+
+    # manufactured smooth solution, zero on the walls
+    jj, ii = np.meshgrid(np.arange(1, ny + 1), np.arange(1, nx + 1), indexing="ij")
+    X = ii * h
+    Y = jj * h
+    u_exact = np.sin(np.pi * X) * Y * (1 - Y) * np.exp(X)
+
+    # f = -lap u via the same 5-point stencil (so the discrete solve is exact)
+    up = np.pad(u_exact, 1)
+    f = (4 * u_exact - up[1:-1, :-2] - up[1:-1, 2:]
+         - up[:-2, 1:-1] - up[2:, 1:-1]) / (h * h)
+
+    u = poisson_dirichlet_fft(f, dx=h, dy=h)
+    res = poisson_residual(u, f, dx=h, dy=h)
+    err = np.abs(u - u_exact).max() / np.abs(u_exact).max()
+    print(f"{ny}x{nx} Dirichlet Poisson via DST + batched tridiagonal solves")
+    print(f"discrete residual: {res:.2e}")
+    print(f"error vs manufactured solution: {err:.2e}")
+    if res > 1e-10 or err > 1e-9:
+        raise SystemExit("fast Poisson example FAILED")
+
+    gpu = GpuHybridSolver()
+    rep = gpu.predict(nx, ny)
+    print(
+        f"\nsimulated GTX480: tridiagonal stage {rep.total_us:.0f} µs "
+        f"per solve (M={nx} mode systems, k={rep.k})"
+    )
+    print("fast Poisson example PASSED")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Semi-coarsening multigrid with a tridiagonal line smoother (refs [9][10]).
+
+For the anisotropic Poisson problem ``-u_xx - ε u_yy = f`` point
+smoothers stall; the classic cure (Göddeke & Strzodka ran CR for
+exactly this) is **line relaxation**: solve every x-line implicitly —
+a batched tridiagonal solve per sweep — and coarsen only in y
+(semi-coarsening).  This example runs the V-cycle and reports the
+residual contraction per cycle.
+
+Run:  python examples/poisson_multigrid.py
+"""
+
+import numpy as np
+
+import repro
+
+EPS = 0.1  # anisotropy: strong x-coupling
+
+
+def apply_op(u: np.ndarray, hx: float, hy: float) -> np.ndarray:
+    """The 5-point anisotropic operator with homogeneous Dirichlet walls."""
+    out = (2.0 / hx**2 + 2.0 * EPS / hy**2) * u
+    out[:, 1:] -= u[:, :-1] / hx**2
+    out[:, :-1] -= u[:, 1:] / hx**2
+    out[1:, :] -= EPS * u[:-1, :] / hy**2
+    out[:-1, :] -= EPS * u[1:, :] / hy**2
+    return out
+
+
+def _solve_lines(u, f, rows, hx, hy):
+    """Solve the given x-lines exactly, y-neighbours from current u."""
+    ny, nx = u.shape
+    rhs = f[rows].copy()
+    above = rows - 1
+    below = rows + 1
+    valid_above = above >= 0
+    valid_below = below < ny
+    rhs[valid_above] += EPS * u[above[valid_above]] / hy**2
+    rhs[valid_below] += EPS * u[below[valid_below]] / hy**2
+    m = len(rows)
+    a = np.full((m, nx), -1.0 / hx**2)
+    c = np.full((m, nx), -1.0 / hx**2)
+    b = np.full((m, nx), 2.0 / hx**2 + 2.0 * EPS / hy**2)
+    a[:, 0] = 0.0
+    c[:, -1] = 0.0
+    u[rows] = repro.solve_batch(a, b, c, rhs)
+
+
+def line_smooth(u, f, hx, hy, sweeps=1):
+    """Zebra x-line relaxation: even lines then odd lines, each batched.
+
+    Plain line-Jacobi does not smooth (y-oscillatory modes survive with
+    amplification → 1); the red-black "zebra" ordering is the standard
+    multigrid smoother for line relaxation.
+    """
+    u = u.copy()
+    ny = u.shape[0]
+    even = np.arange(0, ny, 2)
+    odd = np.arange(1, ny, 2)
+    for _ in range(sweeps):
+        _solve_lines(u, f, even, hx, hy)
+        _solve_lines(u, f, odd, hx, hy)
+    return u
+
+
+def restrict_y(r):
+    """Full-weighting restriction in y only (semi-coarsening)."""
+    return 0.25 * r[:-2:2, :] + 0.5 * r[1:-1:2, :] + 0.25 * r[2::2, :]
+
+
+def prolong_y(e, ny_fine):
+    """Linear interpolation in y back to the fine grid."""
+    out = np.zeros((ny_fine, e.shape[1]))
+    out[1:-1:2, :] = e
+    out[2:-2:2, :] = 0.5 * (e[:-1, :] + e[1:, :])
+    out[0, :] = 0.5 * e[0, :]
+    out[-1, :] = 0.5 * e[-1, :]
+    return out
+
+
+def vcycle(u, f, hx, hy):
+    """One semi-coarsening V-cycle with line smoothing."""
+    u = line_smooth(u, f, hx, hy, sweeps=2)
+    if u.shape[0] <= 3:
+        return line_smooth(u, f, hx, hy, sweeps=10)
+    r = f - apply_op(u, hx, hy)
+    rc = restrict_y(r)
+    ec = vcycle(np.zeros_like(rc), rc, hx, 2.0 * hy)
+    u = u + prolong_y(ec, u.shape[0])
+    return line_smooth(u, f, hx, hy, sweeps=2)
+
+
+def main() -> None:
+    ny = nx = 127
+    hx = hy = 1.0 / (nx + 1)
+    rng = np.random.default_rng(0)
+    f = rng.standard_normal((ny, nx))
+    u = np.zeros((ny, nx))
+
+    r0 = np.linalg.norm(f - apply_op(u, hx, hy))
+    print(f"anisotropic Poisson {ny}x{nx}, eps={EPS}, initial residual {r0:.3e}")
+    rates = []
+    for cycle in range(8):
+        u = vcycle(u, f, hx, hy)
+        r = np.linalg.norm(f - apply_op(u, hx, hy))
+        rates.append(r / r0)
+        print(f"V-cycle {cycle + 1}: residual {r:.3e}  (contraction {r / r0:.3f})")
+        r0 = r
+    avg = np.exp(np.mean(np.log(rates[2:])))
+    print(f"asymptotic contraction per cycle: {avg:.3f}")
+    if avg > 0.35:
+        raise SystemExit("multigrid example FAILED to converge fast enough")
+    print("poisson multigrid example PASSED")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Smoke transport in a vortex — the paper's fluid-simulation workload.
+
+The GTC talks the paper builds on (Sakharnykh, refs [4][5]) used
+tridiagonal solvers for exactly this: advect a smoke/temperature field
+through a velocity field, then diffuse it implicitly with ADI — two
+batched tridiagonal solve sweeps per frame.
+
+This example rotates a smoke blob a half-turn around a vortex while it
+diffuses, verifies the physics (the blob arrives at the mirrored
+position; total smoke conserved within semi-Lagrangian tolerance), and
+reports what the per-frame solves would cost on the simulated GTX480.
+
+Run:  python examples/smoke_transport.py
+"""
+
+import numpy as np
+
+from repro.kernels.hybrid_gpu import GpuHybridSolver
+from repro.workloads.fluid import FluidSim
+
+
+def main() -> None:
+    ny = nx = 129
+    frames = 100
+    omega = np.pi / frames  # half turn over the run
+    u, v = FluidSim.vortex(ny, nx, strength=omega)
+    sim = FluidSim(u=u, v=v, alpha=2e-3, dt=1.0)
+
+    q = np.zeros((ny, nx))
+    jj, ii = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+    q[(jj - 64) ** 2 + (ii - 94) ** 2 <= 36] = 1.0  # blob right of centre
+    total0 = q.sum()
+    print(f"{ny}x{nx} grid, {frames} frames, half-turn vortex, beta={sim.beta:.3f}")
+    print(f"initial smoke: {total0:.2f}, peak {q.max():.3f}")
+
+    q = sim.run(q, steps=frames)
+
+    cy = (q * jj).sum() / q.sum()
+    cx = (q * ii).sum() / q.sum()
+    print(f"final centroid: ({cy:.1f}, {cx:.1f})  [expected ≈ (64, 34)]")
+    print(f"final smoke: {q.sum():.2f}, peak {q.max():.3f}")
+    if abs(cy - 64) > 3 or abs(cx - 34) > 3:
+        raise SystemExit("smoke transport FAILED: blob did not arrive")
+    if abs(q.sum() - total0) / total0 > 0.1:
+        raise SystemExit("smoke transport FAILED: mass drifted")
+    if q.max() > 0.9:
+        raise SystemExit("smoke transport FAILED: no visible diffusion")
+
+    # per-frame cost on the paper's GPU: two ADI sweeps of ny systems
+    gpu = GpuHybridSolver()
+    rep = gpu.predict(ny, nx)
+    print(
+        f"\nsimulated GTX480: {2 * rep.total_us:.0f} µs per frame "
+        f"(2 ADI sweeps of {ny} systems x {nx}, k={rep.k})"
+    )
+    print("smoke transport example PASSED")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Analysis harness: figure/table reproduction and shape verification.
+
+* :mod:`~repro.analysis.figures` — series generators for Figs. 12-14
+  (model-predicted GPU and CPU curves plus the paper's reference
+  numbers where the paper states them).
+* :mod:`~repro.analysis.tables` — Tables I-III materialized.
+* :mod:`~repro.analysis.shapes` — the qualitative assertions the
+  reproduction must satisfy (who wins, crossovers, flat regions,
+  linearity, monotone PCR share).
+* :mod:`~repro.analysis.calibration` — model constants, their
+  provenance, and anchor verification against the paper's headline
+  numbers.
+* :mod:`~repro.analysis.report` — markdown emission for EXPERIMENTS.md.
+"""
+
+from repro.analysis.figures import (
+    figure12_series,
+    figure13_series,
+    figure14_bars,
+    FIG12_SWEEPS,
+    FIG13_SWEEPS,
+    FIG14_CONFIGS,
+    PAPER_FIG14_DOUBLE,
+    PAPER_FIG14_SINGLE,
+)
+from repro.analysis.tables import table1_rows, table2_rows, table3_rows
+from repro.analysis.shapes import (
+    loglog_slope,
+    is_linear_in,
+    max_speedup,
+    crossover_index,
+    relative_span,
+)
+from repro.analysis.calibration import CalibrationAnchors, verify_anchors
+
+__all__ = [
+    "figure12_series",
+    "figure13_series",
+    "figure14_bars",
+    "FIG12_SWEEPS",
+    "FIG13_SWEEPS",
+    "FIG14_CONFIGS",
+    "PAPER_FIG14_DOUBLE",
+    "PAPER_FIG14_SINGLE",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "loglog_slope",
+    "is_linear_in",
+    "max_speedup",
+    "crossover_index",
+    "relative_span",
+    "CalibrationAnchors",
+    "verify_anchors",
+]

@@ -1,0 +1,101 @@
+"""Numerical-accuracy study across the algorithm family.
+
+The paper evaluates speed only; a production solver must also answer
+"how accurate, and when does it break?".  This module measures, for
+every algorithm:
+
+* **relative residual** ``‖Ax − d‖∞ / (‖A‖∞‖x‖∞ + ‖d‖∞)`` — the
+  backward-error proxy (small ⇒ the computed x solves a nearby system);
+* **forward error** vs an LU-with-pivoting reference;
+
+across three difficulty axes:
+
+* system size on the 1-D Poisson stencil (condition grows like n²);
+* dominance margin (from comfortably dominant to barely nonsingular);
+* precision (float32 vs float64).
+
+The companion benchmark (``bench_accuracy.py``) regenerates the study
+tables; tests pin the qualitative conclusions (Thomas/CR are backward
+stable on dominant systems; PCR/RD track them within a small factor;
+float32 degrades everything by the expected ~2^29 ratio).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_banded
+
+from repro.core.cr import cr_solve_batch
+from repro.core.hybrid import HybridSolver
+from repro.core.pcr import pcr_solve_batch
+from repro.core.rd import rd_solve_batch
+from repro.core.thomas import thomas_solve_batch
+from repro.workloads.generators import poisson1d_batch, random_batch
+
+__all__ = ["ALGORITHMS", "measure", "poisson_sweep", "dominance_sweep"]
+
+ALGORITHMS = {
+    "thomas": thomas_solve_batch,
+    "cr": cr_solve_batch,
+    "pcr": pcr_solve_batch,
+    "rd": rd_solve_batch,
+    "hybrid": lambda a, b, c, d, **kw: HybridSolver().solve_batch(a, b, c, d, **kw),
+}
+
+
+def _reference(a, b, c, d):
+    m, n = b.shape
+    out = np.empty((m, n), dtype=np.float64)
+    ab = np.zeros((3, n), dtype=np.float64)
+    for i in range(m):
+        ab[0, 1:] = c[i, :-1]
+        ab[1, :] = b[i]
+        ab[2, :-1] = a[i, 1:]
+        out[i] = solve_banded((1, 1), ab, d[i].astype(np.float64))
+    return out
+
+
+def measure(algorithm: str, a, b, c, d) -> dict:
+    """Residual and forward error of one algorithm on one batch."""
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    x = ALGORITHMS[algorithm](a, b, c, d)
+    a64, b64, c64, d64, x64 = (np.asarray(v, dtype=np.float64)
+                               for v in (a, b, c, d, x))
+    r = b64 * x64 - d64
+    r[:, 1:] += a64[:, 1:] * x64[:, :-1]
+    r[:, :-1] += c64[:, :-1] * x64[:, 1:]
+    norm_a = np.max(np.abs(a64) + np.abs(b64) + np.abs(c64))
+    scale = norm_a * np.max(np.abs(x64)) + np.max(np.abs(d64))
+    residual = float(np.max(np.abs(r)) / max(scale, np.finfo(np.float64).tiny))
+    ref = _reference(a64, b64, c64, d64)
+    fwd = float(
+        np.max(np.abs(x64 - ref)) / max(np.max(np.abs(ref)), 1e-300)
+    )
+    return {"algorithm": algorithm, "residual": residual, "forward_error": fwd}
+
+
+def poisson_sweep(sizes=(64, 256, 1024, 4096), dtype=np.float64, m: int = 4) -> list:
+    """Accuracy vs size on the weakly-dominant Poisson stencil."""
+    rows = []
+    for n in sizes:
+        a, b, c, d = poisson1d_batch(m, n, dtype=dtype, seed=n)
+        for name in ALGORITHMS:
+            row = measure(name, a, b, c, d)
+            row.update({"n": n, "dtype": np.dtype(dtype).name})
+            rows.append(row)
+    return rows
+
+
+def dominance_sweep(
+    margins=(2.0, 0.1, 1e-3, 1e-6), n: int = 512, dtype=np.float64, m: int = 4
+) -> list:
+    """Accuracy vs dominance margin (conditioning knob)."""
+    rows = []
+    for margin in margins:
+        a, b, c, d = random_batch(m, n, dtype=dtype, seed=7, dominance=margin)
+        for name in ALGORITHMS:
+            row = measure(name, a, b, c, d)
+            row.update({"margin": margin, "dtype": np.dtype(dtype).name})
+            rows.append(row)
+    return rows

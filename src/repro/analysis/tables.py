@@ -1,0 +1,91 @@
+"""The paper's Tables I-III, materialized from the implementation.
+
+Each function evaluates the *implemented* quantities so the tests can
+assert they equal the paper's closed forms — the tables are outputs of
+the code, not transcriptions.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost_model import (
+    f_redundant_loads,
+    hybrid_cost,
+    pcr_cost,
+    thomas_cost,
+)
+from repro.core.transition import GTX480_HEURISTIC
+from repro.core.window import BufferedSlidingWindow
+
+__all__ = ["table1_rows", "table2_rows", "table3_rows"]
+
+
+def table1_rows(k_values=(1, 2, 3, 4, 5, 6, 7, 8), c: int = 1) -> list:
+    """Table I: buffered-sliding-window properties per k."""
+    rows = []
+    for k in k_values:
+        w = BufferedSlidingWindow(k=k, c=c)
+        rows.append(
+            {
+                "k": k,
+                "c": c,
+                "subtile": w.subtile,
+                "cache_capacity": w.cache_capacity,
+                "cache_bound_3x2k": 3 * 2**k,
+                "threads_per_block": w.threads_per_block,
+                "elim_per_thread": w.elim_steps_per_thread,
+                "elim_per_subtile": w.elim_steps_per_subtile,
+                "smem_bytes_fp64": w.smem_bytes(),
+                "f_k": f_redundant_loads(k),
+            }
+        )
+    return rows
+
+
+def table2_rows(n_log2: int, m: int, p: int, k_values=(0, 2, 4, 6, 8)) -> list:
+    """Table II: elimination-step costs of Thomas / PCR / k-step hybrid."""
+    rows = [
+        {
+            "algorithm": "Thomas",
+            "regime": "M > P" if m > p else "M <= P",
+            "cost": thomas_cost(n_log2, m, p),
+        },
+        {
+            "algorithm": "PCR",
+            "regime": "any",
+            "cost": pcr_cost(n_log2, m, p),
+        },
+    ]
+    for k in k_values:
+        if k > n_log2:
+            continue
+        rows.append(
+            {
+                "algorithm": f"hybrid(k={k})",
+                "regime": (
+                    "M > P"
+                    if m > p
+                    else ("2^k M > P" if 2**k * m > p else "2^k M <= P")
+                ),
+                "cost": hybrid_cost(n_log2, m, p, k),
+            }
+        )
+    return rows
+
+
+def table3_rows() -> list:
+    """Table III: the GTX480 heuristic (M range → k, tile size)."""
+    h = GTX480_HEURISTIC
+    bounds = (1,) + h.thresholds
+    rows = []
+    for i, k in enumerate(h.ks):
+        lo = bounds[i]
+        hi = h.thresholds[i] if i < len(h.thresholds) else None
+        rows.append(
+            {
+                "m_low": lo,
+                "m_high": hi,  # exclusive; None = unbounded
+                "k": k,
+                "tile": 2**k,
+            }
+        )
+    return rows

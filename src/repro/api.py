@@ -1,0 +1,112 @@
+"""Vendor-style entry points: familiar signatures for porting users.
+
+Production users arrive from cuSPARSE (``gtsv2StridedBatch``,
+``gtsv2_nopivot``) or LAPACK (``dgtsv``); this module offers the same
+call shapes on top of the hybrid solver so a port is a one-line change.
+
+All functions are thin adapters: they reshape/convert the vendor layout
+to the library's padded ``(M, N)`` convention, call
+:func:`repro.solve_batch`, and return results in the vendor's layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.solver import solve_batch
+
+__all__ = ["gtsv", "gtsv_nopivot", "gtsv_strided_batch"]
+
+
+def gtsv(dl, d, du, B):
+    """LAPACK ``?gtsv``-style: one system, possibly many RHS columns.
+
+    Parameters
+    ----------
+    dl:
+        Sub-diagonal, length ``n − 1`` (LAPACK convention: no padding).
+    d:
+        Main diagonal, length ``n``.
+    du:
+        Super-diagonal, length ``n − 1``.
+    B:
+        Right-hand sides: ``(n,)`` or ``(n, nrhs)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``X`` with the same shape as ``B``.
+    """
+    dl = np.asarray(dl)
+    d = np.asarray(d)
+    du = np.asarray(du)
+    B = np.asarray(B)
+    n = d.shape[0]
+    if dl.shape != (n - 1,) or du.shape != (n - 1,):
+        raise ValueError(
+            f"dl/du must have length n-1 = {n - 1}, got {dl.shape[0]}, {du.shape[0]}"
+        )
+    a = np.zeros(n, dtype=d.dtype)
+    c = np.zeros(n, dtype=d.dtype)
+    a[1:] = dl
+    c[:-1] = du
+    if B.ndim == 1:
+        x = solve_batch(a[None], d[None], c[None], B[None])
+        return x[0]
+    if B.ndim != 2 or B.shape[0] != n:
+        raise ValueError(f"B must be (n,) or (n, nrhs) with n = {n}")
+    nrhs = B.shape[1]
+    aa = np.tile(a, (nrhs, 1))
+    bb = np.tile(d, (nrhs, 1))
+    cc = np.tile(c, (nrhs, 1))
+    x = solve_batch(aa, bb, cc, np.ascontiguousarray(B.T))
+    return np.ascontiguousarray(x.T)
+
+
+def gtsv_nopivot(dl, d, du, B):
+    """cuSPARSE ``gtsv2_nopivot``-style alias (the library never pivots)."""
+    return gtsv(dl, d, du, B)
+
+
+def gtsv_strided_batch(dl, d, du, x, batch_count: int, batch_stride: int):
+    """cuSPARSE ``gtsv2StridedBatch``-style: flat strided system batch.
+
+    Parameters
+    ----------
+    dl, d, du:
+        Flat arrays; system ``i`` occupies elements
+        ``[i·batch_stride, i·batch_stride + n)`` where
+        ``n = batch_stride`` (cuSPARSE requires stride ≥ n; equal here).
+        ``dl[i·stride]`` and ``du[i·stride + n − 1]`` are ignored, as in
+        cuSPARSE.
+    x:
+        Flat right-hand sides in the same layout; **overwritten** with
+        the solution (cuSPARSE semantics).
+    batch_count, batch_stride:
+        Number of systems and their stride.
+
+    Returns
+    -------
+    numpy.ndarray
+        The same ``x`` array, now holding the solutions.
+    """
+    if batch_count < 1 or batch_stride < 1:
+        raise ValueError("batch_count and batch_stride must be >= 1")
+    needed = batch_count * batch_stride
+    for name, arr in (("dl", dl), ("d", d), ("du", du), ("x", x)):
+        if np.asarray(arr).shape[0] < needed:
+            raise ValueError(
+                f"{name} has {np.asarray(arr).shape[0]} elements, "
+                f"needs {needed}"
+            )
+    n = batch_stride
+    shape = (batch_count, n)
+    a2 = np.asarray(dl)[:needed].reshape(shape).copy()
+    b2 = np.asarray(d)[:needed].reshape(shape)
+    c2 = np.asarray(du)[:needed].reshape(shape).copy()
+    d2 = np.asarray(x)[:needed].reshape(shape)
+    a2[:, 0] = 0.0
+    c2[:, -1] = 0.0
+    sol = solve_batch(a2, b2, c2, d2)
+    np.asarray(x)[:needed] = sol.reshape(-1)
+    return x

@@ -1,0 +1,31 @@
+"""Baselines the paper compares against — all implemented, none stubbed.
+
+* :mod:`~repro.baselines.mkl_proxy` — sequential and multithreaded Intel
+  MKL stand-ins (Section IV's CPU bars): real Thomas/solve_banded
+  numerics plus the calibrated i7-975 analytic model.
+* :mod:`~repro.baselines.davidson` — Davidson, Zhang & Owens (IPDPS 2011)
+  [19]: the auto-tuned, globally-synchronized coarse-tiled PCR-Thomas
+  hybrid of Section V / Fig. 14.
+* :mod:`~repro.baselines.zhang` — Zhang, Cohen & Owens (PPoPP 2010)
+  [16][17]-style whole-system-in-shared-memory hybrid, including its hard
+  size limitation (the paper's core criticism).
+* :mod:`~repro.baselines.global_pcr` — a plain global-memory PCR sweep
+  (Egloff [14]-style), the simplest scalable GPU baseline.
+"""
+
+from repro.baselines.mkl_proxy import (
+    mkl_multithreaded_proxy,
+    mkl_sequential_proxy,
+)
+from repro.baselines.davidson import DavidsonSolver
+from repro.baselines.zhang import SharedMemoryCapacityError, ZhangSolver
+from repro.baselines.global_pcr import GlobalMemoryPCRSolver
+
+__all__ = [
+    "mkl_sequential_proxy",
+    "mkl_multithreaded_proxy",
+    "DavidsonSolver",
+    "ZhangSolver",
+    "SharedMemoryCapacityError",
+    "GlobalMemoryPCRSolver",
+]

@@ -1,0 +1,179 @@
+"""Davidson, Zhang & Owens (IPDPS 2011) — the Fig. 14 competitor.
+
+Their auto-tuned PCR-Thomas hybrid for large systems works in lockstep
+(Section V of our paper):
+
+1. **Global PCR phase** — PCR steps are applied to the *whole* system in
+   global memory, one kernel launch per step (a step's outputs feed the
+   next step's inputs, so a grid-wide barrier — i.e. kernel termination
+   and relaunch — separates them).  Each step gathers three neighbour
+   rows per output row.  Steps continue until the interleaved
+   subsystems fit shared memory.
+2. **In-shared-memory phase** — each subsystem (elements at stride
+   ``2^{k_g}``) is loaded by one maximally-sized thread block into
+   shared memory and finished with a PCR + p-Thomas hybrid.  The
+   strided gather is the coalescing price of the lockstep design: lane
+   ``t`` of a warp reads element ``j + t·2^{k_g}`` — one transaction per
+   lane once the stride passes the segment size.
+
+Why it loses to the sliding window (the paper's Section V, quantified
+by this model): per-step full-array round trips instead of one cached
+pass; kernel relaunch per step; maximal blocks → few blocks per SM and
+wide barriers; strided final-phase loads.
+
+The solver is numerically real (``solve_batch``) and the ledger builder
+(``counters``) prices it for Fig. 14.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pcr import pcr_step
+from repro.core.pthomas import pthomas_solve_interleaved
+from repro.core.validation import check_batch_arrays
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec, GTX480
+from repro.gpusim.memory import MemoryTraffic, warp_transactions_strided
+from repro.gpusim.sharedmem import smem_access_cycles
+from repro.gpusim.timing import GpuTimingModel
+from repro.kernels.pcr_kernel import max_inshared_rows
+
+__all__ = ["DavidsonSolver"]
+
+
+@dataclass
+class DavidsonSolver:
+    """Coarse-grained, globally-synchronized PCR-Thomas hybrid [19].
+
+    Parameters
+    ----------
+    device:
+        Simulated GPU (shared-memory capacity sets the phase switch).
+    inner_pcr_steps:
+        PCR steps of the in-shared-memory hybrid before its p-Thomas
+        stage (their auto-tuner picks a few; 4 is representative).
+    """
+
+    device: DeviceSpec = GTX480
+    inner_pcr_steps: int = 4
+    last_counters: list = field(default_factory=list, compare=False)
+
+    def global_steps(self, n: int, dtype_bytes: int) -> int:
+        """Lockstep global PCR steps until subsystems fit shared memory."""
+        cap = max_inshared_rows(self.device, dtype_bytes)
+        if n <= cap:
+            return 0
+        return math.ceil(math.log2(n / cap))
+
+    # ---- numerics ------------------------------------------------------
+    def solve_batch(self, a, b, c, d, *, check: bool = True) -> np.ndarray:
+        """Solve the batch exactly as the lockstep pipeline would."""
+        if check:
+            a, b, c, d = check_batch_arrays(a, b, c, d)
+        else:
+            a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
+        n = b.shape[1]
+        dtype_bytes = b.dtype.itemsize
+        k_g = self.global_steps(n, dtype_bytes)
+        s = 1
+        for _ in range(k_g):
+            a, b, c, d = pcr_step(a, b, c, d, s)
+            s *= 2
+        # In-shared-memory phase: more PCR inside each subsystem, then
+        # p-Thomas.  PCR strides continue doubling from 2^k_g, which is
+        # exactly further global steps in row-index terms.
+        inner = self.inner_pcr_steps
+        g = 1 << k_g
+        while inner > 0 and (g << 1) < n:
+            a, b, c, d = pcr_step(a, b, c, d, s)
+            s *= 2
+            g <<= 1
+            inner -= 1
+        k_total = int(math.log2(g)) if g > 1 else 0
+        return pthomas_solve_interleaved(a, b, c, d, k_total)
+
+    def solve(self, a, b, c, d, *, check: bool = True) -> np.ndarray:
+        """Single-system convenience wrapper."""
+        a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
+        return self.solve_batch(
+            a[None, :], b[None, :], c[None, :], d[None, :], check=check
+        )[0]
+
+    # ---- ledger / timing ------------------------------------------------
+    def counters(self, m: int, n: int, dtype_bytes: int) -> list:
+        """Kernel ledgers of the lockstep pipeline for an M × N batch."""
+        dev = self.device
+        warp = dev.warp_size
+        k_g = self.global_steps(n, dtype_bytes)
+        rows = m * n
+        out = []
+
+        # Phase 1: one launch per global PCR step.  Per output row: read
+        # own row + two neighbour rows (4 values each, all coalesced),
+        # write own row (4 values).
+        tx1 = warp_transactions_strided(warp, 1, dtype_bytes)
+        acc = -(-rows // warp)
+        for step in range(k_g):
+            traffic = MemoryTraffic()
+            traffic.add_load(12 * rows * dtype_bytes, 12 * acc * tx1)
+            traffic.add_store(4 * rows * dtype_bytes, 4 * acc * tx1)
+            out.append(
+                KernelCounters(
+                    name=f"davidson global PCR step {step}",
+                    eliminations=rows,
+                    traffic=traffic,
+                    launches=1,
+                    dependent_steps=1,
+                    threads=rows,
+                    threads_per_block=256,
+                )
+            )
+
+        # Phase 2: in-shared-memory hybrid, one maximal block per
+        # subsystem.  Loads are strided by 2^k_g (uncoalesced for
+        # k_g ≥ log2(segment/elem)); the block occupies the whole SM's
+        # shared memory.
+        g = 1 << k_g
+        length = -(-n // g)
+        blocks = m * g
+        block_threads = min(dev.max_threads_per_block, max(warp, length))
+        tx_strided = warp_transactions_strided(warp, g, dtype_bytes)
+        sub_rows = blocks * length
+        sub_acc = -(-sub_rows // warp)
+        traffic = MemoryTraffic()
+        traffic.add_load(4 * sub_rows * dtype_bytes, 4 * sub_acc * tx_strided)
+        traffic.add_store(sub_rows * dtype_bytes, sub_acc * tx_strided)
+        levels = self.inner_pcr_steps + 1
+        unit = smem_access_cycles(1, elem_words=dtype_bytes // 4)
+        warp_acc_smem = -(-sub_rows // warp) * levels
+        out.append(
+            KernelCounters(
+                name="davidson in-smem hybrid",
+                eliminations=sub_rows * levels + sub_rows * 2,
+                traffic=traffic,
+                smem_accesses=16 * warp_acc_smem,
+                smem_cycles=16 * warp_acc_smem * unit,
+                barriers=blocks * 2 * levels,
+                launches=1,
+                dependent_steps=2 * levels + 2 * (length >> self.inner_pcr_steps),
+                threads=blocks * block_threads,
+                threads_per_block=block_threads,
+                smem_per_block=min(
+                    dev.max_shared_mem_per_block, 4 * length * dtype_bytes
+                ),
+            )
+        )
+        self.last_counters = out
+        return out
+
+    def predict_seconds(self, m: int, n: int, dtype_bytes: int) -> float:
+        """Total predicted time of the pipeline on the device model."""
+        model = GpuTimingModel(self.device)
+        return sum(
+            model.time(k, dtype_bytes).total_s
+            for k in self.counters(m, n, dtype_bytes)
+        )

@@ -1,0 +1,78 @@
+"""Plain global-memory PCR (Egloff [14][15]-style).
+
+The simplest *scalable* GPU baseline: run every PCR step over the whole
+system in global memory, one kernel launch per step, until rows
+decouple; no shared memory, no tiling, no Thomas stage.  O(n log n)
+work and ``log n`` full-array round trips — the traffic profile that
+makes the paper's O(n) hybrid win at scale, and a useful sanity point
+between the CPU baselines and the tuned competitors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pcr import pcr_solve_batch
+from repro.core.validation import check_batch_arrays
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec, GTX480
+from repro.gpusim.memory import MemoryTraffic, warp_transactions_strided
+from repro.gpusim.timing import GpuTimingModel
+
+__all__ = ["GlobalMemoryPCRSolver"]
+
+
+@dataclass
+class GlobalMemoryPCRSolver:
+    """Complete PCR with one global kernel launch per step."""
+
+    device: DeviceSpec = GTX480
+
+    def solve_batch(self, a, b, c, d, *, check: bool = True) -> np.ndarray:
+        """Numerics are exactly complete PCR."""
+        if check:
+            a, b, c, d = check_batch_arrays(a, b, c, d)
+        return pcr_solve_batch(a, b, c, d, check=False)
+
+    def solve(self, a, b, c, d, *, check: bool = True) -> np.ndarray:
+        """Single-system convenience wrapper."""
+        a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
+        return self.solve_batch(
+            a[None, :], b[None, :], c[None, :], d[None, :], check=check
+        )[0]
+
+    def counters(self, m: int, n: int, dtype_bytes: int) -> list:
+        """One ledger per PCR step: full-array gather + write back."""
+        steps = max(1, math.ceil(math.log2(n)))
+        warp = self.device.warp_size
+        rows = m * n
+        acc = -(-rows // warp)
+        tx1 = warp_transactions_strided(warp, 1, dtype_bytes)
+        out = []
+        for step in range(steps):
+            traffic = MemoryTraffic()
+            traffic.add_load(12 * rows * dtype_bytes, 12 * acc * tx1)
+            traffic.add_store(4 * rows * dtype_bytes, 4 * acc * tx1)
+            out.append(
+                KernelCounters(
+                    name=f"global PCR step {step}",
+                    eliminations=rows,
+                    traffic=traffic,
+                    launches=1,
+                    dependent_steps=1,
+                    threads=rows,
+                    threads_per_block=256,
+                )
+            )
+        return out
+
+    def predict_seconds(self, m: int, n: int, dtype_bytes: int) -> float:
+        """Total predicted time on the device model."""
+        model = GpuTimingModel(self.device)
+        return sum(
+            model.time(k, dtype_bytes).total_s
+            for k in self.counters(m, n, dtype_bytes)
+        )

@@ -1,0 +1,92 @@
+"""Zhang, Cohen & Owens (PPoPP 2010)-style in-shared-memory hybrid.
+
+The prior art the paper positions itself against: a PCR-Thomas hybrid
+that keeps the **entire system in shared memory** (as do the
+Sakharnykh GTC solvers).  Fast for small systems, but "the limited
+capacity of shared memory considerably limits their availability for
+real use" — on Fermi, 4 arrays × N × 8 B must fit 48 KiB, capping N at
+1536 in double precision.
+
+:class:`ZhangSolver` enforces that cap with
+:class:`SharedMemoryCapacityError`, which the size-limitation benchmark
+and tests exercise; within the cap it is numerically identical to a
+k-step PCR + p-Thomas (it *is* one — the paper notes its own method
+"reduces to [16][17]" when the input fits shared memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pcr import pcr_sweep
+from repro.core.pthomas import pthomas_solve_interleaved
+from repro.core.transition import clamp_k
+from repro.core.validation import check_batch_arrays
+from repro.gpusim.device import DeviceSpec, GTX480
+from repro.kernels.pcr_kernel import inshared_pcr_counters, max_inshared_rows
+
+__all__ = ["ZhangSolver", "SharedMemoryCapacityError"]
+
+
+class SharedMemoryCapacityError(ValueError):
+    """The system does not fit in one thread block's shared memory."""
+
+
+@dataclass
+class ZhangSolver:
+    """Whole-system-in-shared-memory PCR-Thomas hybrid [16][17].
+
+    Parameters
+    ----------
+    device:
+        Sets the shared-memory capacity (and hence the hard size cap).
+    pcr_steps:
+        PCR steps before switching to p-Thomas inside the block.
+    """
+
+    device: DeviceSpec = GTX480
+    pcr_steps: int = 4
+
+    def capacity(self, dtype_bytes: int) -> int:
+        """Largest solvable system size for this precision."""
+        return max_inshared_rows(self.device, dtype_bytes)
+
+    def solve_batch(self, a, b, c, d, *, check: bool = True) -> np.ndarray:
+        """Solve the batch, or raise if it exceeds shared memory."""
+        if check:
+            a, b, c, d = check_batch_arrays(a, b, c, d)
+        else:
+            a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
+        n = b.shape[1]
+        cap = self.capacity(b.dtype.itemsize)
+        if n > cap:
+            raise SharedMemoryCapacityError(
+                f"system of {n} rows exceeds the in-shared-memory capacity of "
+                f"{cap} rows on {self.device.name} "
+                f"({b.dtype.itemsize}-byte elements); this size limitation is "
+                f"the motivation for the paper's tiled approach"
+            )
+        k = clamp_k(self.pcr_steps, n)
+        a, b, c, d = pcr_sweep(a, b, c, d, k)
+        return pthomas_solve_interleaved(a, b, c, d, k)
+
+    def solve(self, a, b, c, d, *, check: bool = True) -> np.ndarray:
+        """Single-system convenience wrapper."""
+        a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
+        return self.solve_batch(
+            a[None, :], b[None, :], c[None, :], d[None, :], check=check
+        )[0]
+
+    def counters(self, m: int, n: int, dtype_bytes: int):
+        """Kernel ledger (raises beyond capacity, like the solver)."""
+        cap = self.capacity(dtype_bytes)
+        if n > cap:
+            raise SharedMemoryCapacityError(
+                f"system of {n} rows exceeds capacity {cap}"
+            )
+        return inshared_pcr_counters(
+            m, n, dtype_bytes, device=self.device,
+            steps=clamp_k(self.pcr_steps, n) or 1,
+        )

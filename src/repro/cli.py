@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``plan``     show the hybrid's execution plan for a problem shape
+``solve``    solve a random batch and report residual + predicted time
+``figures``  print one figure panel's model series (12/13/14)
+``tables``   print Table I / II / III
+``anchors``  verify the calibration anchors against the paper
+``report``   emit the full EXPERIMENTS.md body
+
+Examples
+--------
+.. code-block:: bash
+
+    python -m repro.cli plan -M 64 -N 4096
+    python -m repro.cli solve -M 256 -N 2048 --fuse
+    python -m repro.cli figures --figure 12 --panel 512
+    python -m repro.cli tables --table 3
+    python -m repro.cli anchors
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable tridiagonal solver (ICPP 2011 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="show the hybrid execution plan")
+    plan.add_argument("-M", type=int, required=True, help="number of systems")
+    plan.add_argument("-N", type=int, required=True, help="system size")
+    plan.add_argument("--device", choices=("gtx480", "c2050"), default="gtx480")
+    plan.add_argument("--fp32", action="store_true", help="single precision")
+
+    solve = sub.add_parser("solve", help="solve a random batch")
+    solve.add_argument("-M", type=int, default=64)
+    solve.add_argument("-N", type=int, default=2048)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--fuse", action="store_true")
+    solve.add_argument(
+        "--algorithm",
+        choices=("auto", "hybrid", "thomas", "cr", "pcr", "rd"),
+        default="auto",
+    )
+
+    figures = sub.add_parser("figures", help="print a figure panel's series")
+    figures.add_argument("--figure", type=int, choices=(12, 13, 14), required=True)
+    figures.add_argument(
+        "--panel", help="N for fig 12, M for fig 13, ignored for fig 14"
+    )
+    figures.add_argument("--fp32", action="store_true")
+
+    tables = sub.add_parser("tables", help="print a paper table")
+    tables.add_argument("--table", type=int, choices=(1, 2, 3), required=True)
+
+    sub.add_parser("anchors", help="verify calibration anchors")
+    sub.add_parser("report", help="emit the EXPERIMENTS.md body")
+
+    roof = sub.add_parser("roofline", help="roofline survey of the kernels")
+    roof.add_argument("-M", type=int, default=256)
+    roof.add_argument("-N", type=int, default=16384)
+    roof.add_argument("-k", type=int, default=6)
+    roof.add_argument("--fp32", action="store_true")
+
+    acc = sub.add_parser("accuracy", help="accuracy study across algorithms")
+    acc.add_argument(
+        "--sweep", choices=("poisson", "dominance"), default="poisson"
+    )
+
+    exp = sub.add_parser(
+        "export", help="write every reproduction artifact as JSON"
+    )
+    exp.add_argument("--out", default="results", help="output directory")
+    exp.add_argument(
+        "--no-accuracy", action="store_true",
+        help="skip the (slower) accuracy sweeps",
+    )
+    return p
+
+
+def _device(name: str):
+    from repro.gpusim.device import GTX480, TESLA_C2050
+
+    return GTX480 if name == "gtx480" else TESLA_C2050
+
+
+def _cmd_plan(args) -> int:
+    from repro.kernels.hybrid_gpu import GpuHybridSolver
+
+    gpu = GpuHybridSolver(device=_device(args.device))
+    rep = gpu.predict(args.M, args.N, 4 if args.fp32 else 8)
+    print(f"device     : {gpu.device.name}")
+    print(f"problem    : M={args.M} systems x N={args.N} rows, "
+          f"{'fp32' if args.fp32 else 'fp64'}")
+    print(f"plan       : k={rep.k} (tile 2^k = {1 << rep.k}), "
+          f"windows/system = {rep.n_windows}")
+    print(f"subsystems : {args.M * (1 << rep.k)} for p-Thomas")
+    print(f"predicted  : {rep.total_us:,.0f} us on the device model")
+    for name, counters, t in rep.stages:
+        print(f"  {name:<18} {t.total_s * 1e6:10,.1f} us  ({t.bound}-bound, "
+              f"{counters.traffic.useful_bytes / 1e6:,.1f} MB payload)")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    import repro
+    from repro.util.numerics import residual_norm
+    from repro.util.tridiag import BatchTridiagonal
+    from repro.workloads.generators import random_batch
+
+    a, b, c, d = random_batch(args.M, args.N, seed=args.seed)
+    kwargs = {"fuse": args.fuse} if args.algorithm in ("auto", "hybrid") else {}
+    t0 = time.perf_counter()
+    x = repro.solve_batch(a, b, c, d, algorithm=args.algorithm, **kwargs)
+    dt = time.perf_counter() - t0
+    res = residual_norm(BatchTridiagonal(a, b, c, d), x)
+    print(f"solved M={args.M} x N={args.N} with {args.algorithm} "
+          f"in {dt * 1e3:.2f} ms (this machine, NumPy)")
+    print(f"relative residual: {res:.3e}")
+    return 0 if res < 1e-6 else 1
+
+
+def _cmd_figures(args) -> int:
+    from repro.analysis.figures import (
+        FIG12_SWEEPS,
+        FIG13_SWEEPS,
+        figure12_series,
+        figure13_series,
+        figure14_bars,
+    )
+    from repro.analysis.report import markdown_table
+
+    dtype_bytes = 4 if args.fp32 else 8
+    if args.figure == 12:
+        n = int(args.panel or 512)
+        if n not in FIG12_SWEEPS:
+            print(f"panel must be one of {sorted(FIG12_SWEEPS)}", file=sys.stderr)
+            return 2
+        rows = figure12_series(n, dtype_bytes=dtype_bytes)
+        cols = [("M", "M"), ("mkl_seq_us", "MKL seq (us)"),
+                ("mkl_mt_us", "MKL mt (us)"), ("ours_us", "ours (us)"),
+                ("k", "k"), ("speedup_seq", "xseq"), ("speedup_mt", "xmt")]
+    elif args.figure == 13:
+        m = int(args.panel or 2048)
+        if m not in FIG13_SWEEPS:
+            print(f"panel must be one of {sorted(FIG13_SWEEPS)}", file=sys.stderr)
+            return 2
+        rows = figure13_series(m, dtype_bytes=dtype_bytes)
+        cols = [("N", "N"), ("mkl_seq_ms", "MKL seq (ms)"),
+                ("ours_ms", "ours (ms)"), ("k", "k"),
+                ("pcr_fraction", "PCR share"), ("speedup_seq", "xseq")]
+    else:
+        rows = figure14_bars(dtype_bytes)
+        cols = [("config", "config"), ("ours_ms", "ours (ms)"),
+                ("paper_ours_ms", "paper ours"), ("davidson_ms", "Davidson"),
+                ("paper_davidson_ms", "paper Davidson"), ("ratio", "ratio")]
+    print(markdown_table(rows, cols))
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.analysis.report import markdown_table
+    from repro.analysis.tables import table1_rows, table2_rows, table3_rows
+    from repro.gpusim.device import GTX480
+
+    if args.table == 1:
+        print(markdown_table(
+            table1_rows(),
+            [("k", "k"), ("subtile", "sub-tile"), ("cache_capacity", "cache"),
+             ("threads_per_block", "threads"), ("elim_per_subtile", "elims")],
+        ))
+    elif args.table == 2:
+        print(markdown_table(
+            table2_rows(12, 256, GTX480.max_resident_threads),
+            [("algorithm", "algorithm"), ("regime", "regime"), ("cost", "cost")],
+        ))
+    else:
+        print(markdown_table(
+            table3_rows(),
+            [("m_low", "M >="), ("m_high", "M <"), ("k", "k"), ("tile", "tile")],
+        ))
+    return 0
+
+
+def _cmd_anchors(_args) -> int:
+    from repro.analysis.calibration import verify_anchors
+
+    result = verify_anchors()
+    width = max(len(a.name) for a in result.anchors)
+    for a in result.anchors:
+        mark = "ok " if a.ok else "FAIL"
+        print(f"[{mark}] {a.name:<{width}}  paper={a.paper:<10g} "
+              f"model={a.model:<12.4g} ratio={a.ratio:.2f}")
+    print("all anchors within band" if result.all_ok
+          else f"{len(result.failing())} anchors out of band")
+    return 0 if result.all_ok else 1
+
+
+def _cmd_report(_args) -> int:
+    from repro.analysis.report import experiments_markdown
+
+    sys.stdout.write(experiments_markdown())
+    return 0
+
+
+def _cmd_roofline(args) -> int:
+    from repro.analysis.roofline import kernel_survey, ridge_intensity
+    from repro.gpusim.device import GTX480
+
+    dtype_bytes = 4 if args.fp32 else 8
+    ridge = ridge_intensity(GTX480, dtype_bytes)
+    print(f"{GTX480.name}, {'fp32' if args.fp32 else 'fp64'}: "
+          f"ridge = {ridge:.2f} flops/byte")
+    print(f"{'kernel':<26} {'AI':>8} {'attainable':>12} {'bound':>8}")
+    for p in kernel_survey(args.M, args.N, args.k, dtype_bytes):
+        print(f"{p.name:<26} {p.intensity:>8.3f} "
+              f"{p.attainable_gflops:>9.1f} GF {p.bound:>8}")
+    return 0
+
+
+def _cmd_accuracy(args) -> int:
+    from repro.analysis.accuracy import dominance_sweep, poisson_sweep
+    from repro.analysis.report import markdown_table
+
+    rows = poisson_sweep() if args.sweep == "poisson" else dominance_sweep()
+    key = "n" if args.sweep == "poisson" else "margin"
+    print(markdown_table(
+        rows,
+        [("algorithm", "algorithm"), (key, key),
+         ("residual", "residual"), ("forward_error", "forward error")],
+        fmt={"residual": ".2e", "forward_error": ".2e"},
+    ))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.analysis.export import export_all
+
+    files = export_all(args.out, include_accuracy=not args.no_accuracy)
+    print(f"wrote {len(files)} artifacts to {args.out}/:")
+    for f in sorted(files):
+        print(f"  {f}")
+    return 0
+
+
+_COMMANDS = {
+    "plan": _cmd_plan,
+    "solve": _cmd_solve,
+    "figures": _cmd_figures,
+    "tables": _cmd_tables,
+    "anchors": _cmd_anchors,
+    "report": _cmd_report,
+    "roofline": _cmd_roofline,
+    "accuracy": _cmd_accuracy,
+    "export": _cmd_export,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an error
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

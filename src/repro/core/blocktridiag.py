@@ -1,0 +1,104 @@
+"""Block-tridiagonal systems (small dense blocks) via block-Thomas.
+
+Coupled PDE systems — compressible flow lines, multi-species reaction
+diffusion, the implicit stages of systems of conservation laws —
+produce block-tridiagonal matrices whose entries are small ``B × B``
+dense blocks.  Block-Thomas is the scalar algorithm with scalar
+division replaced by small-matrix solves:
+
+.. math::
+
+    C'_i = (B_i - A_i C'_{i-1})^{-1} C_i, \\qquad
+    d'_i = (B_i - A_i C'_{i-1})^{-1} (d_i - A_i d'_{i-1})
+
+    x_i = d'_i - C'_i x_{i+1}
+
+All block operations vectorize over the batch axis via NumPy's stacked
+``matmul`` / ``linalg.solve``; the row recurrence stays sequential like
+scalar Thomas — the batched ``M`` axis is again the parallel axis.
+
+Stability: block diagonal dominance (each ``B_i`` dominating its
+neighbour blocks in norm) is the standard sufficient condition; the
+implementation solves (never inverts) the running pivot blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["block_thomas_solve_batch", "block_thomas_solve", "block_residual"]
+
+
+def _check(A, B, C, d):
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    C = np.asarray(C, dtype=np.float64)
+    d = np.asarray(d, dtype=np.float64)
+    if B.ndim != 4:
+        raise ValueError("blocks must be (M, N, B, B)")
+    m, n, bs, bs2 = B.shape
+    if bs != bs2:
+        raise ValueError(f"blocks must be square, got {bs}x{bs2}")
+    for name, arr in (("A", A), ("C", C)):
+        if arr.shape != B.shape:
+            raise ValueError(f"{name} has shape {arr.shape}, expected {B.shape}")
+    if d.shape != (m, n, bs):
+        raise ValueError(f"d has shape {d.shape}, expected {(m, n, bs)}")
+    return A, B, C, d
+
+
+def block_thomas_solve_batch(A, B, C, d) -> np.ndarray:
+    """Solve ``M`` block-tridiagonal systems.
+
+    Parameters
+    ----------
+    A, B, C:
+        ``(M, N, B, B)`` sub-/main-/super-diagonal blocks
+        (``A[:, 0]`` and ``C[:, -1]`` are ignored).
+    d:
+        ``(M, N, B)`` right-hand sides.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(M, N, B)`` solutions.
+    """
+    A, B, C, d = _check(A, B, C, d)
+    m, n, bs = d.shape
+    Cp = np.empty((m, n, bs, bs))
+    dp = np.empty((m, n, bs))
+
+    piv = B[:, 0]
+    Cp[:, 0] = np.linalg.solve(piv, C[:, 0])
+    dp[:, 0] = np.linalg.solve(piv, d[:, 0][..., None])[..., 0]
+    for i in range(1, n):
+        piv = B[:, i] - A[:, i] @ Cp[:, i - 1]
+        rhs_d = d[:, i] - (A[:, i] @ dp[:, i - 1][..., None])[..., 0]
+        if i < n - 1:
+            Cp[:, i] = np.linalg.solve(piv, C[:, i])
+        else:
+            Cp[:, i] = 0.0
+        dp[:, i] = np.linalg.solve(piv, rhs_d[..., None])[..., 0]
+
+    x = np.empty((m, n, bs))
+    x[:, n - 1] = dp[:, n - 1]
+    for i in range(n - 2, -1, -1):
+        x[:, i] = dp[:, i] - (Cp[:, i] @ x[:, i + 1][..., None])[..., 0]
+    return x
+
+
+def block_thomas_solve(A, B, C, d) -> np.ndarray:
+    """Single-system convenience wrapper (``(N, B, B)`` blocks)."""
+    A, B, C, d = (np.asarray(v) for v in (A, B, C, d))
+    x = block_thomas_solve_batch(A[None], B[None], C[None], d[None])
+    return x[0]
+
+
+def block_residual(A, B, C, d, x) -> np.ndarray:
+    """Residual ``A_blk x − d`` of a batch solution, shape ``(M, N, B)``."""
+    A, B, C, d = _check(A, B, C, d)
+    x = np.asarray(x, dtype=np.float64)
+    r = (B @ x[..., None])[..., 0] - d
+    r[:, 1:] += (A[:, 1:] @ x[:, :-1][..., None])[..., 0]
+    r[:, :-1] += (C[:, :-1] @ x[:, 1:][..., None])[..., 0]
+    return r

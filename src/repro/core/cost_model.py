@@ -1,0 +1,140 @@
+"""Analytic cost model — Table II and Eqs. 8-9 of the paper.
+
+Two families of formulas live here:
+
+1. **Elimination-step counts** (Table II) for Thomas, PCR and the k-step
+   hybrid, as functions of the number of systems ``M``, the per-system
+   size ``2^n`` and the machine parallelism ``P``.  These drive the
+   *analytic* transition-point selection
+   (:func:`repro.core.transition.select_k_analytic`).
+
+2. **Tiling-redundancy counts** (Eqs. 8-9, Fig. 7): for naive (cache-less)
+   tiling of a k-step PCR, each tile boundary costs
+
+   .. math::
+
+       f(k) = \\sum_{i=0}^{k-1} 2^i = 2^k - 1
+
+   redundant element loads and
+
+   .. math::
+
+       g(k) = k\\,f(k) - \\sum_{i=0}^{k} f(i)
+
+   redundant elimination steps — both exponential in ``k``, which is the
+   quantitative argument for the buffered-sliding-window cache.
+
+All counts are *abstract elimination steps*; converting them to seconds
+is the job of :mod:`repro.gpusim.timing`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "f_redundant_loads",
+    "g_redundant_elims",
+    "thomas_cost",
+    "pcr_cost",
+    "hybrid_cost",
+    "sliding_window_properties",
+]
+
+
+def f_redundant_loads(k: int) -> int:
+    """Redundant loads per tile boundary of naive k-step tiled PCR (Eq. 8)."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    return sum(2**i for i in range(k))  # == 2**k - 1
+
+
+def g_redundant_elims(k: int) -> int:
+    """Redundant eliminations per tile boundary of naive tiling (Eq. 9)."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    return k * f_redundant_loads(k) - sum(f_redundant_loads(i) for i in range(k + 1))
+
+
+def thomas_cost(n: int, m: int, p: int) -> float:
+    """Elimination steps of (p-)Thomas on ``M`` systems of size ``2^n``.
+
+    Table II row 1: the Thomas chain is ``2·2^n − 1`` dependent steps;
+    ``M`` independent systems provide exactly ``M``-way parallelism, so
+    for ``M ≤ P`` extra processors are idle and the time is the chain
+    length, while for ``M > P`` the total work amortizes over ``P``.
+    """
+    _check(n, m, p)
+    chain = 2 * 2**n - 1
+    if m > p:
+        return m / p * chain
+    return float(chain)
+
+
+def pcr_cost(n: int, m: int, p: int) -> float:
+    """Elimination steps of complete PCR (Table II row 2).
+
+    PCR exposes ``2^n``-way parallelism *within* each system, so the
+    ``n · 2^n + 1`` work always divides by ``P`` regardless of ``M``
+    (the table lists the same expression in both columns).
+    """
+    _check(n, m, p)
+    return m / p * (n * 2**n + 1)
+
+
+def hybrid_cost(n: int, m: int, p: int, k: int) -> float:
+    """Elimination steps of k-step tiled PCR + p-Thomas (Table II row 3).
+
+    Three regimes:
+
+    * ``M > P`` — saturated before PCR even runs; everything amortizes:
+      ``(M/P)·(2(2^n − 2^k) + k·2^n)``.
+    * ``M ≤ P`` but ``2^k · M > P`` — PCR manufactures more systems than
+      processors, so the p-Thomas stage also amortizes.
+    * ``2^k · M ≤ P`` — p-Thomas still underutilizes the machine and runs
+      at its dependent-chain length ``2(2^n − 2^k)``.
+    """
+    _check(n, m, p)
+    if not 0 <= k <= n:
+        raise ValueError(f"k must be in [0, n={n}], got {k}")
+    pcr_part = k * 2**n
+    thomas_chain = 2 * (2**n - 2**k)
+    if m > p:
+        return m / p * (thomas_chain + pcr_part)
+    if 2**k * m > p:
+        return m / p * pcr_part + m / p * thomas_chain
+    return m / p * pcr_part + thomas_chain
+
+
+def sliding_window_properties(k: int, c: int = 1) -> dict:
+    """Table I: properties of the buffered sliding window for k-step PCR.
+
+    Parameters
+    ----------
+    k:
+        Number of PCR steps performed inside the window.
+    c:
+        Sub-tile scale factor (``c ≥ 1``); the sub-tile holds ``c · 2^k``
+        elements and each thread produces ``c`` outputs per sub-tile.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if c < 1:
+        raise ValueError(f"c must be >= 1, got {c}")
+    f_k = f_redundant_loads(k)
+    return {
+        "pcr_steps": k,
+        "subtile_size": c * 2**k,
+        "cache_capacity": 3 * f_k,  # top + middle buffers, ≤ 3·2^k
+        "min_cache_capacity": 2 * f_k,
+        "threads_per_block": 2**k,
+        "elim_steps_per_thread": c * k,
+        "elim_steps_per_subtile": c * k * 2**k,
+    }
+
+
+def _check(n: int, m: int, p: int) -> None:
+    if n < 0:
+        raise ValueError(f"n (log2 system size) must be >= 0, got {n}")
+    if m < 1:
+        raise ValueError(f"M must be >= 1, got {m}")
+    if p < 1:
+        raise ValueError(f"P must be >= 1, got {p}")

@@ -1,0 +1,123 @@
+"""Cyclic reduction (CR, odd-even reduction) — Section II-A.2 of the paper.
+
+Forward reduction eliminates the *odd-indexed* rows' couplings to their
+even neighbours (Fig. 1): after one step the odd rows form a standalone
+tridiagonal system of half the size.  Recursing yields a tree of depth
+``log n``; the backward substitution then recovers the even rows from the
+solved odd rows via Eq. 7:
+
+.. math::
+
+    x_i = (d'_i - a'_i x_{i-1} - c'_i x_{i+1}) / b'_i
+
+Complexity: ``O(n)`` work but ``2·log n + 1`` dependent elimination steps
+and — crucially for GPUs — the number of *active* rows halves every
+level, so parallelism decays down the tree (one reason the paper prefers
+PCR as its front-end).
+
+The reduction formulas are shared with PCR (Eqs. 5-6); CR simply applies
+them only to odd rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.validation import check_batch_arrays, check_system_arrays
+
+__all__ = ["cr_solve", "cr_solve_batch", "cr_forward_step"]
+
+
+def cr_forward_step(a, b, c, d):
+    """One CR forward-reduction step on an ``(M, N)`` batch.
+
+    Reduces the odd rows ``1, 3, 5, …`` using their even neighbours and
+    returns the ``(M, floor(N/2))`` reduced system plus the untouched even
+    rows needed later by back substitution.
+
+    Returns
+    -------
+    reduced : tuple of arrays
+        ``(a', b', c', d')`` of the half-size odd-row system.
+    """
+    n = b.shape[-1]
+    one = b.dtype.type(1)
+    # Odd rows and their even neighbours.  Row i (odd) uses i-1 and i+1;
+    # i+1 may fall off the end when n is even... n odd -> last odd row is
+    # n-2 with neighbour n-1 present; n even -> last odd row n-1 has no
+    # right neighbour. Zero-fill handles both.
+    ao, bo, co, do = a[..., 1::2], b[..., 1::2], c[..., 1::2], d[..., 1::2]
+    a_l, b_l, c_l, d_l = a[..., 0::2], b[..., 0::2], c[..., 0::2], d[..., 0::2]
+    h = bo.shape[-1]  # number of odd rows = floor(n/2)
+    # Left (even) neighbour arrays aligned with odd rows: even index 2j for
+    # odd row 2j+1.
+    bl = b_l[..., :h]
+    al = a_l[..., :h]
+    cl = c_l[..., :h]
+    dl = d_l[..., :h]
+    # Right (even) neighbour 2j+2 for odd row 2j+1; may not exist for the
+    # last odd row when n is even.
+    shape = bo.shape
+    br = np.full(shape, one)
+    ar = np.zeros(shape, dtype=b.dtype)
+    cr = np.zeros(shape, dtype=b.dtype)
+    dr = np.zeros(shape, dtype=b.dtype)
+    n_right = b_l.shape[-1] - 1  # even rows 2, 4, ... available as rights
+    if n_right > 0:
+        br[..., :n_right] = b_l[..., 1 : n_right + 1]
+        ar[..., :n_right] = a_l[..., 1 : n_right + 1]
+        cr[..., :n_right] = c_l[..., 1 : n_right + 1]
+        dr[..., :n_right] = d_l[..., 1 : n_right + 1]
+
+    k1 = ao / bl
+    k2 = co / br
+    a_new = -al * k1
+    b_new = bo - cl * k1 - ar * k2
+    c_new = -cr * k2
+    d_new = do - dl * k1 - dr * k2
+    return a_new, b_new, c_new, d_new
+
+
+def _cr_recurse(a, b, c, d) -> np.ndarray:
+    n = b.shape[-1]
+    if n == 1:
+        return d / b
+    if n == 2:
+        # Direct 2x2 solve: rows [0, 1] with coupling c0 (up) and a1 (down).
+        det = b[..., 0] * b[..., 1] - c[..., 0] * a[..., 1]
+        x0 = (d[..., 0] * b[..., 1] - c[..., 0] * d[..., 1]) / det
+        x1 = (b[..., 0] * d[..., 1] - d[..., 0] * a[..., 1]) / det
+        return np.stack([x0, x1], axis=-1)
+    ar, br, cr, dr = cr_forward_step(a, b, c, d)
+    x_odd = _cr_recurse(ar, br, cr, dr)
+    # Back substitution for even rows (Eq. 7 with original coefficients).
+    m = b.shape[0]
+    x = np.empty(b.shape, dtype=b.dtype)
+    x[..., 1::2] = x_odd
+    n_even = b[..., 0::2].shape[-1]
+    # Even row 2j uses odd neighbours 2j-1 (j>=1) and 2j+1 (if < n).
+    xl = np.zeros((m, n_even), dtype=b.dtype)
+    xl[..., 1:] = x_odd[..., : n_even - 1]
+    xr = np.zeros((m, n_even), dtype=b.dtype)
+    n_r = x_odd.shape[-1]
+    xr[..., :n_r] = x_odd
+    ae, be, ce, de = a[..., 0::2], b[..., 0::2], c[..., 0::2], d[..., 0::2]
+    x[..., 0::2] = (de - ae * xl - ce * xr) / be
+    return x
+
+
+def cr_solve_batch(a, b, c, d, *, check: bool = True) -> np.ndarray:
+    """Solve an ``(M, N)`` batch by cyclic reduction."""
+    if check:
+        a, b, c, d = check_batch_arrays(a, b, c, d)
+    else:
+        a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
+    return _cr_recurse(a, b, c, d)
+
+
+def cr_solve(a, b, c, d, *, check: bool = True) -> np.ndarray:
+    """Solve one system by cyclic reduction."""
+    if check:
+        a, b, c, d = check_system_arrays(a, b, c, d)
+    x = cr_solve_batch(a[None, :], b[None, :], c[None, :], d[None, :], check=False)
+    return x[0]

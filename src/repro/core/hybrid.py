@@ -1,0 +1,244 @@
+"""The hybrid solver: k-step tiled PCR + p-Thomas — Section III.
+
+Divide and conquer:
+
+1. **Front-end** — :class:`~repro.core.tiled_pcr.TiledPCR` runs ``k`` PCR
+   steps through the buffered sliding window, turning each input system
+   into ``2^k`` independent interleaved systems ("parallelism
+   excavation").
+2. **Back-end** — :func:`~repro.core.pthomas.pthomas_solve_interleaved`
+   solves the ``M · 2^k`` systems, one thread each, with coalesced
+   accesses thanks to the interleaving PCR left behind.
+3. **Transition** — ``k`` comes from Table III (default) or from the
+   Table II cost model (:func:`~repro.core.transition.select_k_analytic`)
+   when a machine-parallelism estimate is supplied.
+
+**Kernel fusion** (Section III-C, ``fuse=True``): the p-Thomas forward
+reduction consumes each slab of PCR output the moment the sliding window
+emits it, instead of waiting for the full sweep — the PCR results never
+round-trip through global memory ("register tiling").  Numerically the
+fused and unfused paths are identical; the saved traffic shows up in the
+GPU timing model (:mod:`repro.kernels.fused_kernel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pthomas import pthomas_solve_interleaved
+from repro.core.thomas import thomas_solve_batch
+from repro.core.tiled_pcr import TiledPCR, TilingCounters
+from repro.core.transition import (
+    GTX480_HEURISTIC,
+    TransitionHeuristic,
+    clamp_k,
+    select_k_analytic,
+)
+from repro.core.validation import check_batch_arrays
+
+__all__ = ["HybridSolver", "HybridReport"]
+
+
+@dataclass
+class HybridReport:
+    """What the last :meth:`HybridSolver.solve_batch` call actually did."""
+
+    m: int = 0
+    n: int = 0
+    k: int = 0
+    k_source: str = "heuristic"
+    subsystems: int = 0
+    fused: bool = False
+    n_windows: int = 1
+    tiling: TilingCounters = field(default_factory=TilingCounters)
+
+    @property
+    def pcr_eliminations(self) -> int:
+        """Eliminations spent in the tiled-PCR front-end."""
+        return self.tiling.eliminations
+
+    @property
+    def thomas_eliminations(self) -> int:
+        """Eliminations spent in the p-Thomas back-end (``2·L − 1`` per
+        subsystem, ``L`` the subsystem length)."""
+        if self.k == 0:
+            return self.m * (2 * self.n - 1)
+        g = 1 << self.k
+        total = 0
+        for j in range(g):
+            L = -(-(self.n - j) // g)
+            if L > 0:
+                total += 2 * L - 1
+        return self.m * total
+
+
+class _FusedPThomas:
+    """Progressive p-Thomas forward reduction fed by sliding-window slabs.
+
+    Maintains per-thread running ``(c', d')`` state in "registers" (the
+    trailing ``2^k`` rows) while storing the full modified coefficients
+    for the later backward pass — exactly the register-tiling scheme of
+    Section III-C: "the updated partial result is stored in the same
+    registers ... while the previous results are written to global
+    memory".
+    """
+
+    def __init__(self, m: int, n: int, k: int, dtype):
+        self.m, self.n, self.g = m, n, 1 << k
+        self.cp = np.zeros((m, n), dtype=dtype)
+        self.dp = np.zeros((m, n), dtype=dtype)
+        self._next = 0  # forward-reduction frontier (global row index)
+
+    def consume(self, e0: int, e1: int, quad: tuple) -> None:
+        """Fold slab ``[e0, e1)`` of level-k rows into the forward pass."""
+        if e0 != self._next:
+            raise RuntimeError(
+                f"slab [{e0}, {e1}) out of order; expected start {self._next}"
+            )
+        a, b, c, d = quad
+        g = self.g
+        lo = e0
+        while lo < e1:
+            # advance to the next level boundary (multiple of g)
+            hi = min(e1, (lo // g + 1) * g)
+            w = hi - lo
+            sl = slice(lo, hi)
+            src = slice(lo - e0, hi - e0)
+            if lo < g:
+                self.cp[:, sl] = c[:, src] / b[:, src]
+                self.dp[:, sl] = d[:, src] / b[:, src]
+            else:
+                prev = slice(lo - g, lo - g + w)
+                denom = b[:, src] - self.cp[:, prev] * a[:, src]
+                self.cp[:, sl] = c[:, src] / denom
+                self.dp[:, sl] = (
+                    d[:, src] - self.dp[:, prev] * a[:, src]
+                ) / denom
+            lo = hi
+        self._next = e1
+
+    def backward(self) -> np.ndarray:
+        """Run the backward substitution once every row has been consumed."""
+        if self._next != self.n:
+            raise RuntimeError(
+                f"forward pass incomplete: {self._next} of {self.n} rows"
+            )
+        m, n, g = self.m, self.n, self.g
+        x = np.empty((m, n), dtype=self.cp.dtype)
+        L = -(-n // g)
+        last_lo = (L - 1) * g
+        x[:, last_lo:n] = self.dp[:, last_lo:n]
+        for l in range(L - 2, -1, -1):
+            lo = l * g
+            hi = lo + g
+            nxt_hi = min(hi + g, n)
+            w_next = nxt_hi - hi
+            cur = slice(lo, lo + w_next)
+            nxt = slice(hi, nxt_hi)
+            x[:, cur] = self.dp[:, cur] - self.cp[:, cur] * x[:, nxt]
+            if w_next < g:
+                tail = slice(lo + w_next, hi)
+                x[:, tail] = self.dp[:, tail]
+        return x
+
+
+@dataclass
+class HybridSolver:
+    """Tiled-PCR + p-Thomas hybrid tridiagonal solver (the paper's method).
+
+    Parameters
+    ----------
+    k:
+        Fixed PCR step count; ``None`` (default) selects it per call.
+    heuristic:
+        Table-III-style ``M → k`` table used when ``k is None`` and
+        ``parallelism is None``.
+    parallelism:
+        If given (hardware thread capacity ``P``), ``k`` is chosen by
+        minimizing the Table II cost model instead of the lookup table.
+    subtile_scale:
+        Table I's ``c`` — outputs per thread per sliding-window round.
+    n_windows:
+        Concurrent windows per system (Fig. 11b); ``1`` = no redundancy.
+    fuse:
+        Fuse p-Thomas forward reduction into the PCR sweep (Section III-C).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.hybrid import HybridSolver
+    >>> rng = np.random.default_rng(1)
+    >>> m, n = 4, 128
+    >>> a = rng.standard_normal((m, n)); a[:, 0] = 0
+    >>> c = rng.standard_normal((m, n)); c[:, -1] = 0
+    >>> b = 4 + np.abs(a) + np.abs(c)
+    >>> d = rng.standard_normal((m, n))
+    >>> x = HybridSolver().solve_batch(a, b, c, d)
+    >>> r = b * x - d
+    >>> r[:, 1:] += a[:, 1:] * x[:, :-1]
+    >>> r[:, :-1] += c[:, :-1] * x[:, 1:]
+    >>> bool(np.abs(r).max() < 1e-10)
+    True
+    """
+
+    k: int | None = None
+    heuristic: TransitionHeuristic = GTX480_HEURISTIC
+    parallelism: int | None = None
+    subtile_scale: int = 1
+    n_windows: int = 1
+    fuse: bool = False
+    last_report: HybridReport | None = field(default=None, compare=False)
+
+    def choose_k(self, m: int, n: int) -> tuple:
+        """Pick the PCR step count for an ``M × N`` problem.
+
+        Returns ``(k, source)`` where source is ``"fixed"``,
+        ``"analytic"`` or ``"heuristic"``.
+        """
+        if self.k is not None:
+            return clamp_k(self.k, n), "fixed"
+        if self.parallelism is not None:
+            n_log2 = max(0, int(np.ceil(np.log2(n))))
+            k = select_k_analytic(n_log2, m, self.parallelism)
+            return clamp_k(k, n), "analytic"
+        return self.heuristic.k_for(m, n), "heuristic"
+
+    def solve_batch(self, a, b, c, d, *, check: bool = True) -> np.ndarray:
+        """Solve an ``(M, N)`` batch; fills :attr:`last_report`."""
+        if check:
+            a, b, c, d = check_batch_arrays(a, b, c, d)
+        m, n = np.asarray(b).shape
+        k, source = self.choose_k(m, n)
+        report = HybridReport(
+            m=m,
+            n=n,
+            k=k,
+            k_source=source,
+            subsystems=m * (1 << k),
+            fused=self.fuse,
+            n_windows=self.n_windows,
+        )
+        self.last_report = report
+
+        if k == 0:
+            x = thomas_solve_batch(a, b, c, d, check=False)
+            return x
+
+        tiler = TiledPCR(k=k, c=self.subtile_scale, n_windows=self.n_windows)
+        report.tiling = tiler.counters
+        if self.fuse:
+            fused = _FusedPThomas(m, n, k, np.asarray(b).dtype)
+            tiler.sweep(a, b, c, d, check=False, emit=fused.consume)
+            return fused.backward()
+        ra, rb, rc, rd = tiler.sweep(a, b, c, d, check=False)
+        return pthomas_solve_interleaved(ra, rb, rc, rd, k)
+
+    def solve(self, a, b, c, d, *, check: bool = True) -> np.ndarray:
+        """Solve a single system (treated as an ``M = 1`` batch)."""
+        a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
+        x = self.solve_batch(
+            a[None, :], b[None, :], c[None, :], d[None, :], check=check
+        )
+        return x[0]

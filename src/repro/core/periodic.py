@@ -1,0 +1,108 @@
+"""Periodic (cyclic) tridiagonal systems via Sherman–Morrison.
+
+Periodic boundary conditions produce *almost* tridiagonal systems with
+two corner entries: row 0 couples to row ``n−1`` through ``a_0`` and row
+``n−1`` couples to row 0 through ``c_{n−1}``.  Spectral/finite-difference
+Poisson solvers on periodic domains (the paper's ref [6] family) hit
+this constantly.
+
+The classic reduction: write the cyclic matrix as ``A' + u vᵀ`` with
+``A'`` strictly tridiagonal.  Choosing
+
+.. math::
+
+    u = (γ, 0, …, 0, c_{n-1})ᵀ, \\qquad v = (1, 0, …, 0, a_0 / γ)ᵀ
+
+and subtracting ``u vᵀ`` from the corners modifies only ``b_0`` and
+``b_{n−1}``.  Sherman–Morrison then needs two solves with ``A'``
+(against ``d`` and against ``u``) — both of which this library does
+batched, with whichever backend algorithm is requested:
+
+.. math::
+
+    x = y − \\frac{vᵀ y}{1 + vᵀ q}\\, q, \\qquad A' y = d,\\; A' q = u.
+
+``γ = −b_0`` keeps ``A'`` comfortably nonsingular for dominant inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.solver import solve_batch
+
+__all__ = ["solve_periodic", "solve_periodic_batch"]
+
+
+def solve_periodic_batch(
+    a, b, c, d, *, algorithm: str = "auto", check: bool = True, **kwargs
+) -> np.ndarray:
+    """Solve ``M`` cyclic tridiagonal systems given as ``(M, N)`` diagonals.
+
+    Parameters
+    ----------
+    a, b, c, d:
+        Diagonals with the cyclic convention: ``a[:, 0]`` couples row 0
+        to row ``N−1``; ``c[:, -1]`` couples row ``N−1`` to row 0 (no
+        padding zeros — the corners are *used*).
+    algorithm, check, **kwargs:
+        Forwarded to :func:`repro.core.solver.solve_batch` for the two
+        inner solves.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(M, N)`` solutions of the cyclic systems.
+
+    Notes
+    -----
+    Requires ``N ≥ 3`` (a 2-cycle degenerates: both "corners" collide
+    with the ordinary couplings).
+    """
+    a, b, c, d = (np.atleast_2d(np.asarray(v)) for v in (a, b, c, d))
+    m, n = b.shape
+    if n < 3:
+        raise ValueError(f"cyclic solver needs N >= 3, got {n}")
+    dtype = np.result_type(a, b, c, d)
+    if dtype.kind != "f":
+        dtype = np.dtype(np.float64)
+    a = a.astype(dtype, copy=True)
+    b = b.astype(dtype, copy=True)
+    c = c.astype(dtype, copy=True)
+    d = d.astype(dtype, copy=False)
+
+    alpha = a[:, 0].copy()   # corner: row 0 <- row n-1
+    beta = c[:, -1].copy()   # corner: row n-1 <- row 0
+    gamma = -b[:, 0].copy()
+    # avoid a zero gamma for pathological b_0
+    gamma = np.where(gamma == 0, dtype.type(1), gamma)
+
+    # strictly tridiagonal A': corners removed, b_0 and b_{n-1} adjusted
+    bp = b.copy()
+    bp[:, 0] = b[:, 0] - gamma
+    bp[:, -1] = b[:, -1] - alpha * beta / gamma
+    ap = a.copy()
+    ap[:, 0] = 0.0
+    cp = c.copy()
+    cp[:, -1] = 0.0
+
+    # u vector per system: (gamma, 0, ..., 0, beta)
+    u = np.zeros((m, n), dtype=dtype)
+    u[:, 0] = gamma
+    u[:, -1] = beta
+
+    y = solve_batch(ap, bp, cp, d, algorithm=algorithm, check=check, **kwargs)
+    q = solve_batch(ap, bp, cp, u, algorithm=algorithm, check=check, **kwargs)
+
+    # v^T x = x_0 + (alpha / gamma) x_{n-1}
+    vy = y[:, 0] + alpha / gamma * y[:, -1]
+    vq = q[:, 0] + alpha / gamma * q[:, -1]
+    factor = vy / (1.0 + vq)
+    return y - factor[:, None] * q
+
+
+def solve_periodic(a, b, c, d, **kwargs) -> np.ndarray:
+    """Single cyclic system convenience wrapper (1-D diagonals)."""
+    a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
+    x = solve_periodic_batch(a[None], b[None], c[None], d[None], **kwargs)
+    return x[0]

@@ -1,0 +1,113 @@
+"""Thread-level parallel Thomas (p-Thomas) — Section III-B of the paper.
+
+After ``k`` PCR steps, each original system of size ``N`` has become
+``2^k`` independent systems whose elements sit *interleaved* in memory:
+subsystem ``j`` occupies positions ``j, j + 2^k, j + 2·2^k, …``.  p-Thomas
+assigns one thread per subsystem and runs the plain Thomas recurrence.
+
+The interleaving is the point: at Thomas step ``l``, thread ``j`` touches
+global position ``l·2^k + j`` — consecutive threads touch consecutive
+addresses, so every access is fully coalesced (the paper: "PCR naturally
+produces interleaved results which is [a] perfect match with p-Thomas").
+
+The CPU realization below keeps the arrays in their interleaved layout
+and vectorizes the per-step work across the ``(M, 2^k)`` thread grid,
+which both computes the right answer and preserves the exact memory-walk
+structure the coalescing analysis in :mod:`repro.kernels.pthomas_kernel`
+reasons about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pthomas_solve_interleaved", "subsystem_lengths"]
+
+
+def subsystem_lengths(n: int, k: int) -> np.ndarray:
+    """Lengths of the ``2^k`` interleaved subsystems of an ``n``-row system.
+
+    Subsystem ``j`` holds rows ``j, j + 2^k, …`` so its length is
+    ``ceil((n − j) / 2^k)``.
+    """
+    g = 1 << k
+    j = np.arange(g)
+    return -(-(n - j) // g)
+
+
+def pthomas_solve_interleaved(a, b, c, d, k: int) -> np.ndarray:
+    """Solve the ``2^k`` interleaved subsystems of each batch row.
+
+    Parameters
+    ----------
+    a, b, c, d:
+        ``(M, N)`` diagonals *after* a ``k``-step PCR sweep: row ``i``
+        couples only to rows ``i ± 2^k``.
+    k:
+        Number of PCR steps that produced the input.  ``k = 0`` reduces to
+        plain batched Thomas.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(M, N)`` solutions in the original row order.
+
+    Notes
+    -----
+    The sweep walks Thomas "levels" ``l = 0 … L−1`` where level ``l`` is
+    the contiguous slab of rows ``[l·2^k, (l+1)·2^k)``; each level update
+    is one vectorized operation over all ``M · 2^k`` threads.  Short
+    subsystems (when ``2^k`` does not divide ``N``) are handled by
+    masking: a thread whose subsystem has already ended keeps its state.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    c = np.asarray(c)
+    d = np.asarray(d)
+    m, n = b.shape
+    g = 1 << k
+    if g >= n:
+        # Every subsystem is a single row: rows are already decoupled
+        # (c_i refers past the end; PCR guarantees it is 0).
+        return d / b
+    L = -(-n // g)  # number of Thomas levels (longest subsystem length)
+
+    dtype = b.dtype
+    cp = np.zeros((m, n), dtype=dtype)
+    dp = np.zeros((m, n), dtype=dtype)
+
+    # Forward reduction, level by level.  Level l of subsystem j is global
+    # row l*g + j; the slab [l*g, min((l+1)*g, n)) is contiguous.
+    lo, hi = 0, min(g, n)
+    cp[:, lo:hi] = c[:, lo:hi] / b[:, lo:hi]
+    dp[:, lo:hi] = d[:, lo:hi] / b[:, lo:hi]
+    for l in range(1, L):
+        lo = l * g
+        hi = min(lo + g, n)
+        w = hi - lo
+        prev = slice(lo - g, lo - g + w)
+        cur = slice(lo, hi)
+        denom = b[:, cur] - cp[:, prev] * a[:, cur]
+        cp[:, cur] = c[:, cur] / denom
+        dp[:, cur] = (d[:, cur] - dp[:, prev] * a[:, cur]) / denom
+
+    # Backward substitution.  The *last* row of subsystem j is at level
+    # L-1 when j < n - (L-1)*g, else at level L-2.
+    x = np.empty((m, n), dtype=dtype)
+    last_lo = (L - 1) * g
+    x[:, last_lo:n] = dp[:, last_lo:n]
+    for l in range(L - 2, -1, -1):
+        lo = l * g
+        hi = lo + g
+        nxt_hi = min(hi + g, n)
+        w_next = nxt_hi - hi  # threads that have a later row
+        cur_with_next = slice(lo, lo + w_next)
+        nxt = slice(hi, nxt_hi)
+        x[:, cur_with_next] = (
+            dp[:, cur_with_next] - cp[:, cur_with_next] * x[:, nxt]
+        )
+        if w_next < g and hi <= n:
+            # Threads whose subsystem ends at this level: x = d'.
+            tail = slice(lo + w_next, min(hi, n))
+            x[:, tail] = dp[:, tail]
+    return x

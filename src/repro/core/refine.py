@@ -1,0 +1,126 @@
+"""Mixed-precision solves with iterative refinement.
+
+The paper's ref [10] (Göddeke & Strzodka) runs its GPU tridiagonal
+solves in *mixed precision*: the expensive solve in float32 — twice the
+arithmetic rate and half the traffic on Fermi-class GPUs, as the Fig. 12
+fp32/fp64 gap shows — wrapped in a float64 **iterative refinement**
+loop that restores double accuracy:
+
+1. solve ``A x₀ = d`` in fp32;
+2. compute the residual ``r = d − A x`` in fp64 (cheap: one fused
+   sweep over the diagonals);
+3. solve the *correction* ``A δ = r`` in fp32 and update ``x += δ``;
+4. repeat until the residual stalls or the iteration cap hits.
+
+For diagonally dominant systems the error contracts by roughly the
+fp32 epsilon each pass, so 2–3 corrections reach fp64 levels.  The
+factorization variant reuses one fp32 factorization across all
+corrections — the production pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.factorize import HybridFactorization
+from repro.core.validation import check_batch_arrays
+
+__all__ = ["RefinementResult", "solve_mixed_precision"]
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of a mixed-precision solve."""
+
+    x: np.ndarray
+    iterations: int
+    residuals: list = field(default_factory=list)  # max-norm after each pass
+
+    @property
+    def converged(self) -> bool:
+        """Did the final residual reach the requested tolerance?"""
+        return bool(self.residuals) and self.residuals[-1] <= self._tol
+
+    _tol: float = np.inf
+
+
+def _residual(a, b, c, d, x) -> np.ndarray:
+    r = d - b * x
+    r[:, 1:] -= a[:, 1:] * x[:, :-1]
+    r[:, :-1] -= c[:, :-1] * x[:, 1:]
+    return r
+
+
+def solve_mixed_precision(
+    a,
+    b,
+    c,
+    d,
+    *,
+    k: int | None = None,
+    rtol: float = 1e-12,
+    max_iter: int = 5,
+    check: bool = True,
+) -> RefinementResult:
+    """Solve an fp64 batch through fp32 solves + fp64 refinement.
+
+    Parameters
+    ----------
+    a, b, c, d:
+        fp64 ``(M, N)`` padded diagonals.
+    k:
+        Hybrid PCR depth for the inner fp32 factorization (default: the
+        Table III heuristic).
+    rtol:
+        Target max-norm residual relative to ``‖d‖∞ + ‖A‖∞‖x‖∞``.
+    max_iter:
+        Correction passes after the initial solve.
+
+    Returns
+    -------
+    RefinementResult
+        Solution, passes used, and the residual history.
+    """
+    if check:
+        a, b, c, d = check_batch_arrays(a, b, c, d)
+    else:
+        a, b, c, d = (np.asarray(v, dtype=np.float64) for v in (a, b, c, d))
+    a64, b64, c64, d64 = (np.asarray(v, dtype=np.float64) for v in (a, b, c, d))
+
+    # one fp32 factorization serves the initial solve and every correction
+    fact32 = HybridFactorization.factor(
+        a64.astype(np.float32),
+        b64.astype(np.float32),
+        c64.astype(np.float32),
+        k=k,
+        check=False,
+    )
+
+    x = fact32.solve(d64.astype(np.float32)).astype(np.float64)
+    norm_a = np.max(np.abs(a64) + np.abs(b64) + np.abs(c64))
+    result = RefinementResult(x=x, iterations=0)
+    result._tol = rtol
+
+    for it in range(1, max_iter + 1):
+        r = _residual(a64, b64, c64, d64, x)
+        scale = max(np.abs(d64).max() + norm_a * np.abs(x).max(),
+                    np.finfo(np.float64).tiny)
+        rel = float(np.abs(r).max() / scale)
+        result.residuals.append(rel)
+        result.iterations = it - 1
+        if rel <= rtol:
+            break
+        delta = fact32.solve(r.astype(np.float32)).astype(np.float64)
+        x = x + delta
+        result.x = x
+        result.iterations = it
+    else:
+        # record the final residual after the last correction
+        r = _residual(a64, b64, c64, d64, x)
+        scale = max(np.abs(d64).max() + norm_a * np.abs(x).max(),
+                    np.finfo(np.float64).tiny)
+        result.residuals.append(float(np.abs(r).max() / scale))
+
+    return result

@@ -1,0 +1,95 @@
+"""Top-level public API: ``solve`` and ``solve_batch``.
+
+These are the two functions a downstream user needs:
+
+>>> import numpy as np
+>>> from repro import solve
+>>> n = 1000
+>>> rng = np.random.default_rng(0)
+>>> a = rng.standard_normal(n); a[0] = 0
+>>> c = rng.standard_normal(n); c[-1] = 0
+>>> b = 4 + np.abs(a) + np.abs(c)
+>>> d = rng.standard_normal(n)
+>>> x = solve(a, b, c, d)
+>>> bool(np.allclose(b * x + np.r_[0, a[1:] * x[:-1]] + np.r_[c[:-1] * x[1:], 0], d))
+True
+
+``algorithm="auto"`` picks the hybrid with the paper's Table III
+transition; explicit names select a specific algorithm (useful for
+comparisons and education).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cr import cr_solve_batch
+from repro.core.hybrid import HybridSolver
+from repro.core.pcr import pcr_solve_batch
+from repro.core.rd import rd_solve_batch
+from repro.core.thomas import thomas_solve_batch
+from repro.core.validation import check_batch_arrays, check_system_arrays
+
+__all__ = ["solve", "solve_batch", "ALGORITHMS"]
+
+#: Algorithms accepted by :func:`solve` / :func:`solve_batch`.
+ALGORITHMS = ("auto", "hybrid", "thomas", "cr", "pcr", "rd")
+
+
+def solve_batch(
+    a, b, c, d, *, algorithm: str = "auto", check: bool = True, **kwargs
+) -> np.ndarray:
+    """Solve ``M`` tridiagonal systems given as ``(M, N)`` diagonals.
+
+    Parameters
+    ----------
+    a, b, c, d:
+        Padded diagonals (``a[:, 0] == c[:, -1] == 0``); each batch row is
+        one system.
+    algorithm:
+        One of ``"auto"`` (hybrid with Table III transition), ``"hybrid"``,
+        ``"thomas"``, ``"cr"``, ``"pcr"``, ``"rd"``.
+    check:
+        Validate inputs (recommended; disable only in hot loops).
+    **kwargs:
+        Forwarded to :class:`~repro.core.hybrid.HybridSolver` for the
+        hybrid/auto algorithms (``k``, ``fuse``, ``n_windows``, …).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(M, N)`` solutions.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; pick from {ALGORITHMS}")
+    if check:
+        a, b, c, d = check_batch_arrays(a, b, c, d)
+    if algorithm in ("auto", "hybrid"):
+        return HybridSolver(**kwargs).solve_batch(a, b, c, d, check=False)
+    if kwargs:
+        raise TypeError(
+            f"algorithm {algorithm!r} accepts no extra options, got {sorted(kwargs)}"
+        )
+    if algorithm == "thomas":
+        return thomas_solve_batch(a, b, c, d, check=False)
+    if algorithm == "cr":
+        return cr_solve_batch(a, b, c, d, check=False)
+    if algorithm == "pcr":
+        return pcr_solve_batch(a, b, c, d, check=False)
+    return rd_solve_batch(a, b, c, d, check=False)
+
+
+def solve(a, b, c, d, *, algorithm: str = "auto", check: bool = True, **kwargs):
+    """Solve one tridiagonal system given as 1-D padded diagonals.
+
+    See :func:`solve_batch` for the parameters; this is the ``M = 1``
+    convenience wrapper.
+    """
+    if check:
+        a, b, c, d = check_system_arrays(a, b, c, d)
+    a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
+    x = solve_batch(
+        a[None, :], b[None, :], c[None, :], d[None, :],
+        algorithm=algorithm, check=False, **kwargs,
+    )
+    return x[0]

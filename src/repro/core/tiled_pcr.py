@@ -1,0 +1,410 @@
+"""Tiled PCR with the buffered sliding window — Section III-A of the paper.
+
+The problem
+-----------
+A k-step PCR sweep over a system too large for shared memory must be
+*tiled*.  Naive tiling re-loads ``f(k) = 2^k − 1`` halo rows and re-runs
+``g(k)`` eliminations per tile boundary (Eqs. 8-9, Fig. 7) — exponential
+in ``k``.  The paper's fix (Fig. 8b): process sub-tiles **sequentially**
+inside each tile and *cache* every intermediate value that a later
+sub-tile will need, so nothing is ever loaded or eliminated twice.
+
+The cache invariant
+-------------------
+Write ``F_l`` for the number of level-``l`` rows finalized so far
+(level 0 = raw input, level ``l`` = after ``l`` PCR steps).  A level-
+``l+1`` value at row ``i`` needs level-``l`` rows ``i − 2^l, i, i + 2^l``,
+so the frontiers obey ``F_{l+1} = F_l − 2^l`` and hence
+``F_k = F_0 − f(k)``: outputs lag raw input by exactly ``f(k)`` rows —
+the "lead-in" of Fig. 10.  Advancing level ``l+1`` by a sub-tile of
+``S`` rows consumes level-``l`` rows from ``F_l^{old} − 2^{l+1}``
+onwards, so the per-level trailing cache must retain ``2^{l+1}`` rows;
+summing over levels gives total state ``Σ 2^{l+1} = 2·f(k)`` — the
+paper's minimum cache capacity (the shipped layout allocates ``3·f(k)``
+for alignment margins; see :mod:`repro.core.window`).
+
+Multi-window regions (Fig. 11b)
+-------------------------------
+A system may also be cut into ``W`` regions processed by independent
+windows (more parallelism).  Region ``[r0, r1)`` must lead in from raw
+row ``r0 − f(k)`` and read ahead to ``r1 + f(k)``: the dependency cone
+of outputs ``r0`` and ``r1 − 1`` reaches exactly that far, so each
+internal boundary re-loads ``2·f(k)`` halo rows — the paper's stated
+tradeoff for variant (b).  ``W = 1`` does zero redundant work.
+
+Everything here is numerically exact: the emitted rows are bitwise the
+rows a whole-system :func:`repro.core.pcr.pcr_sweep` would produce
+(same operands, same operation order per row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost_model import f_redundant_loads
+from repro.core.validation import check_batch_arrays
+
+__all__ = [
+    "TiledPCR",
+    "TilingCounters",
+    "tiled_pcr_sweep",
+    "naive_tiled_pcr_sweep",
+]
+
+
+@dataclass
+class TilingCounters:
+    """Work/traffic ledger for one tiled-PCR sweep.
+
+    ``rows_loaded`` counts raw rows fetched from "global memory"
+    (one row = one ``(a, b, c, d)`` quadruple); ``rows_loaded_redundant``
+    is the subset fetched more than once (region lead-ins).
+    ``eliminations`` counts PCR row-reductions actually performed;
+    ``eliminations_redundant`` those performed for rows outside the
+    emitting region (lead-in warm-up).  ``subtiles`` counts sliding-window
+    advances (each is one shared-memory-resident processing round).
+    """
+
+    rows_loaded: int = 0
+    rows_loaded_redundant: int = 0
+    eliminations: int = 0
+    eliminations_redundant: int = 0
+    subtiles: int = 0
+    windows: int = 0
+
+    def merge(self, other: "TilingCounters") -> None:
+        """Accumulate another ledger into this one."""
+        self.rows_loaded += other.rows_loaded
+        self.rows_loaded_redundant += other.rows_loaded_redundant
+        self.eliminations += other.eliminations
+        self.eliminations_redundant += other.eliminations_redundant
+        self.subtiles += other.subtiles
+        self.windows += other.windows
+
+
+def _identity_rows(m: int, w: int, dtype) -> tuple:
+    """Rows outside the system: ``a = c = d = 0, b = 1`` (inert under PCR)."""
+    z = np.zeros((m, w), dtype=dtype)
+    return z, np.ones((m, w), dtype=dtype), z.copy(), z.copy()
+
+
+def _concat(q1: tuple, q2: tuple) -> tuple:
+    return tuple(np.concatenate([x, y], axis=1) for x, y in zip(q1, q2))
+
+
+def _slice(q: tuple, lo: int, hi: int) -> tuple:
+    return tuple(x[:, lo:hi] for x in q)
+
+
+def _width(q: tuple) -> int:
+    return q[0].shape[1]
+
+
+def _pcr_local(q: tuple, s: int) -> tuple:
+    """One PCR step on a local row window, no boundary masking.
+
+    ``q`` holds ``w + 2s`` consecutive level-``l`` rows; returns the ``w``
+    level-``l+1`` rows for the centre slice.  Out-of-system rows must be
+    identity rows — then ``a = 0`` / ``c = 0`` make the masks of
+    :func:`repro.core.pcr.pcr_step` implicit.
+    """
+    a, b, c, d = q
+    w = a.shape[1] - 2 * s
+    a_m, b_m, c_m, d_m = (x[:, :w] for x in (a, b, c, d))
+    a_c, b_c, c_c, d_c = (x[:, s : s + w] for x in (a, b, c, d))
+    a_p, b_p, c_p, d_p = (x[:, 2 * s : 2 * s + w] for x in (a, b, c, d))
+    k1 = a_c / b_m
+    k2 = c_c / b_p
+    return (
+        -a_m * k1,
+        b_c - c_m * k1 - a_p * k2,
+        -c_p * k2,
+        d_c - d_m * k1 - d_p * k2,
+    )
+
+
+class _RawProvider:
+    """Streams raw rows of a batch, padding out-of-range rows with identity.
+
+    Also keeps the load ledger: every in-range row fetched is counted, and
+    rows outside the caller's emitting region count as redundant.
+    """
+
+    def __init__(self, quads: tuple, counters: TilingCounters):
+        self.quads = quads
+        self.n = quads[0].shape[1]
+        self.m = quads[0].shape[0]
+        self.dtype = quads[0].dtype
+        self.counters = counters
+
+    def fetch(self, lo: int, hi: int, region: tuple) -> tuple:
+        """Rows ``[lo, hi)`` in global coordinates (identity outside [0, n)).
+
+        The ledger counts ``(a, b, c, d)`` quadruples: a fetch of ``w``
+        row indices on an ``M``-system batch loads ``w · M`` quadruples.
+        """
+        r0, r1 = region
+        in_lo, in_hi = max(lo, 0), min(hi, self.n)
+        real = max(0, in_hi - in_lo)
+        self.counters.rows_loaded += real * self.m
+        if real:
+            red_lo, red_hi = max(in_lo, r0), min(in_hi, r1)
+            inside = max(0, red_hi - red_lo)
+            self.counters.rows_loaded_redundant += (real - inside) * self.m
+        if in_lo >= in_hi:
+            return _identity_rows(self.m, hi - lo, self.dtype)
+        body = _slice(self.quads, in_lo, in_hi)
+        if lo < in_lo:
+            body = _concat(_identity_rows(self.m, in_lo - lo, self.dtype), body)
+        if hi > in_hi:
+            body = _concat(body, _identity_rows(self.m, hi - in_hi, self.dtype))
+        return body
+
+
+@dataclass
+class TiledPCR:
+    """Streaming k-step tiled PCR with dependency caching.
+
+    Parameters
+    ----------
+    k:
+        Number of PCR steps (thread-block width is ``2^k`` on the GPU).
+    c:
+        Sub-tile scale: the sliding window advances ``c · 2^k`` rows per
+        round (Table I, ``c ≥ 1``).
+    n_windows:
+        Number of concurrently processed regions per system (Fig. 11b).
+        ``1`` = single window, zero redundancy.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.tiled_pcr import TiledPCR
+    >>> from repro.core.pcr import pcr_sweep
+    >>> rng = np.random.default_rng(0)
+    >>> n = 64
+    >>> a = rng.standard_normal((1, n)); a[:, 0] = 0
+    >>> c = rng.standard_normal((1, n)); c[:, -1] = 0
+    >>> b = 4 + np.abs(a) + np.abs(c)
+    >>> d = rng.standard_normal((1, n))
+    >>> tp = TiledPCR(k=3)
+    >>> out = tp.sweep(a, b, c, d)
+    >>> ref = pcr_sweep(a, b, c, d, 3)
+    >>> all(np.allclose(x, y) for x, y in zip(out, ref))
+    True
+    """
+
+    k: int
+    c: int = 1
+    n_windows: int = 1
+    counters: TilingCounters = field(default_factory=TilingCounters)
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be >= 0, got {self.k}")
+        if self.c < 1:
+            raise ValueError(f"c must be >= 1, got {self.c}")
+        if self.n_windows < 1:
+            raise ValueError(f"n_windows must be >= 1, got {self.n_windows}")
+
+    @property
+    def subtile(self) -> int:
+        """Rows the window advances per round (``c · 2^k``, Table I)."""
+        return self.c * (1 << self.k)
+
+    def sweep(self, a, b, c, d, *, check: bool = True, emit=None) -> tuple | None:
+        """Run the k-step sweep over an ``(M, N)`` batch.
+
+        Returns the reduced ``(a, b, c, d)`` — bitwise equal to
+        ``pcr_sweep(a, b, c, d, k)``.
+
+        If ``emit`` is given it is called as ``emit(e0, e1, quad)`` with
+        each finished slab of level-k rows (global row range ``[e0, e1)``,
+        ascending, non-overlapping, covering ``[0, N)``) *instead of*
+        materializing output arrays, and ``None`` is returned.  This is
+        the hook kernel fusion uses to feed p-Thomas forward reduction
+        progressively (Section III-C).
+        """
+        if check:
+            a, b, c, d = check_batch_arrays(a, b, c, d)
+        else:
+            a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
+        quads = (a, b, c, d)
+        m, n = b.shape
+        if self.k == 0:
+            # Degenerate: no PCR steps; pass-through (still "loads" rows).
+            self.counters.rows_loaded += n * m
+            self.counters.windows += self.n_windows
+            if emit is not None:
+                emit(0, n, tuple(x.copy() for x in quads))
+                return None
+            return tuple(x.copy() for x in quads)
+
+        if emit is None:
+            out = tuple(np.empty((m, n), dtype=b.dtype) for _ in range(4))
+
+            def emit_to_out(e0, e1, quad):
+                for o, sarr in zip(out, quad):
+                    o[:, e0:e1] = sarr
+
+            sink = emit_to_out
+        else:
+            out = None
+            sink = emit
+        provider = _RawProvider(quads, self.counters)
+        bounds = np.linspace(0, n, self.n_windows + 1).astype(int)
+        for w in range(self.n_windows):
+            r0, r1 = int(bounds[w]), int(bounds[w + 1])
+            if r0 == r1:
+                continue
+            self._stream_region(provider, sink, r0, r1, n)
+            self.counters.windows += 1
+        return out
+
+    # ------------------------------------------------------------------
+    def _stream_region(
+        self, provider: _RawProvider, sink, r0: int, r1: int, n: int
+    ) -> None:
+        """Emit exact level-k rows ``[r0, r1)`` via one sliding window."""
+        k, S = self.k, self.subtile
+        m, dtype = provider.m, provider.dtype
+        fk = f_redundant_loads(k)
+        ext0 = r0 - fk  # raw stream start (lead-in)
+        ext1 = r1 + fk  # last raw row any output in [r0, r1) can reach
+        region = (r0, r1)
+
+        # Per-level trailing caches: level l retains its last 2^(l+1)
+        # rows.  Before the stream begins every cache is "rows before
+        # ext0" — identity, and provably outside every emitted row's
+        # dependency cone.
+        bufs = [
+            _identity_rows(m, 2 ** (l + 1), dtype) for l in range(k)
+        ]
+        frontiers = [ext0] * (k + 1)  # F_l for l = 0..k
+        pos = ext0
+
+        while frontiers[k] < r1:
+            # 1. load one raw sub-tile into the bottom of the window;
+            # rows past ext1 are outside every output's dependency cone,
+            # so they are padded as identity instead of fetched.
+            fetch_hi = min(pos + S, ext1)
+            chunk = provider.fetch(pos, fetch_hi, region)
+            if fetch_hi < pos + S:
+                chunk = _concat(
+                    chunk, _identity_rows(m, pos + S - fetch_hi, dtype)
+                )
+            pos += S
+            bufs[0] = _concat(bufs[0], chunk)
+            frontiers[0] += S
+
+            # 2. advance each level as far as its input frontier allows
+            for l in range(k):
+                s = 1 << l
+                new_f = frontiers[l] - s  # F_{l+1} can reach this
+                old_f = frontiers[l + 1]
+                w = new_f - old_f
+                if w <= 0:
+                    continue
+                # level-l rows [old_f - s, new_f + s) feed the update
+                buf_lo = frontiers[l] - _width(bufs[l])
+                i0 = (old_f - s) - buf_lo
+                i1 = (new_f + s) - buf_lo
+                produced = _pcr_local(_slice(bufs[l], i0, i1), s)
+                self.counters.eliminations += w * m
+                inside = max(0, min(new_f, r1) - max(old_f, r0))
+                self.counters.eliminations_redundant += (w - inside) * m
+                frontiers[l + 1] = new_f
+                if l + 1 < k:
+                    bufs[l + 1] = _concat(bufs[l + 1], produced)
+                else:
+                    # 3. emit finished level-k rows that fall in the region
+                    e0, e1 = max(old_f, r0), min(new_f, r1)
+                    if e0 < e1:
+                        sink(e0, e1, _slice(produced, e0 - old_f, e1 - old_f))
+
+            # 4. slide: trim every cache back to its row budget (2^(l+1)
+            # in steady state; never below what the next level-(l+1)
+            # advance will read, i.e. rows from F_{l+1} - 2^l onward)
+            for l in range(k):
+                needed_from = frontiers[l + 1] - (1 << l)
+                keep = max(2 ** (l + 1), frontiers[l] - needed_from)
+                width = _width(bufs[l])
+                if width > keep:
+                    bufs[l] = _slice(bufs[l], width - keep, width)
+            self.counters.subtiles += 1
+
+    def cache_rows(self) -> int:
+        """Total cached rows held across levels (the ``2·f(k)`` of §III-A)."""
+        return sum(2 ** (l + 1) for l in range(self.k))
+
+
+def tiled_pcr_sweep(
+    a,
+    b,
+    c,
+    d,
+    k: int,
+    *,
+    subtile_scale: int = 1,
+    n_windows: int = 1,
+    counters: TilingCounters | None = None,
+    check: bool = True,
+) -> tuple:
+    """Functional wrapper around :class:`TiledPCR` (see its docs)."""
+    tp = TiledPCR(k=k, c=subtile_scale, n_windows=n_windows)
+    if counters is not None:
+        tp.counters = counters
+    return tp.sweep(a, b, c, d, check=check)
+
+
+def naive_tiled_pcr_sweep(
+    a,
+    b,
+    c,
+    d,
+    k: int,
+    tile: int,
+    *,
+    counters: TilingCounters | None = None,
+    check: bool = True,
+) -> tuple:
+    """Cache-less tiled PCR — the strawman of Fig. 7.
+
+    Each tile of ``tile`` output rows independently loads its ``f(k)``-row
+    halos on both sides and re-runs every intermediate elimination inside
+    the halo.  Produces the same (exact) result as the cached window but
+    with ``2·f(k)`` redundant loads and ``g(k)``-class redundant
+    eliminations per boundary; the ablation benchmark quantifies the gap.
+    """
+    if check:
+        a, b, c, d = check_batch_arrays(a, b, c, d)
+    else:
+        a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
+    if counters is None:
+        counters = TilingCounters()
+    quads = (a, b, c, d)
+    m, n = b.shape
+    if k == 0:
+        counters.rows_loaded += n * m
+        return tuple(x.copy() for x in quads)
+    fk = f_redundant_loads(k)
+    out = tuple(np.empty((m, n), dtype=b.dtype) for _ in range(4))
+    provider = _RawProvider(quads, counters)
+    for t0 in range(0, n, tile):
+        t1 = min(t0 + tile, n)
+        # load body + halos; everything outside [t0, t1) is redundant
+        q = provider.fetch(t0 - fk, t1 + fk, (t0, t1))
+        for l in range(k):
+            s = 1 << l
+            w = _width(q) - 2 * s
+            inside = min(t1, t0 + w) - t0  # rows that end up emitted
+            counters.eliminations += w * m
+            counters.eliminations_redundant += (w - max(0, inside)) * m
+            q = _pcr_local(q, s)
+        for o, sarr in zip(out, q):
+            o[:, t0:t1] = sarr
+        counters.subtiles += 1
+    counters.windows += 1
+    return out

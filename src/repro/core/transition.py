@@ -1,0 +1,139 @@
+"""Algorithm-transition logic: choosing k, the tiled-PCR step count.
+
+Section III-D: "one single algorithm cannot cope with all combinations of
+hardware and input sizes".  The hybrid picks ``k`` — how many PCR steps
+to run before handing the ``2^k · M`` independent systems to p-Thomas —
+from the number of systems ``M``, the system size ``N`` and the machine
+parallelism ``P``:
+
+* **Analytic** (:func:`select_k_analytic`) — minimize the Table II cost
+  function over ``k``.  Matches the paper's observation that the optimum
+  is ``k = 0`` when ``M > P`` and the largest ``k`` with ``2^k · M ≤ P``
+  when ``M`` is small.
+* **Heuristic** (:func:`select_k_heuristic`, Table III) — the empirically
+  tuned GTX480 table the paper actually ships:
+
+  ====================  ======  ==============
+  M                     k-step  tile size 2^k
+  ====================  ======  ==============
+  M < 16                8       256
+  16 ≤ M < 32           7       128
+  32 ≤ M < 512          6       64
+  512 ≤ M < 1024        5       32
+  1024 ≤ M              0       1
+  ====================  ======  ==============
+
+Both selectors clamp ``k`` so subsystems keep at least two rows
+(``2^k ≤ N/2``); beyond that PCR would already have solved the system and
+p-Thomas would have nothing to do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.cost_model import hybrid_cost
+
+__all__ = [
+    "TransitionHeuristic",
+    "GTX480_HEURISTIC",
+    "select_k_heuristic",
+    "select_k_analytic",
+    "clamp_k",
+]
+
+
+def clamp_k(k: int, n: int) -> int:
+    """Clamp ``k`` so that ``2^k ≤ N / 2`` (subsystems keep ≥ 2 rows)."""
+    if n <= 2:
+        return 0
+    max_k = int(math.floor(math.log2(n))) - 1
+    return max(0, min(k, max_k))
+
+
+@dataclass(frozen=True)
+class TransitionHeuristic:
+    """A piecewise-constant ``M → k`` table (Table III shape).
+
+    ``thresholds`` are the M breakpoints in increasing order and ``ks``
+    the chosen k per interval; ``ks`` has one more entry than
+    ``thresholds``.  Interval ``i`` is ``thresholds[i-1] ≤ M <
+    thresholds[i]``.
+    """
+
+    thresholds: tuple = field(default=())
+    ks: tuple = field(default=(0,))
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if len(self.ks) != len(self.thresholds) + 1:
+            raise ValueError(
+                f"need len(ks) == len(thresholds) + 1, got "
+                f"{len(self.ks)} vs {len(self.thresholds)}"
+            )
+        if any(t2 <= t1 for t1, t2 in zip(self.thresholds, self.thresholds[1:])):
+            raise ValueError("thresholds must be strictly increasing")
+
+    def k_for(self, m: int, n: int | None = None) -> int:
+        """Pick k for ``M`` systems (clamped to the size ``N`` if given)."""
+        if m < 1:
+            raise ValueError(f"M must be >= 1, got {m}")
+        k = self.ks[-1]
+        for i, t in enumerate(self.thresholds):
+            if m < t:
+                k = self.ks[i]
+                break
+        if n is not None:
+            k = clamp_k(k, n)
+        return k
+
+    def tile_size(self, m: int) -> int:
+        """Thread-block width ``2^k`` the heuristic implies (Table III col 3)."""
+        return 2 ** self.k_for(m)
+
+
+#: The paper's tuned table for the NVIDIA GTX480 (Table III).
+GTX480_HEURISTIC = TransitionHeuristic(
+    thresholds=(16, 32, 512, 1024),
+    ks=(8, 7, 6, 5, 0),
+    name="GTX480 (Table III)",
+)
+
+
+def select_k_heuristic(
+    m: int, n: int | None = None, heuristic: TransitionHeuristic = GTX480_HEURISTIC
+) -> int:
+    """Table III lookup (default: the GTX480 table), clamped to ``N``."""
+    return heuristic.k_for(m, n)
+
+
+def select_k_analytic(n_log2: int, m: int, p: int, k_max: int | None = None) -> int:
+    """Minimize the Table II hybrid cost over ``k``.
+
+    Parameters
+    ----------
+    n_log2:
+        ``log2`` of the per-system size (Table II states sizes as ``2^n``).
+    m:
+        Number of independent systems.
+    p:
+        Machine parallelism (threads the hardware can keep busy).
+    k_max:
+        Optional cap (e.g. from shared-memory limits); defaults to
+        ``n_log2 − 1`` so subsystems keep ≥ 2 rows.
+
+    Notes
+    -----
+    Ties are broken toward *smaller* k (less PCR work, Section III-D: when
+    ``M > P`` "the minimum is when k equals zero").
+    """
+    if k_max is None:
+        k_max = max(0, n_log2 - 1)
+    k_max = min(k_max, n_log2)
+    best_k, best_cost = 0, hybrid_cost(n_log2, m, p, 0)
+    for k in range(1, k_max + 1):
+        cost = hybrid_cost(n_log2, m, p, k)
+        if cost < best_cost:
+            best_k, best_cost = k, cost
+    return best_k

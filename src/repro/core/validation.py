@@ -1,0 +1,81 @@
+"""Input validation shared by every solver entry point.
+
+Solvers accept "padded" diagonals (``a[0] == c[-1] == 0``; see
+:mod:`repro.util.tridiag`).  Validation normalizes dtype, enforces shape
+agreement, zeroes the out-of-matrix pads, and optionally checks
+finiteness.  All checks are cheap relative to a solve and can be skipped
+with ``check=False`` in inner loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_system_arrays",
+    "check_batch_arrays",
+    "require_power_of_two",
+    "is_power_of_two",
+]
+
+_ALLOWED = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _common(arrays, ndim: int):
+    arrays = [np.asarray(v) for v in arrays]
+    dtype = np.result_type(*arrays)
+    if dtype not in _ALLOWED:
+        dtype = np.dtype(np.float64)
+    arrays = [np.ascontiguousarray(v, dtype=dtype) for v in arrays]
+    shape = arrays[0].shape
+    for name, arr in zip("abcd", arrays):
+        if arr.ndim != ndim:
+            raise ValueError(f"{name!r} must be {ndim}-D, got {arr.ndim}-D")
+        if arr.shape != shape:
+            raise ValueError(f"{name!r} has shape {arr.shape}, expected {shape}")
+    if any(s == 0 for s in shape):
+        raise ValueError("empty system")
+    for name, arr in zip("abcd", arrays):
+        if not np.all(np.isfinite(arr)):
+            raise ValueError(f"{name!r} contains non-finite values")
+    return arrays
+
+
+def check_system_arrays(a, b, c, d):
+    """Validate one system's diagonals; returns normalized copies-if-needed."""
+    a, b, c, d = _common((a, b, c, d), ndim=1)
+    if a[0] != 0.0:
+        a = a.copy()
+        a[0] = 0.0
+    if c[-1] != 0.0:
+        c = c.copy()
+        c[-1] = 0.0
+    if np.any(b == 0.0):
+        raise ValueError("zero on the main diagonal (pivot-free solvers need b != 0)")
+    return a, b, c, d
+
+
+def check_batch_arrays(a, b, c, d):
+    """Validate an ``(M, N)`` batch's diagonals."""
+    a, b, c, d = _common((a, b, c, d), ndim=2)
+    if np.any(a[:, 0] != 0.0):
+        a = a.copy()
+        a[:, 0] = 0.0
+    if np.any(c[:, -1] != 0.0):
+        c = c.copy()
+        c[:, -1] = 0.0
+    if np.any(b == 0.0):
+        raise ValueError("zero on the main diagonal (pivot-free solvers need b != 0)")
+    return a, b, c, d
+
+
+def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def require_power_of_two(x: int, what: str) -> int:
+    """Raise ``ValueError`` unless ``x`` is a positive power of two."""
+    if not is_power_of_two(x):
+        raise ValueError(f"{what} must be a positive power of two, got {x}")
+    return x

@@ -1,0 +1,179 @@
+"""The buffered sliding window — shared-memory layout of Figs. 9-10.
+
+:class:`repro.core.tiled_pcr.TiledPCR` implements the *numerics* of the
+cached sliding window (per-level trailing caches).  This module models
+the *resource shape* of the paper's actual shared-memory realization,
+which the GPU kernels use for occupancy and traffic accounting:
+
+* **bottom buffer** (one sub-tile, ``S = c·2^k`` rows) — raw rows freshly
+  loaded from global memory;
+* **middle buffer** (``2S`` rows) — rows at intermediate PCR levels,
+  interacting with the bottom buffer;
+* **top buffer** (``S`` rows) — rows that have finished all but the last
+  PCR step, feeding the final step;
+* one extra sub-tile of **padding / alignment margin** so outputs can be
+  shifted into coalesced alignment and the cache managed with an offset
+  instead of a rotate (the reason the shipped capacity is ``3·f(k)``
+  while the dependency math only needs ``2·f(k)``).
+
+The buffers are logically segmented slices of one shared-memory block so
+the PCR elimination can operate across segment boundaries (Section
+III-A).  Per sub-tile round the window costs:
+
+* ``S`` rows of global loads (no redundancy — the whole point),
+* ``c·k·2^k`` eliminations (Table I),
+* ``k + 1`` intra-block barriers (one per PCR step plus the load),
+* one cache-management copy of the top+middle contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost_model import f_redundant_loads, sliding_window_properties
+
+__all__ = ["BufferedSlidingWindow", "WindowRound"]
+
+
+@dataclass(frozen=True)
+class WindowRound:
+    """Resource cost of advancing the window by one sub-tile."""
+
+    global_rows_loaded: int
+    eliminations: int
+    barriers: int
+    smem_rows_copied: int
+
+
+@dataclass(frozen=True)
+class BufferedSlidingWindow:
+    """Static resource model of one buffered sliding window.
+
+    Parameters
+    ----------
+    k:
+        PCR steps performed inside the window (thread-block width ``2^k``).
+    c:
+        Sub-tile scale factor (``≥ 1``): each thread emits ``c`` outputs
+        per round and the window advances ``c·2^k`` rows.
+    values_per_row:
+        Stored values per system row — 4 for ``(a, b, c, d)``.
+    dtype_bytes:
+        8 for float64, 4 for float32.
+    """
+
+    k: int
+    c: int = 1
+    values_per_row: int = 4
+    dtype_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be >= 0, got {self.k}")
+        if self.c < 1:
+            raise ValueError(f"c must be >= 1, got {self.c}")
+        if self.dtype_bytes not in (4, 8):
+            raise ValueError(f"dtype_bytes must be 4 or 8, got {self.dtype_bytes}")
+
+    # ---- Table I properties -------------------------------------------
+    @property
+    def subtile(self) -> int:
+        """Rows per sub-tile: ``c · 2^k``."""
+        return self.c * (1 << self.k)
+
+    @property
+    def threads_per_block(self) -> int:
+        """One thread per output column of the final PCR step: ``2^k``."""
+        return 1 << self.k
+
+    @property
+    def cache_capacity(self) -> int:
+        """Intermediate-results cache rows: ``3·f(k) ≤ 3·2^k`` (Table I)."""
+        return 3 * f_redundant_loads(self.k)
+
+    @property
+    def min_cache_capacity(self) -> int:
+        """Dependency-math minimum: ``2·f(k)`` (Section III-A)."""
+        return 2 * f_redundant_loads(self.k)
+
+    @property
+    def elim_steps_per_thread(self) -> int:
+        """``c·k`` eliminations per thread per sub-tile (Table I)."""
+        return self.c * self.k
+
+    @property
+    def elim_steps_per_subtile(self) -> int:
+        """``c·k·2^k`` eliminations per sub-tile (Table I)."""
+        return self.c * self.k * (1 << self.k)
+
+    # ---- buffer geometry (Fig. 9) -------------------------------------
+    @property
+    def top_rows(self) -> int:
+        """Top buffer: one sub-tile of almost-finished rows."""
+        return self.subtile
+
+    @property
+    def middle_rows(self) -> int:
+        """Middle buffer: two sub-tiles of in-flight rows."""
+        return 2 * self.subtile
+
+    @property
+    def bottom_rows(self) -> int:
+        """Bottom buffer: one sub-tile of freshly loaded raw rows."""
+        return self.subtile
+
+    @property
+    def total_rows(self) -> int:
+        """Rows resident in the single shared-memory block."""
+        return self.top_rows + self.middle_rows + self.bottom_rows
+
+    def smem_bytes(self) -> int:
+        """Shared memory one window occupies."""
+        return self.total_rows * self.values_per_row * self.dtype_bytes
+
+    # ---- per-round costs ----------------------------------------------
+    def round_cost(self) -> WindowRound:
+        """Resource cost of one sub-tile advance."""
+        return WindowRound(
+            global_rows_loaded=self.subtile,
+            eliminations=self.elim_steps_per_subtile,
+            barriers=self.k + 1,
+            smem_rows_copied=self.top_rows + self.middle_rows,
+        )
+
+    def rounds_for(self, rows: int) -> int:
+        """Sub-tile rounds to stream ``rows`` output rows (plus lead-in)."""
+        if rows < 0:
+            raise ValueError(f"rows must be >= 0, got {rows}")
+        lead = f_redundant_loads(self.k)
+        total = rows + lead
+        return -(-total // self.subtile)
+
+    def table_one(self) -> dict:
+        """The exact quantities of the paper's Table I, for this (k, c)."""
+        return sliding_window_properties(self.k, self.c)
+
+
+def max_k_for_shared_memory(
+    smem_bytes_limit: int,
+    dtype_bytes: int = 8,
+    c: int = 1,
+    values_per_row: int = 4,
+) -> int:
+    """Largest k whose sliding window fits in ``smem_bytes_limit``.
+
+    This is the knob behind the paper's portability claim ("the ability
+    to keep the number of PCR steps under control expands the
+    portability of our method to virtually all GPUs"): smaller shared
+    memories simply cap k, they never break the method.
+    """
+    k = 0
+    while True:
+        w = BufferedSlidingWindow(
+            k=k + 1, c=c, values_per_row=values_per_row, dtype_bytes=dtype_bytes
+        )
+        if w.smem_bytes() > smem_bytes_limit:
+            return k
+        k += 1
+        if k >= 16:  # no real device needs more
+            return k

@@ -1,0 +1,57 @@
+"""GPU execution-model simulator — the hardware substitute (DESIGN.md §2).
+
+The paper's evaluation ran CUDA kernels on an NVIDIA GTX480 against MKL
+on an Intel i7 975.  This environment has neither, so the library ships
+an *execution-model* simulator: the solvers compute real numbers in
+NumPy, while this subpackage reproduces the quantities GPU performance
+is actually made of —
+
+* :mod:`~repro.gpusim.device` — device descriptions (GTX480 et al.) and
+  their resource limits;
+* :mod:`~repro.gpusim.occupancy` — the CUDA occupancy calculation
+  (blocks per SM limited by threads / blocks / shared memory / registers);
+* :mod:`~repro.gpusim.memory` — global-memory coalescing: warp access
+  patterns → 128-byte transactions → bytes of traffic;
+* :mod:`~repro.gpusim.sharedmem` — shared-memory banks and conflict
+  degrees;
+* :mod:`~repro.gpusim.counters` — per-kernel work/traffic ledgers;
+* :mod:`~repro.gpusim.timing` — the analytic timing model combining
+  compute throughput, bandwidth, latency hiding and launch overhead;
+* :mod:`~repro.gpusim.cpu` — the i7-975 MKL-proxy cost model.
+
+The timing model is calibrated (see
+:mod:`repro.analysis.calibration`) so the simulated GTX480 and i7
+reproduce the paper's headline ratios; every figure-reproduction
+benchmark reports model output next to the paper's numbers.
+"""
+
+from repro.gpusim.device import DeviceSpec, GTX480, TESLA_C2050
+from repro.gpusim.occupancy import Occupancy, occupancy
+from repro.gpusim.memory import (
+    MemoryTraffic,
+    transactions_for_warp,
+    warp_transactions_strided,
+)
+from repro.gpusim.sharedmem import bank_conflict_degree, smem_access_cycles
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.timing import GpuTimingModel, StageTime
+from repro.gpusim.cpu import CpuSpec, I7_975, MklProxyModel
+
+__all__ = [
+    "DeviceSpec",
+    "GTX480",
+    "TESLA_C2050",
+    "Occupancy",
+    "occupancy",
+    "MemoryTraffic",
+    "transactions_for_warp",
+    "warp_transactions_strided",
+    "bank_conflict_degree",
+    "smem_access_cycles",
+    "KernelCounters",
+    "GpuTimingModel",
+    "StageTime",
+    "CpuSpec",
+    "I7_975",
+    "MklProxyModel",
+]

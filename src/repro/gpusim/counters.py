@@ -1,0 +1,90 @@
+"""Per-kernel work ledgers.
+
+A :class:`KernelCounters` instance is what a simulated kernel hands to
+the timing model: how much arithmetic it did, what it moved through
+global memory (with coalescing accounted), how many shared-memory warp
+accesses and barriers it issued, how many kernel launches it took, and
+how long its longest *dependent* chain is (the quantity latency hiding
+must cover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.memory import MemoryTraffic
+
+__all__ = ["KernelCounters"]
+
+
+@dataclass
+class KernelCounters:
+    """Everything the timing model needs to price one kernel (sequence).
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    eliminations:
+        Row-reduction operations (the paper's unit of work).
+    flops:
+        Floating-point operations (≈ ``eliminations × flops_per_elim``).
+    traffic:
+        Global-memory ledger with coalescing information.
+    smem_accesses:
+        Warp-level shared-memory accesses (conflict-adjusted cycles are
+        accumulated separately in ``smem_cycles``).
+    smem_cycles:
+        Conflict-adjusted shared-memory cycles.
+    barriers:
+        ``__syncthreads`` executed per block (summed over blocks).
+    launches:
+        Kernel launches (global synchronizations) in the sequence.
+    dependent_steps:
+        Length of the longest chain of operations that cannot overlap —
+        e.g. the ``2L − 1`` Thomas steps of one thread, or the sub-tile
+        rounds of one sliding window.  Each step is assumed to expose a
+        global-memory round trip unless enough warps are resident.
+    threads:
+        Total threads launched (parallel width available for hiding).
+    threads_per_block / smem_per_block / regs_per_thread:
+        Launch configuration, for the occupancy calculation.
+    mlp:
+        Memory-level parallelism per thread: how many independent
+        outstanding loads one thread sustains.  Thomas-style kernels have
+        high MLP (the next rows' addresses do not depend on the current
+        values, so loads prefetch ahead of the arithmetic chain); a
+        lockstep reduction that must wait for its sub-tile has ~1.
+    """
+
+    name: str = "kernel"
+    eliminations: int = 0
+    flops: int = 0
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+    smem_accesses: int = 0
+    smem_cycles: int = 0
+    barriers: int = 0
+    launches: int = 1
+    dependent_steps: int = 0
+    threads: int = 0
+    threads_per_block: int = 1
+    smem_per_block: int = 0
+    regs_per_thread: int = 20
+    mlp: float = 1.0
+
+    def merge_sequential(self, other: "KernelCounters") -> None:
+        """Append another kernel run executed *after* this one.
+
+        Work and traffic add; dependent chains add (they cannot overlap
+        across a launch boundary); the configuration keeps the wider
+        kernel's thread count for reporting purposes.
+        """
+        self.eliminations += other.eliminations
+        self.flops += other.flops
+        self.traffic.merge(other.traffic)
+        self.smem_accesses += other.smem_accesses
+        self.smem_cycles += other.smem_cycles
+        self.barriers += other.barriers
+        self.launches += other.launches
+        self.dependent_steps += other.dependent_steps
+        self.threads = max(self.threads, other.threads)

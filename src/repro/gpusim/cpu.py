@@ -1,0 +1,87 @@
+"""CPU baseline cost model — the MKL / i7-975 proxy.
+
+The paper benchmarks against Intel MKL's tridiagonal solver (``dgtsv``,
+Thomas-style LU) on a 3.33 GHz Core i7 975: **sequential** for a single
+system, and **multithreaded** across systems when ``M ≥ 2`` ("the out of
+the box tridiagonal solver in Intel MKL does not support
+multi-threading", so threading is over independent systems only —
+exactly the structure the proxy models).
+
+Two layers:
+
+* :class:`MklProxyModel` — the analytic model used by the figure
+  reproductions: time is perfectly linear in ``M·N`` (the paper: "an
+  obvious relation ... which is perfectly linear") with a per-row cost,
+  divided by the usable threads for the multithreaded variant, plus a
+  fork/join overhead.
+* the *measured* proxy in :mod:`repro.baselines.mkl_proxy`, which
+  actually solves the systems (our Thomas vs ``scipy.linalg.solve_banded``)
+  so that every speedup claim is also backed by a real computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CpuSpec", "I7_975", "MklProxyModel"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Host CPU description for the MKL proxy model.
+
+    ``row_ns_fp64`` / ``row_ns_fp32`` are the calibrated per-row Thomas
+    costs of MKL on one core (forward + backward, ~9 flops plus loads,
+    partially limited by the serial dependence chain).
+    """
+
+    name: str
+    cores: int
+    threads: int  # with SMT
+    clock_ghz: float
+    row_ns_fp64: float = 30.0
+    row_ns_fp32: float = 26.0
+    mt_efficiency: float = 0.70  # parallel efficiency across systems
+    mt_overhead_us: float = 100.0  # fork/join + scheduling per call
+
+    def row_ns(self, dtype_bytes: int) -> float:
+        """Per-row cost for the given precision."""
+        if dtype_bytes == 8:
+            return self.row_ns_fp64
+        if dtype_bytes == 4:
+            return self.row_ns_fp32
+        raise ValueError(f"dtype_bytes must be 4 or 8, got {dtype_bytes}")
+
+
+#: The paper's host: Intel Core i7 975 (Nehalem, 4C/8T, 3.33 GHz).
+I7_975 = CpuSpec(name="Intel i7 975", cores=4, threads=8, clock_ghz=3.33)
+
+
+@dataclass(frozen=True)
+class MklProxyModel:
+    """Analytic MKL timing: sequential and multithreaded variants."""
+
+    cpu: CpuSpec = I7_975
+
+    def sequential_s(self, m: int, n: int, dtype_bytes: int = 8) -> float:
+        """Sequential MKL: one core sweeps all ``M · N`` rows."""
+        _check(m, n)
+        return m * n * self.cpu.row_ns(dtype_bytes) * 1e-9
+
+    def multithreaded_s(self, m: int, n: int, dtype_bytes: int = 8) -> float:
+        """Multithreaded MKL: systems distributed over SMT threads.
+
+        Threading only exists across systems (``M ≥ 2``); a single system
+        falls back to the sequential path, as in the paper's setup.
+        """
+        _check(m, n)
+        if m < 2:
+            return self.sequential_s(m, n, dtype_bytes)
+        usable = min(self.cpu.threads, m)
+        work = m * n * self.cpu.row_ns(dtype_bytes) * 1e-9
+        return work / (usable * self.cpu.mt_efficiency) + self.cpu.mt_overhead_us * 1e-6
+
+
+def _check(m: int, n: int) -> None:
+    if m < 1 or n < 1:
+        raise ValueError(f"need M, N >= 1, got M={m}, N={n}")

@@ -1,0 +1,155 @@
+"""Device descriptions: the resource envelope of a simulated GPU.
+
+A :class:`DeviceSpec` captures everything the occupancy calculation and
+the timing model need: SM count and limits, clock, memory bandwidth and
+latency, and per-dtype arithmetic throughput.  Two ready-made specs ship:
+
+* :data:`GTX480` — the paper's evaluation card (Fermi GF100, 15 SMs);
+* :data:`TESLA_C2050` — a contemporary Fermi compute card, for
+  portability experiments (the paper: "expands the portability of our
+  method to virtually all GPUs").
+
+Numbers are the published hardware figures; the handful of *model*
+parameters (latency, launch overhead, achievable-bandwidth fraction)
+carry their calibration in :mod:`repro.analysis.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DeviceSpec", "GTX480", "TESLA_C2050"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a CUDA-like device.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, used in reports.
+    sm_count:
+        Streaming multiprocessors.
+    cores_per_sm:
+        Scalar ALUs per SM (CUDA cores).
+    clock_ghz:
+        Shader clock in GHz.
+    warp_size:
+        Threads per warp (32 on every NVIDIA part).
+    max_threads_per_sm, max_blocks_per_sm, max_threads_per_block:
+        Scheduler limits per SM / per block.
+    shared_mem_per_sm:
+        Bytes of shared memory per SM (48 KiB configuration on Fermi).
+    max_shared_mem_per_block:
+        Bytes one block may allocate.
+    registers_per_sm:
+        32-bit registers per SM.
+    mem_bandwidth_gbs:
+        Peak global-memory bandwidth, GB/s.
+    mem_latency_cycles:
+        Global-memory round-trip latency in shader cycles (model param).
+    achievable_bw_fraction:
+        Fraction of peak bandwidth a fully coalesced streaming kernel
+        reaches in practice (model param, ≈ 0.65 on Fermi).
+    fp32_flops_per_cycle_per_sm / fp64_flops_per_cycle_per_sm:
+        Arithmetic issue width per SM; GeForce Fermi runs FP64 at 1/8 of
+        FP32 rate (driver-limited), Tesla at 1/2.
+    kernel_launch_overhead_us:
+        Host-side cost of a kernel launch (model param).
+    sync_overhead_cycles:
+        Cost of one ``__syncthreads`` barrier (model param).
+    """
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_ghz: float
+    warp_size: int = 32
+    max_threads_per_sm: int = 1536
+    max_blocks_per_sm: int = 8
+    max_threads_per_block: int = 1024
+    shared_mem_per_sm: int = 48 * 1024
+    max_shared_mem_per_block: int = 48 * 1024
+    registers_per_sm: int = 32768
+    mem_bandwidth_gbs: float = 150.0
+    mem_latency_cycles: int = 600
+    achievable_bw_fraction: float = 0.65
+    fp32_flops_per_cycle_per_sm: int = 32
+    fp64_flops_per_cycle_per_sm: int = 4
+    kernel_launch_overhead_us: float = 6.0
+    sync_overhead_cycles: int = 40
+
+    def __post_init__(self) -> None:
+        if self.sm_count < 1 or self.cores_per_sm < 1:
+            raise ValueError("device needs at least one SM and one core")
+        if not 0.0 < self.achievable_bw_fraction <= 1.0:
+            raise ValueError("achievable_bw_fraction must be in (0, 1]")
+
+    # ---- derived quantities -------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        """All scalar ALUs on the device."""
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Hardware thread capacity — the ``P`` of Table II."""
+        return self.sm_count * self.max_threads_per_sm
+
+    @property
+    def max_resident_warps_per_sm(self) -> int:
+        """Warp slots per SM."""
+        return self.max_threads_per_sm // self.warp_size
+
+    def flops_per_cycle_per_sm(self, dtype_bytes: int) -> int:
+        """Arithmetic issue width for 4-byte (FP32) or 8-byte (FP64) data."""
+        if dtype_bytes == 4:
+            return self.fp32_flops_per_cycle_per_sm
+        if dtype_bytes == 8:
+            return self.fp64_flops_per_cycle_per_sm
+        raise ValueError(f"dtype_bytes must be 4 or 8, got {dtype_bytes}")
+
+    def effective_bandwidth_gbs(self) -> float:
+        """Peak bandwidth scaled by the achievable fraction."""
+        return self.mem_bandwidth_gbs * self.achievable_bw_fraction
+
+    def warps_to_hide_latency(self) -> float:
+        """Warps per SM needed to fully hide memory latency (Little's law:
+        one warp issues every ~2 cycles, so ``latency / 2`` in-flight
+        warps keep the pipe full — clipped to the architectural slots)."""
+        return min(self.mem_latency_cycles / 2.0 / self.warp_size * 2.0,
+                   float(self.max_resident_warps_per_sm))
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """A modified copy (for what-if exploration in the examples)."""
+        return replace(self, **kwargs)
+
+
+#: The paper's evaluation GPU: NVIDIA GeForce GTX 480 (Fermi GF100).
+GTX480 = DeviceSpec(
+    name="NVIDIA GTX480",
+    sm_count=15,
+    cores_per_sm=32,
+    clock_ghz=1.401,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=8,
+    max_threads_per_block=1024,
+    shared_mem_per_sm=48 * 1024,
+    registers_per_sm=32768,
+    mem_bandwidth_gbs=177.4,
+    mem_latency_cycles=600,
+    fp32_flops_per_cycle_per_sm=32,
+    fp64_flops_per_cycle_per_sm=4,  # GeForce Fermi: FP64 at 1/8 FP32
+)
+
+#: Tesla-class Fermi (full-rate FP64), for portability experiments.
+TESLA_C2050 = DeviceSpec(
+    name="NVIDIA Tesla C2050",
+    sm_count=14,
+    cores_per_sm=32,
+    clock_ghz=1.15,
+    mem_bandwidth_gbs=144.0,
+    fp32_flops_per_cycle_per_sm=32,
+    fp64_flops_per_cycle_per_sm=16,  # 1/2 FP32 rate
+)

@@ -1,0 +1,55 @@
+"""Kernel launch abstraction: grid/block bookkeeping.
+
+A :class:`LaunchConfig` pins down the execution shape of one simulated
+kernel — grid size, block size, shared memory, registers — and derives
+the standard quantities (warps per block, total threads, blocks) that
+the counter builders in :mod:`repro.kernels` and the occupancy/timing
+models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.occupancy import Occupancy, occupancy
+
+__all__ = ["LaunchConfig"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Execution configuration of one kernel launch."""
+
+    grid: int
+    block: int
+    smem_per_block: int = 0
+    regs_per_thread: int = 20
+
+    def __post_init__(self) -> None:
+        if self.grid < 1:
+            raise ValueError(f"grid must be >= 1, got {self.grid}")
+        if self.block < 1:
+            raise ValueError(f"block must be >= 1, got {self.block}")
+
+    @property
+    def threads(self) -> int:
+        """Total threads across the grid."""
+        return self.grid * self.block
+
+    def warps_per_block(self, warp_size: int = 32) -> int:
+        """Scheduler warp slots one block occupies."""
+        return -(-self.block // warp_size)
+
+    def occupancy_on(self, device: DeviceSpec) -> Occupancy:
+        """Occupancy this configuration achieves on ``device``."""
+        return occupancy(device, self.block, self.smem_per_block, self.regs_per_thread)
+
+    def concurrent_blocks(self, device: DeviceSpec) -> int:
+        """Blocks actually resident at once (grid- and occupancy-capped)."""
+        occ = self.occupancy_on(device)
+        return min(self.grid, max(1, occ.blocks_per_sm) * device.sm_count)
+
+    def waves(self, device: DeviceSpec) -> int:
+        """Sequential waves needed to run the whole grid."""
+        return -(-self.grid // self.concurrent_blocks(device))

@@ -1,0 +1,128 @@
+"""Global-memory coalescing model.
+
+On Fermi, a warp's 32 accesses are serviced in 128-byte cache-line
+transactions: the hardware takes the set of distinct 128-byte segments
+the warp touches and issues one transaction per segment.  Consecutive
+(stride-1) accesses of 4-byte words need 1 transaction; stride-2 needs 2;
+a stride of ≥ 32 words degenerates to 32 transactions — a 32× waste of
+bandwidth.  This is the entire quantitative content of "coalescing", and
+it is why the paper cares that PCR's interleaved output lets p-Thomas
+threads walk *consecutive* addresses (Section III-B).
+
+:func:`transactions_for_warp` implements the exact segment-counting rule
+for an arbitrary address pattern; :func:`warp_transactions_strided` is
+the closed form for constant strides that kernels use in bulk.
+:class:`MemoryTraffic` is the ledger kernels fill for the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SEGMENT_BYTES",
+    "MemoryTraffic",
+    "transactions_for_warp",
+    "warp_transactions_strided",
+]
+
+#: Fermi L1 cache-line / memory-transaction granularity.
+SEGMENT_BYTES = 128
+
+
+def transactions_for_warp(addresses_bytes, segment_bytes: int = SEGMENT_BYTES) -> int:
+    """Transactions one warp access generates for explicit byte addresses.
+
+    Parameters
+    ----------
+    addresses_bytes:
+        Byte address each active lane touches (inactive lanes omitted).
+    segment_bytes:
+        Transaction granularity (128 B on Fermi).
+
+    Returns
+    -------
+    int
+        Number of distinct ``segment_bytes``-aligned segments.
+    """
+    addr = np.asarray(addresses_bytes, dtype=np.int64)
+    if addr.size == 0:
+        return 0
+    if np.any(addr < 0):
+        raise ValueError("negative byte address")
+    return int(np.unique(addr // segment_bytes).size)
+
+
+def warp_transactions_strided(
+    warp_size: int,
+    stride_elems: int,
+    elem_bytes: int,
+    base_offset_bytes: int = 0,
+    active_lanes: int | None = None,
+    segment_bytes: int = SEGMENT_BYTES,
+) -> int:
+    """Transactions for a warp accessing ``base + lane·stride`` elements.
+
+    The common analytical case: lane ``l`` reads element
+    ``base_offset + l·stride``.  Fully coalesced float32 (stride 1) →
+    1 transaction; float64 stride 1 → 2; stride ``≥ segment/elem`` → one
+    transaction per lane.
+    """
+    if active_lanes is None:
+        active_lanes = warp_size
+    if active_lanes == 0:
+        return 0
+    lanes = np.arange(active_lanes, dtype=np.int64)
+    addr = base_offset_bytes + lanes * stride_elems * elem_bytes
+    return transactions_for_warp(addr, segment_bytes)
+
+
+@dataclass
+class MemoryTraffic:
+    """Bytes and transactions a kernel exchanged with global memory.
+
+    ``useful_bytes`` counts the payload the algorithm needed;
+    ``transaction_bytes = transactions × 128`` is what the bus actually
+    moved.  Their ratio is the coalescing efficiency the timing model
+    divides bandwidth by.
+    """
+
+    load_bytes: int = 0
+    store_bytes: int = 0
+    load_transactions: int = 0
+    store_transactions: int = 0
+
+    def add_load(self, useful_bytes: int, transactions: int) -> None:
+        """Record a load: payload bytes plus bus transactions."""
+        self.load_bytes += useful_bytes
+        self.load_transactions += transactions
+
+    def add_store(self, useful_bytes: int, transactions: int) -> None:
+        """Record a store."""
+        self.store_bytes += useful_bytes
+        self.store_transactions += transactions
+
+    def merge(self, other: "MemoryTraffic") -> None:
+        """Accumulate another ledger."""
+        self.load_bytes += other.load_bytes
+        self.store_bytes += other.store_bytes
+        self.load_transactions += other.load_transactions
+        self.store_transactions += other.store_transactions
+
+    @property
+    def useful_bytes(self) -> int:
+        """Payload bytes moved (loads + stores)."""
+        return self.load_bytes + self.store_bytes
+
+    @property
+    def bus_bytes(self) -> int:
+        """Bytes the memory bus actually transferred."""
+        return (self.load_transactions + self.store_transactions) * SEGMENT_BYTES
+
+    @property
+    def coalescing_efficiency(self) -> float:
+        """useful / bus bytes, in (0, 1]; 1.0 = perfectly coalesced."""
+        bus = self.bus_bytes
+        return self.useful_bytes / bus if bus else 1.0

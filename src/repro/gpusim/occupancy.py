@@ -1,0 +1,111 @@
+"""CUDA occupancy calculation.
+
+Occupancy — resident warps per SM relative to the architectural maximum
+— determines how much latency the scheduler can hide.  A block's
+footprint in threads, shared memory and registers each imposes a limit
+on blocks-per-SM; the binding constraint wins.  This is the standard
+"CUDA occupancy calculator" logic, needed here because the paper's
+central engineering argument is occupancy-based: fine-grained tiles with
+a small shared-memory footprint keep more blocks resident per SM than
+the coarse-grained tiling of Zhang/Davidson, hence better latency
+hiding (Section III-A, "advantages").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["Occupancy", "occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one kernel configuration."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float  # resident warps / max warps, in [0, 1]
+    limited_by: str  # "threads" | "blocks" | "smem" | "registers"
+
+    @property
+    def threads_per_sm(self) -> int:
+        """Resident threads per SM implied by the block count."""
+        # warps_per_sm already accounts for block granularity
+        return self.warps_per_sm * 32
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    smem_per_block: int = 0,
+    regs_per_thread: int = 20,
+) -> Occupancy:
+    """Compute resident blocks/warps per SM for a kernel configuration.
+
+    Parameters
+    ----------
+    device:
+        Target device limits.
+    threads_per_block:
+        Launch configuration block size (1 … ``max_threads_per_block``).
+    smem_per_block:
+        Bytes of shared memory the block allocates.
+    regs_per_thread:
+        Registers per thread (compiler-reported; default a typical 20).
+
+    Returns
+    -------
+    Occupancy
+        Blocks and warps per SM plus the binding limit.
+
+    Raises
+    ------
+    ValueError
+        If the configuration cannot launch at all (block too large,
+        shared memory over the per-block limit, …).
+    """
+    if threads_per_block < 1:
+        raise ValueError(f"threads_per_block must be >= 1, got {threads_per_block}")
+    if threads_per_block > device.max_threads_per_block:
+        raise ValueError(
+            f"block of {threads_per_block} threads exceeds device limit "
+            f"{device.max_threads_per_block}"
+        )
+    if smem_per_block > device.max_shared_mem_per_block:
+        raise ValueError(
+            f"block needs {smem_per_block} B shared memory, device allows "
+            f"{device.max_shared_mem_per_block} B per block"
+        )
+    if regs_per_thread < 1:
+        raise ValueError(f"regs_per_thread must be >= 1, got {regs_per_thread}")
+
+    warps_per_block = -(-threads_per_block // device.warp_size)
+
+    by_threads = device.max_threads_per_sm // (warps_per_block * device.warp_size)
+    by_blocks = device.max_blocks_per_sm
+    by_smem = (
+        device.shared_mem_per_sm // smem_per_block
+        if smem_per_block > 0
+        else device.max_blocks_per_sm
+    )
+    regs_per_block = regs_per_thread * warps_per_block * device.warp_size
+    by_regs = device.registers_per_sm // regs_per_block
+
+    limits = {
+        "threads": by_threads,
+        "blocks": by_blocks,
+        "smem": by_smem,
+        "registers": by_regs,
+    }
+    limited_by = min(limits, key=limits.get)
+    blocks = max(0, limits[limited_by])
+    warps = blocks * warps_per_block
+    max_warps = device.max_resident_warps_per_sm
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        occupancy=warps / max_warps if max_warps else 0.0,
+        limited_by=limited_by,
+    )

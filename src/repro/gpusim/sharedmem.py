@@ -1,0 +1,52 @@
+"""Shared-memory bank-conflict model.
+
+Fermi shared memory has 32 banks, 4 bytes wide, cycling every 32 words.
+A warp access where ``D`` lanes hit the same bank (at different words)
+serializes into ``D`` passes — the *conflict degree*.  For the constant
+strides used by structured kernels the degree has a closed form:
+``gcd(stride, 32)`` distinct lanes collide per bank (a stride sharing a
+power of two with the bank count is the classic failure mode — e.g. the
+naive CR layout with stride-2^l accesses, the problem Göddeke &
+Strzodka's conflict-free CR reorders away and that our CR kernel models
+in both variants).
+
+64-bit accesses occupy two banks per lane; on Fermi they are serviced as
+two 32-bit phases, handled by the ``elem_words`` parameter.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+__all__ = ["N_BANKS", "bank_conflict_degree", "smem_access_cycles"]
+
+#: Banks on Fermi-class shared memory.
+N_BANKS = 32
+
+
+def bank_conflict_degree(stride_words: int, n_banks: int = N_BANKS) -> int:
+    """Conflict degree of a warp accessing ``lane · stride`` words.
+
+    ``stride 0`` is a broadcast (degree 1).  Otherwise lanes
+    ``0 … n_banks−1`` touch bank ``lane·stride mod n_banks``; each bank
+    that is touched is touched by exactly ``gcd(stride, n_banks)`` lanes.
+    """
+    if stride_words < 0:
+        raise ValueError(f"stride must be >= 0, got {stride_words}")
+    if stride_words == 0:
+        return 1  # broadcast
+    return gcd(stride_words, n_banks)
+
+
+def smem_access_cycles(
+    stride_words: int, elem_words: int = 1, n_banks: int = N_BANKS
+) -> int:
+    """Cycles one warp shared-memory access takes, given its stride.
+
+    ``elem_words = 2`` models 64-bit (double) elements: two 32-bit
+    phases, each with the conflict degree of the doubled word stride.
+    """
+    if elem_words not in (1, 2):
+        raise ValueError(f"elem_words must be 1 or 2, got {elem_words}")
+    degree = bank_conflict_degree(stride_words * elem_words, n_banks)
+    return elem_words * degree

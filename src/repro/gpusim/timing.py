@@ -1,0 +1,199 @@
+"""Analytic GPU timing model.
+
+Converts a :class:`~repro.gpusim.counters.KernelCounters` ledger into
+seconds on a :class:`~repro.gpusim.device.DeviceSpec`.  The model prices
+the four resources a GPU kernel can be bound by, then takes the max
+(they overlap on real hardware):
+
+* **compute** — FLOPs against the device's issue width, derated when too
+  few threads are resident to fill the arithmetic pipelines;
+* **memory** — *bus* bytes (coalescing-adjusted) against achievable
+  bandwidth, derated by Little's law when the resident warps cannot keep
+  enough transactions in flight;
+* **latency** — the kernel's longest dependent chain exposes one memory
+  round-trip per step, scaled by how much of the latency the resident
+  warps per SM can hide.  This term creates the flat low-``M`` region of
+  Fig. 12: p-Thomas with few systems has few warps, so its ``2L − 1``
+  chain is latency-bound and nearly independent of ``M``;
+* **shared memory** — conflict-adjusted cycles.
+
+Barrier and kernel-launch overheads add on top (they serialize).
+
+The model is deliberately simple — a handful of published hardware
+numbers plus four calibration constants — because its job is to
+reproduce the *shape* of the paper's figures from counted work, not to
+be a cycle simulator.  Calibration notes live in
+:mod:`repro.analysis.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.occupancy import occupancy
+
+__all__ = ["StageTime", "GpuTimingModel"]
+
+
+@dataclass(frozen=True)
+class StageTime:
+    """Priced execution of one kernel (sequence)."""
+
+    compute_s: float
+    memory_s: float
+    latency_s: float
+    smem_s: float
+    sync_s: float
+    launch_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Wall-clock estimate: overlapping resources max, overheads add."""
+        return (
+            max(self.compute_s, self.memory_s, self.latency_s, self.smem_s)
+            + self.sync_s
+            + self.launch_s
+        )
+
+    @property
+    def bound(self) -> str:
+        """Which overlapping resource dominates."""
+        resources = {
+            "compute": self.compute_s,
+            "memory": self.memory_s,
+            "latency": self.latency_s,
+            "smem": self.smem_s,
+        }
+        return max(resources, key=resources.get)
+
+
+@dataclass(frozen=True)
+class GpuTimingModel:
+    """Prices kernel ledgers on a device.
+
+    Parameters
+    ----------
+    device:
+        Hardware description.
+    flops_per_elim:
+        FLOPs per tridiagonal row reduction (a PCR row update is
+        4 mul + 4 FMA + 2 div ≈ 12; Thomas steps are slightly cheaper —
+        one constant serves both, absorbed by calibration).
+    compute_sat_threads_per_core:
+        Threads per scalar core needed to fill arithmetic pipelines.
+    bytes_in_flight_per_warp:
+        Outstanding memory bytes one warp sustains (2 × 128 B segments).
+    min_parallel_efficiency:
+        Floor on derating factors (keeps the model finite for 1-thread
+        corner cases).
+    """
+
+    device: DeviceSpec
+    flops_per_elim: float = 12.0
+    compute_sat_threads_per_core: float = 6.0
+    bytes_in_flight_per_warp: float = 256.0
+    min_parallel_efficiency: float = 1e-3
+
+    # ------------------------------------------------------------------
+    def resident_warps(self, counters: KernelCounters) -> tuple:
+        """(total resident warps, warps per SM) for a kernel's config."""
+        dev = self.device
+        occ = occupancy(
+            dev,
+            counters.threads_per_block,
+            counters.smem_per_block,
+            counters.regs_per_thread,
+        )
+        warps_per_block = -(-counters.threads_per_block // dev.warp_size)
+        blocks_total = max(1, -(-counters.threads // counters.threads_per_block))
+        blocks_resident = min(blocks_total, max(1, occ.blocks_per_sm) * dev.sm_count)
+        warps_total = blocks_resident * warps_per_block
+        # Partially filled warps still occupy a scheduler slot.
+        warps_per_sm = warps_total / dev.sm_count
+        return warps_total, warps_per_sm
+
+    def time(self, counters: KernelCounters, dtype_bytes: int) -> StageTime:
+        """Price one kernel ledger (see module docstring for the model)."""
+        dev = self.device
+        clock_hz = dev.clock_ghz * 1e9
+        warps_total, warps_per_sm = self.resident_warps(counters)
+        threads_active = min(
+            counters.threads, warps_total * dev.warp_size
+        ) or dev.warp_size
+
+        # -- compute ----------------------------------------------------
+        flops = counters.flops or counters.eliminations * self.flops_per_elim
+        peak_flops = dev.sm_count * dev.flops_per_cycle_per_sm(dtype_bytes) * clock_hz
+        sat_threads = dev.total_cores * self.compute_sat_threads_per_core
+        util_c = max(
+            self.min_parallel_efficiency, min(1.0, threads_active / sat_threads)
+        )
+        compute_s = flops / (peak_flops * util_c) if flops else 0.0
+
+        # -- memory (bandwidth) ------------------------------------------
+        bus_bytes = counters.traffic.bus_bytes
+        bw = dev.effective_bandwidth_gbs() * 1e9
+        latency_s_one = dev.mem_latency_cycles / clock_hz
+        # Blocks narrower than a warp leave lanes idle: a 2^k-thread
+        # block with k < 5 fills only 2^k of 32 lanes, cutting the
+        # per-warp outstanding bytes proportionally.  This is the
+        # concrete cost behind the paper's warning that kernel fusion
+        # "binds the number of parallel threads ... to the lower number
+        # of the two kernels".
+        lane_fill = min(1.0, counters.threads_per_block / dev.warp_size)
+        in_flight_per_warp = (
+            self.bytes_in_flight_per_warp * max(1.0, counters.mlp) * lane_fill
+        )
+        warps_for_bw = max(1.0, bw * latency_s_one / in_flight_per_warp)
+        util_m = max(
+            self.min_parallel_efficiency, min(1.0, warps_total / warps_for_bw)
+        )
+        memory_s = bus_bytes / (bw * util_m) if bus_bytes else 0.0
+
+        # -- latency (dependent chain) ------------------------------------
+        warps_hide = dev.warps_to_hide_latency()
+        exposed = max(0.0, 1.0 - warps_per_sm / warps_hide)
+        latency_s = counters.dependent_steps * latency_s_one * exposed
+
+        # -- shared memory -------------------------------------------------
+        smem_s = (
+            counters.smem_cycles / (dev.sm_count * clock_hz)
+            if counters.smem_cycles
+            else 0.0
+        )
+
+        # -- overheads ------------------------------------------------------
+        blocks_total = max(1, -(-counters.threads // counters.threads_per_block))
+        occ = occupancy(
+            dev,
+            counters.threads_per_block,
+            counters.smem_per_block,
+            counters.regs_per_thread,
+        )
+        concurrent_blocks = min(
+            blocks_total, max(1, occ.blocks_per_sm) * dev.sm_count
+        )
+        # Barrier latency grows with block width (more warps to corral) —
+        # the paper's point against coarse-grained tiling: "a significant
+        # cost of synchronization ... from a large number of threads in a
+        # thread block".
+        warps_per_block = -(-counters.threads_per_block // dev.warp_size)
+        sync_s = (
+            counters.barriers
+            / concurrent_blocks
+            * dev.sync_overhead_cycles
+            * warps_per_block
+            / clock_hz
+        )
+        launch_s = counters.launches * dev.kernel_launch_overhead_us * 1e-6
+
+        return StageTime(
+            compute_s=compute_s,
+            memory_s=memory_s,
+            latency_s=latency_s,
+            smem_s=smem_s,
+            sync_s=sync_s,
+            launch_s=launch_s,
+        )

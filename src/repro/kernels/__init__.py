@@ -1,0 +1,37 @@
+"""Simulated-GPU kernels: work/traffic ledgers for every solver stage.
+
+Each module builds the :class:`~repro.gpusim.counters.KernelCounters`
+ledger a real CUDA kernel of that stage would generate — eliminations,
+coalescing-adjusted global traffic, shared-memory cycles, barriers,
+dependent-chain lengths, launch configuration — which the timing model
+(:mod:`repro.gpusim.timing`) prices in seconds.  The numerics themselves
+live in :mod:`repro.core`; :mod:`repro.kernels.hybrid_gpu` glues both
+together into the end-to-end simulated solver used by the figure
+benchmarks.
+
+Modules
+-------
+``pthomas_kernel``    p-Thomas back-end (coalescing analysis of III-B)
+``tiled_pcr_kernel``  buffered-sliding-window front-end (III-A)
+``fused_kernel``      fused PCR + p-Thomas forward reduction (III-C)
+``pcr_kernel``        whole-system-in-shared-memory PCR
+``cr_kernel``         CR, bank-conflicted and conflict-free variants
+``hybrid_gpu``        the full simulated GPU solver (numbers + time)
+"""
+
+from repro.kernels.pthomas_kernel import pthomas_counters
+from repro.kernels.tiled_pcr_kernel import tiled_pcr_counters
+from repro.kernels.fused_kernel import fused_hybrid_counters
+from repro.kernels.pcr_kernel import inshared_pcr_counters
+from repro.kernels.cr_kernel import cr_counters
+from repro.kernels.hybrid_gpu import GpuHybridSolver, GpuSolveReport
+
+__all__ = [
+    "pthomas_counters",
+    "tiled_pcr_counters",
+    "fused_hybrid_counters",
+    "inshared_pcr_counters",
+    "cr_counters",
+    "GpuHybridSolver",
+    "GpuSolveReport",
+]

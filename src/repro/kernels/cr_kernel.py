@@ -1,0 +1,95 @@
+"""Cyclic-reduction kernel ledger — naive and bank-conflict-free.
+
+CR on a GPU (Sengupta et al.; Göddeke & Strzodka [10]) keeps the system
+in shared memory and halves the active rows each forward level.  Two
+costs distinguish the variants the literature discusses:
+
+* **naive layout** — level ``l`` accesses shared memory at stride
+  ``2^{l+1}``; the power-of-two stride collides on the 32 banks with
+  degree ``gcd(stride, 32)``, up to 32-way serialization;
+* **conflict-free layout** (Göddeke & Strzodka) — indices are reordered
+  so every level's accesses are unit-stride within the active set.
+
+Both do identical O(n) eliminations; only the ``smem_cycles`` differ —
+exactly the effect the CR-variants ablation benchmark shows.  CR's other
+structural weakness also appears in the ledger: parallelism decays
+geometrically down the tree (``dependent_steps = 2·log2 n`` with the
+*average* active width far below ``n``), which is why the paper's hybrid
+uses PCR, not CR, as the front-end.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec, GTX480
+from repro.gpusim.memory import MemoryTraffic, warp_transactions_strided
+from repro.gpusim.sharedmem import smem_access_cycles
+from repro.kernels.pcr_kernel import max_inshared_rows
+
+__all__ = ["cr_counters"]
+
+
+def cr_counters(
+    m: int,
+    n: int,
+    dtype_bytes: int,
+    device: DeviceSpec = GTX480,
+    conflict_free: bool = False,
+) -> KernelCounters:
+    """Ledger for in-shared-memory CR over ``M`` blocks of ``N`` rows.
+
+    ``conflict_free=True`` prices the Göddeke-Strzodka reordered layout
+    (unit-stride shared accesses); ``False`` the naive power-of-two
+    strides.
+    """
+    cap = max_inshared_rows(device, dtype_bytes)
+    if n > cap:
+        raise ValueError(
+            f"system of {n} rows exceeds in-shared-memory capacity {cap} rows"
+        )
+    levels = max(1, math.ceil(math.log2(n)))
+    warp = device.warp_size
+    threads = min(device.max_threads_per_block, max(warp, n // 2 or 1))
+    tx_unit = warp_transactions_strided(warp, 1, dtype_bytes)
+
+    traffic = MemoryTraffic()
+    rows = m * n
+    acc = -(-rows // warp)
+    traffic.add_load(4 * rows * dtype_bytes, 4 * acc * tx_unit)
+    traffic.add_store(rows * dtype_bytes, acc * tx_unit)
+
+    elem_words = dtype_bytes // 4
+    eliminations = 0
+    smem_cycles = 0
+    smem_accesses = 0
+    # forward levels: active rows halve; backward levels mirror them
+    active = n // 2
+    for level in range(levels):
+        if active < 1:
+            active = 1
+        stride = 1 if conflict_free else min(32, 1 << (level + 1))
+        cyc = smem_access_cycles(stride, elem_words=elem_words)
+        # forward + backward both touch `active` rows at this level
+        lvl_rows = 2 * active * m
+        eliminations += lvl_rows
+        warp_acc = -(-lvl_rows // warp)
+        smem_accesses += 4 * 4 * warp_acc
+        smem_cycles += 4 * warp_acc * (3 * cyc + smem_access_cycles(1, elem_words))
+        active //= 2
+
+    return KernelCounters(
+        name=f"CR({'conflict-free' if conflict_free else 'naive'})",
+        eliminations=eliminations,
+        traffic=traffic,
+        smem_accesses=smem_accesses,
+        smem_cycles=smem_cycles,
+        barriers=m * 2 * levels,
+        launches=1,
+        dependent_steps=2 * levels + 1,
+        threads=m * threads,
+        threads_per_block=threads,
+        smem_per_block=4 * n * dtype_bytes,
+        regs_per_thread=20,
+    )

@@ -1,0 +1,414 @@
+"""The paper's kernels, written against the functional SIMT executor.
+
+These are *executable block programs*: explicit shared memory, explicit
+per-lane global indices, explicit barriers.  They produce the same
+numbers as the :mod:`repro.core` algorithms (asserted in tests) while
+the executor *measures* their traffic from the actual addresses — the
+measured ledgers cross-validate the closed-form ones in
+:mod:`repro.kernels`.
+
+Programs
+--------
+* :func:`pthomas_kernel` — one thread per system, interleaved or
+  contiguous indexing (the Section III-B coalescing experiment, run
+  rather than asserted);
+* :func:`tiled_pcr_window_kernel` — the buffered sliding window of
+  Figs. 9-10: one thread block of ``2^k`` threads slides over one
+  system, with per-level cache segments packed into a single shared
+  array (logically segmented, "as it allows the PCR elimination kernel
+  to work across logical buffer boundaries"), ``k+1`` barriers per
+  sub-tile round and a cache-management copy at the end of each round.
+
+  Layout: per-level trailing-cache segments (``2^{l+1}`` rows each,
+  ``2·f(k)`` total — the paper's stated minimum) plus two ping-ponged
+  sub-tile stage buffers, ``2·f(k) + 2·S`` rows per channel in one
+  shared block.  That is the same footprint class as the paper's
+  ``top + middle + bottom = 4·S`` layout (for ``c = 1``,
+  ``2·f(k) ≈ 2·S``), and it fits the 48 KiB Fermi budget through the
+  full Table III range (k ≤ 8, fp64).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost_model import f_redundant_loads
+from repro.gpusim.executor import BlockContext
+
+__all__ = [
+    "pthomas_kernel",
+    "tiled_pcr_window_kernel",
+    "cr_forward_kernel",
+    "run_pthomas",
+    "run_tiled_pcr",
+    "run_cr_forward",
+]
+
+
+def pthomas_kernel(
+    ctx: BlockContext,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    d: np.ndarray,
+    cp: np.ndarray,
+    dp: np.ndarray,
+    x: np.ndarray,
+    n_systems: int,
+    length: int,
+    interleaved: bool,
+) -> None:
+    """One thread per system; flat arrays hold all systems.
+
+    ``interleaved``: element ``l`` of system ``s`` at ``l·G + s``
+    (coalesced); else contiguous: at ``s·L + l``.
+    """
+    sys_id = ctx.block_id * ctx.threads + ctx.tid
+    active = sys_id < n_systems
+    sid = np.where(active, sys_id, 0)
+
+    def gidx(step):
+        if interleaved:
+            return step * n_systems + sid
+        return sid * length + step
+
+    # forward reduction
+    i0 = gidx(0)
+    b0 = ctx.load_global(b, i0, active)
+    cv = ctx.load_global(c, i0, active)
+    dv = ctx.load_global(d, i0, active)
+    safe_b0 = np.where(active, b0, 1.0)
+    cp_prev = cv / safe_b0
+    dp_prev = dv / safe_b0
+    ctx.store_global(cp, i0, cp_prev, active)
+    ctx.store_global(dp, i0, dp_prev, active)
+    for step in range(1, length):
+        gi = gidx(step)
+        av = ctx.load_global(a, gi, active)
+        bv = ctx.load_global(b, gi, active)
+        cv = ctx.load_global(c, gi, active)
+        dv = ctx.load_global(d, gi, active)
+        denom = np.where(active, bv - cp_prev * av, 1.0)
+        cp_prev = cv / denom
+        dp_prev = (dv - dp_prev * av) / denom
+        ctx.store_global(cp, gi, cp_prev, active)
+        ctx.store_global(dp, gi, dp_prev, active)
+
+    # backward substitution
+    gi = gidx(length - 1)
+    x_next = ctx.load_global(dp, gi, active)
+    ctx.store_global(x, gi, x_next, active)
+    for step in range(length - 2, -1, -1):
+        gi = gidx(step)
+        cpv = ctx.load_global(cp, gi, active)
+        dpv = ctx.load_global(dp, gi, active)
+        x_next = dpv - cpv * x_next
+        ctx.store_global(x, gi, x_next, active)
+
+
+def run_pthomas(a2d, b2d, c2d, d2d, interleaved=True, device=None,
+                threads_per_block=128):
+    """Solve an ``(S, L)`` batch with the executable p-Thomas kernel.
+
+    The ``(S, L)`` inputs are laid out into flat global arrays according
+    to ``interleaved`` before launch.  Returns ``(x, stats)``.
+    """
+    from repro.gpusim.device import GTX480
+    from repro.gpusim.executor import launch
+
+    device = device or GTX480
+    s, L = b2d.shape
+    dtype = b2d.dtype
+
+    def pack(arr):
+        return (
+            np.ascontiguousarray(arr.T).reshape(-1)
+            if interleaved
+            else np.ascontiguousarray(arr).reshape(-1)
+        )
+
+    flat = [pack(v) for v in (a2d, b2d, c2d, d2d)]
+    cp = np.zeros(s * L, dtype=dtype)
+    dp = np.zeros(s * L, dtype=dtype)
+    x = np.zeros(s * L, dtype=dtype)
+    tpb = min(threads_per_block, max(device.warp_size, s))
+    grid = -(-s // tpb)
+    stats = launch(
+        pthomas_kernel,
+        grid,
+        tpb,
+        (*flat, cp, dp, x, s, L, interleaved),
+        device=device,
+    )
+    out = x.reshape(L, s).T if interleaved else x.reshape(s, L)
+    return np.ascontiguousarray(out), stats
+
+
+def tiled_pcr_window_kernel(
+    ctx: BlockContext,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    d: np.ndarray,
+    out: np.ndarray,
+    n: int,
+    k: int,
+) -> None:
+    """The buffered sliding window (Figs. 9-10) for one system.
+
+    ``a..d`` are the system's flat arrays; ``out`` is ``(4, n)`` for the
+    reduced system.  ``ctx.threads`` must equal ``2^k`` (one output per
+    thread per level per round, the Table I mapping).
+    """
+    S = ctx.threads  # sub-tile size, c = 1
+    if S != 1 << k:
+        raise ValueError(f"block must have 2^k = {1 << k} threads, got {S}")
+    fk = f_redundant_loads(k)
+    chans = (a, b, c, d)
+    warp = ctx.device.warp_size
+
+    # One shared block, logically segmented:
+    #   [cache_0 | cache_1 | ... | cache_{k-1} | stage_A | stage_B]
+    # cache_l holds the trailing 2^(l+1) level-l rows; the two S-row
+    # stages ping-pong the freshly produced rows between levels.
+    cache_caps = [2 ** (l + 1) for l in range(k)]
+    cache_offs = np.cumsum([0] + cache_caps).tolist()
+    stage_off = [cache_offs[-1], cache_offs[-1] + S]
+    win = ctx.shared((4, cache_offs[-1] + 2 * S))
+    win[1, :] = 1.0  # identity rows: b = 1, a = c = d = 0
+
+    frontiers = [-fk] * (k + 1)  # F_l in global row coordinates
+    pos = -fk
+    rounds = -(-(n + 2 * fk) // S)
+
+    for _ in range(rounds):
+        # --- load one raw sub-tile into stage A (coalesced)
+        rows = pos + ctx.tid
+        in_range = (rows >= 0) & (rows < n)
+        gidx = np.where(in_range, rows, 0)
+        sa = stage_off[0]
+        for ch_i, ch in enumerate(chans):
+            vals = ctx.load_global(ch, gidx, in_range)
+            if ch_i == 1:
+                vals = np.where(in_range, vals, 1.0)
+            win[ch_i, sa : sa + S] = vals
+            ctx.smem_write(-(-S // warp))
+        frontiers[0] = pos + S
+        pos += S
+        stage_fill = S  # level-0 fresh rows currently in stage A
+        src_stage = 0
+        ctx.barrier()
+
+        # --- k PCR levels; each consumes (cache_l + src stage), writes
+        #     its output to the other stage, then refreshes cache_l
+        for l in range(k):
+            s_reach = 1 << l
+            new_f = frontiers[l] - s_reach
+            old_f = frontiers[l + 1]
+            w = new_f - old_f
+            cap = cache_caps[l]
+            lo = cache_offs[l]
+            src = stage_off[src_stage]
+            dst = stage_off[1 - src_stage]
+            if w > 0:
+                # logical level-l run = cache rows then fresh rows; the
+                # run covers rows [F_l - cap - fill, F_l)
+                run = np.empty((4, cap + stage_fill))
+                run[:, :cap] = win[:, lo : lo + cap]
+                run[:, cap:] = win[:, src : src + stage_fill]
+                run_lo = frontiers[l] - (cap + stage_fill)
+                i0 = (old_f - s_reach) - run_lo
+                sl = run[:, i0 : i0 + w + 2 * s_reach]
+                ctx.smem_read(3 * 4 * -(-w // warp))
+                am, bm, cm, dm = (sl[ch, :w] for ch in range(4))
+                ac, bc, cc, dc = (sl[ch, s_reach : s_reach + w] for ch in range(4))
+                ap, bp, cp_, dp_ = (
+                    sl[ch, 2 * s_reach : 2 * s_reach + w] for ch in range(4)
+                )
+                k1 = ac / bm
+                k2 = cc / bp
+                res = (
+                    -am * k1,
+                    bc - cm * k1 - ap * k2,
+                    -cp_ * k2,
+                    dc - dm * k1 - dp_ * k2,
+                )
+                for ch in range(4):
+                    win[ch, dst : dst + w] = res[ch]
+                ctx.smem_write(4 * -(-w // warp))
+                # cache management: cache_l <- trailing cap rows of the run
+                win[:, lo : lo + cap] = run[:, -cap:]
+                ctx.smem_read(4 * -(-cap // warp))
+                ctx.smem_write(4 * -(-cap // warp))
+                frontiers[l + 1] = new_f
+                if l + 1 == k:
+                    e0, e1 = max(old_f, 0), min(new_f, n)
+                    if e0 < e1:
+                        width = e1 - e0
+                        active = ctx.tid < width
+                        lane = np.where(active, ctx.tid, 0)
+                        for ch in range(4):
+                            ctx.store_global(
+                                out[ch],
+                                np.where(active, e0 + lane, 0),
+                                win[ch, dst + (e0 - old_f) + lane],
+                                active,
+                            )
+                stage_fill = w
+                src_stage = 1 - src_stage
+            else:
+                # stalled level (warm-up): its cache still absorbs the
+                # fresh rows so nothing is lost
+                if stage_fill > 0:
+                    run = np.empty((4, cap + stage_fill))
+                    run[:, :cap] = win[:, lo : lo + cap]
+                    run[:, cap:] = win[:, src : src + stage_fill]
+                    win[:, lo : lo + cap] = run[:, -cap:]
+                stage_fill = 0
+            ctx.barrier()
+
+
+def run_tiled_pcr(a1d, b1d, c1d, d1d, k, device=None):
+    """k-step tiled PCR of one system via the window kernel.
+
+    Returns ``((a', b', c', d'), stats)`` — the reduced system equals
+    :func:`repro.core.pcr.pcr_sweep`.
+    """
+    from repro.gpusim.device import GTX480
+    from repro.gpusim.executor import launch
+
+    device = device or GTX480
+    n = b1d.shape[0]
+    out = np.zeros((4, n), dtype=b1d.dtype)
+    stats = launch(
+        tiled_pcr_window_kernel,
+        1,
+        1 << k,
+        (np.ascontiguousarray(a1d), np.ascontiguousarray(b1d),
+         np.ascontiguousarray(c1d), np.ascontiguousarray(d1d), out, n, k),
+        device=device,
+    )
+    return (out[0], out[1], out[2], out[3]), stats
+
+
+def cr_forward_kernel(
+    ctx: BlockContext,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    d: np.ndarray,
+    out: np.ndarray,
+    n: int,
+    conflict_free: bool,
+) -> None:
+    """One CR forward level in shared memory, banks *measured*.
+
+    Loads the system, performs the first forward-reduction level (odd
+    rows reduced by their even neighbours) and stores the half-size
+    system.  Two layouts:
+
+    * naive: rows stay in place; lane ``j`` reduces row ``2j + 1`` —
+      lane word-addresses stride by 2, a guaranteed 2-way conflict
+      (and worse at deeper levels);
+    * conflict-free (Göddeke-Strzodka): the odd rows are pre-gathered
+      to a compact unit-stride region, so every warp access is
+      conflict-free at the cost of the gather.
+
+    The executor's measured ``smem_conflict_cycles`` quantify the gap.
+    """
+    smem = ctx.shared((4, n))
+    lanes = ctx.tid
+    # cooperative coalesced load of the whole system
+    for base in range(0, n, ctx.threads):
+        act = base + lanes < n
+        gidx = np.where(act, base + lanes, 0)
+        for ch_i, ch in enumerate((a, b, c, d)):
+            vals = ctx.load_global(ch, gidx, act)
+            smem[ch_i, base : base + ctx.threads][act[: min(ctx.threads, n - base)]] = vals[act]
+    ctx.barrier()
+
+    half = n // 2
+    act = lanes < half
+    rows = np.where(act, 2 * lanes + 1, 1)
+    if conflict_free:
+        # gather odds into a compact region first (unit-stride accesses)
+        compact = ctx.shared((4, max(half, 1) * 3))
+        for ch in range(4):
+            compact[ch, :half] = smem[ch, 1::2][:half]          # centre
+            compact[ch, half : 2 * half] = smem[ch, 0::2][:half]  # left
+            right = np.zeros(half)
+            right_src = smem[ch, 2::2]
+            right[: right_src.shape[0]] = right_src[:half]
+            compact[ch, 2 * half : 3 * half] = right
+        ctx.smem_access_measured(np.where(act, lanes, 0))          # unit stride
+        ctx.smem_access_measured(np.where(act, half + lanes, 0))
+        ctx.smem_access_measured(np.where(act, 2 * half + lanes, 0))
+        ac = compact[0, :half]
+        bc_ = compact[1, :half]
+        cc = compact[2, :half]
+        dc = compact[3, :half]
+        al = compact[0, half : 2 * half]
+        bl = compact[1, half : 2 * half]
+        cl = compact[2, half : 2 * half]
+        dl = compact[3, half : 2 * half]
+        br = np.where(2 * np.arange(half) + 2 < n, compact[1, 2 * half : 3 * half], 1.0)
+        ar = compact[0, 2 * half : 3 * half]
+        cr_ = compact[2, 2 * half : 3 * half]
+        dr = compact[3, 2 * half : 3 * half]
+    else:
+        # in-place strided access: lane j touches word 2j+1 etc.
+        ctx.smem_access_measured(np.where(act, rows, 1))           # stride 2
+        ctx.smem_access_measured(np.where(act, rows - 1, 0))
+        ctx.smem_access_measured(np.where(act, np.minimum(rows + 1, n - 1), 0))
+        ac = smem[0, rows]
+        bc_ = smem[1, rows]
+        cc = smem[2, rows]
+        dc = smem[3, rows]
+        al = smem[0, rows - 1]
+        bl = smem[1, rows - 1]
+        cl = smem[2, rows - 1]
+        dl = smem[3, rows - 1]
+        has_right = rows + 1 < n
+        rr = np.where(has_right, rows + 1, rows)
+        br = np.where(has_right, smem[1, rr], 1.0)
+        ar = np.where(has_right, smem[0, rr], 0.0)
+        cr_ = np.where(has_right, smem[2, rr], 0.0)
+        dr = np.where(has_right, smem[3, rr], 0.0)
+
+    k1 = ac / bl
+    k2 = cc / br
+    res = (
+        -al * k1,
+        bc_ - cl * k1 - ar * k2,
+        -cr_ * k2,
+        dc - dl * k1 - dr * k2,
+    )
+    ctx.barrier()
+    store_idx = np.where(act, lanes, 0)
+    for ch in range(4):
+        ctx.store_global(out[ch], store_idx, np.where(act, res[ch], 0.0), act)
+
+
+def run_cr_forward(a1d, b1d, c1d, d1d, conflict_free=False, device=None):
+    """One measured CR forward level; returns the reduced system + stats.
+
+    The reduced system equals :func:`repro.core.cr.cr_forward_step`.
+    """
+    from repro.gpusim.device import GTX480
+    from repro.gpusim.executor import launch
+
+    device = device or GTX480
+    n = b1d.shape[0]
+    half = n // 2
+    out = np.zeros((4, max(half, 1)), dtype=b1d.dtype)
+    threads = min(device.max_threads_per_block, max(device.warp_size, half))
+    stats = launch(
+        cr_forward_kernel,
+        1,
+        threads,
+        (np.ascontiguousarray(a1d), np.ascontiguousarray(b1d),
+         np.ascontiguousarray(c1d), np.ascontiguousarray(d1d),
+         out, n, conflict_free),
+        device=device,
+    )
+    return (out[0], out[1], out[2], out[3]), stats

@@ -1,0 +1,92 @@
+"""Fused tiled-PCR + p-Thomas kernel ledger — Section III-C.
+
+"Progressively invoking p-Thomas without waiting for tiled PCR kernel to
+finish": the p-Thomas forward reduction consumes each sub-tile of PCR
+output the moment it is produced, keeping the running ``(c', d')`` in
+registers (register tiling).  Compared with the unfused pipeline this
+
+* **saves** the 4-value store of the reduced system and its 4-value
+  re-load by p-Thomas (8 of the 13 per-row global values),
+* **removes** one kernel launch boundary,
+* **but** binds the p-Thomas stage to the PCR stage's launch shape:
+  ``2^k`` threads per block with the window's shared-memory footprint,
+  which caps occupancy below what a standalone p-Thomas kernel would get
+  — the paper's warning that "kernel fusion does not always improve
+  performance".
+
+The ledger composes the two stage ledgers with the fused flags set and
+merges them into a single launch whose block configuration is the PCR
+stage's (the binding one).
+"""
+
+from __future__ import annotations
+
+from repro.core.layout import Layout
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec, GTX480
+from repro.kernels.pthomas_kernel import pthomas_counters
+from repro.kernels.tiled_pcr_kernel import tiled_pcr_counters
+
+__all__ = ["fused_hybrid_counters"]
+
+
+def fused_hybrid_counters(
+    m: int,
+    n: int,
+    k: int,
+    dtype_bytes: int,
+    device: DeviceSpec = GTX480,
+    c: int = 1,
+    n_windows: int = 1,
+    windows_per_block: int = 1,
+) -> KernelCounters:
+    """Single-launch ledger for the fused hybrid (k ≥ 1).
+
+    See :func:`repro.kernels.tiled_pcr_counters` and
+    :func:`repro.kernels.pthomas_counters` for the parameters; the fused
+    kernel inherits the PCR stage's launch configuration.
+    """
+    if k < 1:
+        raise ValueError(f"fusion needs a PCR stage, got k={k}")
+    pcr = tiled_pcr_counters(
+        m,
+        n,
+        k,
+        dtype_bytes,
+        device=device,
+        c=c,
+        n_windows=n_windows,
+        windows_per_block=windows_per_block,
+        fused_output=True,
+    )
+    g = 1 << k
+    length = -(-n // g)
+    thomas = pthomas_counters(
+        m * g,
+        length,
+        dtype_bytes,
+        device=device,
+        layout=Layout.INTERLEAVED,
+        fused_input=True,
+        # fusion pins the block shape to the PCR stage's
+        threads_per_block=pcr.threads_per_block,
+    )
+    fused = KernelCounters(
+        name=f"fused hybrid(k={k})",
+        eliminations=pcr.eliminations + thomas.eliminations,
+        traffic=pcr.traffic,
+        smem_accesses=pcr.smem_accesses,
+        smem_cycles=pcr.smem_cycles,
+        barriers=pcr.barriers,
+        launches=1,  # the whole point
+        # the forward chain overlaps the PCR rounds (it consumes them as
+        # they appear), so only the backward chain adds to the PCR chain
+        dependent_steps=pcr.dependent_steps + length,
+        threads=pcr.threads,
+        threads_per_block=pcr.threads_per_block,
+        smem_per_block=pcr.smem_per_block,
+        regs_per_thread=pcr.regs_per_thread + 8,  # register tiling state
+    )
+    fused.traffic.merge(thomas.traffic)
+    fused.flops = 0
+    return fused

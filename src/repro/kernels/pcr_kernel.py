@@ -1,0 +1,98 @@
+"""Whole-system-in-shared-memory PCR kernel ledger.
+
+The conventional GPU PCR (Egloff; Zhang et al.'s building block): load
+the entire system into shared memory, run ``log2 N`` lockstep PCR steps
+with one thread per row, write the solution back.  Simple and fast — as
+long as the system *fits*: 4 arrays × N × dtype must squeeze into the
+48 KiB of a Fermi SM, capping N at 1536 (fp64) / 3072 (fp32).  That cap
+is the paper's central criticism of prior shared-memory hybrids, and
+:class:`repro.baselines.zhang.ZhangInSharedMemorySolver` turns it into a
+hard error.
+
+The ledger also exposes the occupancy story: the block allocates the
+whole system's footprint, so large systems mean one block per SM.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec, GTX480
+from repro.gpusim.memory import MemoryTraffic, warp_transactions_strided
+from repro.gpusim.sharedmem import smem_access_cycles
+
+__all__ = ["inshared_pcr_counters", "max_inshared_rows"]
+
+
+def max_inshared_rows(device: DeviceSpec, dtype_bytes: int, arrays: int = 4) -> int:
+    """Largest system that fits a block's shared memory."""
+    return device.max_shared_mem_per_block // (arrays * dtype_bytes)
+
+
+def inshared_pcr_counters(
+    m: int,
+    n: int,
+    dtype_bytes: int,
+    device: DeviceSpec = GTX480,
+    steps: int | None = None,
+) -> KernelCounters:
+    """Ledger for in-shared-memory PCR: ``M`` blocks, one system each.
+
+    Parameters
+    ----------
+    m, n:
+        Batch shape; ``n`` must fit shared memory (see
+        :func:`max_inshared_rows`).
+    steps:
+        PCR steps (default: complete reduction, ``ceil(log2 n)``).
+
+    Raises
+    ------
+    ValueError
+        If the system exceeds the shared-memory capacity.
+    """
+    cap = max_inshared_rows(device, dtype_bytes)
+    if n > cap:
+        raise ValueError(
+            f"system of {n} rows exceeds in-shared-memory capacity "
+            f"{cap} rows ({device.name}, {dtype_bytes}-byte elements)"
+        )
+    if steps is None:
+        steps = max(1, math.ceil(math.log2(n)))
+
+    warp = device.warp_size
+    threads = min(device.max_threads_per_block, max(warp, n))
+    tx_unit = warp_transactions_strided(warp, 1, dtype_bytes)
+
+    traffic = MemoryTraffic()
+    rows = m * n
+    acc = -(-rows // warp)
+    traffic.add_load(4 * rows * dtype_bytes, 4 * acc * tx_unit)
+    traffic.add_store(rows * dtype_bytes, acc * tx_unit)  # x only
+
+    # PCR shared accesses are lane-consecutive (lane j ↔ row j; the ±2^l
+    # offsets are warp-uniform) — conflict-free, unlike CR.
+    elem_words = dtype_bytes // 4
+    unit = smem_access_cycles(1, elem_words=elem_words)
+    smem_cycles = 0
+    smem_accesses = 0
+    for _level in range(steps):
+        warp_acc = -(-rows // warp)
+        smem_accesses += 4 * 4 * warp_acc
+        smem_cycles += 4 * warp_acc * 4 * unit
+
+    return KernelCounters(
+        name=f"in-smem PCR({steps} steps)",
+        eliminations=steps * rows,
+        traffic=traffic,
+        smem_accesses=smem_accesses,
+        smem_cycles=smem_cycles,
+        barriers=m * steps,
+        launches=1,
+        dependent_steps=steps,
+        threads=m * threads,
+        threads_per_block=threads,
+        smem_per_block=4 * n * dtype_bytes,
+        regs_per_thread=20,
+    )

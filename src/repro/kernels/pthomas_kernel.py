@@ -1,0 +1,106 @@
+"""p-Thomas kernel ledger — Section III-B's coalescing analysis.
+
+One thread per independent system; the thread walks its system's rows
+with the Thomas recurrence.  What the kernel costs depends almost
+entirely on *layout*:
+
+* ``INTERLEAVED`` (what the PCR front-end leaves behind): at step ``l``
+  thread ``j`` touches global element ``l·G + j`` — lane-consecutive
+  addresses, minimal transactions per warp access;
+* ``CONTIGUOUS``: thread ``j`` touches ``j·L + l`` — a stride of the
+  whole system length, one transaction per lane, a 32× (16× for fp64)
+  traffic blow-up that the layout ablation benchmark quantifies.
+
+Traffic per row: the forward pass reads the four diagonals and writes
+the modified ``(c', d')``; the backward pass re-reads ``(c', d')`` and
+writes ``x`` — 9 values.  With ``fused_input=True`` (Section III-C) the
+diagonal loads are skipped: the values arrive in registers from the PCR
+stage, which is exactly the traffic kernel fusion saves.
+"""
+
+from __future__ import annotations
+
+from repro.core.layout import Layout
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec, GTX480
+from repro.gpusim.memory import MemoryTraffic, warp_transactions_strided
+
+__all__ = ["pthomas_counters"]
+
+
+def pthomas_counters(
+    n_systems: int,
+    length: int,
+    dtype_bytes: int,
+    device: DeviceSpec = GTX480,
+    layout: Layout = Layout.INTERLEAVED,
+    fused_input: bool = False,
+    threads_per_block: int = 128,
+) -> KernelCounters:
+    """Ledger for p-Thomas over ``n_systems`` systems of ``length`` rows.
+
+    Parameters
+    ----------
+    n_systems:
+        Independent systems = threads (``M · 2^k`` after the front-end).
+    length:
+        Rows per system (``≈ N / 2^k``).
+    dtype_bytes:
+        4 (float32) or 8 (float64).
+    device:
+        For the warp size entering the coalescing analysis.
+    layout:
+        Memory layout of the systems (see module docstring).
+    fused_input:
+        Skip the diagonal loads (fed from the fused PCR stage).
+    threads_per_block:
+        Launch block size (a throughput kernel; 128 is typical).
+    """
+    if n_systems < 1 or length < 1:
+        raise ValueError(f"need n_systems, length >= 1, got {n_systems}, {length}")
+    if dtype_bytes not in (4, 8):
+        raise ValueError(f"dtype_bytes must be 4 or 8, got {dtype_bytes}")
+
+    threads_per_block = min(threads_per_block, max(device.warp_size, n_systems))
+    warp = device.warp_size
+    stride = 1 if layout is Layout.INTERLEAVED else length
+    tx_per_access = warp_transactions_strided(warp, stride, dtype_bytes)
+
+    full_warps, rem = divmod(n_systems, warp)
+    rem_tx = (
+        warp_transactions_strided(warp, stride, dtype_bytes, active_lanes=rem)
+        if rem
+        else 0
+    )
+
+    def bulk(values_per_row: int, rows: int) -> tuple:
+        """(useful bytes, transactions) for `values_per_row` array walks."""
+        useful = values_per_row * rows * n_systems * dtype_bytes
+        tx = values_per_row * rows * (full_warps * tx_per_access + rem_tx)
+        return useful, tx
+
+    traffic = MemoryTraffic()
+    # forward: read a, b, c, d (unless fused), write c', d'
+    read_vals = 0 if fused_input else 4
+    if read_vals:
+        traffic.add_load(*bulk(read_vals, length))
+    traffic.add_store(*bulk(2, length))
+    # backward: read c', d', write x
+    traffic.add_load(*bulk(2, length))
+    traffic.add_store(*bulk(1, length))
+
+    return KernelCounters(
+        name="p-Thomas",
+        eliminations=n_systems * (2 * length - 1),
+        traffic=traffic,
+        launches=1,
+        # forward + backward chains are each `length` dependent steps
+        dependent_steps=2 * length - 1,
+        threads=n_systems,
+        threads_per_block=threads_per_block,
+        smem_per_block=0,
+        regs_per_thread=20,
+        # The next rows' load addresses are value-independent, so loads
+        # run ahead of the arithmetic recurrence: high per-thread MLP.
+        mlp=4.0,
+    )

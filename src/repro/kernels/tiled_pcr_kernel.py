@@ -1,0 +1,139 @@
+"""Tiled-PCR kernel ledger — the buffered sliding window on the GPU.
+
+Execution shape (Section III-A, Fig. 11): one thread block of ``2^k``
+threads per window; ``M · W`` blocks for ``M`` systems with ``W`` windows
+each (Fig. 11b), or several windows multiplexed per block (Fig. 11c,
+``windows_per_block``).  Each block advances its window through
+``rounds = (N/W + f(k)) / (c·2^k)`` sub-tiles; per round it
+
+* loads one sub-tile (coalesced, stride-1) from global memory,
+* runs ``c·k·2^k`` eliminations through shared memory,
+* executes ``k + 1`` barriers,
+* copies the top+middle cache contents (the "cache management" cost).
+
+The rounds are *sequential* — each one starts with a dependent global
+load — so ``rounds`` is the block's dependent-chain length.
+
+Shared memory per window is the Fig. 9 layout (4 sub-tiles of 4 values);
+per *block* it scales with the multiplexing factor, which is the
+occupancy tradeoff of variant (c).
+"""
+
+from __future__ import annotations
+
+from repro.core.cost_model import f_redundant_loads
+from repro.core.window import BufferedSlidingWindow
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec, GTX480
+from repro.gpusim.memory import MemoryTraffic, warp_transactions_strided
+from repro.gpusim.sharedmem import smem_access_cycles
+
+__all__ = ["tiled_pcr_counters"]
+
+
+def tiled_pcr_counters(
+    m: int,
+    n: int,
+    k: int,
+    dtype_bytes: int,
+    device: DeviceSpec = GTX480,
+    c: int = 1,
+    n_windows: int = 1,
+    windows_per_block: int = 1,
+    fused_output: bool = False,
+) -> KernelCounters:
+    """Ledger for a k-step tiled-PCR sweep of ``M`` systems of ``N`` rows.
+
+    Parameters
+    ----------
+    m, n:
+        Batch shape.
+    k:
+        PCR steps (thread-block width ``2^k``; must be ≥ 1 — a ``k = 0``
+        hybrid launches no PCR kernel at all).
+    dtype_bytes:
+        4 or 8.
+    c:
+        Sub-tile scale (outputs per thread per round, Table I).
+    n_windows:
+        Windows per system (Fig. 11b); each internal boundary re-loads
+        ``2·f(k)`` halo rows.
+    windows_per_block:
+        Windows multiplexed onto one block (Fig. 11c); multiplies the
+        block's shared-memory footprint but overlaps the windows' loads.
+    fused_output:
+        Do not store the reduced system — it is consumed in registers by
+        the fused p-Thomas stage (Section III-C).
+    """
+    if k < 1:
+        raise ValueError(f"tiled PCR kernel needs k >= 1, got {k}")
+    if m < 1 or n < 1:
+        raise ValueError(f"need M, N >= 1, got {m}, {n}")
+    if n_windows < 1 or windows_per_block < 1:
+        raise ValueError("window counts must be >= 1")
+
+    window = BufferedSlidingWindow(k=k, c=c, dtype_bytes=dtype_bytes)
+    warp = device.warp_size
+    threads = window.threads_per_block
+
+    rows_per_window = -(-n // n_windows)
+    rounds = window.rounds_for(rows_per_window)
+    total_windows = m * n_windows
+    blocks = -(-total_windows // windows_per_block)
+
+    # ---- global traffic -------------------------------------------------
+    # Every row of every window's extended range [r0 - f(k), r1 + f(k))
+    # is loaded exactly once; each internal region boundary costs 2·f(k)
+    # redundant re-loads (lead-in of the next window + look-ahead of the
+    # previous one).
+    lead = f_redundant_loads(k)
+    rows_loaded = m * (n + max(0, n_windows - 1) * 2 * lead)
+    tx_unit = warp_transactions_strided(warp, 1, dtype_bytes)
+    warp_accesses = -(-rows_loaded // warp)  # stride-1, full warps
+    traffic = MemoryTraffic()
+    traffic.add_load(4 * rows_loaded * dtype_bytes, 4 * warp_accesses * tx_unit)
+    if not fused_output:
+        out_accesses = -(-(m * n) // warp)
+        traffic.add_store(4 * m * n * dtype_bytes, 4 * out_accesses * tx_unit)
+
+    # ---- eliminations ----------------------------------------------------
+    # k levels over every loaded row (lead-in rows included: the window
+    # eliminates through them to warm the cache).
+    eliminations = k * rows_loaded
+
+    # ---- shared memory ----------------------------------------------------
+    # Per elimination: read 3 rows (4 values each) + write 1 row from/to
+    # the window.  PCR is conflict-free by construction: lane j handles
+    # output row j, so the three reads are at lane-consecutive addresses
+    # (the ±2^l offset is uniform across the warp) — stride 1 across
+    # lanes, unlike CR's lane-strided pattern (see cr_kernel).
+    elem_words = dtype_bytes // 4
+    smem_cycles = 0
+    smem_accesses = 0
+    rows_per_level = rows_loaded  # every level touches every loaded row
+    unit = smem_access_cycles(1, elem_words=elem_words)
+    for _level in range(k):
+        warp_acc = -(-rows_per_level // warp)
+        # 3 reads + 1 write per value row, 4 values, all lane-stride-1
+        smem_accesses += 4 * 4 * warp_acc
+        smem_cycles += 4 * warp_acc * 4 * unit
+    # cache-management copy per round (top + middle rows, 4 values)
+    copy_rows = (window.top_rows + window.middle_rows) * rounds * total_windows
+    copy_acc = -(-copy_rows // warp)
+    smem_accesses += 2 * 4 * copy_acc
+    smem_cycles += 2 * 4 * copy_acc * unit
+
+    return KernelCounters(
+        name=f"tiled-PCR(k={k})",
+        eliminations=eliminations,
+        traffic=traffic,
+        smem_accesses=smem_accesses,
+        smem_cycles=smem_cycles,
+        barriers=blocks * rounds * (k + 1),
+        launches=1,
+        dependent_steps=rounds,
+        threads=blocks * threads * windows_per_block,
+        threads_per_block=threads * windows_per_block,
+        smem_per_block=window.smem_bytes() * windows_per_block,
+        regs_per_thread=20,
+    )

@@ -1,0 +1,61 @@
+"""Numeric helpers: residuals, dominance checks, error metrics.
+
+PCR and CR perform eliminations without pivoting, so the library documents
+(and tests enforce) the classic sufficient condition for stability:
+diagonal dominance.  The helpers here quantify how dominant a system is and
+measure solution quality against references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "residual_norm",
+    "max_relative_error",
+    "is_diagonally_dominant",
+    "diagonal_dominance_margin",
+]
+
+
+def residual_norm(system, x: np.ndarray, ord: int | float = np.inf) -> float:
+    """Relative residual ``‖Ax − d‖ / max(‖d‖, tiny)`` of a (batch) system.
+
+    Works on both :class:`~repro.util.tridiag.TridiagonalSystem` and
+    :class:`~repro.util.tridiag.BatchTridiagonal`; batches report the worst
+    system's relative residual.
+    """
+    r = system.residual(np.asarray(x))
+    d = system.d
+    if r.ndim == 1:
+        r = r[None, :]
+        d = d[None, :]
+    num = np.linalg.norm(r, ord=ord, axis=1)
+    den = np.maximum(np.linalg.norm(d, ord=ord, axis=1), np.finfo(r.dtype).tiny)
+    return float(np.max(num / den))
+
+
+def max_relative_error(x: np.ndarray, x_ref: np.ndarray) -> float:
+    """Worst componentwise relative error, guarding against zero reference."""
+    x = np.asarray(x, dtype=np.float64)
+    x_ref = np.asarray(x_ref, dtype=np.float64)
+    scale = np.maximum(np.abs(x_ref), 1.0)
+    return float(np.max(np.abs(x - x_ref) / scale))
+
+
+def diagonal_dominance_margin(a, b, c) -> float:
+    """Smallest row margin ``|b_i| − (|a_i| + |c_i|)`` over all rows/systems.
+
+    Positive ⇒ strictly diagonally dominant; the larger, the safer the
+    pivot-free eliminations of Thomas/CR/PCR are.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    c = np.asarray(c)
+    return float(np.min(np.abs(b) - (np.abs(a) + np.abs(c))))
+
+
+def is_diagonally_dominant(a, b, c, strict: bool = True) -> bool:
+    """Whether every row satisfies ``|b_i| ≥ |a_i| + |c_i|`` (``>`` if strict)."""
+    margin = diagonal_dominance_margin(a, b, c)
+    return margin > 0.0 if strict else margin >= 0.0

@@ -1,0 +1,264 @@
+"""Tridiagonal system containers.
+
+Storage convention
+------------------
+A tridiagonal system ``A x = d`` with ``A`` an ``n × n`` matrix
+
+.. code-block:: text
+
+    | b0 c0                |
+    | a1 b1 c1             |
+    |    a2 b2 c2          |
+    |        ...           |
+    |          a_{n-1} b_{n-1} |
+
+is stored as four 1-D arrays ``a, b, c, d`` of identical length ``n``:
+
+* ``a[i]`` — sub-diagonal coefficient of row ``i`` (``a[0]`` must be 0),
+* ``b[i]`` — main diagonal,
+* ``c[i]`` — super-diagonal (``c[n-1]`` must be 0),
+* ``d[i]`` — right-hand side.
+
+This "padded" convention (every row owns exactly one ``(a, b, c, d)``
+quadruple) is what PCR-family algorithms want: a reduction step for row
+``i`` touches rows ``i±s`` uniformly and boundary rows simply carry zero
+off-diagonal coefficients.  It matches the row-oriented presentation in
+Section II of the paper.
+
+Batches are stored structure-of-arrays: each diagonal of an ``M``-system
+batch is an ``(M, N)`` array.  All per-row kernels then vectorize over the
+leading axis, which plays the role of the GPU *thread* axis in the
+simulated kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TridiagonalSystem",
+    "BatchTridiagonal",
+    "as_batch",
+    "dense_from_diagonals",
+]
+
+_ALLOWED_DTYPES = (np.float32, np.float64)
+
+
+def _check_dtype(dtype: np.dtype) -> np.dtype:
+    dtype = np.dtype(dtype)
+    if dtype not in _ALLOWED_DTYPES:
+        raise TypeError(
+            f"tridiagonal solvers support float32/float64, got {dtype}"
+        )
+    return dtype
+
+
+@dataclass
+class TridiagonalSystem:
+    """A single tridiagonal system ``A x = d``.
+
+    Parameters
+    ----------
+    a, b, c, d:
+        1-D arrays of identical length ``n`` holding the sub-, main-,
+        super-diagonal and right-hand side.  ``a[0]`` and ``c[-1]`` are
+        forced to zero on construction (they lie outside the matrix).
+
+    Notes
+    -----
+    The arrays are converted to a common floating dtype but otherwise
+    referenced, not copied, when already suitable; callers who plan to
+    run an in-place algorithm should pass copies or use :meth:`copy`.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    d: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = [np.asarray(v) for v in (self.a, self.b, self.c, self.d)]
+        dtype = _check_dtype(np.result_type(*arrays))
+        arrays = [np.ascontiguousarray(v, dtype=dtype) for v in arrays]
+        n = arrays[0].shape[0]
+        for name, arr in zip("abcd", arrays):
+            if arr.ndim != 1:
+                raise ValueError(f"diagonal {name!r} must be 1-D, got {arr.ndim}-D")
+            if arr.shape[0] != n:
+                raise ValueError(
+                    f"diagonal {name!r} has length {arr.shape[0]}, expected {n}"
+                )
+        if n == 0:
+            raise ValueError("empty system (n == 0)")
+        self.a, self.b, self.c, self.d = arrays
+        # Rows outside the matrix must not contribute.
+        if self.a[0] != 0.0:
+            self.a = self.a.copy()
+            self.a[0] = 0.0
+        if self.c[-1] != 0.0:
+            self.c = self.c.copy()
+            self.c[-1] = 0.0
+
+    @property
+    def n(self) -> int:
+        """System size (number of unknowns)."""
+        return self.b.shape[0]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Floating dtype of the stored diagonals."""
+        return self.b.dtype
+
+    def copy(self) -> "TridiagonalSystem":
+        """Deep copy (safe to hand to in-place algorithms)."""
+        return TridiagonalSystem(
+            self.a.copy(), self.b.copy(), self.c.copy(), self.d.copy()
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full ``n × n`` matrix (for testing only)."""
+        return dense_from_diagonals(self.a, self.b, self.c)
+
+    def to_banded(self) -> np.ndarray:
+        """Return the ``(3, n)`` banded form used by scipy ``solve_banded``."""
+        ab = np.zeros((3, self.n), dtype=self.dtype)
+        ab[0, 1:] = self.c[:-1]
+        ab[1, :] = self.b
+        ab[2, :-1] = self.a[1:]
+        return ab
+
+    def residual(self, x: np.ndarray) -> np.ndarray:
+        """Return ``A x − d`` without materializing ``A``."""
+        x = np.asarray(x, dtype=self.dtype)
+        r = self.b * x - self.d
+        r[1:] += self.a[1:] * x[:-1]
+        r[:-1] += self.c[:-1] * x[1:]
+        return r
+
+    def as_batch(self) -> "BatchTridiagonal":
+        """View this system as a one-element batch (shares memory)."""
+        return BatchTridiagonal(
+            self.a[None, :], self.b[None, :], self.c[None, :], self.d[None, :]
+        )
+
+
+@dataclass
+class BatchTridiagonal:
+    """``M`` independent tridiagonal systems of common size ``N``.
+
+    Each diagonal is an ``(M, N)`` array (structure-of-arrays layout).
+    Row ``m`` of each array is one complete system.  This is the layout
+    every batched algorithm in :mod:`repro.core` consumes: operations on
+    row ``i`` of *all* systems are a single vectorized NumPy expression
+    over axis 0, mirroring how a GPU maps one thread per system.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    d: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = [np.asarray(v) for v in (self.a, self.b, self.c, self.d)]
+        dtype = _check_dtype(np.result_type(*arrays))
+        arrays = [np.ascontiguousarray(v, dtype=dtype) for v in arrays]
+        shape = arrays[0].shape
+        for name, arr in zip("abcd", arrays):
+            if arr.ndim != 2:
+                raise ValueError(f"batch diagonal {name!r} must be 2-D (M, N)")
+            if arr.shape != shape:
+                raise ValueError(
+                    f"batch diagonal {name!r} has shape {arr.shape}, expected {shape}"
+                )
+        if shape[0] == 0 or shape[1] == 0:
+            raise ValueError("empty batch")
+        self.a, self.b, self.c, self.d = arrays
+        if np.any(self.a[:, 0] != 0.0):
+            self.a = self.a.copy()
+            self.a[:, 0] = 0.0
+        if np.any(self.c[:, -1] != 0.0):
+            self.c = self.c.copy()
+            self.c[:, -1] = 0.0
+
+    @property
+    def m(self) -> int:
+        """Number of independent systems in the batch."""
+        return self.b.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Size of each system."""
+        return self.b.shape[1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Floating dtype of the stored diagonals."""
+        return self.b.dtype
+
+    def copy(self) -> "BatchTridiagonal":
+        """Deep copy (safe to hand to in-place algorithms)."""
+        return BatchTridiagonal(
+            self.a.copy(), self.b.copy(), self.c.copy(), self.d.copy()
+        )
+
+    def system(self, m: int) -> TridiagonalSystem:
+        """Extract system ``m`` as a standalone :class:`TridiagonalSystem`."""
+        return TridiagonalSystem(
+            self.a[m].copy(), self.b[m].copy(), self.c[m].copy(), self.d[m].copy()
+        )
+
+    def residual(self, x: np.ndarray) -> np.ndarray:
+        """Return the batched residual ``A x − d`` with shape ``(M, N)``."""
+        x = np.asarray(x, dtype=self.dtype)
+        if x.shape != self.b.shape:
+            raise ValueError(f"x has shape {x.shape}, expected {self.b.shape}")
+        r = self.b * x - self.d
+        r[:, 1:] += self.a[:, 1:] * x[:, :-1]
+        r[:, :-1] += self.c[:, :-1] * x[:, 1:]
+        return r
+
+    def nbytes(self) -> int:
+        """Total bytes held by the four diagonals."""
+        return self.a.nbytes + self.b.nbytes + self.c.nbytes + self.d.nbytes
+
+
+def as_batch(system) -> BatchTridiagonal:
+    """Coerce a system, batch, or ``(a, b, c, d)`` tuple to a batch.
+
+    Accepts a :class:`BatchTridiagonal` (returned unchanged), a
+    :class:`TridiagonalSystem` (viewed as a one-row batch), or a tuple of
+    four arrays that are either all 1-D (one system) or all 2-D (a batch).
+    """
+    if isinstance(system, BatchTridiagonal):
+        return system
+    if isinstance(system, TridiagonalSystem):
+        return system.as_batch()
+    try:
+        a, b, c, d = system
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            "expected BatchTridiagonal, TridiagonalSystem, or (a, b, c, d) tuple"
+        ) from exc
+    a = np.asarray(a)
+    if a.ndim == 1:
+        return TridiagonalSystem(a, b, c, d).as_batch()
+    return BatchTridiagonal(a, b, c, d)
+
+
+def dense_from_diagonals(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray
+) -> np.ndarray:
+    """Build the dense ``n × n`` matrix from padded diagonals (testing aid)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    c = np.asarray(c)
+    n = b.shape[0]
+    out = np.zeros((n, n), dtype=np.result_type(a, b, c))
+    out[np.arange(n), np.arange(n)] = b
+    if n > 1:
+        out[np.arange(1, n), np.arange(n - 1)] = a[1:]
+        out[np.arange(n - 1), np.arange(1, n)] = c[:-1]
+    return out

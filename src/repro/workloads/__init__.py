@@ -1,0 +1,45 @@
+"""Workload generators: the systems the paper's applications produce.
+
+* :mod:`~repro.workloads.generators` — synthetic batches (random
+  diagonally dominant, Toeplitz, Poisson-1D, graded, near-singular) in
+  the ``(M, N)`` shapes the evaluation sweeps.
+* :mod:`~repro.workloads.pde` — the application workloads from the
+  paper's introduction: Crank–Nicolson heat conduction, 2-D ADI
+  diffusion lines, cubic-spline interpolation systems, multigrid
+  semi-coarsening line smoothing.
+* :mod:`~repro.workloads.fluid` — the refs [4][5] fluid workload: a
+  complete semi-Lagrangian + ADI scalar-transport simulator driven by
+  the library's batched solves.
+"""
+
+from repro.workloads.generators import (
+    random_batch,
+    toeplitz_batch,
+    poisson1d_batch,
+    graded_batch,
+    near_singular_batch,
+)
+from repro.workloads.fluid import FluidSim, advect_semi_lagrangian, diffuse_adi
+from repro.workloads.poisson_fft import poisson_dirichlet_fft
+from repro.workloads.pde import (
+    crank_nicolson_system,
+    adi_row_systems,
+    cubic_spline_system,
+    multigrid_line_systems,
+)
+
+__all__ = [
+    "FluidSim",
+    "advect_semi_lagrangian",
+    "diffuse_adi",
+    "poisson_dirichlet_fft",
+    "random_batch",
+    "toeplitz_batch",
+    "poisson1d_batch",
+    "graded_batch",
+    "near_singular_batch",
+    "crank_nicolson_system",
+    "adi_row_systems",
+    "cubic_spline_system",
+    "multigrid_line_systems",
+]

@@ -1,0 +1,106 @@
+"""Synthetic tridiagonal batch generators.
+
+All generators return ``(a, b, c, d)`` as ``(M, N)`` arrays in the
+padded convention (``a[:, 0] == c[:, -1] == 0``) and take a seed so
+every benchmark row is reproducible.  The default is strictly
+diagonally dominant — the regime in which pivot-free Thomas/CR/PCR are
+provably stable and in which the paper (like every GPU-tridiagonal
+paper of its era) evaluates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "random_batch",
+    "toeplitz_batch",
+    "poisson1d_batch",
+    "graded_batch",
+    "near_singular_batch",
+]
+
+
+def random_batch(
+    m: int,
+    n: int,
+    dtype=np.float64,
+    seed: int = 0,
+    dominance: float = 2.0,
+):
+    """Random strictly diagonally dominant batch.
+
+    Off-diagonals are standard normal; the main diagonal is
+    ``dominance + |a| + |c|`` (row margin exactly ``dominance``).
+    """
+    if dominance <= 0:
+        raise ValueError(f"dominance must be > 0, got {dominance}")
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n)).astype(dtype)
+    c = rng.standard_normal((m, n)).astype(dtype)
+    a[:, 0] = 0.0
+    c[:, -1] = 0.0
+    b = (dominance + np.abs(a) + np.abs(c)).astype(dtype)
+    d = rng.standard_normal((m, n)).astype(dtype)
+    return a, b, c, d
+
+
+def toeplitz_batch(
+    m: int,
+    n: int,
+    dtype=np.float64,
+    seed: int = 0,
+    coeffs=(-1.0, 2.5, -1.0),
+):
+    """Constant-coefficient (Toeplitz) batch — PDE-stencil shaped.
+
+    All systems share the stencil ``coeffs = (a, b, c)``; right-hand
+    sides are random.  Requires ``|b| > |a| + |c|`` unless you know what
+    you are doing (not enforced, for conditioning experiments).
+    """
+    lo, di, up = coeffs
+    rng = np.random.default_rng(seed)
+    a = np.full((m, n), lo, dtype=dtype)
+    b = np.full((m, n), di, dtype=dtype)
+    c = np.full((m, n), up, dtype=dtype)
+    a[:, 0] = 0.0
+    c[:, -1] = 0.0
+    d = rng.standard_normal((m, n)).astype(dtype)
+    return a, b, c, d
+
+
+def poisson1d_batch(m: int, n: int, dtype=np.float64, seed: int = 0):
+    """The 1-D Poisson stencil ``[-1, 2, -1]`` (weakly dominant).
+
+    The classic hardest well-posed tridiagonal test: condition number
+    grows like ``n²``.  Good for accuracy comparisons across algorithms.
+    """
+    return toeplitz_batch(m, n, dtype=dtype, seed=seed, coeffs=(-1.0, 2.0, -1.0))
+
+
+def graded_batch(
+    m: int,
+    n: int,
+    dtype=np.float64,
+    seed: int = 0,
+    ratio: float = 1e3,
+):
+    """Rows whose scale varies smoothly by ``ratio`` across the system.
+
+    Exercises the solvers' behaviour under badly scaled (but still
+    dominant) data — a common failure mode for naive implementations.
+    """
+    a, b, c, d = random_batch(m, n, dtype=dtype, seed=seed)
+    scale = np.logspace(0, np.log10(ratio), n, dtype=dtype)[None, :]
+    return a * scale, b * scale, c * scale, d * scale
+
+
+def near_singular_batch(
+    m: int,
+    n: int,
+    dtype=np.float64,
+    seed: int = 0,
+    margin: float = 1e-6,
+):
+    """Barely-dominant systems (row margin ``margin``) for robustness tests."""
+    return random_batch(m, n, dtype=dtype, seed=seed, dominance=margin)

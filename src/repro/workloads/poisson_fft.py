@@ -1,0 +1,87 @@
+"""Hockney's fast Poisson solver — the paper's ref [6], built.
+
+Hockney (1965): Fourier-analyze the 2-D Poisson equation in one
+direction; each retained mode satisfies an independent *tridiagonal*
+system in the other direction; transform back.  O(n² log n) total, and
+the middle stage is precisely the batched-tridiagonal workload shape
+(``M`` modes × ``N`` rows) the ICPP paper accelerates.
+
+Implemented for ``−∇²u = f`` on a rectangle with homogeneous Dirichlet
+walls, via the DST-I (sine) transform in x:
+
+1. ``f̂ = DST_x(f)`` — per-row sine transform;
+2. for each mode ``i`` with eigenvalue
+   ``λ_i = 2 − 2·cos(π(i+1)/(nx+1))``, solve the tridiagonal system
+   ``(λ_i/dx² + 2/dy²) û_{i,j} − (û_{i,j−1} + û_{i,j+1})/dy² = f̂_{i,j}``
+   over ``j`` — one batched solve of ``nx`` independent systems;
+3. ``u = DST⁻¹_x(û)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import dst, idst
+
+from repro.core.solver import solve_batch
+
+__all__ = ["poisson_dirichlet_fft", "poisson_residual"]
+
+
+def poisson_dirichlet_fft(
+    f: np.ndarray, dx: float = 1.0, dy: float = 1.0, solver=solve_batch
+) -> np.ndarray:
+    """Solve ``−∇²u = f`` with homogeneous Dirichlet walls.
+
+    Parameters
+    ----------
+    f:
+        ``(ny, nx)`` right-hand side at interior points.
+    dx, dy:
+        Grid spacings (walls sit half outside: the 5-point stencil with
+        ``u = 0`` beyond the boundary).
+    solver:
+        Batched tridiagonal solver taking the library's ``(a, b, c, d)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(ny, nx)`` solution at the interior points.
+    """
+    f = np.asarray(f, dtype=np.float64)
+    if f.ndim != 2:
+        raise ValueError(f"f must be 2-D, got {f.ndim}-D")
+    ny, nx = f.shape
+    if min(ny, nx) < 2:
+        raise ValueError("need at least a 2x2 interior")
+
+    # 1. sine-transform each row (x-direction)
+    fhat = dst(f, type=1, axis=1)
+
+    # 2. per-mode tridiagonal systems in y: mode i is column i of fhat;
+    #    batch them as (nx, ny)
+    modes = np.arange(1, nx + 1)
+    lam = (2.0 - 2.0 * np.cos(np.pi * modes / (nx + 1))) / (dx * dx)  # (nx,)
+    rhs = np.ascontiguousarray(fhat.T)  # (nx, ny)
+    a = np.full((nx, ny), -1.0 / (dy * dy))
+    c = np.full((nx, ny), -1.0 / (dy * dy))
+    b = np.repeat((lam + 2.0 / (dy * dy))[:, None], ny, axis=1)
+    a[:, 0] = 0.0
+    c[:, -1] = 0.0
+    uhat_t = solver(a, b, c, rhs)  # (nx, ny)
+
+    # 3. inverse transform
+    return idst(np.ascontiguousarray(uhat_t.T), type=1, axis=1)
+
+
+def poisson_residual(u: np.ndarray, f: np.ndarray, dx: float = 1.0,
+                     dy: float = 1.0) -> float:
+    """Max-norm residual of ``−∇²u − f`` with Dirichlet-zero walls."""
+    u = np.asarray(u)
+    f = np.asarray(f)
+    up = np.pad(u, 1)
+    lap = (
+        (2 * u - up[1:-1, :-2] - up[1:-1, 2:]) / (dx * dx)
+        + (2 * u - up[:-2, 1:-1] - up[2:, 1:-1]) / (dy * dy)
+    )
+    scale = max(np.abs(f).max(), 1e-300)
+    return float(np.abs(lap - f).max() / scale)

@@ -1,0 +1,107 @@
+"""Vendor-style API adapters (LAPACK gtsv / cuSPARSE gtsv2StridedBatch)."""
+
+import numpy as np
+import pytest
+
+from repro.api import gtsv, gtsv_nopivot, gtsv_strided_batch
+
+from .conftest import make_system, max_err, reference_solve
+
+
+def _lapack_form(n, seed=0):
+    a, b, c, d = make_system(n, seed=seed)
+    return a[1:], b, c[:-1], d, (a, b, c)
+
+
+def test_gtsv_single_rhs():
+    dl, dd, du, rhs, (a, b, c) = _lapack_form(64, seed=1)
+    x = gtsv(dl, dd, du, rhs)
+    assert x.shape == (64,)
+    assert max_err(x[None], reference_solve(a, b, c, rhs)) < 1e-10
+
+
+def test_gtsv_multiple_rhs():
+    n, nrhs = 48, 3
+    dl, dd, du, _, (a, b, c) = _lapack_form(n, seed=2)
+    rng = np.random.default_rng(0)
+    B = rng.standard_normal((n, nrhs))
+    X = gtsv(dl, dd, du, B)
+    assert X.shape == (n, nrhs)
+    for j in range(nrhs):
+        assert max_err(X[:, j][None], reference_solve(a, b, c, B[:, j])) < 1e-10
+
+
+def test_gtsv_matches_scipy_lapack():
+    from scipy.linalg import solve_banded
+
+    n = 100
+    dl, dd, du, rhs, _ = _lapack_form(n, seed=3)
+    ab = np.zeros((3, n))
+    ab[0, 1:] = du
+    ab[1, :] = dd
+    ab[2, :-1] = dl
+    ref = solve_banded((1, 1), ab, rhs)
+    assert np.allclose(gtsv(dl, dd, du, rhs), ref, atol=1e-10)
+
+
+def test_gtsv_shape_validation():
+    dl, dd, du, rhs, _ = _lapack_form(16, seed=4)
+    with pytest.raises(ValueError, match="n-1"):
+        gtsv(dl[:-1], dd, du, rhs)
+    with pytest.raises(ValueError, match="B must be"):
+        gtsv(dl, dd, du, np.zeros((17, 2)))
+
+
+def test_gtsv_nopivot_alias():
+    dl, dd, du, rhs, _ = _lapack_form(32, seed=5)
+    assert np.array_equal(gtsv(dl, dd, du, rhs), gtsv_nopivot(dl, dd, du, rhs))
+
+
+def test_strided_batch():
+    m, n = 8, 64
+    rng = np.random.default_rng(1)
+    a2 = rng.standard_normal((m, n))
+    c2 = rng.standard_normal((m, n))
+    b2 = 4.0 + np.abs(a2) + np.abs(c2)
+    d2 = rng.standard_normal((m, n))
+    dl = a2.reshape(-1).copy()
+    dd = b2.reshape(-1).copy()
+    du = c2.reshape(-1).copy()
+    x = d2.reshape(-1).copy()
+    out = gtsv_strided_batch(dl, dd, du, x, batch_count=m, batch_stride=n)
+    assert out is x  # overwritten in place, cuSPARSE-style
+    a2p = a2.copy()
+    a2p[:, 0] = 0.0
+    c2p = c2.copy()
+    c2p[:, -1] = 0.0
+    ref = reference_solve(a2p, b2, c2p, d2)
+    assert max_err(x.reshape(m, n), ref) < 1e-10
+
+
+def test_strided_batch_ignores_pad_entries():
+    """dl[i*stride] and du[i*stride+n-1] must be ignored (cuSPARSE rule)."""
+    m, n = 4, 32
+    rng = np.random.default_rng(2)
+    a2 = rng.standard_normal((m, n))
+    c2 = rng.standard_normal((m, n))
+    b2 = 4.0 + np.abs(a2) + np.abs(c2)
+    d2 = rng.standard_normal((m, n))
+    dl = a2.reshape(-1).copy()
+    du = c2.reshape(-1).copy()
+    x1 = d2.reshape(-1).copy()
+    gtsv_strided_batch(dl, b2.reshape(-1), du, x1, m, n)
+    # poison the pad entries: result must not change
+    dl2 = dl.copy()
+    du2 = du.copy()
+    dl2[::n] = 1e9
+    du2[n - 1 :: n] = -1e9
+    x2 = d2.reshape(-1).copy()
+    gtsv_strided_batch(dl2, b2.reshape(-1), du2, x2, m, n)
+    assert np.array_equal(x1, x2)
+
+
+def test_strided_batch_validation():
+    with pytest.raises(ValueError, match=">= 1"):
+        gtsv_strided_batch(np.zeros(4), np.ones(4), np.zeros(4), np.zeros(4), 0, 4)
+    with pytest.raises(ValueError, match="elements"):
+        gtsv_strided_batch(np.zeros(4), np.ones(8), np.zeros(8), np.zeros(8), 2, 4)

@@ -1,0 +1,97 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_plan_command(capsys):
+    assert main(["plan", "-M", "64", "-N", "4096"]) == 0
+    out = capsys.readouterr().out
+    assert "k=6" in out
+    assert "GTX480" in out
+    assert "p-Thomas" in out
+
+
+def test_plan_c2050_fp32(capsys):
+    assert main(["plan", "-M", "8", "-N", "8192", "--device", "c2050", "--fp32"]) == 0
+    out = capsys.readouterr().out
+    assert "C2050" in out
+    assert "fp32" in out
+
+
+def test_solve_command(capsys):
+    assert main(["solve", "-M", "8", "-N", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "relative residual" in out
+
+
+@pytest.mark.parametrize("algo", ["thomas", "pcr", "rd", "hybrid"])
+def test_solve_algorithms(capsys, algo):
+    assert main(["solve", "-M", "4", "-N", "128", "--algorithm", algo]) == 0
+
+
+def test_solve_fused(capsys):
+    assert main(["solve", "-M", "4", "-N", "512", "--fuse"]) == 0
+
+
+def test_figures_12(capsys):
+    assert main(["figures", "--figure", "12", "--panel", "512"]) == 0
+    out = capsys.readouterr().out
+    assert "| M |" in out
+    assert "16384" in out
+
+
+def test_figures_13_default_panel(capsys):
+    assert main(["figures", "--figure", "13"]) == 0
+    assert "PCR share" in capsys.readouterr().out
+
+
+def test_figures_14(capsys):
+    assert main(["figures", "--figure", "14"]) == 0
+    assert "1x2M" in capsys.readouterr().out
+
+
+def test_figures_bad_panel(capsys):
+    assert main(["figures", "--figure", "12", "--panel", "999"]) == 2
+
+
+@pytest.mark.parametrize("table", ["1", "2", "3"])
+def test_tables(capsys, table):
+    assert main(["tables", "--table", table]) == 0
+    assert "|" in capsys.readouterr().out
+
+
+def test_anchors(capsys):
+    assert main(["anchors"]) == 0
+    out = capsys.readouterr().out
+    assert "all anchors within band" in out
+
+
+def test_report(capsys):
+    assert main(["report"]) == 0
+    assert "# EXPERIMENTS" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_roofline_command(capsys):
+    assert main(["roofline"]) == 0
+    out = capsys.readouterr().out
+    assert "ridge" in out
+    assert "p-Thomas (interleaved)" in out
+
+
+def test_roofline_fp32(capsys):
+    assert main(["roofline", "--fp32", "-k", "4"]) == 0
+    assert "fp32" in capsys.readouterr().out
+
+
+def test_accuracy_command(capsys):
+    assert main(["accuracy", "--sweep", "dominance"]) == 0
+    out = capsys.readouterr().out
+    assert "forward error" in out
+    assert "hybrid" in out

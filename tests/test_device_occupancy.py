@@ -1,0 +1,129 @@
+"""DeviceSpec derived quantities and the occupancy calculator."""
+
+import pytest
+
+from repro.gpusim.device import GTX480, TESLA_C2050, DeviceSpec
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.occupancy import occupancy
+
+
+def test_gtx480_published_figures():
+    assert GTX480.sm_count == 15
+    assert GTX480.total_cores == 480
+    assert GTX480.max_resident_threads == 15 * 1536
+    assert GTX480.max_resident_warps_per_sm == 48
+    assert GTX480.mem_bandwidth_gbs == pytest.approx(177.4)
+
+
+def test_flops_per_cycle_by_dtype():
+    assert GTX480.flops_per_cycle_per_sm(4) == 32
+    assert GTX480.flops_per_cycle_per_sm(8) == 4   # GeForce FP64 penalty
+    assert TESLA_C2050.flops_per_cycle_per_sm(8) == 16
+    with pytest.raises(ValueError):
+        GTX480.flops_per_cycle_per_sm(2)
+
+
+def test_with_overrides():
+    half = GTX480.with_overrides(mem_bandwidth_gbs=88.7)
+    assert half.mem_bandwidth_gbs == 88.7
+    assert half.sm_count == GTX480.sm_count
+    assert GTX480.mem_bandwidth_gbs == pytest.approx(177.4)  # original intact
+
+
+def test_device_validation():
+    with pytest.raises(ValueError):
+        DeviceSpec(name="bad", sm_count=0, cores_per_sm=32, clock_ghz=1.0)
+    with pytest.raises(ValueError):
+        DeviceSpec(
+            name="bad", sm_count=1, cores_per_sm=32, clock_ghz=1.0,
+            achievable_bw_fraction=1.5,
+        )
+
+
+# ---- occupancy ------------------------------------------------------------
+
+
+def test_thread_limited():
+    # 512-thread blocks, no smem: 1536/512 = 3 blocks per SM
+    occ = occupancy(GTX480, 512)
+    assert occ.blocks_per_sm == 3
+    assert occ.warps_per_sm == 48
+    assert occ.occupancy == 1.0
+    assert occ.limited_by == "threads"
+
+
+def test_block_limited():
+    # tiny blocks hit the 8-blocks/SM wall
+    occ = occupancy(GTX480, 32)
+    assert occ.blocks_per_sm == 8
+    assert occ.warps_per_sm == 8
+    assert occ.occupancy == pytest.approx(8 / 48)
+    assert occ.limited_by == "blocks"
+
+
+def test_smem_limited():
+    # 20 KiB blocks: 48/20 = 2 blocks per SM
+    occ = occupancy(GTX480, 128, smem_per_block=20 * 1024)
+    assert occ.blocks_per_sm == 2
+    assert occ.limited_by == "smem"
+
+
+def test_register_limited():
+    # 64 regs x 256 threads = 16384 regs -> 2 blocks per SM
+    occ = occupancy(GTX480, 256, regs_per_thread=64)
+    assert occ.blocks_per_sm == 2
+    assert occ.limited_by == "registers"
+
+
+def test_partial_warps_round_up():
+    occ = occupancy(GTX480, 48)  # 1.5 warps -> 2 warp slots
+    assert occ.warps_per_sm == occ.blocks_per_sm * 2
+
+
+def test_whole_sm_block():
+    occ = occupancy(GTX480, 1024, smem_per_block=40 * 1024)
+    assert occ.blocks_per_sm == 1
+
+
+def test_occupancy_rejects_bad_config():
+    with pytest.raises(ValueError):
+        occupancy(GTX480, 0)
+    with pytest.raises(ValueError):
+        occupancy(GTX480, 2048)  # > max threads/block
+    with pytest.raises(ValueError):
+        occupancy(GTX480, 128, smem_per_block=64 * 1024)
+    with pytest.raises(ValueError):
+        occupancy(GTX480, 128, regs_per_thread=0)
+
+
+def test_sliding_window_blocks_keep_high_occupancy():
+    """The paper's argument: small window footprints allow many blocks/SM
+    (unlike coarse tiling's whole-SM blocks)."""
+    from repro.core.window import BufferedSlidingWindow
+
+    w = BufferedSlidingWindow(k=6, dtype_bytes=8)  # 64-thread window
+    occ = occupancy(GTX480, w.threads_per_block, w.smem_bytes())
+    assert occ.blocks_per_sm >= 6
+
+
+# ---- LaunchConfig ----------------------------------------------------------
+
+
+def test_launch_config_derived():
+    cfg = LaunchConfig(grid=100, block=128)
+    assert cfg.threads == 12800
+    assert cfg.warps_per_block() == 4
+
+
+def test_launch_config_concurrency_and_waves():
+    cfg = LaunchConfig(grid=1000, block=1024, smem_per_block=40 * 1024)
+    # 1 block per SM x 15 SMs
+    assert cfg.concurrent_blocks(GTX480) == 15
+    assert cfg.waves(GTX480) == -(-1000 // 15)
+
+
+def test_launch_config_validation():
+    with pytest.raises(ValueError):
+        LaunchConfig(grid=0, block=128)
+    with pytest.raises(ValueError):
+        LaunchConfig(grid=1, block=0)

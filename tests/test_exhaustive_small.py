@@ -1,0 +1,72 @@
+"""Exhaustive small-size torture: every algorithm, every n in 1..40.
+
+Boundary handling (first/last rows, odd sizes, subsystem tails, window
+lead-ins) is where tridiagonal implementations break; this module
+covers the full bottom of the size range densely rather than sampling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cr import cr_solve_batch
+from repro.core.hybrid import HybridSolver
+from repro.core.pcr import pcr_solve_batch
+from repro.core.rd import rd_solve_batch
+from repro.core.thomas import thomas_solve_batch
+
+from .conftest import make_batch, max_err, reference_solve
+
+SOLVERS = {
+    "thomas": thomas_solve_batch,
+    "cr": cr_solve_batch,
+    "pcr": pcr_solve_batch,
+    "rd": rd_solve_batch,
+}
+
+
+@pytest.mark.parametrize("n", range(1, 41))
+def test_every_solver_every_small_n(n):
+    a, b, c, d = make_batch(2, n, seed=1000 + n)
+    ref = reference_solve(a, b, c, d)
+    for name, solver in SOLVERS.items():
+        assert max_err(solver(a, b, c, d), ref) < 1e-9, (name, n)
+
+
+@pytest.mark.parametrize("n", range(2, 41))
+def test_hybrid_every_small_n_every_k(n):
+    a, b, c, d = make_batch(1, n, seed=2000 + n)
+    ref = reference_solve(a, b, c, d)
+    max_k = max(0, int(np.floor(np.log2(n))) - 1)
+    for k in range(0, max_k + 1):
+        x = HybridSolver(k=k).solve_batch(a, b, c, d)
+        assert max_err(x, ref) < 1e-9, (n, k)
+
+
+@pytest.mark.parametrize("n", range(4, 41, 3))
+def test_tiled_window_every_small_n(n):
+    from repro.core.pcr import pcr_sweep
+    from repro.core.tiled_pcr import tiled_pcr_sweep
+
+    a, b, c, d = make_batch(1, n, seed=3000 + n)
+    max_k = max(1, int(np.floor(np.log2(n))) - 1)
+    for k in range(1, max_k + 1):
+        ref = pcr_sweep(a, b, c, d, k)
+        out = tiled_pcr_sweep(a, b, c, d, k)
+        for x, y in zip(out, ref):
+            assert np.allclose(x, y, rtol=1e-13, atol=1e-14), (n, k)
+
+
+@pytest.mark.parametrize("n", range(3, 30))
+def test_periodic_every_small_n(n):
+    from repro.core.periodic import solve_periodic
+
+    rng = np.random.default_rng(4000 + n)
+    a = rng.standard_normal(n)
+    c = rng.standard_normal(n)
+    b = 4.0 + np.abs(a) + np.abs(c)
+    d = rng.standard_normal(n)
+    x = solve_periodic(a, b, c, d)
+    A = np.diag(b) + np.diag(a[1:], -1) + np.diag(c[:-1], 1)
+    A[0, -1] = a[0]
+    A[-1, 0] = c[-1]
+    assert np.allclose(A @ x, d, atol=1e-8), n

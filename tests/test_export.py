@@ -1,0 +1,68 @@
+"""JSON artifact export."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import export_all
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    out = tmp_path_factory.mktemp("results")
+    files = export_all(out, include_accuracy=False)
+    return out, files
+
+
+def test_manifest_complete(exported):
+    out, files = exported
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert manifest["all_anchors_ok"] is True
+    assert manifest["version"]
+    assert sorted(manifest["files"]) == sorted(f for f in files if f != "manifest.json")
+
+
+def test_every_figure_panel_written(exported):
+    out, files = exported
+    for name in ("fig12_n512.json", "fig12_n2048.json", "fig12_n16384.json",
+                 "fig13_m2048.json", "fig13_m1.json",
+                 "fig14_double.json", "fig14_single.json"):
+        assert name in files
+        data = json.loads((out / name).read_text())
+        assert isinstance(data, list) and data
+
+
+def test_tables_and_extensions_written(exported):
+    out, files = exported
+    for name in ("table1.json", "table2.json", "table3.json",
+                 "anchors.json", "selection_map.json", "roofline.json"):
+        assert name in files
+
+
+def test_fig12_rows_self_consistent(exported):
+    out, _ = exported
+    rows = json.loads((out / "fig12_n512.json").read_text())
+    for r in rows:
+        assert r["speedup_seq"] == pytest.approx(
+            r["mkl_seq_us"] / r["ours_us"], rel=1e-9
+        )
+
+
+def test_anchors_file_all_ok(exported):
+    out, _ = exported
+    anchors = json.loads((out / "anchors.json").read_text())
+    assert len(anchors) >= 15
+    assert all(a["ok"] for a in anchors)
+
+
+def test_accuracy_skippable(exported):
+    out, files = exported
+    assert "accuracy_poisson.json" not in files
+
+
+def test_cli_export_command(tmp_path, capsys):
+    assert main(["export", "--out", str(tmp_path / "r"), "--no-accuracy"]) == 0
+    out = capsys.readouterr().out
+    assert "manifest.json" in out
+    assert (tmp_path / "r" / "fig14_double.json").exists()

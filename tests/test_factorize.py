@@ -1,0 +1,142 @@
+"""Factorization reuse: Thomas and hybrid factor-once / solve-many."""
+
+import numpy as np
+import pytest
+
+from repro.core.factorize import HybridFactorization, ThomasFactorization
+
+from .conftest import make_batch, max_err, reference_solve
+
+
+@pytest.mark.parametrize("m,n", [(1, 64), (4, 100), (16, 33)])
+def test_thomas_factor_solve(m, n):
+    a, b, c, d = make_batch(m, n, seed=m + n)
+    fact = ThomasFactorization.factor(a, b, c)
+    x = fact.solve(d)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-11
+
+
+def test_thomas_factor_matches_direct():
+    from repro.core.thomas import thomas_solve_batch
+
+    a, b, c, d = make_batch(3, 50, seed=1)
+    fact = ThomasFactorization.factor(a, b, c)
+    assert np.allclose(fact.solve(d), thomas_solve_batch(a, b, c, d), atol=1e-13)
+
+
+def test_thomas_factor_reuse_is_linear():
+    a, b, c, d = make_batch(2, 40, seed=2)
+    fact = ThomasFactorization.factor(a, b, c)
+    x1 = fact.solve(d)
+    x2 = fact.solve(3.0 * d)
+    assert np.allclose(x2, 3.0 * x1, atol=1e-12)
+
+
+def test_thomas_multi_rhs():
+    m, n, r = 3, 32, 5
+    a, b, c, _ = make_batch(m, n, seed=3)
+    rng = np.random.default_rng(0)
+    D = rng.standard_normal((m, n, r))
+    fact = ThomasFactorization.factor(a, b, c)
+    X = fact.solve(D)
+    assert X.shape == (m, n, r)
+    for j in range(r):
+        assert max_err(X[:, :, j], reference_solve(a, b, c, D[:, :, j])) < 1e-11
+
+
+def test_thomas_factor_shape_check():
+    a, b, c, _ = make_batch(2, 16, seed=4)
+    fact = ThomasFactorization.factor(a, b, c)
+    with pytest.raises(ValueError, match="leading shape"):
+        fact.solve(np.zeros((2, 17)))
+
+
+def test_thomas_factor_properties():
+    a, b, c, _ = make_batch(5, 20, seed=5)
+    fact = ThomasFactorization.factor(a, b, c)
+    assert fact.m == 5 and fact.n == 20
+
+
+# ---- hybrid factorization -----------------------------------------------------
+
+
+@pytest.mark.parametrize("m,n,k", [(1, 128, 3), (4, 100, 2), (8, 257, 4), (2, 64, 0)])
+def test_hybrid_factor_solve(m, n, k):
+    a, b, c, d = make_batch(m, n, seed=m * n + k)
+    fact = HybridFactorization.factor(a, b, c, k=k)
+    x = fact.solve(d)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-10
+
+
+def test_hybrid_factor_default_k_heuristic():
+    a, b, c, d = make_batch(64, 4096, seed=6)
+    fact = HybridFactorization.factor(a, b, c)
+    assert fact.k == 6  # Table III for M = 64
+    x = fact.solve(d)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-10
+
+
+def test_hybrid_factor_matches_hybrid_solver():
+    from repro.core.hybrid import HybridSolver
+
+    a, b, c, d = make_batch(4, 200, seed=7)
+    fact = HybridFactorization.factor(a, b, c, k=3)
+    x1 = fact.solve(d)
+    x2 = HybridSolver(k=3).solve_batch(a, b, c, d)
+    assert np.allclose(x1, x2, atol=1e-11)
+
+
+def test_hybrid_factor_reuse_many_rhs():
+    """Time-stepping pattern: one factorization, many solves."""
+    m, n = 8, 256
+    a, b, c, _ = make_batch(m, n, seed=8)
+    fact = HybridFactorization.factor(a, b, c, k=4)
+    rng = np.random.default_rng(1)
+    for _ in range(5):
+        d = rng.standard_normal((m, n))
+        x = fact.solve(d)
+        assert max_err(x, reference_solve(a, b, c, d)) < 1e-10
+
+
+def test_hybrid_factor_multi_rhs():
+    m, n, r, k = 2, 96, 4, 3
+    a, b, c, _ = make_batch(m, n, seed=9)
+    rng = np.random.default_rng(2)
+    D = rng.standard_normal((m, n, r))
+    fact = HybridFactorization.factor(a, b, c, k=k)
+    X = fact.solve(D)
+    for j in range(r):
+        assert max_err(X[:, :, j], reference_solve(a, b, c, D[:, :, j])) < 1e-10
+
+
+def test_hybrid_factor_stores_k_levels():
+    a, b, c, _ = make_batch(1, 128, seed=10)
+    fact = HybridFactorization.factor(a, b, c, k=4)
+    assert len(fact.level_factors) == 4
+    for k1, k2 in fact.level_factors:
+        assert k1.shape == (1, 128)
+
+
+def test_hybrid_factor_uninitialized():
+    fact = HybridFactorization(k=2)
+    with pytest.raises(RuntimeError, match="factor"):
+        fact.solve(np.zeros((1, 8)))
+
+
+def test_cn_time_stepping_with_factorization():
+    """Integration: Crank–Nicolson reuses one factorization per run."""
+    from repro.workloads.pde import crank_nicolson_system
+
+    m, n = 16, 128
+    alpha, dt = 0.1, 1e-3
+    dx = 1.0 / (n - 1)
+    xg = np.linspace(0, 1, n)
+    u = np.sin(np.pi * xg)[None, :] * np.ones((m, 1))
+    a, b, c, d = crank_nicolson_system(u, alpha, dt, dx)
+    fact = HybridFactorization.factor(a, b, c, k=3)
+    for _ in range(20):
+        _, _, _, d = crank_nicolson_system(u, alpha, dt, dx)
+        u = fact.solve(d)
+    decay = np.exp(-alpha * np.pi**2 * dt * 20)
+    measured = u[0, n // 2] / np.sin(np.pi * 0.5)
+    assert measured == pytest.approx(decay, rel=1e-3)

@@ -1,0 +1,193 @@
+"""Figure reproduction: series structure and the paper's shape claims."""
+
+import pytest
+
+from repro.analysis.figures import (
+    FIG12_SWEEPS,
+    FIG13_SWEEPS,
+    FIG14_CONFIGS,
+    figure12_series,
+    figure13_series,
+    figure14_bars,
+)
+from repro.analysis.shapes import (
+    crossover_index,
+    is_linear_in,
+    loglog_slope,
+    max_speedup,
+    relative_span,
+)
+
+
+# ---- shape helpers -----------------------------------------------------------
+
+
+def test_loglog_slope_exact():
+    xs = [1, 2, 4, 8]
+    assert loglog_slope(xs, [3, 6, 12, 24]) == pytest.approx(1.0)
+    assert loglog_slope(xs, [5, 5, 5, 5]) == pytest.approx(0.0)
+    assert loglog_slope(xs, [1, 4, 16, 64]) == pytest.approx(2.0)
+
+
+def test_loglog_slope_validation():
+    with pytest.raises(ValueError):
+        loglog_slope([1], [1])
+    with pytest.raises(ValueError):
+        loglog_slope([1, 1], [1, 2])
+
+
+def test_is_linear_in():
+    assert is_linear_in([1, 2, 4], [10, 20, 40])
+    assert not is_linear_in([1, 2, 4], [10, 11, 12])
+
+
+def test_crossover_index():
+    rows = [{"a": 5, "b": 3}, {"a": 3, "b": 3.5}, {"a": 1, "b": 4}]
+    assert crossover_index(rows, "a", "b") == 1
+    assert crossover_index(rows, "b", "a") == 0
+    assert crossover_index([{"a": 5, "b": 3}], "a", "b") is None
+
+
+def test_relative_span():
+    assert relative_span([2.0, 2.2, 2.1]) == pytest.approx(1.1)
+    with pytest.raises(ValueError):
+        relative_span([0.0, 1.0])
+
+
+def test_max_speedup():
+    rows = [{"x": 10, "y": 2}, {"x": 30, "y": 3}]
+    assert max_speedup(rows, "x", "y") == 10.0
+    with pytest.raises(ValueError):
+        max_speedup([], "x", "y")
+
+
+# ---- Fig. 12 claims ------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig12a():
+    return figure12_series(512)
+
+
+def test_fig12_cpu_curves_linear(fig12a):
+    """'an obvious relation ... which is perfectly linear'."""
+    ms = [r["M"] for r in fig12a]
+    assert is_linear_in(ms, [r["mkl_seq_us"] for r in fig12a], tol=0.05)
+    mt = [r["mkl_mt_us"] for r in fig12a]
+    assert loglog_slope(ms, mt) > 0.8
+
+
+def test_fig12_gpu_sublinear_then_linear(fig12a):
+    """Sub-linear below saturation (M < 4096), linear above."""
+    low = [r for r in fig12a if r["M"] <= 2048]
+    high = [r for r in fig12a if r["M"] >= 4096]
+    assert loglog_slope([r["M"] for r in low], [r["ours_us"] for r in low]) < 0.75
+    assert is_linear_in([r["M"] for r in high], [r["ours_us"] for r in high], tol=0.1)
+
+
+def test_fig12_flat_region(fig12a):
+    """'a flat region can be found when M is between 512 and 4,096'."""
+    flat = [r["ours_us"] for r in fig12a if 512 <= r["M"] <= 2048]
+    assert relative_span(flat) < 2.0
+
+
+def test_fig12_gpu_wins_everywhere_vs_seq(fig12a):
+    assert crossover_index(fig12a, "ours_us", "mkl_seq_us") == 0
+
+
+def test_fig12_headline_speedups(fig12a):
+    """'up to 8.3x and 49x speedups' (±50% band)."""
+    assert 24 < max_speedup(fig12a, "mkl_seq_us", "ours_us") < 74
+    assert 4 < max_speedup(fig12a, "mkl_mt_us", "ours_us") < 13
+
+
+def test_fig12_close_to_cpu_at_small_m(fig12a):
+    """'our method shows close results compared to the CPU implementations
+    when M is small' — within ~one order of the MT curve at M = 64."""
+    first = fig12a[0]
+    assert first["mkl_mt_us"] / first["ours_us"] < 10
+
+
+def test_fig12_k_schedule(fig12a):
+    """k follows Table III down the sweep."""
+    ks = {r["M"]: r["k"] for r in fig12a}
+    assert ks[64] == 6 and ks[512] == 5 and ks[1024] == 0
+
+
+@pytest.mark.parametrize("n", list(FIG12_SWEEPS))
+def test_fig12_all_panels_generate(n):
+    rows = figure12_series(n)
+    assert len(rows) == len(FIG12_SWEEPS[n])
+    assert all(r["ours_us"] > 0 for r in rows)
+
+
+def test_fig12_single_precision_headlines():
+    rows = figure12_series(512, dtype_bytes=4)
+    assert 41 < max_speedup(rows, "mkl_seq_us", "ours_us") < 124   # 82.5 ± 50%
+    assert 6 < max_speedup(rows, "mkl_mt_us", "ours_us") < 20      # 12.9 ± 50%
+
+
+# ---- Fig. 13 claims ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("m", list(FIG13_SWEEPS))
+def test_fig13_panels_generate_and_scale(m):
+    rows = figure13_series(m)
+    assert len(rows) == len(FIG13_SWEEPS[m])
+    ns = [r["N"] for r in rows]
+    ours = [r["ours_ms"] for r in rows]
+    # scalable in N: near-linear growth at fixed M
+    assert 0.7 < loglog_slope(ns, ours) < 1.3
+
+
+def test_fig13_m2048_pure_pthomas():
+    rows = figure13_series(2048)
+    assert all(r["k"] == 0 for r in rows)
+    assert all(r["pcr_fraction"] == 0 for r in rows)
+
+
+def test_fig13_pcr_share_nonzero_below_transition():
+    for m in (256, 16, 1):
+        rows = figure13_series(m)
+        assert all(r["pcr_fraction"] > 0.1 for r in rows)
+
+
+def test_fig13_single_system_speedup():
+    """'consistently shows around 5.5x speedup' for M = 1."""
+    rows = figure13_series(1)
+    for r in rows:
+        assert 2.5 < r["speedup_seq"] < 11
+
+
+def test_fig13_gpu_beats_mt_at_large_m():
+    rows = figure13_series(2048)
+    assert all(r["speedup_mt"] > 1 for r in rows)
+
+
+# ---- Fig. 14 claims ------------------------------------------------------------
+
+
+def test_fig14_double_ours_wins_everywhere():
+    rows = figure14_bars(8)
+    assert len(rows) == len(FIG14_CONFIGS)
+    for r in rows:
+        assert r["ratio"] > 1.2, r["config"]
+
+
+def test_fig14_ratio_band():
+    """'2x to 10x speedup for most of the cases'."""
+    rows = figure14_bars(8)
+    assert sum(1 for r in rows if 2 <= r["ratio"] <= 12) >= 3
+
+
+def test_fig14_single_precision_includes_reported():
+    rows = figure14_bars(4)
+    assert all("davidson_reported_ms" in r for r in rows)
+    for r in rows:
+        assert r["ratio"] > 1.0
+
+
+def test_fig14_ratio_tracks_paper():
+    """Model ratio within 2x of the paper's measured ratio per config."""
+    for r in figure14_bars(8):
+        assert 0.5 < r["ratio"] / r["paper_ratio"] < 2.0, r["config"]

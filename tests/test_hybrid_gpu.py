@@ -1,0 +1,125 @@
+"""GpuHybridSolver: planning, prediction, numerics + report coupling."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import GTX480, TESLA_C2050
+from repro.kernels.hybrid_gpu import GpuHybridSolver, GpuSolveReport
+
+from .conftest import make_batch, max_err, reference_solve
+
+
+def test_numeric_solution_correct():
+    a, b, c, d = make_batch(16, 512, seed=1)
+    gpu = GpuHybridSolver()
+    x = gpu.solve_batch(a, b, c, d)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-9
+    assert gpu.last_report is not None
+
+
+def test_plan_follows_table3():
+    gpu = GpuHybridSolver()
+    assert gpu.plan(2048, 512)[0] == 0
+    assert gpu.plan(64, 4096)[0] == 6
+    assert gpu.plan(1, 1 << 20)[0] == 8
+
+
+def test_plan_windows_fill_device_for_small_m():
+    gpu = GpuHybridSolver()
+    k, w = gpu.plan(1, 1 << 20)
+    assert w > 1
+    assert w <= (1 << 20) // (4 * (1 << k))
+    # large M needs no splitting
+    assert gpu.plan(512, 4096)[1] == 1
+
+
+def test_plan_windows_zero_for_k0():
+    gpu = GpuHybridSolver()
+    assert gpu.plan_windows(4096, 512, 0) == 1
+
+
+def test_plan_windows_capped_by_subtiles():
+    gpu = GpuHybridSolver(target_blocks_per_sm=1000)
+    k, w = gpu.plan(1, 8192)
+    # never so many windows that a window advances < 4 sub-tiles
+    assert w <= 8192 // (4 * (1 << k))
+
+
+def test_predict_report_structure():
+    gpu = GpuHybridSolver()
+    rep = gpu.predict(256, 16384)
+    assert isinstance(rep, GpuSolveReport)
+    assert rep.k == 6
+    assert len(rep.stages) == 2  # PCR + p-Thomas
+    assert rep.total_s > 0
+    assert rep.total_us == pytest.approx(rep.total_s * 1e6)
+    assert 0 < rep.pcr_fraction < 1
+    counters, time = rep.stage("PCR")
+    assert counters.eliminations > 0
+
+
+def test_predict_k0_single_stage():
+    rep = GpuHybridSolver().predict(4096, 512)
+    assert rep.k == 0
+    assert len(rep.stages) == 1
+    assert rep.pcr_fraction == 0.0
+
+
+def test_predict_fused_single_stage():
+    rep = GpuHybridSolver(fuse=True).predict(64, 4096)
+    assert rep.fused
+    assert len(rep.stages) == 1
+    assert "fused" in rep.stages[0][0]
+
+
+def test_stage_lookup_raises():
+    rep = GpuHybridSolver().predict(4096, 512)
+    with pytest.raises(KeyError):
+        rep.stage("PCR")
+
+
+def test_float32_faster_than_float64():
+    gpu = GpuHybridSolver()
+    t64 = gpu.predict(4096, 2048, 8).total_s
+    t32 = gpu.predict(4096, 2048, 4).total_s
+    assert t32 < t64
+
+
+def test_different_devices_change_prediction():
+    t480 = GpuHybridSolver(device=GTX480).predict(2048, 2048).total_s
+    t2050 = GpuHybridSolver(device=TESLA_C2050).predict(2048, 2048).total_s
+    assert t480 != t2050
+
+
+def test_solve_batch_fills_prediction():
+    a, b, c, d = make_batch(8, 256, seed=2)
+    gpu = GpuHybridSolver()
+    gpu.solve_batch(a, b, c, d)
+    assert gpu.last_report.m == 8
+    assert gpu.last_report.n == 256
+
+
+def test_solve_single_wrapper():
+    a, b, c, d = make_batch(1, 300, seed=3)
+    gpu = GpuHybridSolver()
+    x = gpu.solve(a[0], b[0], c[0], d[0])
+    assert max_err(x[None], reference_solve(a, b, c, d)) < 1e-9
+
+
+def test_numerics_identical_to_core_hybrid():
+    """The GPU wrapper must not change the answer, only add the model."""
+    from repro.core.hybrid import HybridSolver
+
+    a, b, c, d = make_batch(4, 600, seed=4)
+    gpu = GpuHybridSolver()
+    k, w = gpu.plan(4, 600)
+    x1 = gpu.solve_batch(a, b, c, d)
+    x2 = HybridSolver(k=k, n_windows=w).solve_batch(a, b, c, d)
+    assert np.array_equal(x1, x2)
+
+
+def test_time_grows_with_m_at_saturation():
+    gpu = GpuHybridSolver()
+    t1 = gpu.predict(4096, 512).total_s
+    t2 = gpu.predict(8192, 512).total_s
+    assert t2 > 1.5 * t1

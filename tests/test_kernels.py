@@ -1,0 +1,206 @@
+"""Kernel ledgers: traffic relations the paper's arguments rest on."""
+
+import pytest
+
+from repro.core.cost_model import f_redundant_loads
+from repro.core.layout import Layout
+from repro.gpusim.device import GTX480
+from repro.gpusim.timing import GpuTimingModel
+from repro.kernels.cr_kernel import cr_counters
+from repro.kernels.fused_kernel import fused_hybrid_counters
+from repro.kernels.pcr_kernel import inshared_pcr_counters, max_inshared_rows
+from repro.kernels.pthomas_kernel import pthomas_counters
+from repro.kernels.tiled_pcr_kernel import tiled_pcr_counters
+
+
+# ---- p-Thomas ---------------------------------------------------------------
+
+
+def test_pthomas_eliminations():
+    k = pthomas_counters(100, 64, 8)
+    assert k.eliminations == 100 * (2 * 64 - 1)
+    assert k.dependent_steps == 2 * 64 - 1
+
+
+def test_pthomas_traffic_values_per_row():
+    # 4 reads + 2 writes + 2 reads + 1 write = 9 values per row
+    k = pthomas_counters(64, 32, 8)
+    assert k.traffic.useful_bytes == 9 * 64 * 32 * 8
+
+
+def test_pthomas_fused_input_saves_diagonal_loads():
+    full = pthomas_counters(64, 32, 8)
+    fused = pthomas_counters(64, 32, 8, fused_input=True)
+    saved = full.traffic.load_bytes - fused.traffic.load_bytes
+    assert saved == 4 * 64 * 32 * 8
+
+
+def test_pthomas_contiguous_layout_blows_up_transactions():
+    inter = pthomas_counters(256, 512, 8, layout=Layout.INTERLEAVED)
+    contig = pthomas_counters(256, 512, 8, layout=Layout.CONTIGUOUS)
+    assert contig.traffic.useful_bytes == inter.traffic.useful_bytes
+    assert contig.traffic.bus_bytes > 10 * inter.traffic.bus_bytes
+
+
+def test_pthomas_interleaved_fully_coalesced():
+    k = pthomas_counters(256, 128, 8)
+    assert k.traffic.coalescing_efficiency == pytest.approx(1.0)
+
+
+def test_pthomas_partial_warp_counted():
+    k = pthomas_counters(33, 16, 8)  # one full warp + 1 lane
+    assert k.traffic.load_transactions > 0
+
+
+def test_pthomas_validation():
+    with pytest.raises(ValueError):
+        pthomas_counters(0, 16, 8)
+    with pytest.raises(ValueError):
+        pthomas_counters(16, 16, 2)
+
+
+# ---- tiled PCR ----------------------------------------------------------------
+
+
+def test_tiled_pcr_single_window_traffic():
+    m, n, k = 4, 1024, 5
+    c = tiled_pcr_counters(m, n, k, 8)
+    assert c.traffic.load_bytes == 4 * m * n * 8
+    assert c.traffic.store_bytes == 4 * m * n * 8
+
+
+def test_tiled_pcr_window_redundancy():
+    m, n, k, w = 1, 4096, 6, 4
+    base = tiled_pcr_counters(m, n, k, 8, n_windows=1)
+    multi = tiled_pcr_counters(m, n, k, 8, n_windows=w)
+    extra = multi.traffic.load_bytes - base.traffic.load_bytes
+    assert extra == 4 * (w - 1) * 2 * f_redundant_loads(k) * 8
+
+
+def test_tiled_pcr_fused_output_saves_stores():
+    c1 = tiled_pcr_counters(2, 512, 4, 8)
+    c2 = tiled_pcr_counters(2, 512, 4, 8, fused_output=True)
+    assert c2.traffic.store_bytes == 0
+    assert c1.traffic.store_bytes > 0
+
+
+def test_tiled_pcr_smem_footprint_matches_window():
+    from repro.core.window import BufferedSlidingWindow
+
+    c = tiled_pcr_counters(2, 512, 5, 8)
+    assert c.smem_per_block == BufferedSlidingWindow(k=5, dtype_bytes=8).smem_bytes()
+
+
+def test_tiled_pcr_multiplexed_windows_raise_footprint():
+    c1 = tiled_pcr_counters(2, 512, 4, 8, windows_per_block=1)
+    c2 = tiled_pcr_counters(2, 512, 4, 8, windows_per_block=2)
+    assert c2.smem_per_block == 2 * c1.smem_per_block
+    assert c2.threads_per_block == 2 * c1.threads_per_block
+
+
+def test_tiled_pcr_rejects_k0():
+    with pytest.raises(ValueError):
+        tiled_pcr_counters(1, 64, 0, 8)
+
+
+def test_tiled_pcr_barriers_scale_with_rounds():
+    c1 = tiled_pcr_counters(1, 1024, 4, 8)
+    c2 = tiled_pcr_counters(1, 2048, 4, 8)
+    assert c2.barriers > c1.barriers
+
+
+# ---- fused hybrid ----------------------------------------------------------------
+
+
+def test_fusion_saves_global_traffic():
+    """Section III-C: the reduced system's store + reload disappear."""
+    m, n, k = 8, 2048, 5
+    pcr = tiled_pcr_counters(m, n, k, 8)
+    g = 1 << k
+    thom = pthomas_counters(m * g, -(-n // g), 8)
+    unfused_bytes = pcr.traffic.useful_bytes + thom.traffic.useful_bytes
+    fused = fused_hybrid_counters(m, n, k, 8)
+    assert fused.traffic.useful_bytes < unfused_bytes
+    saved = unfused_bytes - fused.traffic.useful_bytes
+    assert saved == pytest.approx(8 * m * g * (-(-n // g)) * 8, rel=0.01)
+
+
+def test_fusion_single_launch():
+    fused = fused_hybrid_counters(4, 1024, 4, 8)
+    assert fused.launches == 1
+
+
+def test_fusion_binds_block_shape_to_pcr():
+    fused = fused_hybrid_counters(4, 1024, 4, 8)
+    assert fused.threads_per_block == 16  # 2^4
+    assert fused.smem_per_block > 0
+
+
+def test_fusion_occupancy_penalty_visible():
+    """The paper's warning: fusion can lower the back-end's parallelism —
+    the fused kernel inherits the PCR stage's narrow, shared-memory-heavy
+    blocks, so fewer warps are resident per SM than a standalone p-Thomas
+    kernel would keep."""
+    from repro.gpusim.occupancy import occupancy
+
+    m, n, k = 4096, 2048, 5
+    fused = fused_hybrid_counters(m, n, k, 8)
+    thom = pthomas_counters(m * (1 << k), -(-n // (1 << k)), 8)
+    occ_fused = occupancy(GTX480, fused.threads_per_block, fused.smem_per_block)
+    occ_thom = occupancy(GTX480, thom.threads_per_block, thom.smem_per_block)
+    assert occ_fused.warps_per_sm < occ_thom.warps_per_sm
+
+
+def test_fusion_rejects_k0():
+    with pytest.raises(ValueError):
+        fused_hybrid_counters(1, 64, 0, 8)
+
+
+# ---- in-shared-memory PCR and CR ---------------------------------------------------
+
+
+def test_inshared_capacity_fp64_vs_fp32():
+    assert max_inshared_rows(GTX480, 8) == 1536
+    assert max_inshared_rows(GTX480, 4) == 3072
+
+
+def test_inshared_pcr_rejects_oversized():
+    with pytest.raises(ValueError, match="capacity"):
+        inshared_pcr_counters(1, 2048, 8)
+
+
+def test_inshared_pcr_whole_block_smem():
+    c = inshared_pcr_counters(4, 1024, 8)
+    assert c.smem_per_block == 4 * 1024 * 8
+
+
+def test_cr_naive_has_more_smem_cycles_than_conflict_free():
+    naive = cr_counters(16, 1024, 8, conflict_free=False)
+    fixed = cr_counters(16, 1024, 8, conflict_free=True)
+    assert naive.eliminations == fixed.eliminations
+    assert naive.smem_cycles > 3 * fixed.smem_cycles
+
+
+def test_cr_oversized_rejected():
+    with pytest.raises(ValueError, match="capacity"):
+        cr_counters(1, 4096, 8)
+
+
+def test_cr_work_is_order_n():
+    c = cr_counters(1, 1024, 8)
+    # forward+backward touch ~2n rows total
+    assert c.eliminations < 5 * 1024
+
+
+def test_timing_model_prices_all_kernels():
+    """Every ledger must be priceable without error."""
+    model = GpuTimingModel(GTX480)
+    for counters in (
+        pthomas_counters(256, 64, 8),
+        tiled_pcr_counters(4, 512, 4, 8),
+        fused_hybrid_counters(4, 512, 4, 8),
+        inshared_pcr_counters(8, 512, 8),
+        cr_counters(8, 512, 8),
+    ):
+        st = model.time(counters, 8)
+        assert st.total_s > 0

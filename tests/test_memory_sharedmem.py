@@ -1,0 +1,140 @@
+"""Coalescing (global memory) and bank-conflict (shared memory) models."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.memory import (
+    SEGMENT_BYTES,
+    MemoryTraffic,
+    transactions_for_warp,
+    warp_transactions_strided,
+)
+from repro.gpusim.sharedmem import (
+    N_BANKS,
+    bank_conflict_degree,
+    smem_access_cycles,
+)
+
+
+# ---- coalescing ------------------------------------------------------------
+
+
+def test_unit_stride_float32_one_transaction():
+    assert warp_transactions_strided(32, 1, 4) == 1  # 32 x 4 B = 128 B
+
+
+def test_unit_stride_float64_two_transactions():
+    assert warp_transactions_strided(32, 1, 8) == 2  # 32 x 8 B = 256 B
+
+
+def test_stride_two_doubles_traffic():
+    assert warp_transactions_strided(32, 2, 4) == 2
+
+
+def test_large_stride_fully_uncoalesced():
+    assert warp_transactions_strided(32, 32, 4) == 32
+    assert warp_transactions_strided(32, 1000, 8) == 32
+
+
+def test_misaligned_base_adds_transaction():
+    aligned = warp_transactions_strided(32, 1, 4, base_offset_bytes=0)
+    misaligned = warp_transactions_strided(32, 1, 4, base_offset_bytes=4)
+    assert misaligned == aligned + 1
+
+
+def test_partial_warp():
+    assert warp_transactions_strided(32, 1, 4, active_lanes=8) == 1
+    assert warp_transactions_strided(32, 1000, 4, active_lanes=8) == 8
+    assert warp_transactions_strided(32, 1, 4, active_lanes=0) == 0
+
+
+def test_explicit_addresses():
+    # all lanes in one segment
+    assert transactions_for_warp(np.arange(32) * 4) == 1
+    # two segments
+    assert transactions_for_warp([0, SEGMENT_BYTES]) == 2
+    # duplicates collapse (broadcast)
+    assert transactions_for_warp([64] * 32) == 1
+    assert transactions_for_warp([]) == 0
+
+
+def test_explicit_addresses_reject_negative():
+    with pytest.raises(ValueError):
+        transactions_for_warp([-4])
+
+
+def test_traffic_ledger_accounting():
+    t = MemoryTraffic()
+    t.add_load(useful_bytes=256, transactions=2)
+    t.add_store(useful_bytes=128, transactions=4)
+    assert t.useful_bytes == 384
+    assert t.bus_bytes == 6 * SEGMENT_BYTES
+    assert t.coalescing_efficiency == pytest.approx(384 / 768)
+
+
+def test_traffic_merge():
+    t1 = MemoryTraffic(load_bytes=10, load_transactions=1)
+    t2 = MemoryTraffic(store_bytes=20, store_transactions=2)
+    t1.merge(t2)
+    assert t1.useful_bytes == 30
+    assert t1.load_transactions == 1
+    assert t1.store_transactions == 2
+
+
+def test_empty_traffic_efficiency_is_one():
+    assert MemoryTraffic().coalescing_efficiency == 1.0
+
+
+def test_interleaved_vs_contiguous_pthomas_pattern():
+    """The Section III-B claim in transaction counts: interleaved layout
+    (stride 1 across lanes) vs contiguous (stride N) for p-Thomas."""
+    n = 512
+    interleaved = warp_transactions_strided(32, 1, 8)
+    contiguous = warp_transactions_strided(32, n, 8)
+    assert contiguous / interleaved == 16  # 32 tx vs 2 tx
+
+
+# ---- shared memory banks ----------------------------------------------------
+
+
+@pytest.mark.parametrize("stride,degree", [
+    (1, 1), (2, 2), (3, 1), (4, 4), (5, 1), (8, 8), (16, 16), (32, 32),
+    (33, 1), (64, 32), (0, 1),
+])
+def test_bank_conflict_degrees(stride, degree):
+    assert bank_conflict_degree(stride) == degree
+
+
+def test_bank_conflict_gcd_property():
+    from math import gcd
+
+    for stride in range(1, 100):
+        assert bank_conflict_degree(stride) == gcd(stride, N_BANKS)
+
+
+def test_bank_conflict_rejects_negative():
+    with pytest.raises(ValueError):
+        bank_conflict_degree(-1)
+
+
+def test_smem_cycles_fp32_unit():
+    assert smem_access_cycles(1, elem_words=1) == 1
+
+
+def test_smem_cycles_fp64_unit():
+    # doubles: two 32-bit phases at word-stride 2 -> degree 2 each
+    assert smem_access_cycles(1, elem_words=2) == 2 * 2
+
+
+def test_smem_cycles_cr_naive_stride():
+    """CR's power-of-two lane strides serialize badly — the motivation
+    for the conflict-free layout."""
+    naive = smem_access_cycles(16, elem_words=1)
+    fixed = smem_access_cycles(1, elem_words=1)
+    assert naive == 16
+    assert fixed == 1
+
+
+def test_smem_cycles_rejects_bad_words():
+    with pytest.raises(ValueError):
+        smem_access_cycles(1, elem_words=3)

@@ -1,0 +1,97 @@
+"""Model extensions: lane fill, shared-memory k cap, device planning."""
+
+import pytest
+
+from repro.core.window import BufferedSlidingWindow, max_k_for_shared_memory
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import GTX480
+from repro.gpusim.memory import MemoryTraffic
+from repro.gpusim.timing import GpuTimingModel
+from repro.kernels.hybrid_gpu import GpuHybridSolver
+
+
+# ---- lane fill (sub-warp blocks) ------------------------------------------
+
+
+def _mem_kernel(tpb, threads=1 << 16):
+    t = MemoryTraffic()
+    t.add_load(1 << 28, (1 << 28) // 128)
+    return KernelCounters(
+        name="m", traffic=t, threads=threads, threads_per_block=tpb
+    )
+
+
+def test_subwarp_blocks_pay_bandwidth_penalty():
+    """2^k-thread blocks with k < 5 fill only part of each warp —
+    the concrete cost of binding a kernel to narrow PCR blocks."""
+    model = GpuTimingModel(GTX480)
+    t8 = model.time(_mem_kernel(8), 8).memory_s
+    t32 = model.time(_mem_kernel(32), 8).memory_s
+    assert t8 > 2 * t32
+
+
+def test_full_warp_blocks_no_lane_penalty():
+    """Full-warp blocks pay no lane-fill penalty (64 vs 128 equal; 32 is
+    slower only through the blocks-per-SM occupancy limit)."""
+    model = GpuTimingModel(GTX480)
+    t32 = model.time(_mem_kernel(32, threads=1 << 22), 8).memory_s
+    t64 = model.time(_mem_kernel(64, threads=1 << 22), 8).memory_s
+    t128 = model.time(_mem_kernel(128, threads=1 << 22), 8).memory_s
+    assert t64 == pytest.approx(t128, rel=1e-9)
+    assert t32 < 2 * t128
+
+
+# ---- shared-memory k cap -----------------------------------------------------
+
+
+def test_max_k_for_gtx480():
+    # k = 8 window: 4*256 rows * 4 values * 8 B = 32 KiB <= 48 KiB
+    assert max_k_for_shared_memory(48 * 1024, dtype_bytes=8) >= 8
+    # 16 KiB cap: k = 8 (32 KiB) no longer fits; k = 7 (16 KiB) just does
+    assert max_k_for_shared_memory(16 * 1024, dtype_bytes=8) == 7
+
+
+def test_max_k_scales_with_dtype():
+    k64 = max_k_for_shared_memory(48 * 1024, dtype_bytes=8)
+    k32 = max_k_for_shared_memory(48 * 1024, dtype_bytes=4)
+    assert k32 == k64 + 1
+
+
+def test_max_k_scales_with_c():
+    k1 = max_k_for_shared_memory(48 * 1024, c=1)
+    k4 = max_k_for_shared_memory(48 * 1024, c=4)
+    assert k4 == k1 - 2
+
+
+def test_max_k_consistent_with_window():
+    for limit in (8 * 1024, 16 * 1024, 48 * 1024):
+        k = max_k_for_shared_memory(limit)
+        assert BufferedSlidingWindow(k=k).smem_bytes() <= limit
+        assert BufferedSlidingWindow(k=k + 1).smem_bytes() > limit
+
+
+def test_planner_caps_k_on_small_smem_device():
+    tiny = GTX480.with_overrides(
+        name="tiny", shared_mem_per_sm=16 * 1024, max_shared_mem_per_block=16 * 1024
+    )
+    gpu = GpuHybridSolver(device=tiny)
+    k, _ = gpu.plan(1, 1 << 20)
+    assert k == 7
+    # and the prediction runs without an occupancy error
+    rep = gpu.predict(1, 1 << 20)
+    assert rep.k == 7
+    assert rep.total_s > 0
+
+
+def test_planner_keeps_k8_on_gtx480():
+    gpu = GpuHybridSolver()
+    assert gpu.plan(1, 1 << 20)[0] == 8
+
+
+def test_windows_per_block_changes_prediction():
+    base = GpuHybridSolver(windows_per_block=1).predict(64, 16384)
+    mux = GpuHybridSolver(windows_per_block=4).predict(64, 16384)
+    c_base, _ = base.stage("PCR")
+    c_mux, _ = mux.stage("PCR")
+    assert c_mux.smem_per_block == 4 * c_base.smem_per_block
+    assert c_mux.threads_per_block == 4 * c_base.threads_per_block

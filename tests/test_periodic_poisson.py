@@ -1,0 +1,140 @@
+"""Cyclic tridiagonal solver and Hockney's fast Poisson solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.periodic import solve_periodic, solve_periodic_batch
+from repro.workloads.poisson_fft import poisson_dirichlet_fft, poisson_residual
+
+
+def _cyclic_dense(a, b, c):
+    n = b.shape[0]
+    A = np.zeros((n, n))
+    A[np.arange(n), np.arange(n)] = b
+    A[np.arange(1, n), np.arange(n - 1)] = a[1:]
+    A[np.arange(n - 1), np.arange(1, n)] = c[:-1]
+    A[0, n - 1] = a[0]
+    A[n - 1, 0] = c[-1]
+    return A
+
+
+def _make_cyclic(m, n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    c = rng.standard_normal((m, n))
+    b = 4.0 + np.abs(a) + np.abs(c) + np.abs(np.roll(a, -1)) * 0  # dominant
+    d = rng.standard_normal((m, n))
+    return a, b, c, d
+
+
+@pytest.mark.parametrize("n", [3, 4, 8, 17, 64, 255])
+def test_cyclic_matches_dense(n):
+    a, b, c, d = _make_cyclic(1, n, seed=n)
+    x = solve_periodic(a[0], b[0], c[0], d[0])
+    ref = np.linalg.solve(_cyclic_dense(a[0], b[0], c[0]), d[0])
+    assert np.allclose(x, ref, atol=1e-9)
+
+
+def test_cyclic_batch():
+    m, n = 5, 40
+    a, b, c, d = _make_cyclic(m, n, seed=1)
+    x = solve_periodic_batch(a, b, c, d)
+    for i in range(m):
+        ref = np.linalg.solve(_cyclic_dense(a[i], b[i], c[i]), d[i])
+        assert np.allclose(x[i], ref, atol=1e-9)
+
+
+def test_cyclic_reduces_to_tridiagonal_when_corners_zero():
+    from .conftest import make_batch, reference_solve
+
+    a, b, c, d = make_batch(2, 32, seed=2)  # padded: corners already 0
+    x = solve_periodic_batch(a, b, c, d)
+    assert np.allclose(x, reference_solve(a, b, c, d), atol=1e-9)
+
+
+def test_cyclic_circulant_known_solution():
+    """Circulant [-1, 3, -1] with constant RHS: x = d / (b + a + c)."""
+    n = 16
+    a = np.full(n, -1.0)
+    b = np.full(n, 3.0)
+    c = np.full(n, -1.0)
+    d = np.full(n, 2.0)
+    x = solve_periodic(a, b, c, d)
+    assert np.allclose(x, 2.0)  # row sum = 1
+
+
+def test_cyclic_algorithm_selectable():
+    a, b, c, d = _make_cyclic(2, 48, seed=3)
+    x1 = solve_periodic_batch(a, b, c, d, algorithm="thomas")
+    x2 = solve_periodic_batch(a, b, c, d, algorithm="pcr")
+    assert np.allclose(x1, x2, atol=1e-9)
+
+
+def test_cyclic_rejects_tiny():
+    with pytest.raises(ValueError, match="N >= 3"):
+        solve_periodic(np.ones(2), np.full(2, 3.0), np.ones(2), np.ones(2))
+
+
+# ---- Hockney fast Poisson ------------------------------------------------------
+
+
+def test_poisson_fft_residual_small():
+    rng = np.random.default_rng(0)
+    f = rng.standard_normal((31, 47))
+    u = poisson_dirichlet_fft(f)
+    assert poisson_residual(u, f) < 1e-10
+
+
+def test_poisson_fft_matches_dense():
+    ny, nx = 12, 9
+    rng = np.random.default_rng(1)
+    f = rng.standard_normal((ny, nx))
+    u = poisson_dirichlet_fft(f)
+    # dense 5-point Laplacian reference
+    N = ny * nx
+    A = np.zeros((N, N))
+    for j in range(ny):
+        for i in range(nx):
+            r = j * nx + i
+            A[r, r] = 4.0
+            for jj, ii in ((j - 1, i), (j + 1, i), (j, i - 1), (j, i + 1)):
+                if 0 <= jj < ny and 0 <= ii < nx:
+                    A[r, jj * nx + ii] = -1.0
+    ref = np.linalg.solve(A, f.reshape(-1)).reshape(ny, nx)
+    assert np.allclose(u, ref, atol=1e-9)
+
+
+def test_poisson_fft_anisotropic_spacing():
+    rng = np.random.default_rng(2)
+    f = rng.standard_normal((20, 20))
+    u = poisson_dirichlet_fft(f, dx=0.5, dy=2.0)
+    assert poisson_residual(u, f, dx=0.5, dy=2.0) < 1e-10
+
+
+def test_poisson_fft_sine_eigenfunction():
+    """-lap of a product sine mode is (lam_x + lam_y) times it."""
+    ny = nx = 33
+    jj, ii = np.meshgrid(np.arange(1, ny + 1), np.arange(1, nx + 1), indexing="ij")
+    mode = np.sin(2 * np.pi * jj / (ny + 1)) * np.sin(3 * np.pi * ii / (nx + 1))
+    lam = (2 - 2 * np.cos(2 * np.pi / (ny + 1))) + (2 - 2 * np.cos(3 * np.pi / (nx + 1)))
+    u = poisson_dirichlet_fft(lam * mode)
+    assert np.allclose(u, mode, atol=1e-10)
+
+
+def test_poisson_fft_validation():
+    with pytest.raises(ValueError):
+        poisson_dirichlet_fft(np.zeros(5))
+    with pytest.raises(ValueError):
+        poisson_dirichlet_fft(np.zeros((1, 5)))
+
+
+def test_poisson_fft_solver_injectable():
+    from repro.core.thomas import thomas_solve_batch
+
+    rng = np.random.default_rng(3)
+    f = rng.standard_normal((16, 16))
+    u1 = poisson_dirichlet_fft(f)
+    u2 = poisson_dirichlet_fft(
+        f, solver=lambda a, b, c, d: thomas_solve_batch(a, b, c, d)
+    )
+    assert np.allclose(u1, u2, atol=1e-11)

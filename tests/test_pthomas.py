@@ -1,0 +1,81 @@
+"""p-Thomas on interleaved subsystems: equivalence, masking, lengths."""
+
+import numpy as np
+import pytest
+
+from repro.core.pcr import pcr_sweep
+from repro.core.pthomas import pthomas_solve_interleaved, subsystem_lengths
+from repro.core.thomas import thomas_solve
+
+from .conftest import make_batch, max_err, reference_solve
+
+
+@pytest.mark.parametrize("n,k", [(16, 1), (16, 2), (64, 3), (100, 2), (37, 3), (129, 4)])
+def test_solves_after_pcr(n, k):
+    a, b, c, d = make_batch(3, n, seed=n * k)
+    x_ref = reference_solve(a, b, c, d)
+    ra, rb, rc, rd = pcr_sweep(a, b, c, d, k)
+    x = pthomas_solve_interleaved(ra, rb, rc, rd, k)
+    assert max_err(x, x_ref) < 1e-10
+
+
+def test_k_zero_is_plain_thomas():
+    from repro.core.thomas import thomas_solve_batch
+
+    a, b, c, d = make_batch(4, 50, seed=1)
+    x = pthomas_solve_interleaved(a, b, c, d, 0)
+    assert np.array_equal(x, thomas_solve_batch(a, b, c, d, check=False))
+
+
+def test_matches_per_subsystem_thomas():
+    """Each interleaved subsystem solved independently gives the same."""
+    n, k = 40, 2
+    a, b, c, d = make_batch(1, n, seed=9)
+    ra, rb, rc, rd = pcr_sweep(a, b, c, d, k)
+    x = pthomas_solve_interleaved(ra, rb, rc, rd, k)
+    g = 1 << k
+    for j in range(g):
+        aa = ra[0, j::g].copy()
+        aa[0] = 0.0
+        cc = rc[0, j::g].copy()
+        cc[-1] = 0.0
+        xs = thomas_solve(aa, rb[0, j::g], cc, rd[0, j::g], check=False)
+        assert np.allclose(xs, x[0, j::g], atol=1e-12)
+
+
+def test_g_at_least_n_divides_rows():
+    """When 2^k >= n each row is its own system: x = d / b."""
+    a, b, c, d = make_batch(2, 8, seed=3)
+    ra, rb, rc, rd = pcr_sweep(a, b, c, d, 3)  # g = 8 = n
+    x = pthomas_solve_interleaved(ra, rb, rc, rd, 3)
+    assert np.allclose(x, rd / rb)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-10
+
+
+def test_subsystem_lengths_cover_all_rows():
+    for n in (16, 17, 100, 255):
+        for k in (1, 2, 3, 4):
+            lens = subsystem_lengths(n, k)
+            assert lens.sum() == n
+            assert lens.max() - lens.min() <= 1
+
+
+def test_subsystem_lengths_values():
+    assert list(subsystem_lengths(10, 2)) == [3, 3, 2, 2]
+    assert list(subsystem_lengths(8, 2)) == [2, 2, 2, 2]
+
+
+@pytest.mark.parametrize("n", [15, 17, 31, 33])  # non-divisible sizes
+def test_non_divisible_sizes(n):
+    k = 3
+    a, b, c, d = make_batch(2, n, seed=n)
+    ra, rb, rc, rd = pcr_sweep(a, b, c, d, k)
+    x = pthomas_solve_interleaved(ra, rb, rc, rd, k)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-10
+
+
+def test_float32_dtype_preserved():
+    a, b, c, d = make_batch(2, 32, dtype=np.float32, seed=5)
+    ra, rb, rc, rd = pcr_sweep(a, b, c, d, 2)
+    x = pthomas_solve_interleaved(ra, rb, rc, rd, 2)
+    assert x.dtype == np.float32

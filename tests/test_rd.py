@@ -1,0 +1,76 @@
+"""Recursive doubling: correctness, scan internals, normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.rd import _prefix_affine, _prefix_mobius, rd_solve, rd_solve_batch
+
+from .conftest import make_batch, make_system, max_err, reference_solve
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 16, 31, 64, 100, 257, 1000])
+def test_matches_reference(n):
+    a, b, c, d = make_system(n, seed=n * 7)
+    x = rd_solve(a, b, c, d)
+    assert max_err(x, reference_solve(a, b, c, d)[0]) < 1e-9
+
+
+@pytest.mark.parametrize("m,n", [(3, 33), (8, 128), (20, 17)])
+def test_batch_matches_reference(m, n):
+    a, b, c, d = make_batch(m, n, seed=m ^ n)
+    x = rd_solve_batch(a, b, c, d)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-9
+
+
+def test_prefix_affine_matches_sequential():
+    rng = np.random.default_rng(0)
+    n = 37
+    alpha = rng.uniform(-0.9, 0.9, (2, n))
+    beta = rng.standard_normal((2, n))
+    a2, b2 = _prefix_affine(alpha.copy(), beta.copy())
+    # sequential recurrence y_i = alpha_i y_{i-1} + beta_i, y_{-1} = 0
+    y = np.zeros((2, n))
+    acc = np.zeros(2)
+    for i in range(n):
+        acc = alpha[:, i] * acc + beta[:, i]
+        y[:, i] = acc
+    assert np.allclose(b2, y, atol=1e-12)
+
+
+def test_prefix_mobius_matches_sequential():
+    rng = np.random.default_rng(1)
+    n = 29
+    a, b, c, d = make_batch(1, n, seed=2)
+    p = np.zeros((1, n))
+    q = c.copy()
+    r = -a.copy()
+    s = b.copy()
+    p, q, r, s = _prefix_mobius(p, q, r, s)
+    cp_scan = (q / s)[0]
+    cp_seq = np.zeros(n)
+    cp_seq[0] = c[0, 0] / b[0, 0]
+    for i in range(1, n):
+        cp_seq[i] = c[0, i] / (b[0, i] - a[0, i] * cp_seq[i - 1])
+    assert np.allclose(cp_scan, cp_seq, atol=1e-12)
+
+
+def test_no_overflow_on_long_systems():
+    """The per-level matrix normalization must keep values finite."""
+    a, b, c, d = make_batch(1, 1 << 14, seed=3, dominance=5.0)
+    x = rd_solve_batch(a, b, c, d)
+    assert np.all(np.isfinite(x))
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-8
+
+
+def test_float32():
+    a, b, c, d = make_batch(2, 64, dtype=np.float32, seed=4)
+    x = rd_solve_batch(a, b, c, d)
+    assert x.dtype == np.float32
+    assert max_err(x, reference_solve(a, b, c, d)) < 5e-3
+
+
+def test_agrees_with_pcr():
+    from repro.core.pcr import pcr_solve_batch
+
+    a, b, c, d = make_batch(4, 200, seed=5)
+    assert max_err(rd_solve_batch(a, b, c, d), pcr_solve_batch(a, b, c, d)) < 1e-9

@@ -1,0 +1,78 @@
+"""Mixed-precision iterative refinement (the ref [10] technique)."""
+
+import numpy as np
+import pytest
+
+from repro.core.refine import solve_mixed_precision
+
+from .conftest import make_batch, max_err, reference_solve
+
+
+def test_reaches_fp64_accuracy():
+    a, b, c, d = make_batch(4, 512, seed=1)
+    res = solve_mixed_precision(a, b, c, d)
+    assert res.converged
+    assert max_err(res.x, reference_solve(a, b, c, d)) < 1e-11
+
+
+def test_beats_plain_fp32_solve():
+    """Refinement must recover the ~7 digits fp32 throws away."""
+    from repro.core.hybrid import HybridSolver
+
+    a, b, c, d = make_batch(4, 1024, seed=2)
+    ref = reference_solve(a, b, c, d)
+    x32 = HybridSolver().solve_batch(
+        a.astype(np.float32), b.astype(np.float32),
+        c.astype(np.float32), d.astype(np.float32),
+    ).astype(np.float64)
+    res = solve_mixed_precision(a, b, c, d)
+    assert max_err(res.x, ref) < 1e-4 * max(max_err(x32, ref), 1e-30)
+
+
+def test_residual_history_contracts():
+    a, b, c, d = make_batch(2, 256, seed=3)
+    res = solve_mixed_precision(a, b, c, d, rtol=0.0, max_iter=3)
+    hist = res.residuals
+    assert len(hist) >= 2
+    # each pass contracts the residual until fp64 round-off bottoms out
+    assert hist[1] < hist[0]
+    assert hist[-1] < 1e-13
+
+
+def test_few_iterations_needed():
+    """Dominant systems converge in 1-3 corrections."""
+    a, b, c, d = make_batch(8, 2048, seed=4)
+    res = solve_mixed_precision(a, b, c, d)
+    assert res.iterations <= 3
+    assert res.converged
+
+
+def test_explicit_k_forwarded():
+    a, b, c, d = make_batch(2, 128, seed=5)
+    res = solve_mixed_precision(a, b, c, d, k=3)
+    assert res.converged
+    assert max_err(res.x, reference_solve(a, b, c, d)) < 1e-11
+
+
+def test_iteration_cap_respected():
+    a, b, c, d = make_batch(1, 64, seed=6)
+    res = solve_mixed_precision(a, b, c, d, rtol=0.0, max_iter=2)
+    assert res.iterations <= 2
+    assert len(res.residuals) <= 3
+
+
+def test_validation_applied():
+    a, b, c, d = make_batch(1, 8, seed=7)
+    b = b.copy()
+    b[0, 3] = 0.0
+    with pytest.raises(ValueError, match="main diagonal"):
+        solve_mixed_precision(a, b, c, d)
+
+
+def test_poisson_hard_case():
+    """Weak dominance: refinement still reaches near-fp64 residuals."""
+    from repro.workloads.generators import poisson1d_batch
+
+    a, b, c, d = poisson1d_batch(2, 512, seed=8)
+    res = solve_mixed_precision(a, b, c, d, rtol=1e-10, max_iter=8)
+    assert res.residuals[-1] < 1e-10

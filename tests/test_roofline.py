@@ -1,0 +1,61 @@
+"""Roofline analysis of the kernel family."""
+
+import pytest
+
+from repro.analysis.roofline import kernel_survey, ridge_intensity, roofline_point
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import GTX480, TESLA_C2050
+from repro.gpusim.memory import MemoryTraffic
+from repro.kernels.pthomas_kernel import pthomas_counters
+
+
+def test_ridge_point_values():
+    # GTX480 fp64: 84 GFLOP/s over ~115 GB/s -> ridge ~ 0.73 flops/byte
+    r64 = ridge_intensity(GTX480, 8)
+    assert 0.5 < r64 < 1.0
+    # fp32 ridge is 8x higher (GeForce 1/8 fp64)
+    assert ridge_intensity(GTX480, 4) == pytest.approx(8 * r64)
+    # Tesla's full-rate fp64 raises the fp64 ridge
+    assert ridge_intensity(TESLA_C2050, 8) > r64
+
+
+def test_pthomas_is_memory_bound():
+    c = pthomas_counters(4096, 512, 8)
+    pt = roofline_point(c, 8)
+    assert pt.bound == "memory"
+    assert pt.intensity < 0.5
+    assert pt.attainable_gflops < pt.peak_gflops
+
+
+def test_attainable_respects_both_ceilings():
+    t = MemoryTraffic()
+    t.add_load(128, 1)
+    dense = KernelCounters(name="dense", flops=10**9, traffic=t)
+    pt = roofline_point(dense, 8)
+    assert pt.bound == "compute"
+    assert pt.attainable_gflops == pytest.approx(pt.peak_gflops)
+
+
+def test_roofline_rejects_trafficless_kernel():
+    with pytest.raises(ValueError, match="bus traffic"):
+        roofline_point(KernelCounters(name="x", flops=10), 8)
+
+
+def test_survey_structure_and_story():
+    pts = {p.name: p for p in kernel_survey()}
+    assert len(pts) == 4
+    inter = pts["p-Thomas (interleaved)"]
+    contig = pts["p-Thomas (contiguous)"]
+    tiled = pts["tiled PCR (k=6)"]
+    fused = pts["fused hybrid (k=6)"]
+    # uncoalesced layout slashes arithmetic intensity (same flops, more bus)
+    assert contig.intensity < inter.intensity / 5
+    # fusion raises the hybrid's intensity above the PCR stage alone
+    assert fused.intensity > tiled.intensity
+    # both p-Thomas variants are memory-bound
+    assert inter.bound == "memory" and contig.bound == "memory"
+
+
+def test_efficiency_ceiling_bounded():
+    for p in kernel_survey():
+        assert 0 < p.efficiency_ceiling <= 1.0

@@ -1,0 +1,66 @@
+"""Algorithm-selection surface and heuristic regret."""
+
+import pytest
+
+from repro.analysis.selection_map import (
+    SelectionCell,
+    heuristic_regret,
+    selection_map,
+)
+from repro.gpusim.device import GTX480
+
+
+@pytest.fixture(scope="module")
+def surface():
+    return selection_map()
+
+
+def test_surface_covers_grid(surface):
+    assert len(surface) == 8 * 5
+    assert all(isinstance(c, SelectionCell) for c in surface)
+
+
+def test_k0_plateau_at_large_m(surface):
+    """Saturated machine: the optimum is pure p-Thomas."""
+    for c in surface:
+        if c.m >= 4096:
+            assert c.best_k == 0, (c.m, c.n, c.best_k)
+
+
+def test_k_rises_as_m_shrinks(surface):
+    """At fixed big N, fewer systems -> more PCR steps."""
+    n = 65536
+    ks = {c.m: c.best_k for c in surface if c.n == n}
+    assert ks[1] >= ks[16] >= ks[256] >= ks[4096]
+    assert ks[1] >= 6
+
+
+def test_best_k_never_exceeds_smem_cap(surface):
+    from repro.core.window import max_k_for_shared_memory
+
+    cap = max_k_for_shared_memory(GTX480.max_shared_mem_per_block)
+    assert all(c.best_k <= cap for c in surface)
+
+
+def test_heuristic_regret_small(surface):
+    """The paper's empirical table sits near the model optimum across
+    the whole plane — its tuning effort 'can be quickly amortized'."""
+    stats = heuristic_regret(surface)
+    assert stats["worst"] < 1.5
+    assert stats["median"] < 1.1
+    assert stats["cells_within_25pct"] > 0.9
+    assert stats["exact_matches"] > 0.5
+
+
+def test_regret_at_least_one(surface):
+    assert all(c.regret >= 0.999 for c in surface)
+
+
+def test_small_smem_device_clips_surface():
+    tiny = GTX480.with_overrides(
+        name="tiny", shared_mem_per_sm=16 * 1024,
+        max_shared_mem_per_block=16 * 1024,
+    )
+    cells = selection_map(m_values=(1, 16), n_values=(65536,), device=tiny)
+    assert all(c.best_k <= 7 for c in cells)
+    assert all(c.heuristic_k <= 7 for c in cells)

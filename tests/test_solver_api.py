@@ -1,0 +1,70 @@
+"""Top-level public API: solve / solve_batch."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.solver import ALGORITHMS, solve, solve_batch
+
+from .conftest import make_batch, make_system, max_err, reference_solve
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_all_algorithms_agree(algorithm):
+    a, b, c, d = make_batch(4, 96, seed=11)
+    x = solve_batch(a, b, c, d, algorithm=algorithm)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-9
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_single_system_entry(algorithm):
+    a, b, c, d = make_system(64, seed=12)
+    x = solve(a, b, c, d, algorithm=algorithm)
+    assert x.shape == (64,)
+    assert max_err(x[None], reference_solve(a, b, c, d)) < 1e-9
+
+
+def test_unknown_algorithm_rejected():
+    a, b, c, d = make_batch(1, 8)
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        solve_batch(a, b, c, d, algorithm="magic")
+
+
+def test_kwargs_only_for_hybrid():
+    a, b, c, d = make_batch(1, 32)
+    # hybrid accepts k
+    solve_batch(a, b, c, d, algorithm="hybrid", k=2)
+    with pytest.raises(TypeError, match="no extra options"):
+        solve_batch(a, b, c, d, algorithm="thomas", k=2)
+
+
+def test_hybrid_kwargs_forwarded():
+    a, b, c, d = make_batch(1, 256, seed=13)
+    x1 = solve_batch(a, b, c, d, algorithm="hybrid", k=3, fuse=True)
+    x2 = solve_batch(a, b, c, d, algorithm="hybrid", k=3, fuse=False)
+    assert np.array_equal(x1, x2)
+
+
+def test_package_level_exports():
+    assert repro.solve is solve
+    assert repro.solve_batch is solve_batch
+    assert hasattr(repro, "HybridSolver")
+    assert hasattr(repro, "GTX480_HEURISTIC")
+    assert repro.__version__
+
+
+def test_validation_happens_at_api_level():
+    a, b, c, d = make_batch(1, 8)
+    b = b.copy()
+    b[0, 3] = 0.0
+    with pytest.raises(ValueError, match="main diagonal"):
+        solve_batch(a, b, c, d)
+
+
+def test_list_inputs_accepted():
+    x = solve([0.0, 1.0, 1.0], [3.0, 4.0, 3.0], [1.0, 1.0, 0.0], [1.0, 2.0, 3.0])
+    ref = reference_solve(
+        np.array([[0.0, 1.0, 1.0]]), np.array([[3.0, 4.0, 3.0]]),
+        np.array([[1.0, 1.0, 0.0]]), np.array([[1.0, 2.0, 3.0]]),
+    )
+    assert max_err(x[None], ref) < 1e-12

@@ -1,0 +1,117 @@
+"""Tables I-III materialization, calibration anchors, report generation."""
+
+import pytest
+
+from repro.analysis.calibration import Anchor, verify_anchors
+from repro.analysis.report import experiments_markdown, markdown_table
+from repro.analysis.tables import table1_rows, table2_rows, table3_rows
+
+
+# ---- Table I ----------------------------------------------------------------
+
+
+def test_table1_matches_paper_formulas():
+    for row in table1_rows():
+        k = row["k"]
+        assert row["subtile"] == 2**k
+        assert row["threads_per_block"] == 2**k
+        assert row["cache_capacity"] == 3 * (2**k - 1)
+        assert row["cache_capacity"] <= row["cache_bound_3x2k"]
+        assert row["elim_per_subtile"] == k * 2**k
+
+
+def test_table1_c_scaling():
+    rows = table1_rows(k_values=(3,), c=4)
+    assert rows[0]["subtile"] == 32
+    assert rows[0]["elim_per_thread"] == 12
+
+
+# ---- Table II ----------------------------------------------------------------
+
+
+def test_table2_structure():
+    rows = table2_rows(n_log2=12, m=64, p=23040)
+    algos = [r["algorithm"] for r in rows]
+    assert algos[0] == "Thomas"
+    assert algos[1] == "PCR"
+    assert any(a.startswith("hybrid") for a in algos)
+    assert all(r["cost"] > 0 for r in rows)
+
+
+def test_table2_regime_labels():
+    rows = table2_rows(n_log2=10, m=50000, p=23040)
+    assert rows[0]["regime"] == "M > P"
+    rows = table2_rows(n_log2=10, m=4, p=23040, k_values=(2,))
+    hybrid = [r for r in rows if r["algorithm"] == "hybrid(k=2)"][0]
+    assert hybrid["regime"] == "2^k M <= P"
+
+
+def test_table2_skips_k_beyond_n():
+    rows = table2_rows(n_log2=3, m=4, p=100, k_values=(0, 2, 8))
+    algos = [r["algorithm"] for r in rows]
+    assert "hybrid(k=8)" not in algos
+
+
+# ---- Table III ----------------------------------------------------------------
+
+
+def test_table3_matches_paper():
+    rows = table3_rows()
+    expected = [
+        (1, 16, 8, 256),
+        (16, 32, 7, 128),
+        (32, 512, 6, 64),
+        (512, 1024, 5, 32),
+        (1024, None, 0, 1),
+    ]
+    got = [(r["m_low"], r["m_high"], r["k"], r["tile"]) for r in rows]
+    assert got == expected
+
+
+# ---- calibration ----------------------------------------------------------------
+
+
+def test_anchor_logic():
+    a = Anchor("x", paper=10.0, model=12.0, rel_band=0.25)
+    assert a.ratio == pytest.approx(1.2)
+    assert a.ok
+    assert not Anchor("y", 10.0, 20.0, 0.5).ok
+
+
+def test_all_anchors_within_band():
+    """The reproduction's headline contract: every paper number lands."""
+    result = verify_anchors()
+    assert len(result.anchors) >= 15
+    failing = [(a.name, a.paper, a.model) for a in result.failing()]
+    assert result.all_ok, failing
+
+
+# ---- report ----------------------------------------------------------------
+
+
+def test_markdown_table_rendering():
+    rows = [{"a": 1, "b": 2.5}, {"a": 2, "b": None}]
+    md = markdown_table(rows, [("a", "A"), ("b", "B")])
+    lines = md.splitlines()
+    assert lines[0] == "| A | B |"
+    assert "| 2 | — |" in md
+
+
+def test_experiments_markdown_sections():
+    md = experiments_markdown()
+    for fragment in (
+        "# EXPERIMENTS",
+        "Calibration anchors",
+        "Figure 12 (a): N = 512",
+        "Figure 12 (c): N = 16384",
+        "Figure 13 (d): M = 1",
+        "Figure 14(a)",
+        "Figure 14(b)",
+        "Table I",
+        "Table III",
+    ):
+        assert fragment in md, fragment
+
+
+def test_experiments_markdown_no_failures():
+    assert "| NO |" not in experiments_markdown()

@@ -1,0 +1,117 @@
+"""Thomas algorithm: correctness, dtypes, edge cases, validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.thomas import thomas_solve, thomas_solve_batch
+
+from .conftest import make_batch, make_system, max_err, reference_solve
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 16, 33, 100, 257, 1024])
+def test_matches_reference_single(n):
+    a, b, c, d = make_system(n, seed=n)
+    x = thomas_solve(a, b, c, d)
+    assert max_err(x, reference_solve(a, b, c, d)[0]) < 1e-12
+
+
+@pytest.mark.parametrize("m,n", [(1, 50), (3, 17), (10, 128), (64, 33)])
+def test_matches_reference_batch(m, n):
+    a, b, c, d = make_batch(m, n, seed=m * 100 + n)
+    x = thomas_solve_batch(a, b, c, d)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-12
+
+
+def test_batch_consistent_with_single():
+    a, b, c, d = make_batch(5, 40, seed=7)
+    xb = thomas_solve_batch(a, b, c, d)
+    for i in range(5):
+        xs = thomas_solve(a[i], b[i], c[i], d[i])
+        assert np.array_equal(xs, xb[i])
+
+
+def test_n_equal_one():
+    x = thomas_solve(np.array([0.0]), np.array([4.0]), np.array([0.0]), np.array([8.0]))
+    assert np.allclose(x, [2.0])
+
+
+def test_identity_system():
+    n = 10
+    z = np.zeros(n)
+    b = np.ones(n)
+    d = np.arange(n, dtype=float)
+    assert np.array_equal(thomas_solve(z, b, z, d), d)
+
+
+def test_float32_supported():
+    a, b, c, d = make_batch(4, 64, dtype=np.float32, seed=3)
+    x = thomas_solve_batch(a, b, c, d)
+    assert x.dtype == np.float32
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-4
+
+
+def test_float64_preserved():
+    a, b, c, d = make_batch(2, 16, seed=5)
+    assert thomas_solve_batch(a, b, c, d).dtype == np.float64
+
+
+def test_non_dominant_but_solvable():
+    # not diagonally dominant (|b| < |a| + |c|), but Thomas still works
+    # as long as the running pivots stay away from zero
+    n = 8
+    a = np.full(n, 0.6)
+    c = np.full(n, 0.6)
+    b = np.full(n, 1.0)
+    a[0] = 0.0
+    c[-1] = 0.0
+    d = np.arange(1.0, n + 1.0)
+    x = thomas_solve(a, b, c, d)
+    assert max_err(x, reference_solve(a, b, c, d)[0]) < 1e-9
+
+
+def test_rejects_zero_diagonal():
+    with pytest.raises(ValueError, match="main diagonal"):
+        thomas_solve(
+            np.array([0.0, 1.0]), np.array([0.0, 2.0]),
+            np.array([1.0, 0.0]), np.array([1.0, 1.0]),
+        )
+
+
+def test_rejects_shape_mismatch():
+    with pytest.raises(ValueError):
+        thomas_solve(np.zeros(3), np.ones(4), np.zeros(3), np.ones(3))
+
+
+def test_rejects_nan():
+    a, b, c, d = make_system(8)
+    d = d.copy()
+    d[3] = np.nan
+    with pytest.raises(ValueError, match="non-finite"):
+        thomas_solve(a, b, c, d)
+
+
+def test_check_false_skips_validation():
+    a, b, c, d = make_system(32, seed=9)
+    x1 = thomas_solve(a, b, c, d, check=True)
+    x2 = thomas_solve(a, b, c, d, check=False)
+    assert np.array_equal(x1, x2)
+
+
+def test_inputs_not_modified():
+    a, b, c, d = make_batch(2, 20, seed=11)
+    copies = [v.copy() for v in (a, b, c, d)]
+    thomas_solve_batch(a, b, c, d)
+    for orig, ref in zip((a, b, c, d), copies):
+        assert np.array_equal(orig, ref)
+
+
+def test_pads_forced_to_zero():
+    # a[0] / c[-1] outside the matrix are ignored even if nonzero
+    a, b, c, d = make_system(10, seed=13)
+    a2 = a.copy()
+    a2[0] = 99.0
+    c2 = c.copy()
+    c2[-1] = -55.0
+    x1 = thomas_solve(a, b, c, d)
+    x2 = thomas_solve(a2, b, c2, d)
+    assert np.allclose(x1, x2, rtol=0, atol=0)

@@ -1,0 +1,156 @@
+"""GPU timing model behaviour and the CPU (MKL proxy) model."""
+
+import pytest
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.cpu import I7_975, CpuSpec, MklProxyModel
+from repro.gpusim.device import GTX480
+from repro.gpusim.memory import MemoryTraffic
+from repro.gpusim.timing import GpuTimingModel, StageTime
+
+
+def _mem_kernel(bytes_useful, threads=1 << 20, mlp=1.0):
+    t = MemoryTraffic()
+    t.add_load(bytes_useful, bytes_useful // 128)
+    return KernelCounters(
+        name="mem", traffic=t, threads=threads, threads_per_block=128, mlp=mlp
+    )
+
+
+def _compute_kernel(flops, threads=1 << 20):
+    return KernelCounters(
+        name="fl", flops=flops, threads=threads, threads_per_block=128
+    )
+
+
+def test_memory_bound_time_matches_bandwidth():
+    model = GpuTimingModel(GTX480)
+    nbytes = 1 << 30
+    st = model.time(_mem_kernel(nbytes), 8)
+    expected = nbytes / (GTX480.effective_bandwidth_gbs() * 1e9)
+    assert st.memory_s == pytest.approx(expected, rel=1e-6)
+    assert st.bound == "memory"
+
+
+def test_memory_time_scales_linearly():
+    model = GpuTimingModel(GTX480)
+    t1 = model.time(_mem_kernel(1 << 28), 8).memory_s
+    t2 = model.time(_mem_kernel(1 << 29), 8).memory_s
+    assert t2 == pytest.approx(2 * t1, rel=1e-6)
+
+
+def test_low_parallelism_derates_bandwidth():
+    model = GpuTimingModel(GTX480)
+    fast = model.time(_mem_kernel(1 << 28, threads=1 << 20), 8).memory_s
+    slow = model.time(_mem_kernel(1 << 28, threads=256), 8).memory_s
+    assert slow > 2 * fast
+
+
+def test_mlp_recovers_bandwidth_at_low_occupancy():
+    model = GpuTimingModel(GTX480)
+    base = model.time(_mem_kernel(1 << 28, threads=256, mlp=1.0), 8).memory_s
+    mlp4 = model.time(_mem_kernel(1 << 28, threads=256, mlp=4.0), 8).memory_s
+    assert mlp4 < base
+
+
+def test_compute_bound_fp64_vs_fp32():
+    model = GpuTimingModel(GTX480)
+    k = _compute_kernel(10**9)
+    t64 = model.time(k, 8).compute_s
+    t32 = model.time(k, 4).compute_s
+    assert t64 == pytest.approx(8 * t32, rel=1e-6)  # GeForce 1/8 FP64
+
+
+def test_latency_term_flat_in_work():
+    """A dependent chain with few warps costs chain x latency regardless
+    of how much other work exists — the Fig. 12 flat region mechanism."""
+    model = GpuTimingModel(GTX480)
+    k = KernelCounters(
+        name="chain", dependent_steps=1000, threads=32, threads_per_block=32
+    )
+    st = model.time(k, 8)
+    assert st.latency_s > 0
+    # plenty of warps hide it completely
+    k2 = KernelCounters(
+        name="chain", dependent_steps=1000, threads=1 << 20, threads_per_block=256
+    )
+    st2 = model.time(k2, 8)
+    assert st2.latency_s < st.latency_s
+
+
+def test_launch_overhead_additive():
+    model = GpuTimingModel(GTX480)
+    k = _mem_kernel(1 << 20)
+    k.launches = 10
+    st = model.time(k, 8)
+    assert st.launch_s == pytest.approx(10 * GTX480.kernel_launch_overhead_us * 1e-6)
+    assert st.total_s >= st.launch_s
+
+
+def test_stage_time_total_is_max_plus_overheads():
+    st = StageTime(
+        compute_s=1.0, memory_s=2.0, latency_s=0.5, smem_s=0.1,
+        sync_s=0.2, launch_s=0.3,
+    )
+    assert st.total_s == pytest.approx(2.0 + 0.2 + 0.3)
+    assert st.bound == "memory"
+
+
+def test_empty_kernel_costs_only_launch():
+    model = GpuTimingModel(GTX480)
+    st = model.time(KernelCounters(name="noop", threads=32, threads_per_block=32), 8)
+    assert st.compute_s == 0.0
+    assert st.memory_s == 0.0
+    assert st.total_s == pytest.approx(st.launch_s + st.sync_s)
+
+
+# ---- CPU model ---------------------------------------------------------------
+
+
+def test_sequential_linear_in_mn():
+    mkl = MklProxyModel()
+    t1 = mkl.sequential_s(100, 512)
+    t2 = mkl.sequential_s(200, 512)
+    t3 = mkl.sequential_s(100, 1024)
+    assert t2 == pytest.approx(2 * t1)
+    assert t3 == pytest.approx(2 * t1)
+
+
+def test_multithreaded_falls_back_for_single_system():
+    mkl = MklProxyModel()
+    assert mkl.multithreaded_s(1, 4096) == mkl.sequential_s(1, 4096)
+
+
+def test_multithreaded_speedup_band():
+    """At large M the MT/seq ratio is ~ threads x efficiency (5-6x)."""
+    mkl = MklProxyModel()
+    ratio = mkl.sequential_s(10000, 512) / mkl.multithreaded_s(10000, 512)
+    assert 4.5 < ratio < 6.5
+
+
+def test_multithreaded_overhead_dominates_tiny_batches():
+    mkl = MklProxyModel()
+    t = mkl.multithreaded_s(2, 4)
+    assert t > I7_975.mt_overhead_us * 1e-6
+
+
+def test_single_precision_cheaper():
+    mkl = MklProxyModel()
+    assert mkl.sequential_s(100, 512, 4) < mkl.sequential_s(100, 512, 8)
+
+
+def test_row_ns_rejects_bad_dtype():
+    with pytest.raises(ValueError):
+        I7_975.row_ns(2)
+
+
+def test_model_rejects_bad_shape():
+    mkl = MklProxyModel()
+    with pytest.raises(ValueError):
+        mkl.sequential_s(0, 10)
+
+
+def test_custom_cpu_spec():
+    fast = CpuSpec(name="fast", cores=8, threads=16, clock_ghz=4.0, row_ns_fp64=10.0)
+    mkl = MklProxyModel(cpu=fast)
+    assert mkl.sequential_s(10, 100) == pytest.approx(10 * 100 * 10e-9)

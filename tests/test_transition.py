@@ -1,0 +1,102 @@
+"""Transition logic: Table III heuristic and analytic k selection."""
+
+import pytest
+
+from repro.core.transition import (
+    GTX480_HEURISTIC,
+    TransitionHeuristic,
+    clamp_k,
+    select_k_analytic,
+    select_k_heuristic,
+)
+from repro.gpusim.device import GTX480
+
+
+@pytest.mark.parametrize(
+    "m,expected_k",
+    [
+        (1, 8), (8, 8), (15, 8),       # M < 16 -> k = 8
+        (16, 7), (31, 7),              # 16 <= M < 32 -> 7
+        (32, 6), (511, 6),             # 32 <= M < 512 -> 6
+        (512, 5), (1023, 5),           # 512 <= M < 1024 -> 5
+        (1024, 0), (100000, 0),        # M >= 1024 -> 0
+    ],
+)
+def test_table3_values(m, expected_k):
+    assert GTX480_HEURISTIC.k_for(m) == expected_k
+
+
+@pytest.mark.parametrize(
+    "m,tile", [(1, 256), (16, 128), (32, 64), (512, 32), (1024, 1)]
+)
+def test_table3_tile_sizes(m, tile):
+    assert GTX480_HEURISTIC.tile_size(m) == tile
+
+
+def test_heuristic_clamps_to_system_size():
+    # k = 8 would need 2^8 <= N/2; for N = 64 the clamp allows k <= 5
+    assert GTX480_HEURISTIC.k_for(1, 64) == 5
+    assert GTX480_HEURISTIC.k_for(1, 4) == 1
+    assert GTX480_HEURISTIC.k_for(1, 2) == 0
+
+
+def test_clamp_k_bounds():
+    assert clamp_k(8, 1 << 20) == 8
+    assert clamp_k(8, 512) == 8
+    assert clamp_k(8, 256) == 7
+    assert clamp_k(3, 2) == 0
+    assert clamp_k(0, 100) == 0
+
+
+def test_heuristic_rejects_bad_m():
+    with pytest.raises(ValueError):
+        GTX480_HEURISTIC.k_for(0)
+
+
+def test_custom_heuristic_validation():
+    with pytest.raises(ValueError, match="len"):
+        TransitionHeuristic(thresholds=(10,), ks=(1,))
+    with pytest.raises(ValueError, match="increasing"):
+        TransitionHeuristic(thresholds=(10, 5), ks=(1, 2, 3))
+
+
+def test_custom_heuristic_lookup():
+    h = TransitionHeuristic(thresholds=(100,), ks=(4, 0), name="test")
+    assert h.k_for(50) == 4
+    assert h.k_for(100) == 0
+
+
+def test_select_k_heuristic_wrapper():
+    assert select_k_heuristic(8, 1 << 16) == 8
+    assert select_k_heuristic(2048) == 0
+
+
+# ---- analytic selection ---------------------------------------------------
+
+
+def test_analytic_k_zero_when_saturated():
+    """Section III-D: when M > P the minimum is at k = 0."""
+    p = GTX480.max_resident_threads
+    assert select_k_analytic(12, 2 * p, p) == 0
+
+
+def test_analytic_k_positive_when_starved():
+    """Few systems, big machine: PCR must manufacture parallelism."""
+    p = GTX480.max_resident_threads
+    k = select_k_analytic(20, 1, p)
+    assert k >= 8
+
+
+def test_analytic_k_monotone_in_m():
+    """More systems -> never more PCR steps (weakly decreasing k)."""
+    p = GTX480.max_resident_threads
+    ks = [select_k_analytic(14, m, p) for m in (1, 4, 16, 64, 256, 1024, 4096, 65536)]
+    assert all(k1 >= k2 for k1, k2 in zip(ks, ks[1:]))
+
+
+def test_analytic_k_respects_cap():
+    assert select_k_analytic(20, 1, 10**6, k_max=3) <= 3
+
+
+def test_analytic_k_zero_for_tiny_systems():
+    assert select_k_analytic(0, 4, 1000) == 0

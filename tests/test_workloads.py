@@ -1,0 +1,167 @@
+"""Workload generators and the PDE application builders."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.util.numerics import is_diagonally_dominant
+from repro.workloads.generators import (
+    graded_batch,
+    near_singular_batch,
+    poisson1d_batch,
+    random_batch,
+    toeplitz_batch,
+)
+from repro.workloads.pde import (
+    adi_row_systems,
+    crank_nicolson_system,
+    cubic_spline_system,
+    multigrid_line_systems,
+)
+
+from .conftest import max_err, reference_solve
+
+
+# ---- generators ------------------------------------------------------------
+
+
+def test_random_batch_shapes_and_pads():
+    a, b, c, d = random_batch(5, 33)
+    assert a.shape == (5, 33)
+    assert np.all(a[:, 0] == 0) and np.all(c[:, -1] == 0)
+    assert is_diagonally_dominant(a, b, c)
+
+
+def test_random_batch_reproducible():
+    x1 = random_batch(2, 8, seed=42)
+    x2 = random_batch(2, 8, seed=42)
+    for u, v in zip(x1, x2):
+        assert np.array_equal(u, v)
+    x3 = random_batch(2, 8, seed=43)
+    assert not np.array_equal(x1[3], x3[3])
+
+
+def test_random_batch_dominance_param():
+    a, b, c, d = random_batch(3, 16, dominance=7.0)
+    margin = np.min(np.abs(b) - np.abs(a) - np.abs(c))
+    assert margin == pytest.approx(7.0)
+    with pytest.raises(ValueError):
+        random_batch(1, 4, dominance=0.0)
+
+
+def test_toeplitz_batch_constant_coeffs():
+    a, b, c, d = toeplitz_batch(2, 10, coeffs=(-1.0, 4.0, -2.0))
+    assert np.all(b == 4.0)
+    assert np.all(a[:, 1:] == -1.0)
+    assert np.all(c[:, :-1] == -2.0)
+
+
+def test_poisson_solvable_and_accurate():
+    a, b, c, d = poisson1d_batch(2, 200)
+    x = repro.solve_batch(a, b, c, d)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-6
+
+
+def test_graded_batch_scales_rows():
+    a, b, c, d = graded_batch(1, 50, ratio=1e4)
+    assert np.abs(b[0, -1]) > 100 * np.abs(b[0, 0])
+    x = repro.solve_batch(a, b, c, d)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-8
+
+
+def test_near_singular_still_solvable():
+    a, b, c, d = near_singular_batch(2, 64, margin=1e-4)
+    x = repro.solve_batch(a, b, c, d)
+    assert np.all(np.isfinite(x))
+
+
+def test_float32_generators():
+    a, b, c, d = random_batch(2, 8, dtype=np.float32)
+    assert b.dtype == np.float32
+
+
+# ---- Crank–Nicolson -----------------------------------------------------------
+
+
+def test_cn_system_preserves_steady_state():
+    """A linear temperature profile is stationary under pure diffusion."""
+    m, n = 3, 40
+    u = np.tile(np.linspace(0.0, 1.0, n), (m, 1))
+    a, b, c, d = crank_nicolson_system(u, alpha=0.5, dt=1e-3, dx=1.0 / (n - 1))
+    u_next = repro.solve_batch(a, b, c, d)
+    assert np.allclose(u_next, u, atol=1e-12)
+
+
+def test_cn_system_dirichlet_rows():
+    u = np.random.default_rng(0).random((2, 16))
+    a, b, c, d = crank_nicolson_system(u, 0.1, 1e-3, 0.1)
+    assert np.all(b[:, 0] == 1.0) and np.all(c[:, 0] == 0.0)
+    assert np.all(b[:, -1] == 1.0) and np.all(a[:, -1] == 0.0)
+    assert np.allclose(d[:, 0], u[:, 0])
+
+
+def test_cn_mode_decay_one_step():
+    """One CN step damps the fundamental mode by the trapezoidal factor."""
+    n = 200
+    alpha, dt = 0.3, 1e-3
+    dx = 1.0 / (n - 1)
+    xg = np.linspace(0.0, 1.0, n)
+    u = np.sin(np.pi * xg)[None, :]
+    a, b, c, d = crank_nicolson_system(u, alpha, dt, dx)
+    u1 = repro.solve_batch(a, b, c, d)
+    lam = alpha * (np.pi**2)
+    expected = (1 - lam * dt / 2) / (1 + lam * dt / 2)
+    measured = u1[0, n // 2] / u[0, n // 2]
+    assert measured == pytest.approx(expected, rel=1e-3)
+
+
+def test_cn_rejects_1d_field():
+    with pytest.raises(ValueError):
+        crank_nicolson_system(np.zeros(10), 0.1, 1e-3, 0.1)
+
+
+# ---- ADI / spline / multigrid builders -------------------------------------------
+
+
+def test_adi_rows_shape_and_dominance():
+    f = np.random.default_rng(1).random((8, 12))
+    a, b, c, d = adi_row_systems(f, beta=0.4)
+    assert b.shape == (8, 12)
+    assert is_diagonally_dominant(a, b, c, strict=False)
+    assert np.array_equal(d, f)
+
+
+def test_adi_rejects_bad_input():
+    with pytest.raises(ValueError):
+        adi_row_systems(np.zeros(5), 0.1)
+
+
+def test_spline_system_matches_scipy():
+    from scipy.interpolate import CubicSpline
+
+    x = np.linspace(0, 5, 20)
+    y = np.cos(x)[None, :]
+    a, b, c, d = cubic_spline_system(x, y)
+    m2 = repro.solve_batch(a, b, c, d)
+    ref = CubicSpline(x, y[0], bc_type="natural")
+    # scipy stores c[2] ~ second-derivative/... compare via second derivative
+    assert np.allclose(m2[0], ref(x, 2), atol=1e-8)
+
+
+def test_spline_validation():
+    with pytest.raises(ValueError, match="increasing"):
+        cubic_spline_system(np.array([0.0, 0.0, 1.0]), np.zeros((1, 3)))
+    with pytest.raises(ValueError, match="3 knots"):
+        cubic_spline_system(np.array([0.0, 1.0]), np.zeros((1, 2)))
+    with pytest.raises(ValueError, match="matching"):
+        cubic_spline_system(np.linspace(0, 1, 4), np.zeros((1, 5)))
+
+
+def test_multigrid_lines_dominant():
+    r = np.random.default_rng(2).random((6, 30))
+    a, b, c, d = multigrid_line_systems(r, anisotropy=10.0)
+    assert is_diagonally_dominant(a, b, c)
+    with pytest.raises(ValueError):
+        multigrid_line_systems(r, anisotropy=0.5)
+    with pytest.raises(ValueError):
+        multigrid_line_systems(np.zeros(5))
