@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Cold vs warm solve-plan engine benchmark.
+
+Measures three ways of running the same repeated batch solve:
+
+* **seed** — the pre-engine public path: validate + build a
+  :class:`HybridSolver`, recompute the transition and reallocate every
+  buffer on each call (what ``repro.solve_batch`` did before the
+  engine existed);
+* **cold** — the engine with its plan cache cleared before every call:
+  each solve re-plans and re-allocates workspaces;
+* **warm** — the steady state: cached plan, pooled workspaces; each
+  solve allocates only its result.
+
+All three produce bitwise-identical solutions (verified here).  The
+headline case (M = 1024, N = 1024, 50 iterations — the paper's
+large-M regime where the hybrid runs pure Thomas) is expected to show
+``warm`` at least 2x faster than ``seed``; results land in
+``BENCH_engine.json``.
+
+Run:   python benchmarks/bench_engine.py
+Smoke: python benchmarks/bench_engine.py --smoke   (small, asserts
+       warm is not slower than cold; writes no JSON)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hybrid import HybridSolver
+from repro.core.validation import check_batch_arrays
+from repro.engine import ExecutionEngine
+
+
+def make_batch(m: int, n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    c = rng.standard_normal((m, n))
+    a[:, 0] = 0.0
+    c[:, -1] = 0.0
+    b = 4.0 + np.abs(a) + np.abs(c)
+    d = rng.standard_normal((m, n))
+    return a, b, c, d
+
+
+def seed_solve(a, b, c, d, **kwargs):
+    """The pre-engine ``repro.solve_batch`` path, reproduced verbatim."""
+    a, b, c, d = check_batch_arrays(a, b, c, d)
+    return HybridSolver(**kwargs).solve_batch(a, b, c, d, check=False)
+
+
+def time_loop(fn, iters: int) -> float:
+    """Best-of-loop mean: seconds per call over ``iters`` calls."""
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    return (time.perf_counter() - t0) / iters
+
+
+def bench_case(name: str, m: int, n: int, iters: int, **solver_kwargs):
+    a, b, c, d = make_batch(m, n, seed=m + n)
+    engine = ExecutionEngine()
+
+    x_seed = seed_solve(a, b, c, d, **solver_kwargs)
+    x_cold = engine.solve_batch(a, b, c, d, **solver_kwargs)
+    bitwise = bool(np.array_equal(x_seed, x_cold))
+
+    def run_seed():
+        seed_solve(a, b, c, d, **solver_kwargs)
+
+    def run_cold():
+        engine.clear()
+        engine.solve_batch(a, b, c, d, **solver_kwargs)
+
+    def run_warm():
+        engine.solve_batch(a, b, c, d, **solver_kwargs)
+
+    run_warm()  # prime plan + workspace pool before timing warm
+    t_seed = time_loop(run_seed, iters)
+    t_cold = time_loop(run_cold, iters)
+    t_warm = time_loop(run_warm, iters)
+
+    k = engine.last_report.k
+    result = {
+        "case": name,
+        "m": m,
+        "n": n,
+        "k": k,
+        "iters": iters,
+        "solver_kwargs": {k_: str(v) for k_, v in solver_kwargs.items()},
+        "seed_s_per_iter": t_seed,
+        "cold_s_per_iter": t_cold,
+        "warm_s_per_iter": t_warm,
+        "speedup_warm_vs_seed": t_seed / t_warm,
+        "speedup_warm_vs_cold": t_cold / t_warm,
+        "bitwise_identical_to_seed": bitwise,
+    }
+    print(
+        f"{name:28s} M={m:5d} N={n:5d} k={k}  "
+        f"seed {t_seed * 1e3:9.3f} ms  cold {t_cold * 1e3:9.3f} ms  "
+        f"warm {t_warm * 1e3:9.3f} ms  "
+        f"warm/seed {result['speedup_warm_vs_seed']:5.2f}x  "
+        f"bitwise={'ok' if bitwise else 'FAIL'}"
+    )
+    return result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small problem, few iterations, assert warm <= cold, no JSON",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+        help="output JSON path (ignored with --smoke)",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        res = bench_case("smoke-thomas", 256, 256, iters=5)
+        res2 = bench_case("smoke-hybrid", 8, 512, iters=5, k=4)
+        assert res["bitwise_identical_to_seed"], "engine diverged from seed"
+        assert res2["bitwise_identical_to_seed"], "engine diverged from seed"
+        # warm must never lose to cold (tolerate timer noise on tiny runs)
+        for r in (res, res2):
+            assert r["warm_s_per_iter"] <= r["cold_s_per_iter"] * 1.10, (
+                f"warm slower than cold: {r}"
+            )
+        print("smoke OK: warm <= cold, bitwise identical")
+        return
+
+    results = [
+        # the acceptance case: paper's large-M regime (k = 0 -> Thomas)
+        bench_case("large-M thomas", 1024, 1024, iters=50),
+        # small-M regime: tiled-PCR front-end + p-Thomas back-end
+        bench_case("small-M hybrid", 16, 2048, iters=10),
+        # fused back-end
+        bench_case("small-M fused", 32, 1024, iters=10, fuse=True),
+    ]
+
+    headline = results[0]
+    payload = {
+        "benchmark": "bench_engine",
+        "description": (
+            "seed (pre-engine solve_batch) vs cold (plan cache cleared "
+            "every call) vs warm (cached plan + pooled workspaces); "
+            "seconds per solve"
+        ),
+        "acceptance": {
+            "target": "warm >= 2x over seed at M=1024 N=1024 x50",
+            "speedup_warm_vs_seed": headline["speedup_warm_vs_seed"],
+            "met": headline["speedup_warm_vs_seed"] >= 2.0,
+        },
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    if not payload["acceptance"]["met"]:
+        raise SystemExit("acceptance target missed: warm < 2x over seed")
+    print(
+        f"acceptance met: warm plan is "
+        f"{headline['speedup_warm_vs_seed']:.2f}x over the seed path"
+    )
+
+
+if __name__ == "__main__":
+    main()

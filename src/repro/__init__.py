@@ -55,6 +55,7 @@ from repro.core import (
     thomas_solve,
     thomas_solve_batch,
 )
+from repro.engine import ExecutionEngine, SolvePlan, default_engine
 from repro.util import BatchTridiagonal, TridiagonalSystem
 
 __version__ = "1.0.0"
@@ -79,6 +80,9 @@ __all__ = [
     "rd_solve_batch",
     "ThomasFactorization",
     "HybridFactorization",
+    "ExecutionEngine",
+    "SolvePlan",
+    "default_engine",
     "TridiagonalSystem",
     "BatchTridiagonal",
     "__version__",

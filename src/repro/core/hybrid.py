@@ -19,15 +19,27 @@ emits it, instead of waiting for the full sweep — the PCR results never
 round-trip through global memory ("register tiling").  Numerically the
 fused and unfused paths are identical; the saved traffic shows up in the
 GPU timing model (:mod:`repro.kernels.fused_kernel`).
+
+For repeated solves of one problem shape, prefer routing through the
+solve-plan engine (:mod:`repro.engine`): it freezes the transition
+choice and owns the sliding-window / p-Thomas workspaces across calls,
+so only the first solve pays planning and allocation cost.  This class
+remains the single-call reference implementation the engine is held
+bitwise-equal to.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
-from repro.core.pthomas import pthomas_solve_interleaved
+from repro.core.pthomas import (
+    PThomasWorkspace,
+    pthomas_solve_interleaved,
+    subsystem_lengths,
+)
 from repro.core.thomas import thomas_solve_batch
 from repro.core.tiled_pcr import TiledPCR, TilingCounters
 from repro.core.transition import (
@@ -38,7 +50,30 @@ from repro.core.transition import (
 )
 from repro.core.validation import check_batch_arrays
 
-__all__ = ["HybridSolver", "HybridReport"]
+__all__ = ["HybridSolver", "HybridReport", "choose_transition"]
+
+
+def choose_transition(
+    m: int,
+    n: int,
+    *,
+    k: int | None = None,
+    heuristic: TransitionHeuristic = GTX480_HEURISTIC,
+    parallelism: int | None = None,
+) -> tuple:
+    """Pick the PCR step count for an ``M × N`` problem.
+
+    Returns ``(k, source)`` where source is ``"fixed"``, ``"analytic"``
+    or ``"heuristic"``.  Shared by :class:`HybridSolver` and the plan
+    engine so both freeze the identical transition.
+    """
+    if k is not None:
+        return clamp_k(k, n), "fixed"
+    if parallelism is not None:
+        n_log2 = max(0, int(np.ceil(np.log2(n))))
+        k_sel = select_k_analytic(n_log2, m, parallelism)
+        return clamp_k(k_sel, n), "analytic"
+    return heuristic.k_for(m, n), "heuristic"
 
 
 @dataclass
@@ -59,19 +94,18 @@ class HybridReport:
         """Eliminations spent in the tiled-PCR front-end."""
         return self.tiling.eliminations
 
-    @property
+    @cached_property
     def thomas_eliminations(self) -> int:
         """Eliminations spent in the p-Thomas back-end (``2·L − 1`` per
-        subsystem, ``L`` the subsystem length)."""
-        if self.k == 0:
-            return self.m * (2 * self.n - 1)
-        g = 1 << self.k
-        total = 0
-        for j in range(g):
-            L = -(-(self.n - j) // g)
-            if L > 0:
-                total += 2 * L - 1
-        return self.m * total
+        subsystem, ``L`` the subsystem length).
+
+        Computed vectorized from :func:`subsystem_lengths` and cached on
+        first access (the report's shape fields are written once, at
+        solve time).
+        """
+        lengths = subsystem_lengths(self.n, self.k)
+        lengths = lengths[lengths > 0]
+        return int(self.m * np.sum(2 * lengths - 1))
 
 
 class _FusedPThomas:
@@ -83,12 +117,26 @@ class _FusedPThomas:
     Section III-C: "the updated partial result is stored in the same
     registers ... while the previous results are written to global
     memory".
+
+    State lives in a :class:`~repro.core.pthomas.PThomasWorkspace`
+    (supplied by the caller for reuse across solves, or allocated here);
+    every slab fold runs through ``out=`` kernels, so consuming a sweep
+    allocates nothing.
     """
 
-    def __init__(self, m: int, n: int, k: int, dtype):
+    def __init__(self, m: int, n: int, k: int, dtype, workspace=None):
         self.m, self.n, self.g = m, n, 1 << k
-        self.cp = np.zeros((m, n), dtype=dtype)
-        self.dp = np.zeros((m, n), dtype=dtype)
+        if workspace is None:
+            workspace = PThomasWorkspace(m, n, k, dtype)
+        elif not workspace.compatible(m, n, k, dtype):
+            raise ValueError(
+                f"workspace (m={workspace.m}, n={workspace.n}, "
+                f"k={workspace.k}, dtype={workspace.dtype}) does not fit "
+                f"fused solve (m={m}, n={n}, k={k}, dtype={np.dtype(dtype)})"
+            )
+        self._ws = workspace
+        self.cp = workspace.cp
+        self.dp = workspace.dp
         self._next = 0  # forward-reduction frontier (global row index)
 
     def consume(self, e0: int, e1: int, quad: tuple) -> None:
@@ -99,6 +147,7 @@ class _FusedPThomas:
             )
         a, b, c, d = quad
         g = self.g
+        cp, dp = self.cp, self.dp
         lo = e0
         while lo < e1:
             # advance to the next level boundary (multiple of g)
@@ -107,29 +156,43 @@ class _FusedPThomas:
             sl = slice(lo, hi)
             src = slice(lo - e0, hi - e0)
             if lo < g:
-                self.cp[:, sl] = c[:, src] / b[:, src]
-                self.dp[:, sl] = d[:, src] / b[:, src]
+                np.divide(c[:, src], b[:, src], out=cp[:, sl])
+                np.divide(d[:, src], b[:, src], out=dp[:, sl])
             else:
                 prev = slice(lo - g, lo - g + w)
-                denom = b[:, src] - self.cp[:, prev] * a[:, src]
-                self.cp[:, sl] = c[:, src] / denom
-                self.dp[:, sl] = (
-                    d[:, src] - self.dp[:, prev] * a[:, src]
-                ) / denom
+                t1, t2 = self._ws.t1[:, :w], self._ws.t2[:, :w]
+                # denom = b - cp_prev * a
+                np.multiply(cp[:, prev], a[:, src], out=t1)
+                np.subtract(b[:, src], t1, out=t1)
+                np.divide(c[:, src], t1, out=cp[:, sl])
+                # dp = (d - dp_prev * a) / denom
+                np.multiply(dp[:, prev], a[:, src], out=t2)
+                np.subtract(d[:, src], t2, out=t2)
+                np.divide(t2, t1, out=dp[:, sl])
             lo = hi
         self._next = e1
 
-    def backward(self) -> np.ndarray:
-        """Run the backward substitution once every row has been consumed."""
+    def backward(self, out=None) -> np.ndarray:
+        """Run the backward substitution once every row has been consumed.
+
+        ``out``, if given, receives the solution in place (must match
+        shape and dtype).
+        """
         if self._next != self.n:
             raise RuntimeError(
                 f"forward pass incomplete: {self._next} of {self.n} rows"
             )
         m, n, g = self.m, self.n, self.g
-        x = np.empty((m, n), dtype=self.cp.dtype)
+        cp, dp = self.cp, self.dp
+        if out is not None and (out.shape != (m, n) or out.dtype != cp.dtype):
+            raise ValueError(
+                f"out (shape {out.shape}, dtype {out.dtype}) does not fit "
+                f"solve (shape ({m}, {n}), dtype {cp.dtype})"
+            )
+        x = out if out is not None else np.empty((m, n), dtype=cp.dtype)
         L = -(-n // g)
         last_lo = (L - 1) * g
-        x[:, last_lo:n] = self.dp[:, last_lo:n]
+        x[:, last_lo:n] = dp[:, last_lo:n]
         for l in range(L - 2, -1, -1):
             lo = l * g
             hi = lo + g
@@ -137,10 +200,12 @@ class _FusedPThomas:
             w_next = nxt_hi - hi
             cur = slice(lo, lo + w_next)
             nxt = slice(hi, nxt_hi)
-            x[:, cur] = self.dp[:, cur] - self.cp[:, cur] * x[:, nxt]
+            t1 = self._ws.t1[:, :w_next]
+            np.multiply(cp[:, cur], x[:, nxt], out=t1)
+            np.subtract(dp[:, cur], t1, out=x[:, cur])
             if w_next < g:
                 tail = slice(lo + w_next, hi)
-                x[:, tail] = self.dp[:, tail]
+                x[:, tail] = dp[:, tail]
         return x
 
 
@@ -197,13 +262,13 @@ class HybridSolver:
         Returns ``(k, source)`` where source is ``"fixed"``,
         ``"analytic"`` or ``"heuristic"``.
         """
-        if self.k is not None:
-            return clamp_k(self.k, n), "fixed"
-        if self.parallelism is not None:
-            n_log2 = max(0, int(np.ceil(np.log2(n))))
-            k = select_k_analytic(n_log2, m, self.parallelism)
-            return clamp_k(k, n), "analytic"
-        return self.heuristic.k_for(m, n), "heuristic"
+        return choose_transition(
+            m,
+            n,
+            k=self.k,
+            heuristic=self.heuristic,
+            parallelism=self.parallelism,
+        )
 
     def solve_batch(self, a, b, c, d, *, check: bool = True) -> np.ndarray:
         """Solve an ``(M, N)`` batch; fills :attr:`last_report`."""

@@ -14,14 +14,23 @@ The CPU realization below keeps the arrays in their interleaved layout
 and vectorizes the per-step work across the ``(M, 2^k)`` thread grid,
 which both computes the right answer and preserves the exact memory-walk
 structure the coalescing analysis in :mod:`repro.kernels.pthomas_kernel`
-reasons about.
+reasons about.  Every slab update is written with explicit ``out=``
+kernels into preallocated state — the modified coefficients ``c'``/``d'``
+and two thread-wide scratch rows — so a solve allocates nothing beyond
+its result.  The state can be owned externally
+(:class:`PThomasWorkspace`, pooled per plan by :mod:`repro.engine`) and
+reused across repeated solves.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["pthomas_solve_interleaved", "subsystem_lengths"]
+__all__ = [
+    "PThomasWorkspace",
+    "pthomas_solve_interleaved",
+    "subsystem_lengths",
+]
 
 
 def subsystem_lengths(n: int, k: int) -> np.ndarray:
@@ -35,7 +44,36 @@ def subsystem_lengths(n: int, k: int) -> np.ndarray:
     return -(-(n - j) // g)
 
 
-def pthomas_solve_interleaved(a, b, c, d, k: int) -> np.ndarray:
+class PThomasWorkspace:
+    """Preallocated p-Thomas state for ``(M, N)`` solves after ``k`` steps.
+
+    Holds the modified coefficients ``cp``/``dp`` (fully overwritten by
+    every forward pass) and two ``(M, 2^k)`` scratch rows for the
+    ``out=`` kernels.  Reusable across solves of the same shape.
+    """
+
+    def __init__(self, m: int, n: int, k: int, dtype):
+        dtype = np.dtype(dtype)
+        self.m, self.n, self.k, self.dtype = m, n, k, dtype
+        g = min(1 << k, n)
+        self.cp = np.empty((m, n), dtype=dtype)
+        self.dp = np.empty((m, n), dtype=dtype)
+        self.t1 = np.empty((m, g), dtype=dtype)
+        self.t2 = np.empty((m, g), dtype=dtype)
+
+    def compatible(self, m: int, n: int, k: int, dtype) -> bool:
+        """True if this workspace fits a solve of the given shape."""
+        return (
+            self.m == m
+            and self.n == n
+            and self.k == k
+            and self.dtype == np.dtype(dtype)
+        )
+
+
+def pthomas_solve_interleaved(
+    a, b, c, d, k: int, *, workspace=None, out=None
+) -> np.ndarray:
     """Solve the ``2^k`` interleaved subsystems of each batch row.
 
     Parameters
@@ -46,11 +84,19 @@ def pthomas_solve_interleaved(a, b, c, d, k: int) -> np.ndarray:
     k:
         Number of PCR steps that produced the input.  ``k = 0`` reduces to
         plain batched Thomas.
+    workspace:
+        Optional :class:`PThomasWorkspace` reused across same-shape
+        solves; omitted, state is allocated for this call.
+    out:
+        Optional ``(M, N)`` destination for the solution (e.g. a shard
+        slice of a larger batch).  Must match shape and dtype.
 
     Returns
     -------
     numpy.ndarray
-        ``(M, N)`` solutions in the original row order.
+        ``(M, N)`` solutions in the original row order (``out`` if
+        given, else freshly allocated — the workspace never aliases the
+        result).
 
     Notes
     -----
@@ -66,34 +112,55 @@ def pthomas_solve_interleaved(a, b, c, d, k: int) -> np.ndarray:
     d = np.asarray(d)
     m, n = b.shape
     g = 1 << k
+    if out is not None and (out.shape != (m, n) or out.dtype != b.dtype):
+        raise ValueError(
+            f"out (shape {out.shape}, dtype {out.dtype}) does not fit "
+            f"solve (shape ({m}, {n}), dtype {b.dtype})"
+        )
     if g >= n:
         # Every subsystem is a single row: rows are already decoupled
         # (c_i refers past the end; PCR guarantees it is 0).
+        if out is not None:
+            np.divide(d, b, out=out)
+            return out
         return d / b
     L = -(-n // g)  # number of Thomas levels (longest subsystem length)
 
     dtype = b.dtype
-    cp = np.zeros((m, n), dtype=dtype)
-    dp = np.zeros((m, n), dtype=dtype)
+    if workspace is None:
+        workspace = PThomasWorkspace(m, n, k, dtype)
+    elif not workspace.compatible(m, n, k, dtype):
+        raise ValueError(
+            f"workspace (m={workspace.m}, n={workspace.n}, k={workspace.k}, "
+            f"dtype={workspace.dtype}) does not fit solve "
+            f"(m={m}, n={n}, k={k}, dtype={dtype})"
+        )
+    cp, dp = workspace.cp, workspace.dp
 
     # Forward reduction, level by level.  Level l of subsystem j is global
     # row l*g + j; the slab [l*g, min((l+1)*g, n)) is contiguous.
     lo, hi = 0, min(g, n)
-    cp[:, lo:hi] = c[:, lo:hi] / b[:, lo:hi]
-    dp[:, lo:hi] = d[:, lo:hi] / b[:, lo:hi]
+    np.divide(c[:, lo:hi], b[:, lo:hi], out=cp[:, lo:hi])
+    np.divide(d[:, lo:hi], b[:, lo:hi], out=dp[:, lo:hi])
     for l in range(1, L):
         lo = l * g
         hi = min(lo + g, n)
         w = hi - lo
         prev = slice(lo - g, lo - g + w)
         cur = slice(lo, hi)
-        denom = b[:, cur] - cp[:, prev] * a[:, cur]
-        cp[:, cur] = c[:, cur] / denom
-        dp[:, cur] = (d[:, cur] - dp[:, prev] * a[:, cur]) / denom
+        t1, t2 = workspace.t1[:, :w], workspace.t2[:, :w]
+        # denom = b - cp_prev * a
+        np.multiply(cp[:, prev], a[:, cur], out=t1)
+        np.subtract(b[:, cur], t1, out=t1)
+        np.divide(c[:, cur], t1, out=cp[:, cur])
+        # dp = (d - dp_prev * a) / denom
+        np.multiply(dp[:, prev], a[:, cur], out=t2)
+        np.subtract(d[:, cur], t2, out=t2)
+        np.divide(t2, t1, out=dp[:, cur])
 
     # Backward substitution.  The *last* row of subsystem j is at level
     # L-1 when j < n - (L-1)*g, else at level L-2.
-    x = np.empty((m, n), dtype=dtype)
+    x = out if out is not None else np.empty((m, n), dtype=dtype)
     last_lo = (L - 1) * g
     x[:, last_lo:n] = dp[:, last_lo:n]
     for l in range(L - 2, -1, -1):
@@ -103,9 +170,9 @@ def pthomas_solve_interleaved(a, b, c, d, k: int) -> np.ndarray:
         w_next = nxt_hi - hi  # threads that have a later row
         cur_with_next = slice(lo, lo + w_next)
         nxt = slice(hi, nxt_hi)
-        x[:, cur_with_next] = (
-            dp[:, cur_with_next] - cp[:, cur_with_next] * x[:, nxt]
-        )
+        t1 = workspace.t1[:, :w_next]
+        np.multiply(cp[:, cur_with_next], x[:, nxt], out=t1)
+        np.subtract(dp[:, cur_with_next], t1, out=x[:, cur_with_next])
         if w_next < g and hi <= n:
             # Threads whose subsystem ends at this level: x = d'.
             tail = slice(lo + w_next, min(hi, n))

@@ -17,6 +17,12 @@ True
 ``algorithm="auto"`` picks the hybrid with the paper's Table III
 transition; explicit names select a specific algorithm (useful for
 comparisons and education).
+
+``auto``/``hybrid`` solves route through the process-wide solve-plan
+engine (:mod:`repro.engine`): the first solve of a given ``(M, N,
+dtype, …)`` signature plans and allocates, repeated solves reuse both.
+Pass ``workers=W`` to shard the batch axis across a thread pool —
+results are bitwise independent of ``W``.
 """
 
 from __future__ import annotations
@@ -24,11 +30,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.cr import cr_solve_batch
-from repro.core.hybrid import HybridSolver
 from repro.core.pcr import pcr_solve_batch
 from repro.core.rd import rd_solve_batch
 from repro.core.thomas import thomas_solve_batch
-from repro.core.validation import check_batch_arrays, check_system_arrays
+from repro.core.validation import (
+    check_batch_arrays,
+    check_system_arrays,
+    coerce_batch_arrays,
+)
 
 __all__ = ["solve", "solve_batch", "ALGORITHMS"]
 
@@ -51,9 +60,14 @@ def solve_batch(
         ``"thomas"``, ``"cr"``, ``"pcr"``, ``"rd"``.
     check:
         Validate inputs (recommended; disable only in hot loops).
+        Inputs are *coerced* (lists → arrays, uniform float dtype)
+        unconditionally; ``check=False`` only skips the validation.
     **kwargs:
-        Forwarded to :class:`~repro.core.hybrid.HybridSolver` for the
-        hybrid/auto algorithms (``k``, ``fuse``, ``n_windows``, …).
+        For the hybrid/auto algorithms: the
+        :class:`~repro.core.hybrid.HybridSolver` knobs (``k``, ``fuse``,
+        ``n_windows``, ``subtile_scale``, ``heuristic``,
+        ``parallelism``) plus ``workers=W`` to shard the batch across a
+        thread pool (see :meth:`repro.engine.ExecutionEngine.solve_batch`).
 
     Returns
     -------
@@ -64,8 +78,12 @@ def solve_batch(
         raise ValueError(f"unknown algorithm {algorithm!r}; pick from {ALGORITHMS}")
     if check:
         a, b, c, d = check_batch_arrays(a, b, c, d)
+    else:
+        a, b, c, d = coerce_batch_arrays(a, b, c, d)
     if algorithm in ("auto", "hybrid"):
-        return HybridSolver(**kwargs).solve_batch(a, b, c, d, check=False)
+        from repro.engine import default_engine
+
+        return default_engine().solve_batch(a, b, c, d, check=False, **kwargs)
     if kwargs:
         raise TypeError(
             f"algorithm {algorithm!r} accepts no extra options, got {sorted(kwargs)}"

@@ -35,6 +35,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.ringbuf import RingRows
+
 __all__ = [
     "Level",
     "StreamingPipeline",
@@ -158,43 +160,58 @@ class StreamingPipeline:
         else:
             sink = emit
 
-        # per-level trailing buffers and frontiers
+        # Per-level trailing caches (fixed-capacity ring buffers) and
+        # frontiers.  Ring ``l`` holds level ``l``'s *input*; it is sized
+        # for the retention budget plus append/compaction headroom and
+        # never reallocates.  Rings for l > 0 are created on the first
+        # rows their producing level emits (fixing channel dtypes then);
+        # until that moment the level cannot advance anyway.
         keeps = [lv.left + lv.right for lv in self.levels]
+        init_w = [max(1, keeps[l]) for l in range(L)]
         lag0 = sum(lv.right for lv in self.levels)
         start = -sum(lv.left + lv.right for lv in self.levels)  # warm-up zone
-        bufs = [
-            self.boundary_fill(m, max(1, keeps[l]), dtype) for l in range(L)
-        ]
-        buf_widths = [max(1, keeps[l]) for l in range(L)]
+        S = self.chunk
+
+        def make_ring(l: int, like: tuple) -> RingRows:
+            ring = RingRows(
+                m,
+                init_w[l] + 2 * S,
+                [np.result_type(dtype, x.dtype) for x in like],
+                channels=len(like),
+            )
+            fill = self.boundary_fill(m, init_w[l], dtype)
+            for dst, src in zip(ring.append(init_w[l]), fill):
+                dst[...] = src
+            return ring
+
+        rings: list = [make_ring(0, channels)] + [None] * (L - 1)
         frontiers = [start] * (L + 1)
         pos = start
         peak = 0
 
         while frontiers[L] < n:
             # 1. fetch one chunk of raw rows (boundary-filled outside)
-            lo, hi = pos, pos + self.chunk
+            lo, hi = pos, pos + S
             in_lo, in_hi = max(lo, 0), min(hi, n)
+            views = rings[0].append(S)
             if in_lo >= in_hi:
                 # the whole chunk lies outside the domain
-                chunk = self.boundary_fill(m, hi - lo, dtype)
+                fill = self.boundary_fill(m, hi - lo, dtype)
+                for dst, src in zip(views, fill):
+                    dst[...] = src
             else:
-                parts = []
                 if lo < in_lo:
-                    parts.append(self.boundary_fill(m, in_lo - lo, dtype))
-                parts.append(tuple(ch[:, in_lo:in_hi] for ch in channels))
+                    fill = self.boundary_fill(m, in_lo - lo, dtype)
+                    for dst, src in zip(views, fill):
+                        dst[:, : in_lo - lo] = src
+                for dst, ch in zip(views, channels):
+                    dst[:, in_lo - lo : in_hi - lo] = ch[:, in_lo:in_hi]
                 self.counters.rows_loaded += (in_hi - in_lo) * m
                 if hi > in_hi:
-                    parts.append(self.boundary_fill(m, hi - in_hi, dtype))
-                chunk = parts[0]
-                for p in parts[1:]:
-                    chunk = tuple(
-                        np.concatenate([x, y], axis=1) for x, y in zip(chunk, p)
-                    )
+                    fill = self.boundary_fill(m, hi - in_hi, dtype)
+                    for dst, src in zip(views, fill):
+                        dst[:, in_hi - lo :] = src
             pos = hi
-            bufs[0] = tuple(
-                np.concatenate([x, y], axis=1) for x, y in zip(bufs[0], chunk)
-            )
-            buf_widths[0] += self.chunk
             frontiers[0] = hi
 
             # 2. advance each level as far as its input frontier allows
@@ -204,10 +221,12 @@ class StreamingPipeline:
                 w = new_f - old_f
                 if w <= 0:
                     continue
-                buf_lo = frontiers[l] - buf_widths[l]
+                ring = rings[l]
+                buf_lo = frontiers[l] - ring.width
                 i0 = (old_f - lv.left) - buf_lo
-                i1 = (new_f + lv.right) - buf_lo
-                window = tuple(x[:, i0:i1] for x in bufs[l])
+                # the window's upper edge new_f + right == frontiers[l],
+                # i.e. exactly the ring's trailing row
+                window = ring.view(i0, ring.width)
                 produced = lv.apply(window)
                 if produced[0].shape[1] != w:
                     raise ValueError(
@@ -216,11 +235,10 @@ class StreamingPipeline:
                     )
                 frontiers[l + 1] = new_f
                 if l + 1 < L:
-                    bufs[l + 1] = tuple(
-                        np.concatenate([x, y], axis=1)
-                        for x, y in zip(bufs[l + 1], produced)
-                    )
-                    buf_widths[l + 1] += w
+                    if rings[l + 1] is None:
+                        rings[l + 1] = make_ring(l + 1, produced)
+                    for dst, src in zip(rings[l + 1].append(w), produced):
+                        dst[...] = src
                 else:
                     e0, e1 = max(old_f, 0), min(new_f, n)
                     if e0 < e1:
@@ -231,15 +249,15 @@ class StreamingPipeline:
                         )
                         self.counters.rows_produced += (e1 - e0) * m
 
-            # 3. trim caches to their dependency budget
+            # 3. trim caches to their dependency budget (offset advance)
             for l, lv in enumerate(self.levels):
+                if rings[l] is None:
+                    continue
                 needed_from = frontiers[l + 1] - lv.left
-                keep = max(1, frontiers[l] - needed_from)
-                if buf_widths[l] > keep:
-                    cut = buf_widths[l] - keep
-                    bufs[l] = tuple(x[:, cut:] for x in bufs[l])
-                    buf_widths[l] = keep
-            peak = max(peak, sum(buf_widths))
+                rings[l].trim_to(max(1, frontiers[l] - needed_from))
+            peak = max(
+                peak, sum(r.width for r in rings if r is not None)
+            )
             self.counters.rounds += 1
 
         self.counters.cache_rows_peak = peak

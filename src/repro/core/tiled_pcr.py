@@ -23,6 +23,18 @@ summing over levels gives total state ``Σ 2^{l+1} = 2·f(k)`` — the
 paper's minimum cache capacity (the shipped layout allocates ``3·f(k)``
 for alignment margins; see :mod:`repro.core.window`).
 
+The ring-buffer realization
+---------------------------
+Each per-level cache lives in a **fixed-capacity ring buffer**
+(:class:`repro.core.ringbuf.RingRows`): producers write new rows in
+place through ``append`` views, the trim is an offset advance, and the
+occasional compaction copy is the paper's once-per-round cache-
+management copy.  A sweep therefore performs *zero* per-sub-tile
+allocations — the buffers are owned by a :class:`TiledWorkspace` that
+the solve-plan engine (:mod:`repro.engine`) reuses across repeated
+solves, exactly as the GPU kernel reuses its shared-memory block across
+rounds.  Passing no workspace allocates one per sweep.
+
 Multi-window regions (Fig. 11b)
 -------------------------------
 A system may also be cut into ``W`` regions processed by independent
@@ -44,10 +56,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.cost_model import f_redundant_loads
+from repro.core.ringbuf import RingRows
 from repro.core.validation import check_batch_arrays
 
 __all__ = [
     "TiledPCR",
+    "TiledWorkspace",
     "TilingCounters",
     "tiled_pcr_sweep",
     "naive_tiled_pcr_sweep",
@@ -90,6 +104,15 @@ def _identity_rows(m: int, w: int, dtype) -> tuple:
     return z, np.ones((m, w), dtype=dtype), z.copy(), z.copy()
 
 
+def _fill_identity(views: tuple) -> None:
+    """Write identity rows into preallocated ``(a, b, c, d)`` views."""
+    a, b, c, d = views
+    a[...] = 0.0
+    b[...] = 1.0
+    c[...] = 0.0
+    d[...] = 0.0
+
+
 def _concat(q1: tuple, q2: tuple) -> tuple:
     return tuple(np.concatenate([x, y], axis=1) for x, y in zip(q1, q2))
 
@@ -125,6 +148,40 @@ def _pcr_local(q: tuple, s: int) -> tuple:
     )
 
 
+def _pcr_local_into(q: tuple, s: int, out: tuple, k1, k2, tmp) -> None:
+    """:func:`_pcr_local`, written into preallocated ``out`` views.
+
+    ``k1``, ``k2``, ``tmp`` are ``(M, w)`` scratch views.  The operation
+    order matches :func:`_pcr_local` exactly, so results are bitwise
+    identical (the ``-x*y`` of the allocating form equals ``-(x*y)``
+    because IEEE-754 negation is exact).
+    """
+    a, b, c, d = q
+    w = a.shape[1] - 2 * s
+    a_m, b_m, c_m, d_m = (x[:, :w] for x in (a, b, c, d))
+    a_c, b_c, c_c, d_c = (x[:, s : s + w] for x in (a, b, c, d))
+    a_p, b_p, c_p, d_p = (x[:, 2 * s : 2 * s + w] for x in (a, b, c, d))
+    oa, ob, oc, od = out
+    np.divide(a_c, b_m, out=k1)
+    np.divide(c_c, b_p, out=k2)
+    # a' = -a_m * k1
+    np.multiply(a_m, k1, out=oa)
+    np.negative(oa, out=oa)
+    # b' = b_c - c_m*k1 - a_p*k2
+    np.multiply(c_m, k1, out=tmp)
+    np.subtract(b_c, tmp, out=ob)
+    np.multiply(a_p, k2, out=tmp)
+    np.subtract(ob, tmp, out=ob)
+    # c' = -c_p * k2
+    np.multiply(c_p, k2, out=oc)
+    np.negative(oc, out=oc)
+    # d' = d_c - d_m*k1 - d_p*k2
+    np.multiply(d_m, k1, out=tmp)
+    np.subtract(d_c, tmp, out=od)
+    np.multiply(d_p, k2, out=tmp)
+    np.subtract(od, tmp, out=od)
+
+
 class _RawProvider:
     """Streams raw rows of a batch, padding out-of-range rows with identity.
 
@@ -139,11 +196,11 @@ class _RawProvider:
         self.dtype = quads[0].dtype
         self.counters = counters
 
-    def fetch(self, lo: int, hi: int, region: tuple) -> tuple:
-        """Rows ``[lo, hi)`` in global coordinates (identity outside [0, n)).
+    def _count(self, lo: int, hi: int, region: tuple) -> None:
+        """Ledger update for a fetch of global rows ``[lo, hi)``.
 
-        The ledger counts ``(a, b, c, d)`` quadruples: a fetch of ``w``
-        row indices on an ``M``-system batch loads ``w · M`` quadruples.
+        Counts ``(a, b, c, d)`` quadruples: a fetch of ``w`` row indices
+        on an ``M``-system batch loads ``w · M`` quadruples.
         """
         r0, r1 = region
         in_lo, in_hi = max(lo, 0), min(hi, self.n)
@@ -153,6 +210,11 @@ class _RawProvider:
             red_lo, red_hi = max(in_lo, r0), min(in_hi, r1)
             inside = max(0, red_hi - red_lo)
             self.counters.rows_loaded_redundant += (real - inside) * self.m
+
+    def fetch(self, lo: int, hi: int, region: tuple) -> tuple:
+        """Rows ``[lo, hi)`` in global coordinates (identity outside [0, n))."""
+        self._count(lo, hi, region)
+        in_lo, in_hi = max(lo, 0), min(hi, self.n)
         if in_lo >= in_hi:
             return _identity_rows(self.m, hi - lo, self.dtype)
         body = _slice(self.quads, in_lo, in_hi)
@@ -161,6 +223,59 @@ class _RawProvider:
         if hi > in_hi:
             body = _concat(body, _identity_rows(self.m, hi - in_hi, self.dtype))
         return body
+
+    def fetch_into(self, lo: int, hi: int, region: tuple, views: tuple) -> None:
+        """:meth:`fetch`, written into preallocated ``(M, hi − lo)`` views."""
+        self._count(lo, hi, region)
+        in_lo, in_hi = max(lo, 0), min(hi, self.n)
+        if in_lo >= in_hi:
+            _fill_identity(views)
+            return
+        j0, j1 = in_lo - lo, in_hi - lo
+        if j0 > 0:
+            _fill_identity(tuple(v[:, :j0] for v in views))
+        for dst, src in zip(views, self.quads):
+            dst[:, j0:j1] = src[:, in_lo:in_hi]
+        if j1 < hi - lo:
+            _fill_identity(tuple(v[:, j1:] for v in views))
+
+
+class TiledWorkspace:
+    """Preallocated ring buffers and scratch for one sliding-window sweep.
+
+    Owns everything a :meth:`TiledPCR.sweep` call writes besides its
+    output: the per-level trailing caches (ring buffers of capacity
+    ``2^{l+1} + 2S`` — retention budget plus append headroom, the
+    paper's ``3·f(k)``-style alignment margin), the level-``k`` staging
+    slab the finished rows are emitted from, and the ``k1/k2`` scratch
+    of the PCR elimination.  Reusable across sweeps of the same shape;
+    the solve-plan engine (:mod:`repro.engine`) pools these per plan.
+    """
+
+    def __init__(self, m: int, k: int, subtile: int, dtype):
+        dtype = np.dtype(dtype)
+        self.m = m
+        self.k = k
+        self.subtile = subtile
+        self.dtype = dtype
+        S = subtile
+        self.rings = [
+            RingRows(m, 2 ** (l + 1) + 2 * S, dtype, channels=4)
+            for l in range(k)
+        ]
+        self.stage = tuple(np.empty((m, S), dtype=dtype) for _ in range(4))
+        self.k1 = np.empty((m, S), dtype=dtype)
+        self.k2 = np.empty((m, S), dtype=dtype)
+        self.tmp = np.empty((m, S), dtype=dtype)
+
+    def compatible(self, m: int, k: int, subtile: int, dtype) -> bool:
+        """True if this workspace fits a sweep of the given shape."""
+        return (
+            self.m == m
+            and self.k == k
+            and self.subtile == subtile
+            and self.dtype == np.dtype(dtype)
+        )
 
 
 @dataclass
@@ -214,7 +329,13 @@ class TiledPCR:
         """Rows the window advances per round (``c · 2^k``, Table I)."""
         return self.c * (1 << self.k)
 
-    def sweep(self, a, b, c, d, *, check: bool = True, emit=None) -> tuple | None:
+    def make_workspace(self, m: int, dtype) -> TiledWorkspace:
+        """Allocate a reusable workspace for ``(M, ·)`` sweeps."""
+        return TiledWorkspace(m, self.k, self.subtile, dtype)
+
+    def sweep(
+        self, a, b, c, d, *, check: bool = True, emit=None, workspace=None
+    ) -> tuple | None:
         """Run the k-step sweep over an ``(M, N)`` batch.
 
         Returns the reduced ``(a, b, c, d)`` — bitwise equal to
@@ -225,7 +346,12 @@ class TiledPCR:
         ascending, non-overlapping, covering ``[0, N)``) *instead of*
         materializing output arrays, and ``None`` is returned.  This is
         the hook kernel fusion uses to feed p-Thomas forward reduction
-        progressively (Section III-C).
+        progressively (Section III-C).  The slab views are only valid
+        during the call — consumers must copy what they keep.
+
+        ``workspace`` is an optional :class:`TiledWorkspace` (from
+        :meth:`make_workspace`) reused across sweeps of the same shape;
+        omitted, one is allocated for this sweep.
         """
         if check:
             a, b, c, d = check_batch_arrays(a, b, c, d)
@@ -253,35 +379,45 @@ class TiledPCR:
         else:
             out = None
             sink = emit
+        if workspace is None:
+            workspace = self.make_workspace(m, b.dtype)
+        elif not workspace.compatible(m, self.k, self.subtile, b.dtype):
+            raise ValueError(
+                f"workspace (m={workspace.m}, k={workspace.k}, "
+                f"subtile={workspace.subtile}, dtype={workspace.dtype}) does "
+                f"not fit sweep (m={m}, k={self.k}, subtile={self.subtile}, "
+                f"dtype={b.dtype})"
+            )
         provider = _RawProvider(quads, self.counters)
         bounds = np.linspace(0, n, self.n_windows + 1).astype(int)
         for w in range(self.n_windows):
             r0, r1 = int(bounds[w]), int(bounds[w + 1])
             if r0 == r1:
                 continue
-            self._stream_region(provider, sink, r0, r1, n)
+            self._stream_region(provider, sink, r0, r1, workspace)
             self.counters.windows += 1
         return out
 
     # ------------------------------------------------------------------
     def _stream_region(
-        self, provider: _RawProvider, sink, r0: int, r1: int, n: int
+        self, provider: _RawProvider, sink, r0: int, r1: int, ws: TiledWorkspace
     ) -> None:
         """Emit exact level-k rows ``[r0, r1)`` via one sliding window."""
         k, S = self.k, self.subtile
-        m, dtype = provider.m, provider.dtype
+        m = provider.m
         fk = f_redundant_loads(k)
         ext0 = r0 - fk  # raw stream start (lead-in)
         ext1 = r1 + fk  # last raw row any output in [r0, r1) can reach
         region = (r0, r1)
 
-        # Per-level trailing caches: level l retains its last 2^(l+1)
-        # rows.  Before the stream begins every cache is "rows before
-        # ext0" — identity, and provably outside every emitted row's
-        # dependency cone.
-        bufs = [
-            _identity_rows(m, 2 ** (l + 1), dtype) for l in range(k)
-        ]
+        # Per-level trailing caches in the workspace's ring buffers:
+        # level l retains its last 2^(l+1) rows.  Before the stream
+        # begins every cache is "rows before ext0" — identity, and
+        # provably outside every emitted row's dependency cone.
+        rings = ws.rings
+        for l in range(k):
+            rings[l].reset()
+            _fill_identity(rings[l].append(2 ** (l + 1)))
         frontiers = [ext0] * (k + 1)  # F_l for l = 0..k
         pos = ext0
 
@@ -289,14 +425,15 @@ class TiledPCR:
             # 1. load one raw sub-tile into the bottom of the window;
             # rows past ext1 are outside every output's dependency cone,
             # so they are padded as identity instead of fetched.
+            dst = rings[0].append(S)
             fetch_hi = min(pos + S, ext1)
-            chunk = provider.fetch(pos, fetch_hi, region)
-            if fetch_hi < pos + S:
-                chunk = _concat(
-                    chunk, _identity_rows(m, pos + S - fetch_hi, dtype)
-                )
+            w0 = fetch_hi - pos
+            provider.fetch_into(
+                pos, fetch_hi, region, tuple(v[:, :w0] for v in dst)
+            )
+            if w0 < S:
+                _fill_identity(tuple(v[:, w0:] for v in dst))
             pos += S
-            bufs[0] = _concat(bufs[0], chunk)
             frontiers[0] += S
 
             # 2. advance each level as far as its input frontier allows
@@ -308,21 +445,36 @@ class TiledPCR:
                 if w <= 0:
                     continue
                 # level-l rows [old_f - s, new_f + s) feed the update
-                buf_lo = frontiers[l] - _width(bufs[l])
+                buf_lo = frontiers[l] - rings[l].width
                 i0 = (old_f - s) - buf_lo
                 i1 = (new_f + s) - buf_lo
-                produced = _pcr_local(_slice(bufs[l], i0, i1), s)
+                if l + 1 < k:
+                    produced = rings[l + 1].append(w)
+                else:
+                    produced = tuple(sb[:, :w] for sb in ws.stage)
+                _pcr_local_into(
+                    rings[l].view(i0, i1),
+                    s,
+                    produced,
+                    ws.k1[:, :w],
+                    ws.k2[:, :w],
+                    ws.tmp[:, :w],
+                )
                 self.counters.eliminations += w * m
                 inside = max(0, min(new_f, r1) - max(old_f, r0))
                 self.counters.eliminations_redundant += (w - inside) * m
                 frontiers[l + 1] = new_f
-                if l + 1 < k:
-                    bufs[l + 1] = _concat(bufs[l + 1], produced)
-                else:
+                if l + 1 == k:
                     # 3. emit finished level-k rows that fall in the region
                     e0, e1 = max(old_f, r0), min(new_f, r1)
                     if e0 < e1:
-                        sink(e0, e1, _slice(produced, e0 - old_f, e1 - old_f))
+                        sink(
+                            e0,
+                            e1,
+                            tuple(
+                                v[:, e0 - old_f : e1 - old_f] for v in produced
+                            ),
+                        )
 
             # 4. slide: trim every cache back to its row budget (2^(l+1)
             # in steady state; never below what the next level-(l+1)
@@ -330,9 +482,7 @@ class TiledPCR:
             for l in range(k):
                 needed_from = frontiers[l + 1] - (1 << l)
                 keep = max(2 ** (l + 1), frontiers[l] - needed_from)
-                width = _width(bufs[l])
-                if width > keep:
-                    bufs[l] = _slice(bufs[l], width - keep, width)
+                rings[l].trim_to(keep)
             self.counters.subtiles += 1
 
     def cache_rows(self) -> int:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "coerce_batch_arrays",
     "check_system_arrays",
     "check_batch_arrays",
     "require_power_of_two",
@@ -19,6 +20,24 @@ __all__ = [
 ]
 
 _ALLOWED = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def coerce_batch_arrays(a, b, c, d):
+    """Coerce batch inputs to uniform float arrays *without* validating.
+
+    The cheap, unconditional half of :func:`check_batch_arrays`: lists
+    and scalars become arrays, mixed precisions promote via
+    ``np.result_type``, and anything that is not float32/float64 (e.g.
+    integer lists) is promoted to float64 — otherwise a ``check=False``
+    solve would silently truncate float results into integer storage.
+    Shape agreement, pad zeroing and finiteness are *not* checked;
+    that is :func:`check_batch_arrays`'s job.
+    """
+    arrays = [np.asarray(v) for v in (a, b, c, d)]
+    dtype = np.result_type(*arrays)
+    if dtype not in _ALLOWED:
+        dtype = np.dtype(np.float64)
+    return tuple(np.ascontiguousarray(v, dtype=dtype) for v in arrays)
 
 
 def _common(arrays, ndim: int):

@@ -1,0 +1,38 @@
+"""Solve-plan execution engine (plan → workspace → execute).
+
+Freezes the paper's launch-time decisions (transition ``k``, sliding-
+window schedule, buffer layout) into cached :class:`SolvePlan` objects,
+pools the preallocated workspaces they imply, and executes repeated
+solves against them — optionally sharded across a thread pool with
+``workers=``.  Results are bitwise identical to the single-call
+:class:`~repro.core.hybrid.HybridSolver` reference path.
+
+Typical use::
+
+    from repro.engine import default_engine
+
+    eng = default_engine()
+    x = eng.solve_batch(a, b, c, d)          # cold: plans + allocates
+    x = eng.solve_batch(a, b, c, d)          # warm: reuses both
+    x = eng.solve_batch(a, b, c, d, workers=4)
+
+``repro.solve_batch(..., algorithm="auto")`` routes through
+:func:`default_engine` transparently.
+"""
+
+from repro.engine.engine import EngineStats, ExecutionEngine, default_engine
+from repro.engine.executor import execute_plan, shard_bounds
+from repro.engine.plan import SolvePlan, build_plan, plan_key
+from repro.engine.workspace import PlanWorkspace
+
+__all__ = [
+    "EngineStats",
+    "ExecutionEngine",
+    "PlanWorkspace",
+    "SolvePlan",
+    "build_plan",
+    "default_engine",
+    "execute_plan",
+    "plan_key",
+    "shard_bounds",
+]

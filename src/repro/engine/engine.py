@@ -1,0 +1,363 @@
+"""The solve-plan execution engine: plan once, execute many times.
+
+:class:`ExecutionEngine` is the stateful front door for repeated
+batch solves.  It keeps
+
+* an **LRU plan cache** — ``(M, N, dtype, k, fuse, n_windows,
+  subtile_scale)`` signatures map to frozen
+  :class:`~repro.engine.plan.SolvePlan` objects, so the transition
+  choice and window schedule are computed once per shape;
+* a **workspace pool per plan** — ring buffers, p-Thomas state and
+  transpose scratch are checked out for the duration of one execution
+  and returned, so warm solves allocate only their result;
+* an optional **shard executor** — ``workers=W`` splits the batch axis
+  across a persistent thread pool, each worker running the same plan
+  on its contiguous row shard and writing into one shared output.
+  Results are bitwise independent of ``workers`` because every solver
+  operation is elementwise along the batch axis and the transition
+  ``k`` is frozen from the *full* batch before sharding.
+
+The engine's results are bitwise identical to
+:class:`~repro.core.hybrid.HybridSolver` for every signature; the
+difference is purely where the time goes (no re-planning, no buffer
+churn).  A module-level :func:`default_engine` instance backs
+``repro.solve_batch(..., algorithm="auto")``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hybrid import HybridReport
+from repro.core.tiled_pcr import TilingCounters
+from repro.core.transition import GTX480_HEURISTIC, TransitionHeuristic
+from repro.core.validation import check_batch_arrays, coerce_batch_arrays
+from repro.engine.executor import execute_plan, shard_bounds
+from repro.engine.plan import SolvePlan, build_plan
+from repro.engine.workspace import PlanWorkspace
+
+__all__ = ["EngineStats", "ExecutionEngine", "default_engine"]
+
+
+@dataclass
+class EngineStats:
+    """Ledger of what the engine has done since creation / reset."""
+
+    plan_requests: int = 0
+    plan_hits: int = 0
+    plans_built: int = 0
+    plan_evictions: int = 0
+    workspaces_built: int = 0
+    workspaces_reused: int = 0
+    solves: int = 0
+    sharded_solves: int = 0
+    workspace_bytes: int = 0  #: bytes currently held by pooled workspaces
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of plan requests answered from cache."""
+        if self.plan_requests == 0:
+            return 0.0
+        return self.plan_hits / self.plan_requests
+
+
+class ExecutionEngine:
+    """Plan-caching, workspace-pooling batch solver (see module docs).
+
+    Parameters
+    ----------
+    max_plans:
+        LRU capacity of the plan cache.  Evicting a plan also drops its
+        pooled workspaces (in-flight workspaces are unaffected — they
+        are simply not returned to a pool that no longer exists).
+    pool_size:
+        Workspaces retained per plan.  ``1`` suffices for serial use;
+        sharded solves pool one per shard sub-plan, so the default
+        covers ``workers`` up to ``pool_size`` without re-allocation.
+    heuristic:
+        Default Table-III-style transition table for plans that do not
+        fix ``k`` explicitly.
+    """
+
+    def __init__(
+        self,
+        max_plans: int = 32,
+        pool_size: int = 4,
+        heuristic: TransitionHeuristic = GTX480_HEURISTIC,
+    ):
+        if max_plans < 1:
+            raise ValueError(f"max_plans must be >= 1, got {max_plans}")
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        self.max_plans = max_plans
+        self.pool_size = pool_size
+        self.heuristic = heuristic
+        self.stats = EngineStats()
+        self.last_report: HybridReport | None = None
+        self._lock = threading.Lock()
+        self._plans: OrderedDict = OrderedDict()  # signature -> SolvePlan
+        self._pools: dict = {}  # signature -> list[PlanWorkspace]
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_workers = 0
+
+    # ---- planning --------------------------------------------------------
+    def plan_for(
+        self,
+        m: int,
+        n: int,
+        dtype,
+        *,
+        k: int | None = None,
+        fuse: bool = False,
+        n_windows: int = 1,
+        subtile_scale: int = 1,
+        parallelism: int | None = None,
+        heuristic: TransitionHeuristic | None = None,
+    ) -> SolvePlan:
+        """Return the cached plan for this signature, building on miss.
+
+        ``heuristic`` overrides the engine default for this call; the
+        cache key is the *resolved* ``k``, so plans from different
+        heuristics that agree on ``k`` share an entry.
+        """
+        plan = build_plan(
+            m,
+            n,
+            dtype,
+            k=k,
+            fuse=fuse,
+            n_windows=n_windows,
+            subtile_scale=subtile_scale,
+            heuristic=heuristic if heuristic is not None else self.heuristic,
+            parallelism=parallelism,
+        )
+        sig = plan.signature()
+        with self._lock:
+            self.stats.plan_requests += 1
+            cached = self._plans.get(sig)
+            if cached is not None:
+                self._plans.move_to_end(sig)
+                self.stats.plan_hits += 1
+                return cached
+            self._plans[sig] = plan
+            self.stats.plans_built += 1
+            while len(self._plans) > self.max_plans:
+                old_sig, _ = self._plans.popitem(last=False)
+                for ws in self._pools.pop(old_sig, ()):
+                    self.stats.workspace_bytes -= ws.nbytes
+                self.stats.plan_evictions += 1
+        return plan
+
+    # ---- workspace pooling -------------------------------------------
+    def _checkout(self, plan: SolvePlan) -> PlanWorkspace:
+        sig = plan.signature()
+        with self._lock:
+            pool = self._pools.get(sig)
+            if pool:
+                ws = pool.pop()
+                self.stats.workspace_bytes -= ws.nbytes
+                self.stats.workspaces_reused += 1
+                return ws
+        ws = PlanWorkspace(plan)
+        with self._lock:
+            self.stats.workspaces_built += 1
+        return ws
+
+    def _checkin(self, plan: SolvePlan, ws: PlanWorkspace) -> None:
+        sig = plan.signature()
+        with self._lock:
+            if sig not in self._plans:
+                return  # plan evicted while executing; let ws be collected
+            pool = self._pools.setdefault(sig, [])
+            if len(pool) < self.pool_size:
+                pool.append(ws)
+                self.stats.workspace_bytes += ws.nbytes
+
+    # ---- execution ---------------------------------------------------
+    def solve_batch(
+        self,
+        a,
+        b,
+        c,
+        d,
+        *,
+        check: bool = True,
+        workers: int | None = None,
+        k: int | None = None,
+        fuse: bool = False,
+        n_windows: int = 1,
+        subtile_scale: int = 1,
+        parallelism: int | None = None,
+        heuristic: TransitionHeuristic | None = None,
+    ) -> np.ndarray:
+        """Solve an ``(M, N)`` batch through a cached plan.
+
+        ``workers=W`` (opt-in) shards the batch axis across a thread
+        pool; results are bitwise independent of ``W``.  Remaining
+        keywords mirror :class:`~repro.core.hybrid.HybridSolver`.
+        """
+        if check:
+            a, b, c, d = check_batch_arrays(a, b, c, d)
+        else:
+            a, b, c, d = coerce_batch_arrays(a, b, c, d)
+        m, n = b.shape
+        plan = self.plan_for(
+            m,
+            n,
+            b.dtype,
+            k=k,
+            fuse=fuse,
+            n_windows=n_windows,
+            subtile_scale=subtile_scale,
+            parallelism=parallelism,
+            heuristic=heuristic,
+        )
+        counters = TilingCounters()
+        report = HybridReport(
+            m=m,
+            n=n,
+            k=plan.k,
+            k_source=plan.k_source,
+            subsystems=m * plan.g,
+            fused=plan.fuse,
+            n_windows=plan.n_windows,
+            tiling=counters,
+        )
+
+        shards = (
+            shard_bounds(m, workers)
+            if workers is not None and workers > 1
+            else []
+        )
+        if len(shards) > 1:
+            x = self._solve_sharded(plan, shards, a, b, c, d, counters)
+            with self._lock:
+                self.stats.solves += 1
+                self.stats.sharded_solves += 1
+        else:
+            ws = self._checkout(plan)
+            try:
+                x = execute_plan(plan, ws, a, b, c, d, counters=counters)
+            finally:
+                self._checkin(plan, ws)
+            with self._lock:
+                self.stats.solves += 1
+        self.last_report = report
+        return x
+
+    def solve(self, a, b, c, d, *, check: bool = True, **kwargs) -> np.ndarray:
+        """Solve a single system (treated as an ``M = 1`` batch)."""
+        a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
+        x = self.solve_batch(
+            a[None, :], b[None, :], c[None, :], d[None, :],
+            check=check, **kwargs,
+        )
+        return x[0]
+
+    def _solve_sharded(
+        self, plan: SolvePlan, shards, a, b, c, d, counters: TilingCounters
+    ) -> np.ndarray:
+        """Run ``plan`` split along the batch axis, one thread per shard.
+
+        Each shard gets a sub-plan with ``k`` *fixed* to the full-batch
+        decision (the transition must not re-resolve against the smaller
+        shard ``M``), its own workspace, and its own counters; shard
+        results are written directly into one shared output.
+        """
+        m, n = b.shape
+        out = np.empty((m, n), dtype=b.dtype)
+        sub = [
+            (
+                lo,
+                hi,
+                self.plan_for(
+                    hi - lo,
+                    n,
+                    b.dtype,
+                    k=plan.k,
+                    fuse=plan.fuse,
+                    n_windows=plan.n_windows,
+                    subtile_scale=plan.subtile_scale,
+                ),
+                TilingCounters(),
+            )
+            for lo, hi in shards
+        ]
+
+        def run(job):
+            lo, hi, subplan, ctr = job
+            ws = self._checkout(subplan)
+            try:
+                execute_plan(
+                    subplan,
+                    ws,
+                    a[lo:hi],
+                    b[lo:hi],
+                    c[lo:hi],
+                    d[lo:hi],
+                    counters=ctr,
+                    out=out[lo:hi],
+                )
+            finally:
+                self._checkin(subplan, ws)
+
+        pool = self._thread_pool(len(sub))
+        list(pool.map(run, sub))
+        for _, _, _, ctr in sub:
+            counters.merge(ctr)
+        return out
+
+    def _thread_pool(self, workers: int) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None or self._executor_workers < workers:
+                old = self._executor
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-engine"
+                )
+                self._executor_workers = workers
+            else:
+                old = None
+        if old is not None:
+            old.shutdown(wait=False)
+        return self._executor
+
+    # ---- lifecycle -----------------------------------------------------
+    def clear(self) -> None:
+        """Drop every cached plan and pooled workspace (stats persist)."""
+        with self._lock:
+            self._plans.clear()
+            self._pools.clear()
+            self.stats.workspace_bytes = 0
+
+    def reset_stats(self) -> None:
+        """Zero the ledger (cached plans and workspaces are kept)."""
+        held = self.stats.workspace_bytes
+        self.stats = EngineStats(workspace_bytes=held)
+
+    def shutdown(self) -> None:
+        """Release the thread pool (the engine remains usable; a later
+        sharded solve lazily builds a fresh pool)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._executor_workers = 0
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+_default_engine: ExecutionEngine | None = None
+_default_lock = threading.Lock()
+
+
+def default_engine() -> ExecutionEngine:
+    """The process-wide engine behind ``repro.solve_batch``."""
+    global _default_engine
+    if _default_engine is None:
+        with _default_lock:
+            if _default_engine is None:
+                _default_engine = ExecutionEngine()
+    return _default_engine

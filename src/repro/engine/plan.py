@@ -1,0 +1,183 @@
+"""Solve plans: the frozen decisions behind one problem shape.
+
+The paper's method makes three decisions before any arithmetic happens:
+the transition point ``k`` (Table III / the Table II cost model), the
+sliding-window schedule (sub-tile size ``c·2^k``, window regions,
+lead-in), and the buffer layout (per-level cache capacities, Table I).
+On the GPU those are compile/launch-time constants; the seed CPU
+realization recomputed all of them — and reallocated every buffer —
+on *every* ``solve_batch`` call.
+
+A :class:`SolvePlan` freezes those decisions once per ``(M, N, dtype,
+k, fuse, n_windows, subtile_scale)`` signature.  Plans are immutable,
+hashable, and cheap; the heavy state they imply (ring buffers,
+modified-coefficient arrays, transpose scratch) lives in
+:class:`~repro.engine.workspace.PlanWorkspace` objects the engine pools
+per plan.  Executing the same plan twice is bitwise deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost_model import f_redundant_loads
+from repro.core.hybrid import choose_transition
+from repro.core.transition import GTX480_HEURISTIC, TransitionHeuristic
+
+__all__ = ["SolvePlan", "build_plan", "plan_key"]
+
+
+@dataclass(frozen=True)
+class SolvePlan:
+    """Frozen execution recipe for an ``(M, N)`` batch solve.
+
+    Attributes
+    ----------
+    m, n:
+        Batch shape the plan is specialized to.
+    dtype:
+        Element dtype (plans never mix precisions).
+    k:
+        Frozen PCR step count — the transition decision.
+    k_source:
+        Where ``k`` came from: ``"fixed"``, ``"analytic"`` or
+        ``"heuristic"``.
+    fuse:
+        Whether the p-Thomas forward reduction is fused into the sweep
+        (Section III-C).
+    n_windows:
+        Concurrent window regions per system (Fig. 11b).
+    subtile_scale:
+        Table I's ``c`` — rows per thread per sliding-window round.
+    """
+
+    m: int
+    n: int
+    dtype: np.dtype
+    k: int
+    k_source: str
+    fuse: bool = False
+    n_windows: int = 1
+    subtile_scale: int = 1
+
+    # ---- derived schedule ------------------------------------------------
+    @property
+    def g(self) -> int:
+        """Interleave stride / thread-block width: ``2^k``."""
+        return 1 << self.k
+
+    @property
+    def subtile(self) -> int:
+        """Rows the sliding window advances per round: ``c · 2^k``."""
+        return self.subtile_scale * self.g
+
+    @property
+    def uses_thomas(self) -> bool:
+        """``k = 0``: the plan degenerates to pure batched Thomas."""
+        return self.k == 0
+
+    @property
+    def window_bounds(self) -> tuple:
+        """Region boundaries of the ``n_windows`` sliding windows."""
+        bounds = np.linspace(0, self.n, self.n_windows + 1).astype(int)
+        return tuple(int(v) for v in bounds)
+
+    @property
+    def lead_in(self) -> int:
+        """Rows each window lags raw input by: ``f(k) = 2^k − 1``."""
+        return f_redundant_loads(self.k)
+
+    def rounds(self) -> int:
+        """Total sliding-window rounds one execution performs."""
+        if self.uses_thomas:
+            return 0
+        total = 0
+        bounds = self.window_bounds
+        for r0, r1 in zip(bounds, bounds[1:]):
+            if r1 > r0:
+                total += -(-((r1 - r0) + self.lead_in) // self.subtile)
+        return total
+
+    def signature(self) -> tuple:
+        """The hashable cache key this plan answers to."""
+        return plan_key(
+            self.m,
+            self.n,
+            self.dtype,
+            self.k,
+            self.fuse,
+            self.n_windows,
+            self.subtile_scale,
+        )
+
+    def describe(self) -> dict:
+        """Human-readable plan summary (used by reports and benchmarks)."""
+        return {
+            "m": self.m,
+            "n": self.n,
+            "dtype": str(self.dtype),
+            "k": self.k,
+            "k_source": self.k_source,
+            "backend": "thomas" if self.uses_thomas else (
+                "tiled-pcr+p-thomas (fused)" if self.fuse
+                else "tiled-pcr+p-thomas"
+            ),
+            "subsystems": self.m * self.g,
+            "n_windows": self.n_windows,
+            "subtile": self.subtile,
+            "rounds": self.rounds(),
+        }
+
+
+def plan_key(
+    m: int,
+    n: int,
+    dtype,
+    k: int,
+    fuse: bool,
+    n_windows: int,
+    subtile_scale: int,
+) -> tuple:
+    """Canonical cache key for a plan signature."""
+    return (m, n, np.dtype(dtype).str, k, bool(fuse), n_windows, subtile_scale)
+
+
+def build_plan(
+    m: int,
+    n: int,
+    dtype,
+    *,
+    k: int | None = None,
+    fuse: bool = False,
+    n_windows: int = 1,
+    subtile_scale: int = 1,
+    heuristic: TransitionHeuristic = GTX480_HEURISTIC,
+    parallelism: int | None = None,
+) -> SolvePlan:
+    """Resolve the transition and freeze a :class:`SolvePlan`.
+
+    Uses the identical :func:`~repro.core.hybrid.choose_transition`
+    logic as :class:`~repro.core.hybrid.HybridSolver`, so a plan always
+    encodes exactly the decision the reference solver would have made.
+    """
+    if m < 1 or n < 1:
+        raise ValueError(f"need m, n >= 1, got ({m}, {n})")
+    if n_windows < 1:
+        raise ValueError(f"n_windows must be >= 1, got {n_windows}")
+    if subtile_scale < 1:
+        raise ValueError(f"subtile_scale must be >= 1, got {subtile_scale}")
+    kk, source = choose_transition(
+        m, n, k=k, heuristic=heuristic, parallelism=parallelism
+    )
+    return SolvePlan(
+        m=m,
+        n=n,
+        dtype=np.dtype(dtype),
+        k=kk,
+        k_source=source,
+        fuse=bool(fuse),
+        n_windows=n_windows,
+        subtile_scale=subtile_scale,
+    )

@@ -1,0 +1,91 @@
+"""Per-plan preallocated execution state.
+
+A :class:`PlanWorkspace` owns every array one in-flight execution of a
+:class:`~repro.engine.plan.SolvePlan` writes besides its output.  The
+engine keeps a small pool of these per plan, so repeated solves of one
+problem shape allocate nothing but their result — the CPU analogue of
+the paper's fixed shared-memory budget (Table I): buffer sizes are a
+function of the plan alone, decided once, reused every launch.
+
+Two shapes of state exist:
+
+* ``k = 0`` plans (pure Thomas): transposed ``(N, M)`` copies of the
+  four diagonals plus modified-coefficient and solution buffers.  The
+  Thomas recurrence walks rows sequentially; in the natural ``(M, N)``
+  layout each step strides across cache lines, so the executor copies
+  the batch into column-major-equivalent buffers once and streams
+  contiguous memory for all ``2N`` passes.  The arithmetic is
+  elementwise per system, so results stay bitwise identical to
+  :func:`repro.core.thomas.thomas_solve_batch`.
+* ``k > 0`` plans (hybrid): the sliding-window ring buffers
+  (:class:`~repro.core.tiled_pcr.TiledWorkspace`), the p-Thomas
+  modified-coefficient state
+  (:class:`~repro.core.pthomas.PThomasWorkspace`), and — for unfused
+  plans — the four reduced-system arrays the sweep emits into.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pthomas import PThomasWorkspace
+from repro.core.tiled_pcr import TiledWorkspace
+
+__all__ = ["PlanWorkspace"]
+
+
+class PlanWorkspace:
+    """All scratch one execution of ``plan`` needs, allocated up front."""
+
+    def __init__(self, plan):
+        self.plan = plan
+        m, n, dtype = plan.m, plan.n, plan.dtype
+        self.nbytes = 0
+        if plan.uses_thomas:
+            # Transposed layout: rows of the Thomas recurrence become
+            # contiguous (N, M) rows.
+            self.ta = np.empty((n, m), dtype=dtype)
+            self.tb = np.empty((n, m), dtype=dtype)
+            self.tc = np.empty((n, m), dtype=dtype)
+            self.td = np.empty((n, m), dtype=dtype)
+            self.cp = np.empty((n, m), dtype=dtype)
+            self.dp = np.empty((n, m), dtype=dtype)
+            self.xt = np.empty((n, m), dtype=dtype)
+            self.t1 = np.empty(m, dtype=dtype)
+            self.t2 = np.empty(m, dtype=dtype)
+            self.nbytes = sum(
+                v.nbytes
+                for v in (
+                    self.ta, self.tb, self.tc, self.td,
+                    self.cp, self.dp, self.xt, self.t1, self.t2,
+                )
+            )
+        else:
+            self.tiled = TiledWorkspace(m, plan.k, plan.subtile, dtype)
+            self.pthomas = PThomasWorkspace(m, n, plan.k, dtype)
+            self.nbytes += sum(
+                ch.nbytes for ring in self.tiled.rings for ch in ring.data
+            )
+            self.nbytes += sum(s.nbytes for s in self.tiled.stage)
+            self.nbytes += (
+                self.tiled.k1.nbytes
+                + self.tiled.k2.nbytes
+                + self.tiled.tmp.nbytes
+            )
+            self.nbytes += (
+                self.pthomas.cp.nbytes
+                + self.pthomas.dp.nbytes
+                + self.pthomas.t1.nbytes
+                + self.pthomas.t2.nbytes
+            )
+            if plan.fuse:
+                self.reduced = None
+            else:
+                self.reduced = tuple(
+                    np.empty((m, n), dtype=dtype) for _ in range(4)
+                )
+                self.nbytes += sum(r.nbytes for r in self.reduced)
+
+    def fits(self, plan) -> bool:
+        """True if this workspace serves exactly ``plan``'s signature."""
+        return self.plan.signature() == plan.signature()
