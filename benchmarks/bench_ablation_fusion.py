@@ -15,7 +15,7 @@ import pytest
 from repro.gpusim.device import GTX480
 from repro.gpusim.occupancy import occupancy
 from repro.gpusim.timing import GpuTimingModel
-from repro.core.hybrid import HybridSolver
+from repro.backends import reference_solver
 from repro.kernels.fused_kernel import fused_hybrid_counters
 from repro.kernels.hybrid_gpu import GpuHybridSolver
 from repro.kernels.pthomas_kernel import pthomas_counters
@@ -28,7 +28,7 @@ from .conftest import make_batch, verify
 def test_fusion_measured(benchmark, fuse):
     m, n, k = 16, 8192, 5
     a, b, c, d = make_batch(m, n, seed=1)
-    solver = HybridSolver(k=k, fuse=fuse)
+    solver = reference_solver(k=k, fuse=fuse)
     x = benchmark(solver.solve_batch, a, b, c, d)
     verify(a, b, c, d, x)
     benchmark.extra_info.update({"ablation": "fusion", "fused": fuse})
@@ -39,8 +39,8 @@ def test_fusion_identical_answers(benchmark):
     a, b, c, d = make_batch(m, n, seed=2)
 
     def both():
-        x1 = HybridSolver(k=k, fuse=False).solve_batch(a, b, c, d)
-        x2 = HybridSolver(k=k, fuse=True).solve_batch(a, b, c, d)
+        x1 = reference_solver(k=k, fuse=False).solve_batch(a, b, c, d)
+        x2 = reference_solver(k=k, fuse=True).solve_batch(a, b, c, d)
         return x1, x2
 
     x1, x2 = benchmark.pedantic(both, rounds=1, iterations=1)

@@ -9,7 +9,7 @@ itself shows the tradeoff the GPU heuristic navigates.
 
 import pytest
 
-from repro.core.hybrid import HybridSolver
+from repro.backends import reference_solver
 from repro.core.pcr import pcr_then_thomas_batch
 
 from .conftest import make_batch, verify
@@ -70,7 +70,7 @@ def test_kstep_sweep_with_real_tiling(benchmark):
 
     def run():
         a, b, c, d = make_batch(4, 2048, seed=7)
-        return [HybridSolver(k=k).solve_batch(a, b, c, d) for k in (0, 2, 4, 6)]
+        return [reference_solver(k=k).solve_batch(a, b, c, d) for k in (0, 2, 4, 6)]
 
     xs = benchmark.pedantic(run, rounds=1, iterations=1)
     for x in xs[1:]:

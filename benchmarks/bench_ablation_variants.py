@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.core.cost_model import f_redundant_loads
-from repro.core.hybrid import HybridSolver
+from repro.backends import reference_solver
 from repro.core.tiled_pcr import TilingCounters, tiled_pcr_sweep
 from repro.gpusim.device import GTX480
 from repro.gpusim.occupancy import occupancy
@@ -29,7 +29,7 @@ def test_variant_b_measured(benchmark, windows):
     """One large system split across windows (Fig. 11b)."""
     n, k = 65536, 6
     a, b, c, d = make_batch(1, n, seed=windows)
-    solver = HybridSolver(k=k, n_windows=windows, subtile_scale=4)
+    solver = reference_solver(k=k, n_windows=windows, subtile_scale=4)
     x = benchmark.pedantic(solver.solve_batch, args=(a, b, c, d), rounds=2, iterations=1)
     verify(a, b, c, d, x)
     red = solver.last_report.tiling.rows_loaded_redundant
@@ -109,7 +109,7 @@ def test_variants_identical_numerics(benchmark):
     def run():
         a, b, c, d = make_batch(2, 4096, seed=3)
         xs = [
-            HybridSolver(k=4, n_windows=w).solve_batch(a, b, c, d)
+            reference_solver(k=4, n_windows=w).solve_batch(a, b, c, d)
             for w in (1, 3, 8)
         ]
         return xs

@@ -32,7 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.hybrid import HybridSolver
+from repro.backends import reference_solver
 from repro.core.validation import check_batch_arrays
 from repro.engine import ExecutionEngine
 
@@ -51,7 +51,7 @@ def make_batch(m: int, n: int, seed: int = 0):
 def seed_solve(a, b, c, d, **kwargs):
     """The pre-engine ``repro.solve_batch`` path, reproduced verbatim."""
     a, b, c, d = check_batch_arrays(a, b, c, d)
-    return HybridSolver(**kwargs).solve_batch(a, b, c, d, check=False)
+    return reference_solver(**kwargs).solve_batch(a, b, c, d, check=False)
 
 
 def time_loop(fn, iters: int) -> float:

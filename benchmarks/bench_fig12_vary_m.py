@@ -17,7 +17,7 @@ import pytest
 from repro.analysis.figures import FIG12_SWEEPS, figure12_series
 from repro.analysis.shapes import is_linear_in, loglog_slope, max_speedup, relative_span
 from repro.baselines.mkl_proxy import mkl_multithreaded_proxy, mkl_sequential_proxy
-from repro.core.hybrid import HybridSolver
+from repro.backends import reference_solver
 from repro.kernels.hybrid_gpu import GpuHybridSolver
 
 from .conftest import make_batch, verify
@@ -51,7 +51,7 @@ def _model_info(n, m, dtype_bytes=8):
 def test_fig12_hybrid_measured(benchmark, n, m_sel):
     m = MEASURED[n][m_sel]
     a, b, c, d = make_batch(m, n, seed=n + m)
-    solver = HybridSolver()
+    solver = reference_solver()
     x = benchmark(solver.solve_batch, a, b, c, d)
     verify(a, b, c, d, x)
     benchmark.extra_info.update(_model_info(n, m))

@@ -13,7 +13,7 @@ import pytest
 
 from repro.analysis.figures import FIG13_SWEEPS, figure13_series
 from repro.analysis.shapes import loglog_slope
-from repro.core.hybrid import HybridSolver
+from repro.backends import reference_solver
 from repro.kernels.hybrid_gpu import GpuHybridSolver
 
 from .conftest import make_batch, verify
@@ -48,7 +48,7 @@ def test_fig13_hybrid_measured(benchmark, m, n, c):
     a, b, cc, d = make_batch(m, n, seed=m)
     gpu = GpuHybridSolver()
     k, w = gpu.plan(m, n)
-    solver = HybridSolver(k=k, n_windows=w, subtile_scale=c)
+    solver = reference_solver(k=k, n_windows=w, subtile_scale=c)
     x = benchmark.pedantic(
         solver.solve_batch, args=(a, b, cc, d), rounds=2, iterations=1
     )

@@ -19,7 +19,7 @@ from repro.analysis.figures import (
     figure14_bars,
 )
 from repro.baselines.davidson import DavidsonSolver
-from repro.core.hybrid import HybridSolver
+from repro.backends import reference_solver
 from repro.kernels.hybrid_gpu import GpuHybridSolver
 
 from .conftest import make_batch, verify
@@ -38,7 +38,7 @@ def test_fig14_ours_measured(benchmark, label):
     a, b, c, d = make_batch(m, n, seed=m)
     gpu = GpuHybridSolver()
     k, w = gpu.plan(m, n)
-    solver = HybridSolver(k=k, n_windows=w, subtile_scale=8 if m == 1 else 1)
+    solver = reference_solver(k=k, n_windows=w, subtile_scale=8 if m == 1 else 1)
     x = benchmark.pedantic(solver.solve_batch, args=(a, b, c, d), rounds=2, iterations=1)
     verify(a, b, c, d, x)
     benchmark.extra_info.update({"paper_figure": "14", "config": label, "solver": "ours"})

@@ -13,7 +13,7 @@ fp64 makes common.
 import numpy as np
 import pytest
 
-from repro.core.hybrid import HybridSolver
+from repro.backends import reference_solver
 from repro.core.refine import solve_mixed_precision
 from repro.kernels.hybrid_gpu import GpuHybridSolver
 
@@ -33,7 +33,7 @@ def test_mixed_precision_measured(benchmark):
 
 def test_fp64_direct_measured(benchmark):
     a, b, c, d = make_batch(32, 2048, seed=1)
-    solver = HybridSolver()
+    solver = reference_solver()
     benchmark(solver.solve_batch, a, b, c, d)
     benchmark.extra_info.update({"suite": "mixed-precision", "variant": "fp64 direct"})
 

@@ -24,14 +24,14 @@ import repro
 from repro.workloads.pde import adi_row_systems
 
 
-def adi_step(
-    field: np.ndarray, beta: float, engine: repro.ExecutionEngine
-) -> np.ndarray:
+def adi_step(field: np.ndarray, beta: float) -> np.ndarray:
     """One ADI step: implicit x-sweep over rows, then y-sweep over columns."""
     a, b, c, d = adi_row_systems(field, beta)
-    half = engine.solve_batch(a, b, c, d)
+    half = repro.solve_batch(a, b, c, d, backend="engine")
     a, b, c, d = adi_row_systems(np.ascontiguousarray(half.T), beta)
-    return np.ascontiguousarray(engine.solve_batch(a, b, c, d).T)
+    return np.ascontiguousarray(
+        repro.solve_batch(a, b, c, d, backend="engine").T
+    )
 
 
 def main() -> None:
@@ -45,14 +45,13 @@ def main() -> None:
     print(f"{ny}x{nx} plate, {steps} ADI steps, beta={beta}")
     print(f"initial heat: {total0:.4f}, peak: {field.max():.4f}")
 
-    engine = repro.default_engine()
     lo0, hi0 = field.min(), field.max()
     for _ in range(steps):
-        field = adi_step(field, beta, engine)
+        field = adi_step(field, beta)
         if field.min() < lo0 - 1e-9 or field.max() > hi0 + 1e-9:
             raise SystemExit("ADI example violated the maximum principle")
 
-    stats = engine.stats
+    stats = repro.default_engine().stats
     print(
         f"engine: {stats.solves} solves, {stats.plans_built} plan(s) built, "
         f"{stats.plan_hits} warm hits, {stats.workspaces_built} workspace(s)"

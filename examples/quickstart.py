@@ -3,8 +3,10 @@
 
 Builds a batch of diagonally dominant systems, solves it with the
 paper's hybrid (tiled PCR + p-Thomas) and with every classic algorithm,
-verifies the solutions against each other, and prints the hybrid's
-execution plan plus the simulated-GTX480 timing prediction.
+verifies the solutions against each other, and shows the backend
+dispatch layer at work: the per-solve trace, the cross-backend
+agreement, and the simulated-GTX480 timing prediction — all through
+``repro.solve_batch(..., backend=...)``.
 
 Run:  python examples/quickstart.py
 """
@@ -12,8 +14,6 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 import repro
-from repro.core.hybrid import HybridSolver
-from repro.kernels.hybrid_gpu import GpuHybridSolver
 from repro.util.numerics import residual_norm
 from repro.util.tridiag import BatchTridiagonal
 from repro.workloads.generators import random_batch
@@ -29,15 +29,27 @@ def main() -> None:
     x = repro.solve_batch(a, b, c, d)
     print(f"\nhybrid (auto):     residual = {residual_norm(batch, x):.2e}")
 
+    # --- every solve leaves a trace: who ran, and what it decided ---------
+    trace = repro.last_trace()
+    print(
+        f"trace: backend={trace.backend}, k={trace.k} ({trace.k_source}), "
+        f"plan cache {trace.plan_cache}, "
+        f"stages {[s.name for s in trace.stages]}"
+    )
+
     # --- the classic algorithms agree ------------------------------------
     for name in ("thomas", "cr", "pcr", "rd"):
         xi = repro.solve_batch(a, b, c, d, algorithm=name)
         print(f"{name:<18} max diff vs hybrid = {np.abs(xi - x).max():.2e}")
 
+    # --- every backend returns the same bits ------------------------------
+    for backend in ("numpy", "threaded"):
+        xb = repro.solve_batch(a, b, c, d, backend=backend)
+        same = "bitwise equal" if np.array_equal(xb, x) else "MISMATCH"
+        print(f"backend={backend:<9} {same}")
+
     # --- what did the hybrid actually do? ---------------------------------
-    solver = HybridSolver()
-    solver.solve_batch(a, b, c, d)
-    rep = solver.last_report
+    rep = repro.default_engine().last_report
     print(
         f"\nplan: k={rep.k} ({rep.k_source}) -> {rep.subsystems} independent "
         f"subsystems for p-Thomas"
@@ -50,15 +62,14 @@ def main() -> None:
     )
 
     # --- and what would it cost on the paper's GTX480? --------------------
-    gpu = GpuHybridSolver()
-    gpu.solve_batch(a, b, c, d)
-    g = gpu.last_report
-    print(f"\nsimulated GTX480: {g.total_us:.0f} µs predicted")
-    for name, counters, time in g.stages:
-        print(
-            f"  {name:<16} {time.total_s * 1e6:8.1f} µs  ({time.bound}-bound, "
-            f"{counters.traffic.useful_bytes / 1e6:.1f} MB payload)"
-        )
+    xg = repro.solve_batch(a, b, c, d, backend="gpusim")
+    g = repro.last_trace()
+    print(f"\nsimulated GTX480: {g.predicted_total_us:.0f} µs predicted "
+          f"(max diff vs hybrid = {np.abs(xg - x).max():.2e})")
+    for s in g.stages:
+        if s.predicted_us is not None:
+            print(f"  {s.name:<24} {s.predicted_us:8.1f} µs predicted "
+                  f"({s.seconds * 1e3:7.3f} ms measured here)")
 
 
 if __name__ == "__main__":

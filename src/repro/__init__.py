@@ -55,10 +55,19 @@ from repro.core import (
     thomas_solve,
     thomas_solve_batch,
 )
+from repro.backends import (
+    Backend,
+    Capabilities,
+    SolveTrace,
+    get_backend,
+    last_trace,
+    list_backends,
+    register_backend,
+)
 from repro.engine import ExecutionEngine, SolvePlan, default_engine
 from repro.util import BatchTridiagonal, TridiagonalSystem
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "solve",
@@ -83,6 +92,13 @@ __all__ = [
     "ExecutionEngine",
     "SolvePlan",
     "default_engine",
+    "Backend",
+    "Capabilities",
+    "SolveTrace",
+    "get_backend",
+    "last_trace",
+    "list_backends",
+    "register_backend",
     "TridiagonalSystem",
     "BatchTridiagonal",
     "__version__",

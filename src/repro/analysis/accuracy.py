@@ -26,9 +26,9 @@ import numpy as np
 from scipy.linalg import solve_banded
 
 from repro.core.cr import cr_solve_batch
-from repro.core.hybrid import HybridSolver
 from repro.core.pcr import pcr_solve_batch
 from repro.core.rd import rd_solve_batch
+from repro.core.solver import solve_batch
 from repro.core.thomas import thomas_solve_batch
 from repro.workloads.generators import poisson1d_batch, random_batch
 
@@ -39,7 +39,9 @@ ALGORITHMS = {
     "cr": cr_solve_batch,
     "pcr": pcr_solve_batch,
     "rd": rd_solve_batch,
-    "hybrid": lambda a, b, c, d, **kw: HybridSolver().solve_batch(a, b, c, d, **kw),
+    "hybrid": lambda a, b, c, d, **kw: solve_batch(
+        a, b, c, d, algorithm="hybrid", **kw
+    ),
 }
 
 

@@ -7,6 +7,13 @@ call shapes on top of the hybrid solver so a port is a one-line change.
 All functions are thin adapters: they reshape/convert the vendor layout
 to the library's padded ``(M, N)`` convention, call
 :func:`repro.solve_batch`, and return results in the vendor's layout.
+Inputs may use any memory layout — Fortran-ordered, transposed, or
+otherwise strided arrays are handled by value (contiguous copies are
+made where the solver needs them, never a silent reinterpretation).
+Each adapter accepts ``backend=`` and forwards it to the backend
+registry (:mod:`repro.backends`), so vendor-shaped calls get the same
+dispatch and :class:`~repro.backends.trace.SolveTrace` instrumentation
+as native ones.
 """
 
 from __future__ import annotations
@@ -17,58 +24,93 @@ from repro.core.solver import solve_batch
 
 __all__ = ["gtsv", "gtsv_nopivot", "gtsv_strided_batch"]
 
+_FLOATS = (np.dtype(np.float32), np.dtype(np.float64))
 
-def gtsv(dl, d, du, B):
+
+def _solve_dtype(*arrays) -> np.dtype:
+    """The dtype a solve of these inputs produces (mirrors validation)."""
+    dtype = np.result_type(*arrays)
+    return dtype if dtype in _FLOATS else np.dtype(np.float64)
+
+
+def gtsv(dl, d, du, B, *, backend: str = "auto"):
     """LAPACK ``?gtsv``-style: one system, possibly many RHS columns.
 
     Parameters
     ----------
     dl:
         Sub-diagonal, length ``n − 1`` (LAPACK convention: no padding).
+        For ``n == 1`` this is the empty array.
     d:
-        Main diagonal, length ``n``.
+        Main diagonal, length ``n >= 1``.
     du:
-        Super-diagonal, length ``n − 1``.
+        Super-diagonal, length ``n − 1`` (empty for ``n == 1``).
     B:
-        Right-hand sides: ``(n,)`` or ``(n, nrhs)``.
+        Right-hand sides: ``(n,)`` or ``(n, nrhs)``.  Any layout —
+        C-ordered, Fortran-ordered, transposed, or strided views all
+        give the same result.
+    backend:
+        Backend registry selection forwarded to
+        :func:`repro.solve_batch` (``"auto"`` or a registered name).
 
     Returns
     -------
     numpy.ndarray
-        ``X`` with the same shape as ``B``.
+        ``X`` with the same shape as ``B`` (C-contiguous).
     """
     dl = np.asarray(dl)
     d = np.asarray(d)
     du = np.asarray(du)
     B = np.asarray(B)
+    if d.ndim != 1 or d.shape[0] == 0:
+        raise ValueError(
+            f"d must be a non-empty 1-D main diagonal, got shape {d.shape}"
+        )
     n = d.shape[0]
     if dl.shape != (n - 1,) or du.shape != (n - 1,):
         raise ValueError(
-            f"dl/du must have length n-1 = {n - 1}, got {dl.shape[0]}, {du.shape[0]}"
+            f"dl/du must have length n-1 = {n - 1} for n = {n}, "
+            f"got dl shape {dl.shape} and du shape {du.shape}"
+        )
+    if B.ndim not in (1, 2) or B.shape[0] != n:
+        raise ValueError(
+            f"B must be (n,) or (n, nrhs) with n = {n}, got shape {B.shape}"
+        )
+    if n == 1:
+        # 1×1 system: dl/du are empty and there is nothing to eliminate.
+        # Answer directly (keeping the pivot-free zero-diagonal error);
+        # the batched solvers are never entered.
+        if d[0] == 0.0:
+            raise ValueError(
+                "zero on the main diagonal (pivot-free solvers need d != 0)"
+            )
+        return np.ascontiguousarray(
+            (B / d[0]).astype(_solve_dtype(d, B), copy=False)
         )
     a = np.zeros(n, dtype=d.dtype)
     c = np.zeros(n, dtype=d.dtype)
     a[1:] = dl
     c[:-1] = du
     if B.ndim == 1:
-        x = solve_batch(a[None], d[None], c[None], B[None])
+        x = solve_batch(a[None], d[None], c[None], B[None], backend=backend)
         return x[0]
-    if B.ndim != 2 or B.shape[0] != n:
-        raise ValueError(f"B must be (n,) or (n, nrhs) with n = {n}")
     nrhs = B.shape[1]
     aa = np.tile(a, (nrhs, 1))
     bb = np.tile(d, (nrhs, 1))
     cc = np.tile(c, (nrhs, 1))
-    x = solve_batch(aa, bb, cc, np.ascontiguousarray(B.T))
+    # B.T is evaluated by value, so Fortran-ordered / strided B is fine.
+    x = solve_batch(aa, bb, cc, np.ascontiguousarray(B.T), backend=backend)
     return np.ascontiguousarray(x.T)
 
 
-def gtsv_nopivot(dl, d, du, B):
+def gtsv_nopivot(dl, d, du, B, *, backend: str = "auto"):
     """cuSPARSE ``gtsv2_nopivot``-style alias (the library never pivots)."""
-    return gtsv(dl, d, du, B)
+    return gtsv(dl, d, du, B, backend=backend)
 
 
-def gtsv_strided_batch(dl, d, du, x, batch_count: int, batch_stride: int):
+def gtsv_strided_batch(
+    dl, d, du, x, batch_count: int, batch_stride: int, *, backend: str = "auto"
+):
     """cuSPARSE ``gtsv2StridedBatch``-style: flat strided system batch.
 
     Parameters
@@ -81,9 +123,15 @@ def gtsv_strided_batch(dl, d, du, x, batch_count: int, batch_stride: int):
         cuSPARSE.
     x:
         Flat right-hand sides in the same layout; **overwritten** with
-        the solution (cuSPARSE semantics).
+        the solution (cuSPARSE semantics).  Must therefore be a
+        writeable floating-point :class:`numpy.ndarray` — a list or an
+        integer array cannot hold the solution in place and is
+        rejected rather than silently returned unchanged.
     batch_count, batch_stride:
         Number of systems and their stride.
+    backend:
+        Backend registry selection forwarded to
+        :func:`repro.solve_batch`.
 
     Returns
     -------
@@ -92,21 +140,43 @@ def gtsv_strided_batch(dl, d, du, x, batch_count: int, batch_stride: int):
     """
     if batch_count < 1 or batch_stride < 1:
         raise ValueError("batch_count and batch_stride must be >= 1")
+    if not isinstance(x, np.ndarray):
+        raise TypeError(
+            "x must be a numpy.ndarray: it is overwritten in place "
+            f"(cuSPARSE semantics), got {type(x).__name__}"
+        )
+    if x.dtype not in _FLOATS:
+        raise TypeError(
+            "x must be float32/float64 to receive the solution in place, "
+            f"got dtype {x.dtype}"
+        )
+    if not x.flags.writeable:
+        raise ValueError("x is read-only; it is overwritten in place")
     needed = batch_count * batch_stride
     for name, arr in (("dl", dl), ("d", d), ("du", du), ("x", x)):
-        if np.asarray(arr).shape[0] < needed:
+        arr = np.asarray(arr)
+        if arr.ndim != 1:
+            raise ValueError(f"{name} must be a flat 1-D array, got {arr.ndim}-D")
+        if arr.shape[0] < needed:
             raise ValueError(
-                f"{name} has {np.asarray(arr).shape[0]} elements, "
-                f"needs {needed}"
+                f"{name} has {arr.shape[0]} elements, needs {needed}"
             )
     n = batch_stride
     shape = (batch_count, n)
     a2 = np.asarray(dl)[:needed].reshape(shape).copy()
     b2 = np.asarray(d)[:needed].reshape(shape)
     c2 = np.asarray(du)[:needed].reshape(shape).copy()
-    d2 = np.asarray(x)[:needed].reshape(shape)
+    d2 = x[:needed].reshape(shape)
     a2[:, 0] = 0.0
     c2[:, -1] = 0.0
-    sol = solve_batch(a2, b2, c2, d2)
-    np.asarray(x)[:needed] = sol.reshape(-1)
+    if n == 1:
+        # Degenerate stride-1 batch: every system is 1×1.
+        if np.any(b2 == 0.0):
+            raise ValueError(
+                "zero on the main diagonal (pivot-free solvers need d != 0)"
+            )
+        sol = d2 / np.asarray(b2, dtype=x.dtype)
+    else:
+        sol = solve_batch(a2, b2, c2, d2, backend=backend)
+    x[:needed] = sol.reshape(-1)
     return x

@@ -1,0 +1,84 @@
+"""Unified backend dispatch: one protocol behind every execution path.
+
+The repo's four execution strategies — the single-call reference
+solver, the plan-caching engine, the thread-sharded executor, and the
+simulated-GPU solver — stand behind one :class:`Backend` protocol and
+one registry with capability negotiation:
+
+>>> import numpy as np
+>>> import repro
+>>> from repro.backends import list_backends
+>>> sorted(name for name, _ in list_backends())
+['engine', 'gpusim', 'numpy', 'threaded']
+>>> rng = np.random.default_rng(0)
+>>> a = rng.standard_normal((4, 64)); a[:, 0] = 0
+>>> c = rng.standard_normal((4, 64)); c[:, -1] = 0
+>>> b = 4 + np.abs(a) + np.abs(c); d = rng.standard_normal((4, 64))
+>>> x = repro.solve_batch(a, b, c, d, backend="auto")
+>>> repro.last_trace().backend
+'engine'
+
+Every solve that passes through the registry records a
+:class:`SolveTrace` (chosen backend, frozen ``k``, plan-cache hit/miss,
+per-stage wall time — with the gpusim backend's predicted device time
+side by side); the most recent one is ``repro.last_trace()``.
+
+Layering: ``workloads → api / solver → registry (+ router) → backends
+→ core / engine / gpusim`` — see ``docs/ARCHITECTURE.md``.  New
+execution strategies (numba, cupy, distributed…) implement the
+protocol and call :func:`register_backend`; no other layer changes.
+"""
+
+from repro.backends.base import (
+    Backend,
+    BackendBase,
+    Capabilities,
+    SolveSignature,
+)
+from repro.backends.engine_backend import EngineBackend
+from repro.backends.gpusim_backend import GpuSimBackend
+from repro.backends.numpy_ref import NumpyReferenceBackend, reference_solver
+from repro.backends.registry import (
+    BackendError,
+    BackendRegistry,
+    Router,
+    default_registry,
+    get_backend,
+    list_backends,
+    register_backend,
+    solve_via,
+)
+from repro.backends.threaded import ThreadedBackend, execute_sharded
+from repro.backends.trace import (
+    SolveTrace,
+    StageTiming,
+    clear_last_trace,
+    last_trace,
+    record_trace,
+)
+
+__all__ = [
+    "Backend",
+    "BackendBase",
+    "BackendError",
+    "BackendRegistry",
+    "Capabilities",
+    "EngineBackend",
+    "GpuSimBackend",
+    "NumpyReferenceBackend",
+    "Router",
+    "SolveSignature",
+    "SolveTrace",
+    "StageTiming",
+    "ThreadedBackend",
+    "clear_last_trace",
+    "default_registry",
+    "execute_sharded",
+    "get_backend",
+    "last_trace",
+    "list_backends",
+    "record_trace",
+    "reference_solver",
+    "register_backend",
+    "solve_via",
+]

@@ -1,0 +1,203 @@
+"""The :class:`Backend` protocol and the vocabulary it speaks.
+
+A *backend* is one way of executing a tridiagonal batch solve.  The
+repo grew four of them organically — the single-call reference solver,
+the plan-caching engine, the simulated-GPU solver, and the thread-
+sharded executor — each with its own entry path, validation and
+reporting.  This module defines the one interface they all now stand
+behind:
+
+``capabilities()``
+    What the backend can negotiate: dtypes, periodic systems, layouts,
+    worker counts, whether its timing is simulated.
+``prepare(signature)``
+    Freeze the launch-time decisions (transition ``k``, windows,
+    buffers) for one :class:`SolveSignature` into an opaque plan.
+    Plan-caching backends answer repeated signatures from cache.
+``execute(plan, batch, out=)``
+    Run one ``(M, N)`` batch through a prepared plan.
+``instrument()``
+    The :class:`~repro.backends.trace.SolveTrace` of the most recent
+    ``execute`` on this thread.
+
+The registry (:mod:`repro.backends.registry`) negotiates capabilities
+against a signature and routes; adding a fifth backend (numba, cupy,
+distributed…) means implementing this protocol and registering it —
+no new dispatch code anywhere else.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.backends.trace import SolveTrace, record_trace
+from repro.core.validation import check_batch_arrays, coerce_batch_arrays
+
+__all__ = ["Backend", "BackendBase", "Capabilities", "SolveSignature"]
+
+#: dtype names every NumPy-backed solver in this repo accepts.
+FLOAT_DTYPES = ("float32", "float64")
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What one backend supports — the registry negotiates against this.
+
+    Attributes
+    ----------
+    dtypes:
+        Canonical dtype names (``"float64"``…) the backend accepts.
+    periodic:
+        Whether the backend may serve the inner solves of the cyclic
+        (Sherman–Morrison) path.
+    layouts:
+        Accepted input layouts.  All current backends take the padded
+        contiguous ``(M, N)`` convention; adapters normalize first.
+    max_workers:
+        Largest useful ``workers=`` value (1 = no sharding).
+    simulated:
+        True when the backend's timing report is a device-model
+        prediction rather than a measurement.
+    description:
+        One-line summary for ``repro backends`` listings.
+    """
+
+    dtypes: tuple = FLOAT_DTYPES
+    periodic: bool = True
+    layouts: tuple = ("contiguous",)
+    max_workers: int = 1
+    simulated: bool = False
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SolveSignature:
+    """Everything a backend needs to freeze a plan for one problem shape.
+
+    Mirrors the engine's plan signature (PR 1) plus the negotiation
+    axes: dtype, periodicity and requested worker count.  ``heuristic``
+    is a :class:`~repro.core.transition.TransitionHeuristic` override
+    (``None`` = backend default).
+    """
+
+    m: int
+    n: int
+    dtype: str = "float64"
+    k: int | None = None
+    fuse: bool = False
+    n_windows: int = 1
+    subtile_scale: int = 1
+    parallelism: int | None = None
+    workers: int | None = None
+    periodic: bool = False
+    heuristic: object = None
+
+    #: keyword options accepted by :meth:`for_batch` / ``solve_batch``.
+    OPTION_NAMES = (
+        "k",
+        "fuse",
+        "n_windows",
+        "subtile_scale",
+        "parallelism",
+        "workers",
+        "periodic",
+        "heuristic",
+    )
+
+    @classmethod
+    def for_batch(cls, b, **opts) -> "SolveSignature":
+        """Build a signature from a coerced ``(M, N)`` batch + options."""
+        unknown = sorted(set(opts) - set(cls.OPTION_NAMES))
+        if unknown:
+            raise TypeError(
+                f"unknown solve option(s) {unknown}; "
+                f"valid options: {sorted(cls.OPTION_NAMES)}"
+            )
+        b = np.asarray(b)
+        if b.ndim != 2:
+            raise ValueError(f"batch must be 2-D (M, N), got {b.ndim}-D")
+        m, n = b.shape
+        return cls(m=m, n=n, dtype=np.dtype(b.dtype).name, **opts)
+
+    def with_options(self, **opts) -> "SolveSignature":
+        """A copy of this signature with some fields replaced."""
+        return replace(self, **opts)
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The one dispatch seam every execution strategy stands behind."""
+
+    name: str
+    priority: int
+
+    def capabilities(self) -> Capabilities:
+        """Static description of what this backend can negotiate."""
+        ...
+
+    def prepare(self, signature: SolveSignature):
+        """Freeze the launch-time decisions for ``signature`` → plan."""
+        ...
+
+    def execute(self, plan, batch, out=None) -> np.ndarray:
+        """Run ``batch`` (a coerced ``(a, b, c, d)`` tuple) through ``plan``."""
+        ...
+
+    def instrument(self) -> SolveTrace:
+        """The trace of the most recent :meth:`execute` on this thread."""
+        ...
+
+
+class BackendBase:
+    """Shared plumbing for concrete backends.
+
+    Subclasses implement :meth:`capabilities`, :meth:`prepare` and
+    :meth:`execute`, and store their trace with :meth:`_set_trace`;
+    this base supplies thread-local trace storage, the
+    :meth:`instrument` accessor, and the :meth:`solve_batch`
+    convenience wrapper (validate → prepare → execute → record trace)
+    used by standalone callers such as benchmarks.
+    """
+
+    name = "base"
+    priority = 0
+
+    def __init__(self):
+        self._traces = threading.local()
+
+    # -- instrumentation ----------------------------------------------
+    def _set_trace(self, trace: SolveTrace) -> SolveTrace:
+        self._traces.trace = trace
+        return trace
+
+    def instrument(self) -> SolveTrace:
+        trace = getattr(self._traces, "trace", None)
+        if trace is None:
+            raise RuntimeError(
+                f"backend {self.name!r} has not executed on this thread yet"
+            )
+        return trace
+
+    # -- convenience entry point --------------------------------------
+    def solve_batch(self, a, b, c, d, *, check: bool = True, out=None, **opts):
+        """One-call solve through this backend (bypasses the router)."""
+        if check:
+            a, b, c, d = check_batch_arrays(a, b, c, d)
+        else:
+            a, b, c, d = coerce_batch_arrays(a, b, c, d)
+        sig = SolveSignature.for_batch(b, **opts)
+        plan = self.prepare(sig)
+        x = self.execute(plan, (a, b, c, d), out=out)
+        record_trace(self.instrument())
+        return x
+
+
+def stage_timings_to_trace(stage_times) -> list:
+    """Convert ``[(name, seconds), ...]`` hook output to trace stages."""
+    from repro.backends.trace import StageTiming
+
+    return [StageTiming(name=n, seconds=s) for n, s in stage_times]

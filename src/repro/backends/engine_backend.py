@@ -1,0 +1,112 @@
+"""The default backend: the PR-1 plan-caching, workspace-pooling engine.
+
+Wraps the process-wide :class:`~repro.engine.engine.ExecutionEngine`
+behind the :class:`~repro.backends.base.Backend` protocol.  ``prepare``
+answers from the engine's LRU plan cache (the trace records hit/miss);
+``execute`` runs against pooled workspaces; ``workers=`` requests are
+honoured through the engine's sharding seam, though the router
+normally sends those to the threaded backend instead.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.backends.base import BackendBase, Capabilities, SolveSignature
+from repro.backends.trace import SolveTrace, StageTiming
+from repro.engine import ExecutionEngine, default_engine
+
+__all__ = ["EngineBackend"]
+
+
+class EngineBackend(BackendBase):
+    """Registry adapter over the solve-plan execution engine (default)."""
+
+    name = "engine"
+    priority = 100
+
+    def __init__(self, engine: ExecutionEngine | None = None):
+        super().__init__()
+        self._engine = engine
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The wrapped engine (the process-wide one unless injected)."""
+        return self._engine if self._engine is not None else default_engine()
+
+    def capabilities(self) -> Capabilities:
+        # max_workers is the accepted limit, not the core count —
+        # sharding stays functional (and bitwise-safe) on any machine.
+        return Capabilities(
+            max_workers=max(32, os.cpu_count() or 1),
+            description=(
+                "plan-caching + workspace-pooling engine — warm solves "
+                "allocate only their result (default)"
+            ),
+        )
+
+    def prepare(self, signature: SolveSignature):
+        info: dict = {}
+        plan = self.engine.plan_for(
+            signature.m,
+            signature.n,
+            np.dtype(signature.dtype),
+            k=signature.k,
+            fuse=signature.fuse,
+            n_windows=signature.n_windows,
+            subtile_scale=signature.subtile_scale,
+            parallelism=signature.parallelism,
+            heuristic=signature.heuristic,
+            info=info,
+        )
+        return (signature, plan, info.get("cache", "miss"))
+
+    def execute(self, prepared, batch, out=None) -> np.ndarray:
+        from repro.core.hybrid import HybridReport
+        from repro.core.tiled_pcr import TilingCounters
+
+        signature, plan, cache = prepared
+        a, b, c, d = batch
+        stage_times: list = []
+        counters = TilingCounters()
+        report = HybridReport(
+            m=signature.m,
+            n=signature.n,
+            k=plan.k,
+            k_source=plan.k_source,
+            subsystems=signature.m * plan.g,
+            fused=plan.fuse,
+            n_windows=plan.n_windows,
+            tiling=counters,
+        )
+        workers = signature.workers
+        if workers is not None and workers > 1:
+            x = self.engine.solve_sharded(
+                plan, workers, a, b, c, d,
+                counters=counters, out=out, stage_times=stage_times,
+            )
+        else:
+            workers = 1
+            x = self.engine.execute_pooled(
+                plan, a, b, c, d,
+                counters=counters, out=out, stage_times=stage_times,
+            )
+        self.engine.last_report = report
+        self._set_trace(
+            SolveTrace(
+                backend=self.name,
+                m=signature.m,
+                n=signature.n,
+                dtype=signature.dtype,
+                k=plan.k,
+                k_source=plan.k_source,
+                fuse=plan.fuse,
+                n_windows=plan.n_windows,
+                workers=workers,
+                plan_cache=cache,
+                stages=[StageTiming(n_, s) for n_, s in stage_times],
+            )
+        )
+        return x

@@ -1,0 +1,112 @@
+"""The simulated-GPU backend: real numerics + device-model pricing.
+
+Wraps :class:`~repro.kernels.hybrid_gpu.GpuHybridSolver` behind the
+backend protocol so counter/timing reports ride the same interface as
+every other solve.  ``execute`` solves the batch numerically (through
+the engine, with the *device* plan's launch parameters) and prices the
+same launch on the device model; the resulting trace carries each
+kernel stage's **predicted** device time next to the **measured**
+NumPy wall time, plus the predicted total.
+
+Numerics note: the device planner caps ``k`` by shared-memory capacity
+and picks Fig. 11b window counts, so its plan can differ from the
+reference heuristic's — results then agree with the other backends to
+floating-point tolerance rather than bitwise (the documented-tolerance
+path asserted in ``tests/test_backends.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.backends.base import BackendBase, Capabilities, SolveSignature
+from repro.backends.trace import SolveTrace, StageTiming
+from repro.kernels.hybrid_gpu import GpuHybridSolver
+
+__all__ = ["GpuSimBackend"]
+
+
+class GpuSimBackend(BackendBase):
+    """Registry adapter over the simulated-GTX480 hybrid solver."""
+
+    name = "gpusim"
+    priority = 10
+
+    def __init__(self, solver: GpuHybridSolver | None = None):
+        super().__init__()
+        self.solver = solver if solver is not None else GpuHybridSolver()
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            simulated=True,
+            description=(
+                f"engine numerics + {self.solver.device.name} device-model "
+                "pricing — trace shows predicted kernel times"
+            ),
+        )
+
+    def prepare(self, signature: SolveSignature):
+        dtype_bytes = np.dtype(signature.dtype).itemsize
+        if signature.k is None:
+            k, n_windows = self.solver.plan(
+                signature.m, signature.n, dtype_bytes
+            )
+            k_source = "device-plan"
+        else:
+            k = signature.k
+            n_windows = self.solver.plan_windows(signature.m, signature.n, k)
+            k_source = "fixed"
+        return (signature, k, n_windows, k_source, dtype_bytes)
+
+    def execute(self, prepared, batch, out=None) -> np.ndarray:
+        from repro.engine import default_engine
+
+        signature, k, n_windows, k_source, dtype_bytes = prepared
+        a, b, c, d = batch
+        stage_times: list = []
+        t0 = time.perf_counter()
+        x = default_engine().solve_batch(
+            a,
+            b,
+            c,
+            d,
+            check=False,
+            k=k,
+            subtile_scale=self.solver.subtile_scale,
+            n_windows=n_windows,
+            fuse=self.solver.fuse,
+            out=out,
+            stage_times=stage_times,
+        )
+        measured = time.perf_counter() - t0
+        report = self.solver.predict(
+            signature.m, signature.n, dtype_bytes, k=k, n_windows=n_windows
+        )
+        predicted = report.trace_stages()
+        stages = [StageTiming(n_, s) for n_, s in stage_times]
+        # pair measured stages with predicted kernel times positionally
+        # (both ledgers follow the same front-end → back-end order)
+        for stage, (_, us) in zip(stages, predicted):
+            stage.predicted_us = us
+        for name, us in predicted[len(stages):]:
+            stages.append(StageTiming(f"{name} (predicted)", 0.0, us))
+        if not stages:
+            stages = [StageTiming("execute", measured)]
+        self._set_trace(
+            SolveTrace(
+                backend=self.name,
+                m=signature.m,
+                n=signature.n,
+                dtype=signature.dtype,
+                k=report.k,
+                k_source=k_source,
+                fuse=report.fused,
+                n_windows=report.n_windows,
+                plan_cache="n/a",
+                stages=stages,
+                predicted_total_us=report.total_us,
+            )
+        )
+        return x

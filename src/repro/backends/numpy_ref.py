@@ -1,0 +1,107 @@
+"""The reference backend: single-call :class:`HybridSolver`, no caching.
+
+This is the bitwise baseline every other backend is held to.  It
+re-plans and re-allocates on every call — exactly the seed repo's
+behaviour — which makes it the right backend for cold-path comparisons
+(``benchmarks/bench_engine.py``) and the wrong one for hot loops.
+
+Constructing :class:`~repro.core.hybrid.HybridSolver` directly is now
+an implementation detail of this module (plus ``core`` internals and
+tests); everything else reaches it through the registry or through
+:func:`reference_solver`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backends.base import BackendBase, Capabilities, SolveSignature
+from repro.backends.trace import SolveTrace, StageTiming
+from repro.core.hybrid import HybridSolver, choose_transition
+from repro.core.transition import GTX480_HEURISTIC
+
+__all__ = ["NumpyReferenceBackend", "reference_solver"]
+
+
+def reference_solver(**opts) -> HybridSolver:
+    """A configured single-call reference solver (the bitwise baseline).
+
+    Accepts the :class:`~repro.core.hybrid.HybridSolver` knobs
+    (``k``, ``heuristic``, ``parallelism``, ``subtile_scale``,
+    ``n_windows``, ``fuse``).  Benchmarks and comparison harnesses use
+    this instead of constructing ``HybridSolver`` themselves.
+    """
+    return HybridSolver(**opts)
+
+
+@dataclass(frozen=True)
+class _RefPlan:
+    """The reference backend's 'plan': a resolved solver configuration."""
+
+    sig: SolveSignature
+    k: int
+    k_source: str
+
+
+class NumpyReferenceBackend(BackendBase):
+    """Registry adapter over the single-call reference solver."""
+
+    name = "numpy"
+    priority = 20
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            description=(
+                "single-call HybridSolver reference — re-plans and "
+                "re-allocates every call; the bitwise baseline"
+            ),
+        )
+
+    def prepare(self, signature: SolveSignature) -> _RefPlan:
+        heuristic = (
+            signature.heuristic
+            if signature.heuristic is not None
+            else GTX480_HEURISTIC
+        )
+        k, source = choose_transition(
+            signature.m,
+            signature.n,
+            k=signature.k,
+            heuristic=heuristic,
+            parallelism=signature.parallelism,
+        )
+        return _RefPlan(sig=signature, k=k, k_source=source)
+
+    def execute(self, plan: _RefPlan, batch, out=None) -> np.ndarray:
+        sig = plan.sig
+        solver = reference_solver(
+            k=plan.k,
+            subtile_scale=sig.subtile_scale,
+            n_windows=sig.n_windows,
+            fuse=sig.fuse,
+        )
+        a, b, c, d = batch
+        t0 = time.perf_counter()
+        x = solver.solve_batch(a, b, c, d, check=False)
+        dt = time.perf_counter() - t0
+        if out is not None:
+            out[...] = x
+            x = out
+        self._set_trace(
+            SolveTrace(
+                backend=self.name,
+                m=sig.m,
+                n=sig.n,
+                dtype=sig.dtype,
+                k=plan.k,
+                k_source=plan.k_source,
+                fuse=sig.fuse,
+                n_windows=sig.n_windows,
+                plan_cache="n/a",
+                stages=[StageTiming("hybrid (single-call)", dt)],
+            )
+        )
+        return x

@@ -1,0 +1,291 @@
+"""Backend registry, capability negotiation, and the routing policy.
+
+The paper's runtime picks an execution strategy per problem shape
+(Table III); :class:`Router` generalizes that idea one level up — a
+deterministic, pluggable policy choosing *which backend* serves a
+:class:`~repro.backends.base.SolveSignature`, after the registry has
+filtered the candidates by capability (dtype, periodic, workers).
+
+Resolution is fully deterministic:
+
+1. An explicit ``backend="name"`` must support the signature or a
+   :class:`BackendError` explains exactly why it cannot.
+2. ``backend="auto"`` filters registered backends by capability, then
+   asks the router.  The default policy routes ``workers > 1`` solves
+   to the highest-priority multi-worker backend and everything else to
+   the highest-priority capable backend (ties broken by name) — so the
+   plan-caching engine wins unless something better registers itself.
+
+:func:`solve_via` is the single dispatch seam every public entry path
+(``repro.solve_batch``, ``api.gtsv*``, the CLI, the examples) now goes
+through: validate → negotiate → prepare → execute → trace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.backends.base import Backend, Capabilities, SolveSignature
+from repro.backends.trace import SolveTrace, StageTiming, record_trace
+from repro.core.validation import check_batch_arrays, coerce_batch_arrays
+
+__all__ = [
+    "BackendError",
+    "BackendRegistry",
+    "Router",
+    "default_registry",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "solve_via",
+]
+
+
+class BackendError(ValueError):
+    """A backend could not be resolved for a solve signature."""
+
+
+def reject_reason(caps: Capabilities, sig: SolveSignature) -> str | None:
+    """Why ``caps`` cannot serve ``sig`` (``None`` = it can)."""
+    if sig.dtype not in caps.dtypes:
+        return (
+            f"dtype {sig.dtype} unsupported (supports: "
+            f"{', '.join(caps.dtypes)})"
+        )
+    if sig.periodic and not caps.periodic:
+        return "periodic systems unsupported"
+    if sig.workers is not None and sig.workers > 1 and caps.max_workers <= 1:
+        return f"workers={sig.workers} unsupported (single-worker backend)"
+    return None
+
+
+class Router:
+    """Deterministic backend-selection policy (pluggable).
+
+    ``rules`` is an ordered tuple of callables ``rule(signature) ->
+    str | None``; the first rule naming a *capable* backend wins.  When
+    no rule fires, the capable backend with the highest ``priority``
+    (ties broken alphabetically) is chosen — the same
+    piecewise-deterministic shape as the paper's Table III, lifted from
+    "which k" to "which backend".
+    """
+
+    def __init__(self, rules: tuple = ()):
+        self.rules = tuple(rules) if rules else (self.route_workers,)
+
+    @staticmethod
+    def route_workers(sig: SolveSignature) -> str | None:
+        """Sharding requested → the threaded layer."""
+        if sig.workers is not None and sig.workers > 1:
+            return "threaded"
+        return None
+
+    def select(self, sig: SolveSignature, candidates: list) -> Backend:
+        """Pick one backend from capability-filtered ``candidates``."""
+        if not candidates:
+            raise BackendError("no candidate backends")
+        by_name = {b.name: b for b in candidates}
+        for rule in self.rules:
+            name = rule(sig)
+            if name is not None and name in by_name:
+                return by_name[name]
+        return max(candidates, key=lambda b: (b.priority, b.name))
+
+
+class BackendRegistry:
+    """Named backends + the router that arbitrates between them."""
+
+    def __init__(self, router: Router | None = None):
+        self._lock = threading.Lock()
+        self._backends: dict = {}
+        self.router = router if router is not None else Router()
+
+    # -- registration --------------------------------------------------
+    def register(self, backend: Backend, *, replace: bool = False) -> Backend:
+        """Add ``backend`` under ``backend.name``."""
+        name = backend.name
+        with self._lock:
+            if name in self._backends and not replace:
+                raise BackendError(
+                    f"backend {name!r} already registered "
+                    "(pass replace=True to override)"
+                )
+            self._backends[name] = backend
+        return backend
+
+    def unregister(self, name: str) -> None:
+        """Remove a backend (missing names are ignored)."""
+        with self._lock:
+            self._backends.pop(name, None)
+
+    def get(self, name: str) -> Backend:
+        """Look up a backend by name."""
+        with self._lock:
+            backend = self._backends.get(name)
+        if backend is None:
+            raise BackendError(
+                f"unknown backend {name!r}; registered: {self.names()}"
+            )
+        return backend
+
+    def names(self) -> list:
+        """Registered names, sorted."""
+        with self._lock:
+            return sorted(self._backends)
+
+    def backends(self) -> list:
+        """Registered backends, highest priority first (stable order)."""
+        with self._lock:
+            values = list(self._backends.values())
+        return sorted(values, key=lambda b: (-b.priority, b.name))
+
+    # -- negotiation ----------------------------------------------------
+    def capable(self, sig: SolveSignature) -> list:
+        """Backends whose capabilities cover ``sig`` (priority order)."""
+        return [
+            b for b in self.backends()
+            if reject_reason(b.capabilities(), sig) is None
+        ]
+
+    def resolve(self, name: str, sig: SolveSignature) -> Backend:
+        """Resolve ``"auto"`` or an explicit name against ``sig``."""
+        if name != "auto":
+            backend = self.get(name)
+            reason = reject_reason(backend.capabilities(), sig)
+            if reason is not None:
+                raise BackendError(
+                    f"backend {name!r} cannot solve this problem: {reason}"
+                )
+            return backend
+        candidates = self.capable(sig)
+        if not candidates:
+            reasons = "; ".join(
+                f"{b.name}: {reject_reason(b.capabilities(), sig)}"
+                for b in self.backends()
+            )
+            raise BackendError(
+                f"no registered backend supports this solve ({reasons})"
+            )
+        return self.router.select(sig, candidates)
+
+
+_default_registry: BackendRegistry | None = None
+_registry_lock = threading.Lock()
+
+
+def default_registry() -> BackendRegistry:
+    """The process-wide registry, populated with the stock backends."""
+    global _default_registry
+    if _default_registry is None:
+        with _registry_lock:
+            if _default_registry is None:
+                reg = BackendRegistry()
+                _populate(reg)
+                _default_registry = reg
+    return _default_registry
+
+
+def _populate(reg: BackendRegistry) -> None:
+    from repro.backends.engine_backend import EngineBackend
+    from repro.backends.gpusim_backend import GpuSimBackend
+    from repro.backends.numpy_ref import NumpyReferenceBackend
+    from repro.backends.threaded import ThreadedBackend
+
+    reg.register(EngineBackend())
+    reg.register(NumpyReferenceBackend())
+    reg.register(ThreadedBackend())
+    reg.register(GpuSimBackend())
+
+
+def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
+    """Register ``backend`` with the process-wide registry."""
+    return default_registry().register(backend, replace=replace)
+
+
+def get_backend(name: str) -> Backend:
+    """Fetch a backend from the process-wide registry by name."""
+    return default_registry().get(name)
+
+
+def list_backends() -> list:
+    """``(name, Capabilities)`` pairs, highest priority first."""
+    return [(b.name, b.capabilities()) for b in default_registry().backends()]
+
+
+def solve_via(
+    a,
+    b,
+    c,
+    d,
+    *,
+    backend: str = "auto",
+    check: bool = True,
+    coerced: bool = False,
+    out=None,
+    registry: BackendRegistry | None = None,
+    **opts,
+):
+    """Dispatch one batch solve through the registry.
+
+    Returns ``(x, trace)``.  ``coerced=True`` promises the inputs are
+    already contiguous same-dtype ``(M, N)`` arrays (the public
+    ``solve_batch`` validates before calling); otherwise inputs are
+    checked (``check=True``) or merely coerced here.  Remaining
+    keywords are the :class:`SolveSignature` options (``k``, ``fuse``,
+    ``n_windows``, ``subtile_scale``, ``parallelism``, ``workers``,
+    ``heuristic``, ``periodic``).
+    """
+    reg = registry if registry is not None else default_registry()
+    t0 = time.perf_counter()
+    if not coerced:
+        if check:
+            a, b, c, d = check_batch_arrays(a, b, c, d)
+        else:
+            a, b, c, d = coerce_batch_arrays(a, b, c, d)
+    t_validate = time.perf_counter() - t0
+
+    sig = SolveSignature.for_batch(b, **opts)
+    chosen = reg.resolve(backend, sig)
+
+    t1 = time.perf_counter()
+    plan = chosen.prepare(sig)
+    t_prepare = time.perf_counter() - t1
+
+    t2 = time.perf_counter()
+    x = chosen.execute(plan, (a, b, c, d), out=out)
+    t_execute = time.perf_counter() - t2
+
+    trace = chosen.instrument()
+    inner = trace.stages or [StageTiming("execute", t_execute)]
+    trace.stages = [
+        StageTiming("validate", t_validate),
+        StageTiming("prepare", t_prepare),
+        *inner,
+    ]
+    record_trace(trace)
+    return x, trace
+
+
+def record_direct_trace(algorithm: str, b, seconds: float) -> SolveTrace:
+    """Record a trace for the classic non-hybrid algorithm paths.
+
+    The direct Thomas/CR/PCR/RD paths bypass the registry (they have
+    no plan to negotiate), but instrumentation still covers them so
+    ``repro.last_trace()`` reflects *every* solve.
+    """
+    b = np.asarray(b)
+    m, n = b.shape
+    return record_trace(
+        SolveTrace(
+            backend=f"direct:{algorithm}",
+            m=m,
+            n=n,
+            dtype=np.dtype(b.dtype).name,
+            k=0,
+            k_source="n/a",
+            stages=[StageTiming("execute", seconds)],
+        )
+    )

@@ -1,0 +1,197 @@
+"""Batch-axis sharding as an orthogonal backend layer.
+
+PR 1 buried ``workers=`` inside the engine's ``solve_batch``; this
+module folds that parallel composition out into its own layer:
+
+* :func:`execute_sharded` is the one sharded-execution routine in the
+  repo.  It runs a frozen plan over contiguous row shards — one engine
+  workspace and one counter ledger per shard, every worker writing
+  straight into one shared output — on the engine's persistent thread
+  pool.  Both :meth:`ExecutionEngine.solve_sharded
+  <repro.engine.engine.ExecutionEngine.solve_sharded>` (the legacy
+  ``workers=`` path) and :class:`ThreadedBackend` delegate here.
+* :class:`ThreadedBackend` exposes sharding through the backend
+  protocol.  The router sends ``workers > 1`` solves to it; the inner
+  per-shard execution is the engine's, so results stay bitwise
+  identical to every other backend.
+
+Bitwise safety is inherited from the engine (see
+:mod:`repro.engine.executor`): every solver operation is elementwise
+along the batch axis and the transition ``k`` is frozen from the *full*
+batch before sharding, so results are independent of ``workers``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.backends.base import BackendBase, Capabilities, SolveSignature
+from repro.backends.trace import SolveTrace, StageTiming
+from repro.core.tiled_pcr import TilingCounters
+from repro.engine.executor import execute_plan
+
+__all__ = ["ThreadedBackend", "execute_sharded"]
+
+
+def execute_sharded(
+    engine,
+    plan,
+    shards,
+    a,
+    b,
+    c,
+    d,
+    *,
+    counters: TilingCounters | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Run ``plan`` split along the batch axis, one thread per shard.
+
+    Each shard gets a sub-plan with ``k`` *fixed* to the full-batch
+    decision (the transition must not re-resolve against the smaller
+    shard ``M``), its own pooled workspace, and its own counters; shard
+    results are written directly into the shared ``out`` batch.
+    """
+    m, n = b.shape
+    if out is None:
+        out = np.empty((m, n), dtype=b.dtype)
+    sub = [
+        (
+            lo,
+            hi,
+            engine.plan_for(
+                hi - lo,
+                n,
+                b.dtype,
+                k=plan.k,
+                fuse=plan.fuse,
+                n_windows=plan.n_windows,
+                subtile_scale=plan.subtile_scale,
+            ),
+            TilingCounters(),
+        )
+        for lo, hi in shards
+    ]
+
+    def run(job):
+        lo, hi, subplan, ctr = job
+        ws = engine.checkout(subplan)
+        try:
+            execute_plan(
+                subplan,
+                ws,
+                a[lo:hi],
+                b[lo:hi],
+                c[lo:hi],
+                d[lo:hi],
+                counters=ctr,
+                out=out[lo:hi],
+            )
+        finally:
+            engine.checkin(subplan, ws)
+
+    pool = engine.thread_pool(len(sub))
+    list(pool.map(run, sub))
+    if counters is not None:
+        for _, _, _, ctr in sub:
+            counters.merge(ctr)
+    return out
+
+
+class ThreadedBackend(BackendBase):
+    """Registry adapter for thread-sharded batch execution.
+
+    Parameters
+    ----------
+    engine:
+        The engine whose plans, workspace pools, and thread pool the
+        shards run on (default: the process-wide engine).
+    default_workers:
+        Worker count when the signature does not request one
+        (default: ``min(4, cpu count)``).
+    """
+
+    name = "threaded"
+    priority = 60
+
+    def __init__(self, engine=None, default_workers: int | None = None):
+        super().__init__()
+        self._engine = engine
+        if default_workers is not None and default_workers < 1:
+            raise ValueError(
+                f"default_workers must be >= 1, got {default_workers}"
+            )
+        self.default_workers = default_workers
+
+    @property
+    def engine(self):
+        if self._engine is not None:
+            return self._engine
+        from repro.engine import default_engine
+
+        return default_engine()
+
+    def _workers_for(self, signature: SolveSignature) -> int:
+        if signature.workers is not None:
+            return max(1, signature.workers)
+        if self.default_workers is not None:
+            return self.default_workers
+        return min(4, os.cpu_count() or 1)
+
+    def capabilities(self) -> Capabilities:
+        # max_workers is the accepted limit, not the core count —
+        # sharding stays functional (and bitwise-safe) on any machine.
+        return Capabilities(
+            max_workers=max(32, os.cpu_count() or 1),
+            description=(
+                "batch-axis sharding over the engine's thread pool — "
+                "bitwise independent of the worker count"
+            ),
+        )
+
+    def prepare(self, signature: SolveSignature):
+        info: dict = {}
+        plan = self.engine.plan_for(
+            signature.m,
+            signature.n,
+            np.dtype(signature.dtype),
+            k=signature.k,
+            fuse=signature.fuse,
+            n_windows=signature.n_windows,
+            subtile_scale=signature.subtile_scale,
+            parallelism=signature.parallelism,
+            heuristic=signature.heuristic,
+            info=info,
+        )
+        return (signature, plan, info.get("cache", "miss"))
+
+    def execute(self, prepared, batch, out=None) -> np.ndarray:
+        signature, plan, cache = prepared
+        a, b, c, d = batch
+        workers = self._workers_for(signature)
+        stage_times: list = []
+        t0 = time.perf_counter()
+        x = self.engine.solve_sharded(
+            plan, workers, a, b, c, d, out=out, stage_times=stage_times
+        )
+        if not stage_times:  # one shard: solve_sharded fell back to pooled
+            stage_times = [("execute", time.perf_counter() - t0)]
+        self._set_trace(
+            SolveTrace(
+                backend=self.name,
+                m=signature.m,
+                n=signature.n,
+                dtype=signature.dtype,
+                k=plan.k,
+                k_source=plan.k_source,
+                fuse=plan.fuse,
+                n_windows=plan.n_windows,
+                workers=workers,
+                plan_cache=cache,
+                stages=[StageTiming(n_, s) for n_, s in stage_times],
+            )
+        )
+        return x

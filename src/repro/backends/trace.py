@@ -1,0 +1,137 @@
+"""Per-solve instrumentation: :class:`SolveTrace` and the trace store.
+
+Every solve that routes through the backend registry leaves behind one
+:class:`SolveTrace` — which backend ran, the frozen transition ``k``,
+whether the plan came out of a cache, and per-stage wall time (with the
+gpusim backend's *predicted* device time side by side where one
+exists).  The most recent trace is queryable process-wide via
+:func:`repro.last_trace`; the CLI's ``--trace`` flag prints it.
+
+Traces are stored per thread so concurrent solves (e.g. under the
+threaded backend, or a user's own thread pool) never see each other's
+instrumentation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "StageTiming",
+    "SolveTrace",
+    "last_trace",
+    "record_trace",
+    "clear_last_trace",
+]
+
+
+@dataclass
+class StageTiming:
+    """One pipeline stage: measured wall time, optionally a predicted one.
+
+    ``predicted_us`` is filled by the gpusim backend only: the analytic
+    device-model time for the same stage, so measured NumPy time and
+    simulated GTX480 time sit side by side in one report.
+    """
+
+    name: str
+    seconds: float
+    predicted_us: float | None = None
+
+
+@dataclass
+class SolveTrace:
+    """What one registry-dispatched solve actually did.
+
+    Attributes
+    ----------
+    backend:
+        Registry name of the backend that executed (``"engine"``,
+        ``"numpy"``, ``"gpusim"``, ``"threaded"``, or
+        ``"direct:<algorithm>"`` for the classic non-hybrid paths).
+    m, n, dtype:
+        Batch signature the solve ran under.
+    k, k_source:
+        The frozen transition decision and where it came from
+        (``"fixed"`` / ``"analytic"`` / ``"heuristic"``).
+    fuse, n_windows, workers:
+        Remaining plan knobs (``workers`` is 1 for unsharded solves).
+    plan_cache:
+        ``"hit"`` / ``"miss"`` for plan-caching backends, ``"n/a"``
+        otherwise.
+    stages:
+        Per-stage :class:`StageTiming` in execution order.
+    predicted_total_us:
+        The gpusim backend's total device-model prediction (``None``
+        for purely measured backends).
+    """
+
+    backend: str
+    m: int = 0
+    n: int = 0
+    dtype: str = "float64"
+    k: int = 0
+    k_source: str = "heuristic"
+    fuse: bool = False
+    n_windows: int = 1
+    workers: int = 1
+    plan_cache: str = "n/a"
+    stages: list = field(default_factory=list)
+    predicted_total_us: float | None = None
+
+    @property
+    def total_s(self) -> float:
+        """Measured wall time summed over the recorded stages."""
+        return sum(s.seconds for s in self.stages)
+
+    def stage(self, name_fragment: str) -> StageTiming:
+        """Look up a stage by name fragment."""
+        for s in self.stages:
+            if name_fragment in s.name:
+                return s
+        raise KeyError(f"no stage matching {name_fragment!r}")
+
+    def describe(self) -> dict:
+        """Flat summary dict (used by reports and the CLI)."""
+        return {
+            "backend": self.backend,
+            "m": self.m,
+            "n": self.n,
+            "dtype": self.dtype,
+            "k": self.k,
+            "k_source": self.k_source,
+            "fuse": self.fuse,
+            "n_windows": self.n_windows,
+            "workers": self.workers,
+            "plan_cache": self.plan_cache,
+            "total_ms": self.total_s * 1e3,
+            "predicted_total_us": self.predicted_total_us,
+            "stages": [
+                {
+                    "name": s.name,
+                    "ms": s.seconds * 1e3,
+                    "predicted_us": s.predicted_us,
+                }
+                for s in self.stages
+            ],
+        }
+
+
+_local = threading.local()
+
+
+def record_trace(trace: SolveTrace) -> SolveTrace:
+    """Store ``trace`` as this thread's most recent solve trace."""
+    _local.trace = trace
+    return trace
+
+
+def last_trace() -> SolveTrace | None:
+    """The most recent :class:`SolveTrace` on this thread (or ``None``)."""
+    return getattr(_local, "trace", None)
+
+
+def clear_last_trace() -> None:
+    """Forget this thread's recorded trace (mainly for tests)."""
+    _local.trace = None

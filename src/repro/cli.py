@@ -2,12 +2,13 @@
 
 Commands
 --------
-``plan``     show the hybrid's execution plan for a problem shape
-``solve``    solve a random batch and report residual + predicted time
-``figures``  print one figure panel's model series (12/13/14)
-``tables``   print Table I / II / III
-``anchors``  verify the calibration anchors against the paper
-``report``   emit the full EXPERIMENTS.md body
+``plan``      show the hybrid's execution plan for a problem shape
+``solve``     solve a random batch and report residual + predicted time
+``backends``  list the registered execution backends + capabilities
+``figures``   print one figure panel's model series (12/13/14)
+``tables``    print Table I / II / III
+``anchors``   verify the calibration anchors against the paper
+``report``    emit the full EXPERIMENTS.md body
 
 Examples
 --------
@@ -15,6 +16,8 @@ Examples
 
     python -m repro.cli plan -M 64 -N 4096
     python -m repro.cli solve -M 256 -N 2048 --fuse
+    python -m repro.cli solve -M 64 -N 1024 --backend gpusim --trace
+    python -m repro.cli backends
     python -m repro.cli figures --figure 12 --panel 512
     python -m repro.cli tables --table 3
     python -m repro.cli anchors
@@ -26,7 +29,6 @@ import argparse
 import sys
 import time
 
-import numpy as np
 
 __all__ = ["main", "build_parser"]
 
@@ -54,6 +56,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm",
         choices=("auto", "hybrid", "thomas", "cr", "pcr", "rd"),
         default="auto",
+    )
+    solve.add_argument(
+        "--backend",
+        default="auto",
+        help="execution backend for the hybrid/auto algorithms "
+        "(auto, or a name from `repro backends`)",
+    )
+    solve.add_argument(
+        "--workers", type=int, default=None,
+        help="shard the batch across this many threads",
+    )
+    solve.add_argument(
+        "--trace", action="store_true",
+        help="print the per-solve instrumentation trace",
+    )
+
+    sub.add_parser(
+        "backends", help="list registered execution backends"
     )
 
     figures = sub.add_parser("figures", help="print a figure panel's series")
@@ -121,8 +141,21 @@ def _cmd_solve(args) -> int:
     from repro.util.tridiag import BatchTridiagonal
     from repro.workloads.generators import random_batch
 
+    hybrid = args.algorithm in ("auto", "hybrid")
+    if not hybrid and (args.backend != "auto" or args.workers is not None):
+        print(
+            f"--backend/--workers apply to the hybrid/auto algorithms only, "
+            f"not {args.algorithm!r}",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = {}
+    if hybrid:
+        kwargs["fuse"] = args.fuse
+        kwargs["backend"] = args.backend
+        if args.workers is not None:
+            kwargs["workers"] = args.workers
     a, b, c, d = random_batch(args.M, args.N, seed=args.seed)
-    kwargs = {"fuse": args.fuse} if args.algorithm in ("auto", "hybrid") else {}
     t0 = time.perf_counter()
     x = repro.solve_batch(a, b, c, d, algorithm=args.algorithm, **kwargs)
     dt = time.perf_counter() - t0
@@ -130,7 +163,35 @@ def _cmd_solve(args) -> int:
     print(f"solved M={args.M} x N={args.N} with {args.algorithm} "
           f"in {dt * 1e3:.2f} ms (this machine, NumPy)")
     print(f"relative residual: {res:.3e}")
+    if args.trace:
+        from repro.analysis.report import trace_markdown
+
+        trace = repro.last_trace()
+        print()
+        print(trace_markdown(trace) if trace is not None
+              else "no trace recorded")
     return 0 if res < 1e-6 else 1
+
+
+def _cmd_backends(_args) -> int:
+    from repro.backends import default_registry
+
+    registry = default_registry()
+    resolved = registry.backends()
+    width = max(len(b.name) for b in resolved)
+    print(f"{'name':<{width}}  prio  dtypes           periodic  "
+          f"workers  kind       description")
+    for b in resolved:
+        caps = b.capabilities()
+        print(
+            f"{b.name:<{width}}  {b.priority:>4}  "
+            f"{'/'.join(caps.dtypes):<15}  "
+            f"{'yes' if caps.periodic else 'no ':<8}  "
+            f"{caps.max_workers:>7}  "
+            f"{'simulated' if caps.simulated else 'measured ':<9}  "
+            f"{caps.description}"
+        )
+    return 0
 
 
 def _cmd_figures(args) -> int:
@@ -259,6 +320,7 @@ def _cmd_export(args) -> int:
 _COMMANDS = {
     "plan": _cmd_plan,
     "solve": _cmd_solve,
+    "backends": _cmd_backends,
     "figures": _cmd_figures,
     "tables": _cmd_tables,
     "anchors": _cmd_anchors,

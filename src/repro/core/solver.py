@@ -18,14 +18,18 @@ True
 transition; explicit names select a specific algorithm (useful for
 comparisons and education).
 
-``auto``/``hybrid`` solves route through the process-wide solve-plan
-engine (:mod:`repro.engine`): the first solve of a given ``(M, N,
-dtype, …)`` signature plans and allocates, repeated solves reuse both.
-Pass ``workers=W`` to shard the batch axis across a thread pool —
-results are bitwise independent of ``W``.
+``auto``/``hybrid`` solves dispatch through the **backend registry**
+(:mod:`repro.backends`): capability negotiation picks an execution
+backend (the plan-caching engine by default; ``workers=W`` routes to
+the thread-sharded backend; ``backend="name"`` forces one), and every
+solve records a :class:`~repro.backends.trace.SolveTrace` queryable
+via :func:`repro.last_trace`.  Results are bitwise identical across
+the engine, numpy-reference, and threaded backends.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -44,9 +48,24 @@ __all__ = ["solve", "solve_batch", "ALGORITHMS"]
 #: Algorithms accepted by :func:`solve` / :func:`solve_batch`.
 ALGORITHMS = ("auto", "hybrid", "thomas", "cr", "pcr", "rd")
 
+_DIRECT = {
+    "thomas": thomas_solve_batch,
+    "cr": cr_solve_batch,
+    "pcr": pcr_solve_batch,
+    "rd": rd_solve_batch,
+}
+
 
 def solve_batch(
-    a, b, c, d, *, algorithm: str = "auto", check: bool = True, **kwargs
+    a,
+    b,
+    c,
+    d,
+    *,
+    algorithm: str = "auto",
+    backend: str = "auto",
+    check: bool = True,
+    **kwargs,
 ) -> np.ndarray:
     """Solve ``M`` tridiagonal systems given as ``(M, N)`` diagonals.
 
@@ -58,16 +77,20 @@ def solve_batch(
     algorithm:
         One of ``"auto"`` (hybrid with Table III transition), ``"hybrid"``,
         ``"thomas"``, ``"cr"``, ``"pcr"``, ``"rd"``.
+    backend:
+        Registry backend for the hybrid/auto algorithms: ``"auto"``
+        (capability negotiation + router) or a registered name —
+        ``"engine"``, ``"numpy"``, ``"threaded"``, ``"gpusim"``…  See
+        :mod:`repro.backends`.
     check:
         Validate inputs (recommended; disable only in hot loops).
         Inputs are *coerced* (lists → arrays, uniform float dtype)
         unconditionally; ``check=False`` only skips the validation.
     **kwargs:
-        For the hybrid/auto algorithms: the
-        :class:`~repro.core.hybrid.HybridSolver` knobs (``k``, ``fuse``,
-        ``n_windows``, ``subtile_scale``, ``heuristic``,
-        ``parallelism``) plus ``workers=W`` to shard the batch across a
-        thread pool (see :meth:`repro.engine.ExecutionEngine.solve_batch`).
+        For the hybrid/auto algorithms: the solve-signature options
+        (``k``, ``fuse``, ``n_windows``, ``subtile_scale``,
+        ``heuristic``, ``parallelism``) plus ``workers=W`` to shard the
+        batch across a thread pool.
 
     Returns
     -------
@@ -81,23 +104,38 @@ def solve_batch(
     else:
         a, b, c, d = coerce_batch_arrays(a, b, c, d)
     if algorithm in ("auto", "hybrid"):
-        from repro.engine import default_engine
+        from repro.backends import solve_via
 
-        return default_engine().solve_batch(a, b, c, d, check=False, **kwargs)
+        x, _ = solve_via(a, b, c, d, backend=backend, coerced=True, **kwargs)
+        return x
+    if backend != "auto":
+        raise TypeError(
+            f"algorithm {algorithm!r} runs directly; backend= applies to "
+            "the hybrid/auto algorithms only"
+        )
     if kwargs:
         raise TypeError(
             f"algorithm {algorithm!r} accepts no extra options, got {sorted(kwargs)}"
         )
-    if algorithm == "thomas":
-        return thomas_solve_batch(a, b, c, d, check=False)
-    if algorithm == "cr":
-        return cr_solve_batch(a, b, c, d, check=False)
-    if algorithm == "pcr":
-        return pcr_solve_batch(a, b, c, d, check=False)
-    return rd_solve_batch(a, b, c, d, check=False)
+    from repro.backends.registry import record_direct_trace
+
+    t0 = time.perf_counter()
+    x = _DIRECT[algorithm](a, b, c, d, check=False)
+    record_direct_trace(algorithm, b, time.perf_counter() - t0)
+    return x
 
 
-def solve(a, b, c, d, *, algorithm: str = "auto", check: bool = True, **kwargs):
+def solve(
+    a,
+    b,
+    c,
+    d,
+    *,
+    algorithm: str = "auto",
+    backend: str = "auto",
+    check: bool = True,
+    **kwargs,
+):
     """Solve one tridiagonal system given as 1-D padded diagonals.
 
     See :func:`solve_batch` for the parameters; this is the ``M = 1``
@@ -108,6 +146,6 @@ def solve(a, b, c, d, *, algorithm: str = "auto", check: bool = True, **kwargs):
     a, b, c, d = (np.asarray(v) for v in (a, b, c, d))
     x = solve_batch(
         a[None, :], b[None, :], c[None, :], d[None, :],
-        algorithm=algorithm, check=False, **kwargs,
+        algorithm=algorithm, backend=backend, check=False, **kwargs,
     )
     return x[0]

@@ -27,6 +27,7 @@ churn).  A module-level :func:`default_engine` instance backs
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -118,12 +119,15 @@ class ExecutionEngine:
         subtile_scale: int = 1,
         parallelism: int | None = None,
         heuristic: TransitionHeuristic | None = None,
+        info: dict | None = None,
     ) -> SolvePlan:
         """Return the cached plan for this signature, building on miss.
 
         ``heuristic`` overrides the engine default for this call; the
         cache key is the *resolved* ``k``, so plans from different
-        heuristics that agree on ``k`` share an entry.
+        heuristics that agree on ``k`` share an entry.  ``info``, if
+        given, receives ``info["cache"] = "hit" | "miss"`` — the
+        instrumentation hook the backend layer's traces are built on.
         """
         plan = build_plan(
             m,
@@ -143,7 +147,11 @@ class ExecutionEngine:
             if cached is not None:
                 self._plans.move_to_end(sig)
                 self.stats.plan_hits += 1
+                if info is not None:
+                    info["cache"] = "hit"
                 return cached
+            if info is not None:
+                info["cache"] = "miss"
             self._plans[sig] = plan
             self.stats.plans_built += 1
             while len(self._plans) > self.max_plans:
@@ -154,6 +162,14 @@ class ExecutionEngine:
         return plan
 
     # ---- workspace pooling -------------------------------------------
+    def checkout(self, plan: SolvePlan) -> PlanWorkspace:
+        """Borrow a pooled workspace for ``plan`` (build one on miss)."""
+        return self._checkout(plan)
+
+    def checkin(self, plan: SolvePlan, ws: PlanWorkspace) -> None:
+        """Return a borrowed workspace to ``plan``'s pool."""
+        self._checkin(plan, ws)
+
     def _checkout(self, plan: SolvePlan) -> PlanWorkspace:
         sig = plan.signature()
         with self._lock:
@@ -179,6 +195,79 @@ class ExecutionEngine:
                 self.stats.workspace_bytes += ws.nbytes
 
     # ---- execution ---------------------------------------------------
+    def execute_pooled(
+        self,
+        plan: SolvePlan,
+        a,
+        b,
+        c,
+        d,
+        *,
+        counters: TilingCounters | None = None,
+        out: np.ndarray | None = None,
+        stage_times: list | None = None,
+    ) -> np.ndarray:
+        """Execute a prepared plan against a pooled workspace.
+
+        This is the unsharded hot path — also the execution seam the
+        backend layer (:mod:`repro.backends.engine_backend`) calls
+        after planning through :meth:`plan_for`.  Counts one solve.
+        """
+        ws = self._checkout(plan)
+        try:
+            x = execute_plan(
+                plan, ws, a, b, c, d,
+                counters=counters, out=out, stage_times=stage_times,
+            )
+        finally:
+            self._checkin(plan, ws)
+        with self._lock:
+            self.stats.solves += 1
+        return x
+
+    def solve_sharded(
+        self,
+        plan: SolvePlan,
+        workers: int,
+        a,
+        b,
+        c,
+        d,
+        *,
+        counters: TilingCounters | None = None,
+        out: np.ndarray | None = None,
+        stage_times: list | None = None,
+    ) -> np.ndarray:
+        """Execute a plan split along the batch axis across threads.
+
+        The sharded orchestration itself lives in
+        :func:`repro.backends.threaded.execute_sharded` (the backend
+        layer owns parallel composition); this method supplies the
+        engine's pooled workspaces, thread pool, and stats ledger.
+        Falls back to :meth:`execute_pooled` when one shard suffices.
+        """
+        m = b.shape[0]
+        shards = shard_bounds(m, workers)
+        if len(shards) <= 1:
+            return self.execute_pooled(
+                plan, a, b, c, d,
+                counters=counters, out=out, stage_times=stage_times,
+            )
+        from repro.backends.threaded import execute_sharded
+
+        t0 = time.perf_counter()
+        x = execute_sharded(
+            self, plan, shards, a, b, c, d, counters=counters, out=out
+        )
+        if stage_times is not None:
+            stage_times.append(
+                (f"sharded-execute[{len(shards)}]", time.perf_counter() - t0)
+            )
+        with self._lock:
+            self.stats.solves += 1
+            self.stats.sharded_solves += 1
+        return x
+
     def solve_batch(
         self,
         a,
@@ -194,12 +283,18 @@ class ExecutionEngine:
         subtile_scale: int = 1,
         parallelism: int | None = None,
         heuristic: TransitionHeuristic | None = None,
+        out: np.ndarray | None = None,
+        info: dict | None = None,
+        stage_times: list | None = None,
     ) -> np.ndarray:
         """Solve an ``(M, N)`` batch through a cached plan.
 
         ``workers=W`` (opt-in) shards the batch axis across a thread
-        pool; results are bitwise independent of ``W``.  Remaining
-        keywords mirror :class:`~repro.core.hybrid.HybridSolver`.
+        pool; results are bitwise independent of ``W``.  ``info`` and
+        ``stage_times`` are instrumentation hooks (plan-cache hit/miss
+        and per-stage wall time; see :mod:`repro.backends.trace`).
+        Remaining keywords mirror
+        :class:`~repro.core.hybrid.HybridSolver`.
         """
         if check:
             a, b, c, d = check_batch_arrays(a, b, c, d)
@@ -216,7 +311,10 @@ class ExecutionEngine:
             subtile_scale=subtile_scale,
             parallelism=parallelism,
             heuristic=heuristic,
+            info=info,
         )
+        if info is not None:
+            info["plan"] = plan
         counters = TilingCounters()
         report = HybridReport(
             m=m,
@@ -229,24 +327,16 @@ class ExecutionEngine:
             tiling=counters,
         )
 
-        shards = (
-            shard_bounds(m, workers)
-            if workers is not None and workers > 1
-            else []
-        )
-        if len(shards) > 1:
-            x = self._solve_sharded(plan, shards, a, b, c, d, counters)
-            with self._lock:
-                self.stats.solves += 1
-                self.stats.sharded_solves += 1
+        if workers is not None and workers > 1:
+            x = self.solve_sharded(
+                plan, workers, a, b, c, d,
+                counters=counters, out=out, stage_times=stage_times,
+            )
         else:
-            ws = self._checkout(plan)
-            try:
-                x = execute_plan(plan, ws, a, b, c, d, counters=counters)
-            finally:
-                self._checkin(plan, ws)
-            with self._lock:
-                self.stats.solves += 1
+            x = self.execute_pooled(
+                plan, a, b, c, d,
+                counters=counters, out=out, stage_times=stage_times,
+            )
         self.last_report = report
         return x
 
@@ -259,58 +349,9 @@ class ExecutionEngine:
         )
         return x[0]
 
-    def _solve_sharded(
-        self, plan: SolvePlan, shards, a, b, c, d, counters: TilingCounters
-    ) -> np.ndarray:
-        """Run ``plan`` split along the batch axis, one thread per shard.
-
-        Each shard gets a sub-plan with ``k`` *fixed* to the full-batch
-        decision (the transition must not re-resolve against the smaller
-        shard ``M``), its own workspace, and its own counters; shard
-        results are written directly into one shared output.
-        """
-        m, n = b.shape
-        out = np.empty((m, n), dtype=b.dtype)
-        sub = [
-            (
-                lo,
-                hi,
-                self.plan_for(
-                    hi - lo,
-                    n,
-                    b.dtype,
-                    k=plan.k,
-                    fuse=plan.fuse,
-                    n_windows=plan.n_windows,
-                    subtile_scale=plan.subtile_scale,
-                ),
-                TilingCounters(),
-            )
-            for lo, hi in shards
-        ]
-
-        def run(job):
-            lo, hi, subplan, ctr = job
-            ws = self._checkout(subplan)
-            try:
-                execute_plan(
-                    subplan,
-                    ws,
-                    a[lo:hi],
-                    b[lo:hi],
-                    c[lo:hi],
-                    d[lo:hi],
-                    counters=ctr,
-                    out=out[lo:hi],
-                )
-            finally:
-                self._checkin(subplan, ws)
-
-        pool = self._thread_pool(len(sub))
-        list(pool.map(run, sub))
-        for _, _, _, ctr in sub:
-            counters.merge(ctr)
-        return out
+    def thread_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The engine's persistent pool, grown to ≥ ``workers`` threads."""
+        return self._thread_pool(workers)
 
     def _thread_pool(self, workers: int) -> ThreadPoolExecutor:
         with self._lock:

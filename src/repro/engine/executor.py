@@ -30,6 +30,8 @@ the plan *before* sharding, from the full ``M``.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.hybrid import _FusedPThomas
@@ -100,18 +102,27 @@ def execute_plan(
     *,
     counters: TilingCounters | None = None,
     out: np.ndarray | None = None,
+    stage_times: list | None = None,
 ) -> np.ndarray:
     """Execute ``plan`` on coerced ``(M, N)`` diagonals using ``ws``.
 
     Inputs must already be contiguous arrays of ``plan.dtype`` and shape
     ``(plan.m, plan.n)`` (the engine guarantees this).  ``counters``, if
     given, accumulates the sweep's :class:`TilingCounters`.  ``out``, if
-    given, receives the solution (shard writes).
+    given, receives the solution (shard writes).  ``stage_times``, if
+    given, receives ``(stage name, seconds)`` pairs — the per-stage
+    wall-time hook behind :class:`~repro.backends.trace.SolveTrace`.
     """
     if not ws.fits(plan):
         raise ValueError("workspace was built for a different plan")
     if plan.uses_thomas:
-        return _thomas_transposed(ws, a, b, c, d, out=out)
+        t0 = time.perf_counter()
+        x = _thomas_transposed(ws, a, b, c, d, out=out)
+        if stage_times is not None:
+            stage_times.append(
+                ("thomas (transposed)", time.perf_counter() - t0)
+            )
+        return x
 
     tiler = TiledPCR(
         k=plan.k, c=plan.subtile_scale, n_windows=plan.n_windows
@@ -122,10 +133,18 @@ def execute_plan(
         fused = _FusedPThomas(
             plan.m, plan.n, plan.k, plan.dtype, workspace=ws.pthomas
         )
+        t0 = time.perf_counter()
         tiler.sweep(
             a, b, c, d, check=False, emit=fused.consume, workspace=ws.tiled
         )
-        return fused.backward(out=out)
+        t1 = time.perf_counter()
+        x = fused.backward(out=out)
+        if stage_times is not None:
+            stage_times.append(("tiled-pcr + fused forward", t1 - t0))
+            stage_times.append(
+                ("p-thomas backward", time.perf_counter() - t1)
+            )
+        return x
 
     red = ws.reduced
 
@@ -133,10 +152,16 @@ def execute_plan(
         for o, sarr in zip(red, quad):
             o[:, e0:e1] = sarr
 
+    t0 = time.perf_counter()
     tiler.sweep(
         a, b, c, d, check=False, emit=emit_into_reduced, workspace=ws.tiled
     )
-    return pthomas_solve_interleaved(
+    t1 = time.perf_counter()
+    x = pthomas_solve_interleaved(
         red[0], red[1], red[2], red[3], plan.k,
         workspace=ws.pthomas, out=out,
     )
+    if stage_times is not None:
+        stage_times.append(("tiled-pcr sweep", t1 - t0))
+        stage_times.append(("p-thomas", time.perf_counter() - t1))
+    return x

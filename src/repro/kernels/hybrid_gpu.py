@@ -23,12 +23,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.hybrid import HybridSolver
 from repro.core.layout import Layout
 from repro.core.transition import GTX480_HEURISTIC, TransitionHeuristic
-from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import DeviceSpec, GTX480
-from repro.gpusim.timing import GpuTimingModel, StageTime
+from repro.gpusim.timing import GpuTimingModel
 from repro.kernels.fused_kernel import fused_hybrid_counters
 from repro.kernels.pthomas_kernel import pthomas_counters
 from repro.kernels.tiled_pcr_kernel import tiled_pcr_counters
@@ -75,6 +73,16 @@ class GpuSolveReport:
             if name_fragment in name:
                 return counters, time
         raise KeyError(f"no stage matching {name_fragment!r}")
+
+    def trace_stages(self) -> list:
+        """``(kernel name, predicted µs)`` pairs for solve traces.
+
+        The hook :class:`~repro.backends.gpusim_backend.GpuSimBackend`
+        uses to put the device model's per-stage prediction next to the
+        measured wall time in one
+        :class:`~repro.backends.trace.SolveTrace`.
+        """
+        return [(name, t.total_s * 1e6) for name, _, t in self.stages]
 
 
 @dataclass
@@ -146,9 +154,26 @@ class GpuHybridSolver:
         return k, self.plan_windows(m, n, k)
 
     # ------------------------------------------------------------------
-    def predict(self, m: int, n: int, dtype_bytes: int = 8) -> GpuSolveReport:
-        """Price a problem shape on the device model (no numerics)."""
-        k, n_windows = self.plan(m, n, dtype_bytes)
+    def predict(
+        self,
+        m: int,
+        n: int,
+        dtype_bytes: int = 8,
+        *,
+        k: int | None = None,
+        n_windows: int | None = None,
+    ) -> GpuSolveReport:
+        """Price a problem shape on the device model (no numerics).
+
+        ``k`` / ``n_windows`` override the planner (the backend layer
+        passes a signature's fixed transition through so prediction and
+        execution price the same launch).
+        """
+        planned_k, planned_w = self.plan(m, n, dtype_bytes)
+        if k is None:
+            k = planned_k
+        if n_windows is None:
+            n_windows = planned_w if k == planned_k else self.plan_windows(m, n, k)
         model = GpuTimingModel(self.device)
         report = GpuSolveReport(
             m=m, n=n, k=k, dtype_bytes=dtype_bytes,
@@ -190,24 +215,39 @@ class GpuHybridSolver:
         return report
 
     # ------------------------------------------------------------------
-    def solve_batch(self, a, b, c, d, *, check: bool = True) -> np.ndarray:
+    def solve_batch(
+        self, a, b, c, d, *, check: bool = True, k: int | None = None
+    ) -> np.ndarray:
         """Numerically solve the batch *and* predict its GPU timing.
 
-        The solution comes from the core hybrid (exact same plan); the
-        prediction lands in :attr:`last_report`.
+        The numerics run through the solve-plan engine with the device
+        plan's exact launch parameters (``k`` capped by shared memory,
+        the Fig. 11b window count) — bitwise what the reference hybrid
+        produces for that plan; the prediction lands in
+        :attr:`last_report`.  ``k`` overrides the device planner's
+        transition (the windows are re-planned around it).
         """
+        from repro.engine import default_engine
+
         b_arr = np.asarray(b)
         m, n = b_arr.shape
         dtype_bytes = b_arr.dtype.itemsize if b_arr.dtype.itemsize in (4, 8) else 8
-        k, n_windows = self.plan(m, n, dtype_bytes)
-        solver = HybridSolver(
+        if k is None:
+            k, n_windows = self.plan(m, n, dtype_bytes)
+        else:
+            n_windows = self.plan_windows(m, n, k)
+        x = default_engine().solve_batch(
+            a,
+            b,
+            c,
+            d,
+            check=check,
             k=k,
             subtile_scale=self.subtile_scale,
             n_windows=n_windows,
             fuse=self.fuse,
         )
-        x = solver.solve_batch(a, b, c, d, check=check)
-        self.predict(m, n, dtype_bytes)
+        self.predict(m, n, dtype_bytes, k=k, n_windows=n_windows)
         return x
 
     def solve(self, a, b, c, d, *, check: bool = True) -> np.ndarray:

@@ -105,3 +105,117 @@ def test_strided_batch_validation():
         gtsv_strided_batch(np.zeros(4), np.ones(4), np.zeros(4), np.zeros(4), 0, 4)
     with pytest.raises(ValueError, match="elements"):
         gtsv_strided_batch(np.zeros(4), np.ones(8), np.zeros(8), np.zeros(8), 2, 4)
+
+
+def test_gtsv_n1_scalar_system():
+    x = gtsv(np.array([]), np.array([2.0]), np.array([]), np.array([6.0]))
+    assert x.shape == (1,)
+    assert np.allclose(x, 3.0)
+
+
+def test_gtsv_n1_multiple_rhs():
+    X = gtsv([], [4.0], [], np.array([[4.0, 8.0, 12.0]]))
+    assert X.shape == (1, 3)
+    assert np.allclose(X, [[1.0, 2.0, 3.0]])
+
+
+def test_gtsv_n1_zero_diagonal_raises():
+    with pytest.raises(ValueError, match="main diagonal"):
+        gtsv([], [0.0], [], [1.0])
+
+
+def test_gtsv_n1_rejects_nonempty_offdiagonals():
+    with pytest.raises(ValueError, match="n-1 = 0"):
+        gtsv([1.0], [2.0], [], [1.0])
+
+
+def test_gtsv_empty_diagonal_rejected():
+    with pytest.raises(ValueError, match="non-empty"):
+        gtsv([], [], [], [])
+
+
+def test_gtsv_fortran_ordered_B():
+    n, nrhs = 40, 3
+    dl, dd, du, _, _ = _lapack_form(n, seed=6)
+    rng = np.random.default_rng(3)
+    B = rng.standard_normal((n, nrhs))
+    XC = gtsv(dl, dd, du, B)
+    XF = gtsv(dl, dd, du, np.asfortranarray(B))
+    assert np.array_equal(XF, XC)
+    assert XF.flags.c_contiguous
+
+
+def test_gtsv_strided_and_transposed_B():
+    n, nrhs = 40, 3
+    dl, dd, du, _, _ = _lapack_form(n, seed=7)
+    rng = np.random.default_rng(4)
+    wide = rng.standard_normal((n, 2 * nrhs))
+    strided = wide[:, ::2]                      # non-contiguous columns
+    assert not strided.flags.c_contiguous
+    ref = gtsv(dl, dd, du, np.ascontiguousarray(strided))
+    assert np.array_equal(gtsv(dl, dd, du, strided), ref)
+    transposed = np.ascontiguousarray(strided.T).T  # T-view of C-array
+    assert np.array_equal(gtsv(dl, dd, du, transposed), ref)
+
+
+def test_gtsv_backend_selection():
+    import repro
+
+    dl, dd, du, rhs, _ = _lapack_form(64, seed=8)
+    x_auto = gtsv(dl, dd, du, rhs)
+    x_ref = gtsv(dl, dd, du, rhs, backend="numpy")
+    assert repro.last_trace().backend == "numpy"
+    assert np.array_equal(x_auto, x_ref)
+
+
+def test_strided_batch_rejects_list_x():
+    with pytest.raises(TypeError, match="overwritten in place"):
+        gtsv_strided_batch(
+            np.zeros(4), np.ones(4), np.zeros(4), [1.0, 1.0, 1.0, 1.0], 1, 4
+        )
+
+
+def test_strided_batch_rejects_integer_x():
+    with pytest.raises(TypeError, match="float32/float64"):
+        gtsv_strided_batch(
+            np.zeros(4), np.ones(4), np.zeros(4), np.ones(4, dtype=np.int64), 1, 4
+        )
+
+
+def test_strided_batch_rejects_readonly_x():
+    x = np.ones(4)
+    x.flags.writeable = False
+    with pytest.raises(ValueError, match="read-only"):
+        gtsv_strided_batch(np.zeros(4), np.ones(4), np.zeros(4), x, 1, 4)
+
+
+def test_strided_batch_stride_one():
+    x = np.array([2.0, 6.0, -3.0])
+    out = gtsv_strided_batch(
+        np.zeros(3), np.array([2.0, 3.0, 3.0]), np.zeros(3), x, 3, 1
+    )
+    assert out is x
+    assert np.allclose(x, [1.0, 2.0, -1.0])
+
+
+def test_strided_batch_writes_through_noncontiguous_view():
+    m, n = 4, 32
+    rng = np.random.default_rng(9)
+    a2 = rng.standard_normal((m, n))
+    c2 = rng.standard_normal((m, n))
+    b2 = 4.0 + np.abs(a2) + np.abs(c2)
+    d2 = rng.standard_normal((m, n))
+    ref = d2.reshape(-1).copy()
+    gtsv_strided_batch(
+        a2.reshape(-1).copy(), b2.reshape(-1).copy(), c2.reshape(-1).copy(),
+        ref, m, n,
+    )
+    backing = np.zeros(2 * m * n)
+    view = backing[::2]
+    view[:] = d2.reshape(-1)
+    got = gtsv_strided_batch(
+        a2.reshape(-1).copy(), b2.reshape(-1).copy(), c2.reshape(-1).copy(),
+        view, m, n,
+    )
+    assert got is view
+    assert np.array_equal(backing[::2], ref)  # wrote through the view

@@ -95,3 +95,59 @@ def test_accuracy_command(capsys):
     out = capsys.readouterr().out
     assert "forward error" in out
     assert "hybrid" in out
+
+
+def test_backends_command(capsys):
+    assert main(["backends"]) == 0
+    out = capsys.readouterr().out
+    for name in ("engine", "threaded", "numpy", "gpusim"):
+        assert name in out
+    assert "simulated" in out
+    assert "float32/float64" in out
+
+
+@pytest.mark.parametrize("backend", ["engine", "numpy", "threaded", "gpusim"])
+def test_solve_backend_flag(capsys, backend):
+    assert main(["solve", "-M", "4", "-N", "128", "--backend", backend]) == 0
+    assert "relative residual" in capsys.readouterr().out
+
+
+def test_solve_trace_flag(capsys):
+    assert main(["solve", "-M", "4", "-N", "256", "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "backend: engine" in out
+    assert "plan cache" in out
+    assert "| stage |" in out
+
+
+def test_solve_trace_shows_gpusim_predictions(capsys):
+    assert main([
+        "solve", "-M", "4", "-N", "256", "--backend", "gpusim", "--trace",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "backend: gpusim" in out
+    assert "predicted (us)" in out
+    assert "device-model prediction" in out
+
+
+def test_solve_workers_flag(capsys):
+    assert main(["solve", "-M", "8", "-N", "128", "--workers", "2", "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "backend: threaded" in out
+    assert "sharded-execute[2]" in out
+
+
+def test_solve_backend_rejected_for_classic_algorithms(capsys):
+    rc = main([
+        "solve", "-M", "4", "-N", "128",
+        "--algorithm", "thomas", "--backend", "engine",
+    ])
+    assert rc == 2
+    assert "hybrid/auto" in capsys.readouterr().err
+
+
+def test_solve_unknown_backend_errors():
+    from repro.backends import BackendError
+
+    with pytest.raises(BackendError, match="unknown backend"):
+        main(["solve", "-M", "4", "-N", "128", "--backend", "nope"])
