@@ -32,6 +32,12 @@ Quick start
 >>> b = 4.0 + np.abs(a) + np.abs(c)   # diagonally dominant
 >>> d = rng.standard_normal(n)
 >>> x = repro.solve(a, b, c, d)       # hybrid tiled-PCR + p-Thomas
+
+Time-stepping loops that solve one matrix against many right-hand
+sides should prepare it once (``handle = repro.prepare(a, b, c)``;
+``handle.solve(d)``) — or just keep calling ``repro.solve_batch``:
+the engine fingerprints coefficients and serves repeats from its
+factorization cache automatically (see :mod:`repro.engine.prepared`).
 """
 
 from repro.core import (
@@ -64,10 +70,16 @@ from repro.backends import (
     list_backends,
     register_backend,
 )
-from repro.engine import ExecutionEngine, SolvePlan, default_engine
+from repro.engine import (
+    ExecutionEngine,
+    PreparedPlan,
+    SolvePlan,
+    default_engine,
+    prepare,
+)
 from repro.util import BatchTridiagonal, TridiagonalSystem
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "solve",
@@ -90,8 +102,10 @@ __all__ = [
     "ThomasFactorization",
     "HybridFactorization",
     "ExecutionEngine",
+    "PreparedPlan",
     "SolvePlan",
     "default_engine",
+    "prepare",
     "Backend",
     "Capabilities",
     "SolveTrace",

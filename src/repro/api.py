@@ -13,7 +13,10 @@ made where the solver needs them, never a silent reinterpretation).
 Each adapter accepts ``backend=`` and forwards it to the backend
 registry (:mod:`repro.backends`), so vendor-shaped calls get the same
 dispatch and :class:`~repro.backends.trace.SolveTrace` instrumentation
-as native ones.
+as native ones — including the coefficient-fingerprint factorization
+cache: a time-stepping loop calling ``gtsv_strided_batch`` with fixed
+diagonals stops re-eliminating after its second step (``fingerprint=``
+forwards the tri-state; see :func:`repro.solve_batch`).
 """
 
 from __future__ import annotations
@@ -33,7 +36,7 @@ def _solve_dtype(*arrays) -> np.dtype:
     return dtype if dtype in _FLOATS else np.dtype(np.float64)
 
 
-def gtsv(dl, d, du, B, *, backend: str = "auto"):
+def gtsv(dl, d, du, B, *, backend: str = "auto", fingerprint: bool | None = None):
     """LAPACK ``?gtsv``-style: one system, possibly many RHS columns.
 
     Parameters
@@ -52,6 +55,9 @@ def gtsv(dl, d, du, B, *, backend: str = "auto"):
     backend:
         Backend registry selection forwarded to
         :func:`repro.solve_batch` (``"auto"`` or a registered name).
+    fingerprint:
+        Factorization-cache tri-state forwarded to
+        :func:`repro.solve_batch`.
 
     Returns
     -------
@@ -92,24 +98,40 @@ def gtsv(dl, d, du, B, *, backend: str = "auto"):
     a[1:] = dl
     c[:-1] = du
     if B.ndim == 1:
-        x = solve_batch(a[None], d[None], c[None], B[None], backend=backend)
+        x = solve_batch(
+            a[None], d[None], c[None], B[None],
+            backend=backend, fingerprint=fingerprint,
+        )
         return x[0]
     nrhs = B.shape[1]
     aa = np.tile(a, (nrhs, 1))
     bb = np.tile(d, (nrhs, 1))
     cc = np.tile(c, (nrhs, 1))
     # B.T is evaluated by value, so Fortran-ordered / strided B is fine.
-    x = solve_batch(aa, bb, cc, np.ascontiguousarray(B.T), backend=backend)
+    x = solve_batch(
+        aa, bb, cc, np.ascontiguousarray(B.T),
+        backend=backend, fingerprint=fingerprint,
+    )
     return np.ascontiguousarray(x.T)
 
 
-def gtsv_nopivot(dl, d, du, B, *, backend: str = "auto"):
+def gtsv_nopivot(
+    dl, d, du, B, *, backend: str = "auto", fingerprint: bool | None = None
+):
     """cuSPARSE ``gtsv2_nopivot``-style alias (the library never pivots)."""
-    return gtsv(dl, d, du, B, backend=backend)
+    return gtsv(dl, d, du, B, backend=backend, fingerprint=fingerprint)
 
 
 def gtsv_strided_batch(
-    dl, d, du, x, batch_count: int, batch_stride: int, *, backend: str = "auto"
+    dl,
+    d,
+    du,
+    x,
+    batch_count: int,
+    batch_stride: int,
+    *,
+    backend: str = "auto",
+    fingerprint: bool | None = None,
 ):
     """cuSPARSE ``gtsv2StridedBatch``-style: flat strided system batch.
 
@@ -132,6 +154,10 @@ def gtsv_strided_batch(
     backend:
         Backend registry selection forwarded to
         :func:`repro.solve_batch`.
+    fingerprint:
+        Factorization-cache tri-state forwarded to
+        :func:`repro.solve_batch` — fixed diagonals across repeated
+        calls hit the stored factorization automatically.
 
     Returns
     -------
@@ -177,6 +203,8 @@ def gtsv_strided_batch(
             )
         sol = d2 / np.asarray(b2, dtype=x.dtype)
     else:
-        sol = solve_batch(a2, b2, c2, d2, backend=backend)
+        sol = solve_batch(
+            a2, b2, c2, d2, backend=backend, fingerprint=fingerprint
+        )
     x[:needed] = sol.reshape(-1)
     return x

@@ -62,6 +62,11 @@ class Capabilities:
     simulated:
         True when the backend's timing report is a device-model
         prediction rather than a measurement.
+    prepared:
+        Whether the backend serves prepared (fingerprinted /
+        factorization-cached, RHS-only) solves.  Signatures with
+        ``fingerprint=True`` negotiate only against prepared-capable
+        backends.
     description:
         One-line summary for ``repro backends`` listings.
     """
@@ -71,6 +76,7 @@ class Capabilities:
     layouts: tuple = ("contiguous",)
     max_workers: int = 1
     simulated: bool = False
+    prepared: bool = False
     description: str = ""
 
 
@@ -81,7 +87,11 @@ class SolveSignature:
     Mirrors the engine's plan signature (PR 1) plus the negotiation
     axes: dtype, periodicity and requested worker count.  ``heuristic``
     is a :class:`~repro.core.transition.TransitionHeuristic` override
-    (``None`` = backend default).
+    (``None`` = backend default).  ``fingerprint`` is the
+    factorization-cache tri-state: ``None`` auto-engages where bitwise
+    safe (``k = 0``), ``True`` requires prepared execution (and
+    restricts negotiation to prepared-capable backends), ``False``
+    disables fingerprinting.
     """
 
     m: int
@@ -95,6 +105,7 @@ class SolveSignature:
     workers: int | None = None
     periodic: bool = False
     heuristic: object = None
+    fingerprint: bool | None = None
 
     #: keyword options accepted by :meth:`for_batch` / ``solve_batch``.
     OPTION_NAMES = (
@@ -106,6 +117,7 @@ class SolveSignature:
         "workers",
         "periodic",
         "heuristic",
+        "fingerprint",
     )
 
     @classmethod

@@ -41,9 +41,11 @@ class EngineBackend(BackendBase):
         # sharding stays functional (and bitwise-safe) on any machine.
         return Capabilities(
             max_workers=max(32, os.cpu_count() or 1),
+            prepared=True,
             description=(
                 "plan-caching + workspace-pooling engine — warm solves "
-                "allocate only their result (default)"
+                "allocate only their result, repeat coefficients hit the "
+                "factorization cache (default)"
             ),
         )
 
@@ -82,17 +84,16 @@ class EngineBackend(BackendBase):
             tiling=counters,
         )
         workers = signature.workers
-        if workers is not None and workers > 1:
-            x = self.engine.solve_sharded(
-                plan, workers, a, b, c, d,
-                counters=counters, out=out, stage_times=stage_times,
-            )
-        else:
-            workers = 1
-            x = self.engine.execute_pooled(
-                plan, a, b, c, d,
-                counters=counters, out=out, stage_times=stage_times,
-            )
+        info: dict = {}
+        x = self.engine.dispatch(
+            plan, a, b, c, d,
+            workers=workers,
+            fingerprint=signature.fingerprint,
+            counters=counters,
+            out=out,
+            info=info,
+            stage_times=stage_times,
+        )
         self.engine.last_report = report
         self._set_trace(
             SolveTrace(
@@ -104,8 +105,10 @@ class EngineBackend(BackendBase):
                 k_source=plan.k_source,
                 fuse=plan.fuse,
                 n_windows=plan.n_windows,
-                workers=workers,
+                workers=workers if workers is not None else 1,
                 plan_cache=cache,
+                factorization=info.get("factorization", "n/a"),
+                rhs_only=info.get("rhs_only", False),
                 stages=[StageTiming(n_, s) for n_, s in stage_times],
             )
         )

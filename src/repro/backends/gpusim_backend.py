@@ -41,9 +41,11 @@ class GpuSimBackend(BackendBase):
     def capabilities(self) -> Capabilities:
         return Capabilities(
             simulated=True,
+            prepared=True,
             description=(
                 f"engine numerics + {self.solver.device.name} device-model "
-                "pricing — trace shows predicted kernel times"
+                "pricing — trace shows predicted kernel times; prepared "
+                "solves price the RHS-only kernels"
             ),
         )
 
@@ -66,6 +68,7 @@ class GpuSimBackend(BackendBase):
         signature, k, n_windows, k_source, dtype_bytes = prepared
         a, b, c, d = batch
         stage_times: list = []
+        info: dict = {}
         t0 = time.perf_counter()
         x = default_engine().solve_batch(
             a,
@@ -77,20 +80,44 @@ class GpuSimBackend(BackendBase):
             subtile_scale=self.solver.subtile_scale,
             n_windows=n_windows,
             fuse=self.solver.fuse,
+            fingerprint=signature.fingerprint,
             out=out,
+            info=info,
             stage_times=stage_times,
         )
         measured = time.perf_counter() - t0
         report = self.solver.predict(
             signature.m, signature.n, dtype_bytes, k=k, n_windows=n_windows
         )
-        predicted = report.trace_stages()
+        if info.get("rhs_only"):
+            # the stored factorization skipped elimination — price the
+            # RHS-only kernel sequence instead of the full launch
+            from repro.gpusim.timing import GpuTimingModel
+            from repro.kernels.rhs_kernel import rhs_only_counters
+
+            model = GpuTimingModel(self.solver.device)
+            predicted = [
+                (c.name, model.time(c, dtype_bytes).total_s * 1e6)
+                for c in rhs_only_counters(
+                    signature.m, signature.n, report.k, dtype_bytes,
+                    device=self.solver.device,
+                )
+            ]
+        else:
+            predicted = report.trace_stages()
+        predicted_total_us = sum(us for _, us in predicted)
         stages = [StageTiming(n_, s) for n_, s in stage_times]
-        # pair measured stages with predicted kernel times positionally
-        # (both ledgers follow the same front-end → back-end order)
-        for stage, (_, us) in zip(stages, predicted):
+        # pair measured kernel stages with predicted kernel times
+        # positionally (both ledgers follow the same front-end →
+        # back-end order); fingerprint/factorize bookkeeping stages
+        # have no device-side counterpart
+        kernel_stages = [
+            s for s in stages
+            if s.name not in ("fingerprint", "factorize")
+        ]
+        for stage, (_, us) in zip(kernel_stages, predicted):
             stage.predicted_us = us
-        for name, us in predicted[len(stages):]:
+        for name, us in predicted[len(kernel_stages):]:
             stages.append(StageTiming(f"{name} (predicted)", 0.0, us))
         if not stages:
             stages = [StageTiming("execute", measured)]
@@ -105,8 +132,10 @@ class GpuSimBackend(BackendBase):
                 fuse=report.fused,
                 n_windows=report.n_windows,
                 plan_cache="n/a",
+                factorization=info.get("factorization", "n/a"),
+                rhs_only=info.get("rhs_only", False),
                 stages=stages,
-                predicted_total_us=report.total_us,
+                predicted_total_us=predicted_total_us,
             )
         )
         return x

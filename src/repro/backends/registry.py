@@ -59,6 +59,8 @@ def reject_reason(caps: Capabilities, sig: SolveSignature) -> str | None:
         return "periodic systems unsupported"
     if sig.workers is not None and sig.workers > 1 and caps.max_workers <= 1:
         return f"workers={sig.workers} unsupported (single-worker backend)"
+    if sig.fingerprint is True and not caps.prepared:
+        return "prepared (fingerprinted) execution unsupported"
     return None
 
 

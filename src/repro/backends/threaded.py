@@ -33,7 +33,7 @@ from repro.backends.trace import SolveTrace, StageTiming
 from repro.core.tiled_pcr import TilingCounters
 from repro.engine.executor import execute_plan
 
-__all__ = ["ThreadedBackend", "execute_sharded"]
+__all__ = ["ThreadedBackend", "execute_sharded", "merge_shard_stage_times"]
 
 
 def execute_sharded(
@@ -47,6 +47,7 @@ def execute_sharded(
     *,
     counters: TilingCounters | None = None,
     out: np.ndarray | None = None,
+    stage_times: list | None = None,
 ) -> np.ndarray:
     """Run ``plan`` split along the batch axis, one thread per shard.
 
@@ -54,6 +55,13 @@ def execute_sharded(
     decision (the transition must not re-resolve against the smaller
     shard ``M``), its own pooled workspace, and its own counters; shard
     results are written directly into the shared ``out`` batch.
+
+    ``stage_times`` receives the per-shard pipeline stages aggregated
+    across workers: shards run the same stage sequence concurrently, so
+    each stage contributes its **max-over-shards** wall time (the
+    critical-path view) under a ``[w shards]``-suffixed name.  Workers
+    previously timed into thread-local state the caller never saw; now
+    the inner stage breakdown survives into the parent trace.
     """
     m, n = b.shape
     if out is None:
@@ -72,12 +80,13 @@ def execute_sharded(
                 subtile_scale=plan.subtile_scale,
             ),
             TilingCounters(),
+            [] if stage_times is not None else None,
         )
         for lo, hi in shards
     ]
 
     def run(job):
-        lo, hi, subplan, ctr = job
+        lo, hi, subplan, ctr, times = job
         ws = engine.checkout(subplan)
         try:
             execute_plan(
@@ -89,6 +98,7 @@ def execute_sharded(
                 d[lo:hi],
                 counters=ctr,
                 out=out[lo:hi],
+                stage_times=times,
             )
         finally:
             engine.checkin(subplan, ws)
@@ -96,9 +106,33 @@ def execute_sharded(
     pool = engine.thread_pool(len(sub))
     list(pool.map(run, sub))
     if counters is not None:
-        for _, _, _, ctr in sub:
+        for _, _, _, ctr, _ in sub:
             counters.merge(ctr)
+    if stage_times is not None:
+        stage_times.extend(merge_shard_stage_times([s[4] for s in sub]))
     return out
+
+
+def merge_shard_stage_times(per_shard: list) -> list:
+    """Aggregate per-shard ``(name, seconds)`` lists for a parent trace.
+
+    Every shard runs the identical stage sequence; since shards execute
+    concurrently, the parent's view of one stage is its slowest shard.
+    Returns ``(f"{name} [w shards]", max seconds)`` pairs in stage
+    order.
+    """
+    lists = [st for st in per_shard if st]
+    if not lists:
+        return []
+    w = len(lists)
+    merged = []
+    for i, (name, secs) in enumerate(lists[0]):
+        worst = secs
+        for other in lists[1:]:
+            if i < len(other) and other[i][0] == name:
+                worst = max(worst, other[i][1])
+        merged.append((f"{name} [{w} shards]", worst))
+    return merged
 
 
 class ThreadedBackend(BackendBase):
@@ -146,9 +180,11 @@ class ThreadedBackend(BackendBase):
         # sharding stays functional (and bitwise-safe) on any machine.
         return Capabilities(
             max_workers=max(32, os.cpu_count() or 1),
+            prepared=True,
             description=(
                 "batch-axis sharding over the engine's thread pool — "
-                "bitwise independent of the worker count"
+                "bitwise independent of the worker count; prepared "
+                "solves shard the RHS-only sweep"
             ),
         )
 
@@ -173,9 +209,15 @@ class ThreadedBackend(BackendBase):
         a, b, c, d = batch
         workers = self._workers_for(signature)
         stage_times: list = []
+        info: dict = {}
         t0 = time.perf_counter()
-        x = self.engine.solve_sharded(
-            plan, workers, a, b, c, d, out=out, stage_times=stage_times
+        x = self.engine.dispatch(
+            plan, a, b, c, d,
+            workers=workers,
+            fingerprint=signature.fingerprint,
+            out=out,
+            info=info,
+            stage_times=stage_times,
         )
         if not stage_times:  # one shard: solve_sharded fell back to pooled
             stage_times = [("execute", time.perf_counter() - t0)]
@@ -191,6 +233,8 @@ class ThreadedBackend(BackendBase):
                 n_windows=plan.n_windows,
                 workers=workers,
                 plan_cache=cache,
+                factorization=info.get("factorization", "n/a"),
+                rhs_only=info.get("rhs_only", False),
                 stages=[StageTiming(n_, s) for n_, s in stage_times],
             )
         )

@@ -60,6 +60,16 @@ class SolveTrace:
     plan_cache:
         ``"hit"`` / ``"miss"`` for plan-caching backends, ``"n/a"``
         otherwise.
+    factorization:
+        What the coefficient-fingerprint cache did: ``"hit"`` (stored
+        factorization served the solve), ``"factored"`` (built this
+        call), ``"miss"`` (first sighting, solved unprepared),
+        ``"handle"`` (explicit :class:`~repro.engine.prepared.PreparedPlan`),
+        ``"off"`` (fingerprinting disabled), or ``"n/a"`` (backend or
+        plan not eligible).
+    rhs_only:
+        True when the solve skipped elimination entirely and ran the
+        stored factorization's RHS-only sweep.
     stages:
         Per-stage :class:`StageTiming` in execution order.
     predicted_total_us:
@@ -77,6 +87,8 @@ class SolveTrace:
     n_windows: int = 1
     workers: int = 1
     plan_cache: str = "n/a"
+    factorization: str = "n/a"
+    rhs_only: bool = False
     stages: list = field(default_factory=list)
     predicted_total_us: float | None = None
 
@@ -105,6 +117,8 @@ class SolveTrace:
             "n_windows": self.n_windows,
             "workers": self.workers,
             "plan_cache": self.plan_cache,
+            "factorization": self.factorization,
+            "rhs_only": self.rhs_only,
             "total_ms": self.total_s * 1e3,
             "predicted_total_us": self.predicted_total_us,
             "stages": [

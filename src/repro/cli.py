@@ -17,6 +17,7 @@ Examples
     python -m repro.cli plan -M 64 -N 4096
     python -m repro.cli solve -M 256 -N 2048 --fuse
     python -m repro.cli solve -M 64 -N 1024 --backend gpusim --trace
+    python -m repro.cli solve -M 1024 -N 1024 --prepare 50 --trace
     python -m repro.cli backends
     python -m repro.cli figures --figure 12 --panel 512
     python -m repro.cli tables --table 3
@@ -70,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--trace", action="store_true",
         help="print the per-solve instrumentation trace",
+    )
+    solve.add_argument(
+        "--prepare", type=int, default=None, metavar="STEPS",
+        help="time-stepping demo: factor the coefficients once, then "
+        "solve STEPS fresh right-hand sides through the prepared "
+        "RHS-only path (and the same loop unprepared, for comparison)",
     )
 
     sub.add_parser(
@@ -142,13 +149,19 @@ def _cmd_solve(args) -> int:
     from repro.workloads.generators import random_batch
 
     hybrid = args.algorithm in ("auto", "hybrid")
-    if not hybrid and (args.backend != "auto" or args.workers is not None):
+    if not hybrid and (
+        args.backend != "auto"
+        or args.workers is not None
+        or args.prepare is not None
+    ):
         print(
-            f"--backend/--workers apply to the hybrid/auto algorithms only, "
-            f"not {args.algorithm!r}",
+            f"--backend/--workers/--prepare apply to the hybrid/auto "
+            f"algorithms only, not {args.algorithm!r}",
             file=sys.stderr,
         )
         return 2
+    if args.prepare is not None:
+        return _solve_prepared(args)
     kwargs = {}
     if hybrid:
         kwargs["fuse"] = args.fuse
@@ -171,6 +184,66 @@ def _cmd_solve(args) -> int:
         print(trace_markdown(trace) if trace is not None
               else "no trace recorded")
     return 0 if res < 1e-6 else 1
+
+
+def _solve_prepared(args) -> int:
+    import numpy as np
+
+    import repro
+    from repro.util.numerics import residual_norm
+    from repro.util.tridiag import BatchTridiagonal
+    from repro.workloads.generators import random_batch
+
+    if args.prepare < 1:
+        print("--prepare needs at least one step", file=sys.stderr)
+        return 2
+    a, b, c, d0 = random_batch(args.M, args.N, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    rhs = [d0] + [
+        rng.standard_normal((args.M, args.N)) for _ in range(args.prepare - 1)
+    ]
+    workers = args.workers
+
+    handle = repro.prepare(a, b, c, fuse=args.fuse)
+    t0 = time.perf_counter()
+    xs = [handle.solve(di, workers=workers) for di in rhs]
+    prepared_ms = (time.perf_counter() - t0) * 1e3
+
+    kwargs = {"fuse": args.fuse, "backend": args.backend,
+              "fingerprint": False}
+    if workers is not None:
+        kwargs["workers"] = workers
+    t0 = time.perf_counter()
+    ref = [repro.solve_batch(a, b, c, di, **kwargs) for di in rhs]
+    unprepared_ms = (time.perf_counter() - t0) * 1e3
+
+    agree = all(np.allclose(x, r) for x, r in zip(xs, ref))
+    res = max(
+        residual_norm(BatchTridiagonal(a, b, c, di), xi)
+        for di, xi in zip(rhs, xs)
+    )
+    steps = args.prepare
+    print(f"prepared handle: {handle.describe()}")
+    print(f"{steps} time steps, M={args.M} x N={args.N}:")
+    print(f"  prepared (RHS-only) : {prepared_ms:8.2f} ms "
+          f"({prepared_ms / steps:.3f} ms/step)")
+    print(f"  unprepared          : {unprepared_ms:8.2f} ms "
+          f"({unprepared_ms / steps:.3f} ms/step)  "
+          f"-> {unprepared_ms / prepared_ms:.2f}x")
+    print(f"  worst relative residual: {res:.3e}  "
+          f"(matches unprepared: {'yes' if agree else 'NO'})")
+    if args.trace:
+        from repro.analysis.report import trace_markdown
+
+        # one more solve through the public API with the same
+        # coefficients: shows the fingerprint cache auto-hitting
+        repro.solve_batch(a, b, c, rhs[-1], fuse=args.fuse,
+                          backend=args.backend)
+        trace = repro.last_trace()
+        print()
+        print(trace_markdown(trace) if trace is not None
+              else "no trace recorded")
+    return 0 if agree and res < 1e-6 else 1
 
 
 def _cmd_backends(_args) -> int:

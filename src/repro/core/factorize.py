@@ -33,20 +33,57 @@ from repro.core.validation import check_batch_arrays
 __all__ = ["ThomasFactorization", "HybridFactorization"]
 
 
-def _shift_rhs(d: np.ndarray, offset: int) -> np.ndarray:
-    """Shift along axis 1 with zero fill: ``out[:, i] = d[:, i + offset]``."""
-    out = np.zeros_like(d)
+def _shift_rhs(d: np.ndarray, offset: int, out: np.ndarray | None = None) -> np.ndarray:
+    """Shift along axis 1 with zero fill: ``out[:, i] = d[:, i + offset]``.
+
+    ``out``, if given, is a caller-owned scratch buffer of ``d``'s shape
+    and dtype — the RHS-only hot loop passes pooled workspace buffers so
+    applying a stored PCR level allocates nothing.  ``out`` must not
+    alias ``d``.
+    """
+    if out is None:
+        out = np.zeros_like(d)
+        fresh = True
+    else:
+        fresh = False
     n = d.shape[1]
     if offset > 0:
         if offset < n:
             out[:, : n - offset] = d[:, offset:]
+            if not fresh:
+                out[:, n - offset :] = 0.0
+        elif not fresh:
+            out[...] = 0.0
     elif offset < 0:
         k = -offset
         if k < n:
             out[:, k:] = d[:, : n - k]
+            if not fresh:
+                out[:, :k] = 0.0
+        elif not fresh:
+            out[...] = 0.0
     else:
         out[...] = d
     return out
+
+
+def _match_buffer(buf, d: np.ndarray, squeeze: bool) -> np.ndarray:
+    """Adapt a caller-owned buffer to ``d``'s expanded ``(M, N, R)`` shape.
+
+    Accepts the buffer in either the caller's original shape (``(M, N)``
+    when ``squeeze``) or already-expanded form; allocates when ``buf`` is
+    ``None``.
+    """
+    if buf is None:
+        return np.empty_like(d)
+    if squeeze and buf.ndim == 2:
+        buf = buf[..., None]
+    if buf.shape != d.shape or buf.dtype != d.dtype:
+        raise ValueError(
+            f"buffer has shape {buf.shape} dtype {buf.dtype}, "
+            f"expected {d.shape} {d.dtype}"
+        )
+    return buf
 
 
 @dataclass
@@ -102,8 +139,15 @@ class ThomasFactorization:
         """System size."""
         return self.cp.shape[1]
 
-    def solve(self, d) -> np.ndarray:
-        """Solve for one RHS set: ``d`` is ``(M, N)`` or ``(M, N, R)``."""
+    def solve(self, d, *, out=None, scratch=None) -> np.ndarray:
+        """Solve for one RHS set: ``d`` is ``(M, N)`` or ``(M, N, R)``.
+
+        ``out`` receives the solution (same shape as ``d``); ``scratch``
+        is an optional caller-owned buffer of ``d``'s shape for the
+        modified RHS, so a warm RHS-only solve allocates nothing.  The
+        solve runs in the factorization's dtype (a float32
+        factorization keeps float32 right-hand sides in float32).
+        """
         d = np.asarray(d, dtype=self.cp.dtype)
         squeeze = d.ndim == 2
         if squeeze:
@@ -116,14 +160,16 @@ class ThomasFactorization:
         a = self.a[..., None]
         inv = self.inv_denom[..., None]
         cp = self.cp[..., None]
-        dp = np.empty_like(d)
+        dp = _match_buffer(scratch, d, squeeze)
+        x = _match_buffer(out, d, squeeze)
         dp[:, 0] = d[:, 0] * inv[:, 0]
         for i in range(1, n):
             dp[:, i] = (d[:, i] - dp[:, i - 1] * a[:, i]) * inv[:, i]
-        x = np.empty_like(d)
         x[:, n - 1] = dp[:, n - 1]
         for i in range(n - 2, -1, -1):
             x[:, i] = dp[:, i] - cp[:, i] * x[:, i + 1]
+        if out is not None:
+            return out
         return x[..., 0] if squeeze else x
 
 
@@ -201,40 +247,88 @@ class HybridFactorization:
         fact.reduced = ThomasFactorization.factor(ra, rb, rc, check=False)
         return fact
 
-    def solve(self, d) -> np.ndarray:
-        """Solve for ``d`` of shape ``(M, N)`` or ``(M, N, R)``."""
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype the factorization was built in (solves run in it too)."""
+        if self.level_factors:
+            return self.level_factors[0][0].dtype
         if self.reduced is None:
             raise RuntimeError("factorization not initialized; use factor()")
-        d = np.asarray(d)
+        return self.reduced.cp.dtype
+
+    def _scratch(self, scratch, name: str, shape, dtype) -> np.ndarray:
+        """Fetch-or-allocate a named buffer from the scratch dict."""
+        if scratch is None:
+            return np.empty(shape, dtype=dtype)
+        arr = scratch.get(name)
+        if arr is None or arr.shape != shape or arr.dtype != dtype:
+            arr = np.empty(shape, dtype=dtype)
+            scratch[name] = arr
+        return arr
+
+    def solve(self, d, *, out=None, scratch=None) -> np.ndarray:
+        """Solve for ``d`` of shape ``(M, N)`` or ``(M, N, R)``.
+
+        ``scratch`` is an optional dict the solve keys its intermediate
+        buffers into — pass the same dict every time step and the warm
+        RHS-only path allocates nothing.  ``out`` receives the solution.
+        The input is never mutated, and the solve runs in the
+        factorization's dtype.
+        """
+        if self.reduced is None:
+            raise RuntimeError("factorization not initialized; use factor()")
+        d = np.asarray(d, dtype=self.dtype)
         squeeze = d.ndim == 2
         if squeeze:
             d = d[..., None]
         m, n, r = d.shape
         g = 1 << self.k
 
-        # apply the stored PCR level factors to the RHS
-        s = 1
-        for k1, k2 in self.level_factors:
-            d = (
-                d
-                - k1[..., None] * _shift_rhs(d, -s)
-                - k2[..., None] * _shift_rhs(d, +s)
+        # Apply the stored PCR level factors to the RHS, ping-ponging
+        # between two scratch buffers (the input is left untouched).
+        cur = d
+        if self.level_factors:
+            work = (
+                self._scratch(scratch, "lvl0", d.shape, d.dtype),
+                self._scratch(scratch, "lvl1", d.shape, d.dtype),
             )
-            s *= 2
+            tm = self._scratch(scratch, "shift", d.shape, d.dtype)
+            s = 1
+            for lvl, (k1, k2) in enumerate(self.level_factors):
+                nxt = work[lvl & 1]
+                _shift_rhs(cur, -s, out=tm)
+                np.multiply(k1[..., None], tm, out=tm)
+                np.subtract(cur, tm, out=nxt)
+                _shift_rhs(cur, +s, out=tm)
+                np.multiply(k2[..., None], tm, out=tm)
+                np.subtract(nxt, tm, out=nxt)
+                cur = nxt
+                s *= 2
 
         if g == 1:
-            x = self.reduced.solve(d if not squeeze else d)
+            dp = self._scratch(scratch, "dp", cur.shape, cur.dtype)
+            x = _match_buffer(out, cur, squeeze)
+            self.reduced.solve(cur, out=x, scratch=dp)
+            if out is not None:
+                return out
             return x[..., 0] if squeeze else x
 
         # regroup into subsystems, back-substitute, regroup back
         L = self.reduced.n
-        rd = np.zeros((m * g, L, r), dtype=d.dtype)
+        rshape = (m * g, L, r)
+        rd = self._scratch(scratch, "rd", rshape, cur.dtype)
+        rdp = self._scratch(scratch, "rdp", rshape, cur.dtype)
+        rx = self._scratch(scratch, "rx", rshape, cur.dtype)
         for j in range(g):
             w = len(range(j, n, g))
-            rd[j::g, :w] = d[:, j::g]
-        rx = self.reduced.solve(rd)
-        x = np.empty((m, n, r), dtype=d.dtype)
+            rd[j::g, :w] = cur[:, j::g]
+            if w < L:  # identity-padded tail rows: re-zero reused buffers
+                rd[j::g, w:] = 0.0
+        self.reduced.solve(rd, out=rx, scratch=rdp)
+        x = _match_buffer(out, cur, squeeze)
         for j in range(g):
             w = len(range(j, n, g))
             x[:, j::g] = rx[j::g, :w]
+        if out is not None:
+            return out
         return x[..., 0] if squeeze else x

@@ -90,7 +90,13 @@ def solve_batch(
         For the hybrid/auto algorithms: the solve-signature options
         (``k``, ``fuse``, ``n_windows``, ``subtile_scale``,
         ``heuristic``, ``parallelism``) plus ``workers=W`` to shard the
-        batch across a thread pool.
+        batch across a thread pool and ``fingerprint`` to control the
+        factorization cache — ``None`` (default) auto-detects repeated
+        coefficients where the RHS-only path is bitwise identical
+        (``k = 0``), ``True`` forces prepared execution (``k > 0``
+        agrees to rounding), ``False`` disables fingerprinting.  For
+        coefficients known to be fixed, :func:`repro.prepare` returns
+        an explicit handle that skips the hashing too.
 
     Returns
     -------

@@ -16,23 +16,39 @@ Typical use::
     x = eng.solve_batch(a, b, c, d)          # warm: reuses both
     x = eng.solve_batch(a, b, c, d, workers=4)
 
+    handle = eng.prepare(a, b, c)            # factor once…
+    x = handle.solve(d)                      # …solve RHS-only forever
+
 ``repro.solve_batch(..., algorithm="auto")`` routes through
-:func:`default_engine` transparently.
+:func:`default_engine` transparently, and by default fingerprints the
+coefficients so repeated solves of one matrix hit the factorization
+cache on their own (see :mod:`repro.engine.prepared`).
 """
 
 from repro.engine.engine import EngineStats, ExecutionEngine, default_engine
 from repro.engine.executor import execute_plan, shard_bounds
 from repro.engine.plan import SolvePlan, build_plan, plan_key
-from repro.engine.workspace import PlanWorkspace
+from repro.engine.prepared import (
+    PreparedPlan,
+    ThomasRhsFactorization,
+    coefficient_fingerprint,
+    prepare,
+)
+from repro.engine.workspace import PlanWorkspace, PreparedWorkspace
 
 __all__ = [
     "EngineStats",
     "ExecutionEngine",
     "PlanWorkspace",
+    "PreparedPlan",
+    "PreparedWorkspace",
     "SolvePlan",
+    "ThomasRhsFactorization",
     "build_plan",
+    "coefficient_fingerprint",
     "default_engine",
     "execute_plan",
     "plan_key",
+    "prepare",
     "shard_bounds",
 ]

@@ -40,7 +40,14 @@ from repro.core.transition import GTX480_HEURISTIC, TransitionHeuristic
 from repro.core.validation import check_batch_arrays, coerce_batch_arrays
 from repro.engine.executor import execute_plan, shard_bounds
 from repro.engine.plan import SolvePlan, build_plan
-from repro.engine.workspace import PlanWorkspace
+from repro.engine.prepared import (
+    PreparedPlan,
+    build_factorization,
+    coefficient_fingerprint,
+    execute_rhs_only,
+    factorization_nbytes,
+)
+from repro.engine.workspace import PlanWorkspace, PreparedWorkspace
 
 __all__ = ["EngineStats", "ExecutionEngine", "default_engine"]
 
@@ -58,6 +65,12 @@ class EngineStats:
     solves: int = 0
     sharded_solves: int = 0
     workspace_bytes: int = 0  #: bytes currently held by pooled workspaces
+    fingerprint_hits: int = 0  #: coefficient digests answered from cache
+    fingerprint_misses: int = 0  #: digests with no cached factorization
+    factorizations_built: int = 0
+    factorization_evictions: int = 0
+    rhs_only_solves: int = 0  #: solves served by a stored factorization
+    factorization_bytes: int = 0  #: bytes held by cached factorizations
 
     @property
     def hit_rate(self) -> float:
@@ -90,19 +103,29 @@ class ExecutionEngine:
         max_plans: int = 32,
         pool_size: int = 4,
         heuristic: TransitionHeuristic = GTX480_HEURISTIC,
+        max_factorizations: int = 8,
     ):
         if max_plans < 1:
             raise ValueError(f"max_plans must be >= 1, got {max_plans}")
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if max_factorizations < 1:
+            raise ValueError(
+                f"max_factorizations must be >= 1, got {max_factorizations}"
+            )
         self.max_plans = max_plans
         self.pool_size = pool_size
+        self.max_factorizations = max_factorizations
         self.heuristic = heuristic
         self.stats = EngineStats()
         self.last_report: HybridReport | None = None
         self._lock = threading.Lock()
         self._plans: OrderedDict = OrderedDict()  # signature -> SolvePlan
         self._pools: dict = {}  # signature -> list[PlanWorkspace]
+        self._prepared_pools: dict = {}  # signature -> list[PreparedWorkspace]
+        self._facts: OrderedDict = OrderedDict()  # fact key -> factorization
+        self._fp_seen: OrderedDict = OrderedDict()  # fact key sighting ledger
+        self._fp_seen_cap = 64
         self._executor: ThreadPoolExecutor | None = None
         self._executor_workers = 0
 
@@ -158,6 +181,8 @@ class ExecutionEngine:
                 old_sig, _ = self._plans.popitem(last=False)
                 for ws in self._pools.pop(old_sig, ()):
                     self.stats.workspace_bytes -= ws.nbytes
+                for ws in self._prepared_pools.pop(old_sig, ()):
+                    self.stats.workspace_bytes -= ws.nbytes
                 self.stats.plan_evictions += 1
         return plan
 
@@ -193,6 +218,132 @@ class ExecutionEngine:
             if len(pool) < self.pool_size:
                 pool.append(ws)
                 self.stats.workspace_bytes += ws.nbytes
+
+    def checkout_prepared(self, plan: SolvePlan) -> PreparedWorkspace:
+        """Borrow a pooled RHS-only workspace for ``plan``."""
+        sig = plan.signature()
+        with self._lock:
+            pool = self._prepared_pools.get(sig)
+            if pool:
+                ws = pool.pop()
+                self.stats.workspace_bytes -= ws.nbytes
+                self.stats.workspaces_reused += 1
+                return ws
+        ws = PreparedWorkspace(plan)
+        with self._lock:
+            self.stats.workspaces_built += 1
+        return ws
+
+    def checkin_prepared(self, plan: SolvePlan, ws: PreparedWorkspace) -> None:
+        """Return a borrowed RHS-only workspace to ``plan``'s pool."""
+        sig = plan.signature()
+        with self._lock:
+            if sig not in self._plans:
+                return
+            pool = self._prepared_pools.setdefault(sig, [])
+            if len(pool) < self.pool_size:
+                pool.append(ws)
+                self.stats.workspace_bytes += ws.nbytes
+
+    # ---- factorization cache -----------------------------------------
+    @staticmethod
+    def _fact_key(plan: SolvePlan, digest: str) -> tuple:
+        # Factorizations depend only on (m, n, dtype, k) + content —
+        # fuse / window choices change scheduling, not elimination math.
+        return plan.signature()[:4] + (digest,)
+
+    def _store_factorization(self, key: tuple, fact) -> None:
+        with self._lock:
+            self._facts[key] = fact
+            self._facts.move_to_end(key)
+            self.stats.factorizations_built += 1
+            self.stats.factorization_bytes += factorization_nbytes(fact)
+            while len(self._facts) > self.max_factorizations:
+                _, old = self._facts.popitem(last=False)
+                self.stats.factorization_bytes -= factorization_nbytes(old)
+                self.stats.factorization_evictions += 1
+
+    def _factorization_for(
+        self,
+        plan: SolvePlan,
+        digest: str,
+        a,
+        b,
+        c,
+        *,
+        force: bool,
+        stage_times: list | None = None,
+    ):
+        """Look up / build the factorization for fingerprinted inputs.
+
+        Returns ``(factorization | None, state)`` where ``state`` is
+        the trace's factorization field: ``"hit"`` (served from
+        cache), ``"factored"`` (built now — ``force=True`` handles and
+        digests on their second sighting), or ``"miss"`` (first
+        sighting under auto mode: recorded in the ledger, solved
+        normally — one-shot batches never pay for a factorization).
+        """
+        key = self._fact_key(plan, digest)
+        with self._lock:
+            fact = self._facts.get(key)
+            if fact is not None:
+                self._facts.move_to_end(key)
+                self.stats.fingerprint_hits += 1
+                return fact, "hit"
+            self.stats.fingerprint_misses += 1
+            if not force:
+                seen = key in self._fp_seen
+                self._fp_seen[key] = True
+                self._fp_seen.move_to_end(key)
+                while len(self._fp_seen) > self._fp_seen_cap:
+                    self._fp_seen.popitem(last=False)
+                if not seen:
+                    return None, "miss"
+        t0 = time.perf_counter()
+        fact = build_factorization(plan, a, b, c)
+        if stage_times is not None:
+            stage_times.append(("factorize", time.perf_counter() - t0))
+        self._store_factorization(key, fact)
+        return fact, "factored"
+
+    def prepare(
+        self,
+        a,
+        b,
+        c,
+        *,
+        workers: int | None = None,
+        k: int | None = None,
+        fuse: bool = False,
+        n_windows: int = 1,
+        subtile_scale: int = 1,
+        parallelism: int | None = None,
+        heuristic: TransitionHeuristic | None = None,
+    ) -> PreparedPlan:
+        """Factor a coefficient set into an explicit solve handle.
+
+        The handle's factorization is also seeded into the engine's
+        fingerprint cache, so plain ``solve_batch`` calls with the same
+        coefficients hit it too (``k = 0`` plans; see
+        :mod:`repro.engine.prepared` for the bitwise rationale).
+        """
+        d0 = np.zeros_like(np.asarray(b))
+        a, b, c, _ = coerce_batch_arrays(a, b, c, d0)
+        m, n = b.shape
+        plan = self.plan_for(
+            m,
+            n,
+            b.dtype,
+            k=k,
+            fuse=fuse,
+            n_windows=n_windows,
+            subtile_scale=subtile_scale,
+            parallelism=parallelism,
+            heuristic=heuristic,
+        )
+        digest = coefficient_fingerprint(a, b, c)
+        fact, _ = self._factorization_for(plan, digest, a, b, c, force=True)
+        return PreparedPlan(self, plan, fact, digest, workers=workers)
 
     # ---- execution ---------------------------------------------------
     def execute_pooled(
@@ -257,7 +408,8 @@ class ExecutionEngine:
 
         t0 = time.perf_counter()
         x = execute_sharded(
-            self, plan, shards, a, b, c, d, counters=counters, out=out
+            self, plan, shards, a, b, c, d,
+            counters=counters, out=out, stage_times=stage_times,
         )
         if stage_times is not None:
             stage_times.append(
@@ -283,6 +435,7 @@ class ExecutionEngine:
         subtile_scale: int = 1,
         parallelism: int | None = None,
         heuristic: TransitionHeuristic | None = None,
+        fingerprint: bool | None = None,
         out: np.ndarray | None = None,
         info: dict | None = None,
         stage_times: list | None = None,
@@ -295,6 +448,14 @@ class ExecutionEngine:
         and per-stage wall time; see :mod:`repro.backends.trace`).
         Remaining keywords mirror
         :class:`~repro.core.hybrid.HybridSolver`.
+
+        ``fingerprint`` controls the factorization fast path: ``None``
+        (default) hashes the coefficients and — for ``k = 0`` plans,
+        whose RHS-only sweep is bitwise identical — serves repeat
+        sightings from the factorization cache; ``True`` additionally
+        engages the (allclose-grade) hybrid factorization for
+        ``k > 0`` plans and factors on first sight; ``False`` disables
+        fingerprinting entirely.
         """
         if check:
             a, b, c, d = check_batch_arrays(a, b, c, d)
@@ -326,19 +487,81 @@ class ExecutionEngine:
             n_windows=plan.n_windows,
             tiling=counters,
         )
+        x = self.dispatch(
+            plan, a, b, c, d,
+            workers=workers,
+            fingerprint=fingerprint,
+            counters=counters,
+            out=out,
+            info=info,
+            stage_times=stage_times,
+        )
+        self.last_report = report
+        return x
 
+    def dispatch(
+        self,
+        plan: SolvePlan,
+        a,
+        b,
+        c,
+        d,
+        *,
+        workers: int | None = None,
+        fingerprint: bool | None = None,
+        counters: TilingCounters | None = None,
+        out: np.ndarray | None = None,
+        info: dict | None = None,
+        stage_times: list | None = None,
+    ) -> np.ndarray:
+        """Execute coerced arrays under ``plan``, fingerprint-aware.
+
+        The one execution seam shared by :meth:`solve_batch` and the
+        backend layer: consult the coefficient-fingerprint cache (per
+        the ``fingerprint`` tri-state — see :meth:`solve_batch`) and
+        run either the RHS-only factorized sweep or the full
+        plan, sharded when ``workers > 1``.  ``info`` receives
+        ``info["factorization"]`` (``"hit" / "factored" / "miss" /
+        "off" / "n/a"``) and ``info["rhs_only"]``.
+        """
+        fact = None
+        fp_state = "off" if fingerprint is False else "n/a"
+        if fingerprint is not False and (plan.uses_thomas or fingerprint):
+            t_fp = time.perf_counter()
+            digest = coefficient_fingerprint(a, b, c)
+            if stage_times is not None:
+                stage_times.append(
+                    ("fingerprint", time.perf_counter() - t_fp)
+                )
+            fact, fp_state = self._factorization_for(
+                plan, digest, a, b, c,
+                force=fingerprint is True,
+                stage_times=stage_times,
+            )
+        if info is not None:
+            info["factorization"] = fp_state
+            info["rhs_only"] = fact is not None
+
+        if fact is not None:
+            x = execute_rhs_only(
+                self, plan, fact, d,
+                out=out, workers=workers, stage_times=stage_times,
+            )
+            with self._lock:
+                self.stats.solves += 1
+                self.stats.rhs_only_solves += 1
+                if workers is not None and workers > 1:
+                    self.stats.sharded_solves += 1
+            return x
         if workers is not None and workers > 1:
-            x = self.solve_sharded(
+            return self.solve_sharded(
                 plan, workers, a, b, c, d,
                 counters=counters, out=out, stage_times=stage_times,
             )
-        else:
-            x = self.execute_pooled(
-                plan, a, b, c, d,
-                counters=counters, out=out, stage_times=stage_times,
-            )
-        self.last_report = report
-        return x
+        return self.execute_pooled(
+            plan, a, b, c, d,
+            counters=counters, out=out, stage_times=stage_times,
+        )
 
     def solve(self, a, b, c, d, *, check: bool = True, **kwargs) -> np.ndarray:
         """Solve a single system (treated as an ``M = 1`` batch)."""
@@ -369,16 +592,23 @@ class ExecutionEngine:
 
     # ---- lifecycle -----------------------------------------------------
     def clear(self) -> None:
-        """Drop every cached plan and pooled workspace (stats persist)."""
+        """Drop every cached plan, workspace and factorization
+        (stats persist)."""
         with self._lock:
             self._plans.clear()
             self._pools.clear()
+            self._prepared_pools.clear()
+            self._facts.clear()
+            self._fp_seen.clear()
             self.stats.workspace_bytes = 0
+            self.stats.factorization_bytes = 0
 
     def reset_stats(self) -> None:
         """Zero the ledger (cached plans and workspaces are kept)."""
-        held = self.stats.workspace_bytes
-        self.stats = EngineStats(workspace_bytes=held)
+        self.stats = EngineStats(
+            workspace_bytes=self.stats.workspace_bytes,
+            factorization_bytes=self.stats.factorization_bytes,
+        )
 
     def shutdown(self) -> None:
         """Release the thread pool (the engine remains usable; a later

@@ -1,0 +1,419 @@
+"""Prepared solves: factor once, stream right-hand sides.
+
+The paper's motivating workloads (ADI, Crank–Nicolson, multigrid
+smoothing) solve the *same* tridiagonal matrix against a fresh
+right-hand side every time step.  :mod:`repro.core.factorize` supplies
+the factor/solve split; this module wires it through the engine:
+
+* :func:`coefficient_fingerprint` — a cheap content hash over the
+  ``(dl, d, du)`` views.  The engine fingerprints incoming
+  coefficients (opt-out via ``fingerprint=False``) and keys a
+  factorization cache on the digest, so a time-stepping loop written
+  as plain repeated ``solve_batch`` calls silently stops
+  re-eliminating after its first few steps.
+* :class:`ThomasRhsFactorization` — the ``k = 0`` factorization in the
+  engine's transposed ``(N, M)`` layout.  Its forward sweep stores the
+  *denominator* (not its reciprocal) and the RHS sweep divides by it,
+  mirroring :func:`repro.engine.executor._thomas_transposed` operation
+  for operation — prepared ``k = 0`` solves are **bitwise identical**
+  to unprepared ones.  This is why only ``k = 0`` plans auto-engage
+  the fingerprint fast path; ``k > 0`` factorizations
+  (:class:`~repro.core.factorize.HybridFactorization`) reuse stored
+  reciprocals and are "only" allclose, so they require an explicit
+  opt-in (``fingerprint=True`` or a :class:`PreparedPlan` handle).
+* :class:`PreparedPlan` — the explicit handle
+  (``repro.prepare(a, b, c)``) for callers who know their matrix is
+  fixed: holds the plan + factorization, executes RHS-only sweeps into
+  pooled :class:`~repro.engine.workspace.PreparedWorkspace` buffers,
+  optionally sharded across the engine's thread pool.
+
+Sharding the RHS-only phase is bitwise-safe for the same reason full
+solves are (:mod:`repro.engine.executor`): every operation is
+elementwise along the batch axis, and the one global decision — ``k``
+— is frozen in the plan before any shard runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+import numpy as np
+
+from repro.core.factorize import HybridFactorization, ThomasFactorization
+from repro.core.validation import check_batch_arrays, coerce_batch_arrays
+from repro.engine.executor import shard_bounds
+
+__all__ = [
+    "PreparedPlan",
+    "ThomasRhsFactorization",
+    "coefficient_fingerprint",
+    "factorization_nbytes",
+    "prepare",
+]
+
+#: Elements sampled per array by the fingerprint (plus a full-array
+#: checksum); calibrated so fingerprinting a 1024x1024 float64 batch
+#: costs ~1 ms against a ~20 ms RHS-only solve.
+FINGERPRINT_SAMPLE = 4096
+
+_sample_idx_cache: dict = {}
+
+
+def _sample_indices(size: int) -> np.ndarray:
+    idx = _sample_idx_cache.get(size)
+    if idx is None:
+        idx = np.linspace(0, size - 1, FINGERPRINT_SAMPLE).astype(np.intp)
+        if len(_sample_idx_cache) > 64:
+            _sample_idx_cache.clear()
+        _sample_idx_cache[size] = idx
+    return idx
+
+
+def coefficient_fingerprint(*arrays) -> str:
+    """Content hash of coefficient arrays (hex, 128-bit blake2b).
+
+    Hashes each array's shape, dtype, and content.  Small arrays are
+    hashed in full; large ones contribute an evenly-strided
+    :data:`FINGERPRINT_SAMPLE`-element sample plus a full float64
+    checksum — O(N) in memory traffic but far below the cost of one
+    elimination sweep, which is the comparison that matters.  Used to
+    detect *unchanged* coefficients across time steps, not to
+    authenticate data.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for arr in arrays:
+        arr = np.asarray(arr)
+        h.update(str(arr.shape).encode())
+        h.update(arr.dtype.str.encode())
+        flat = arr.reshape(-1)
+        if flat.size <= FINGERPRINT_SAMPLE:
+            h.update(np.ascontiguousarray(flat).tobytes())
+        else:
+            h.update(flat[_sample_indices(flat.size)].tobytes())
+            h.update(np.float64(flat.sum(dtype=np.float64)).tobytes())
+    return h.hexdigest()
+
+
+class ThomasRhsFactorization:
+    """``k = 0`` factorization in the engine's transposed layout.
+
+    Stores the sub-diagonal, the modified super-diagonal ``c'`` and the
+    forward-elimination *denominators* as ``(N, M)`` arrays.  The RHS
+    sweep divides by the stored denominator — the identical operation
+    sequence as :func:`~repro.engine.executor._thomas_transposed`, so a
+    prepared solve reproduces an unprepared engine solve bit for bit.
+    """
+
+    __slots__ = ("ta", "cp", "denom", "nbytes")
+
+    def __init__(self, ta, cp, denom):
+        self.ta = ta
+        self.cp = cp
+        self.denom = denom
+        self.nbytes = ta.nbytes + cp.nbytes + denom.nbytes
+
+    @property
+    def m(self) -> int:
+        return self.ta.shape[1]
+
+    @property
+    def n(self) -> int:
+        return self.ta.shape[0]
+
+    @classmethod
+    def factor(cls, a, b, c) -> "ThomasRhsFactorization":
+        """Coefficient-only forward elimination over ``(M, N)`` inputs.
+
+        Operation-for-operation the coefficient half of
+        ``_thomas_transposed``: ``denom_i = b_i − c'_{i−1} a_i`` (that
+        exact multiply-then-subtract order), ``c'_i = c_i / denom_i``.
+        """
+        m, n = b.shape
+        ta = np.ascontiguousarray(a.T)
+        tb = np.ascontiguousarray(b.T)
+        tc = np.ascontiguousarray(c.T)
+        cp = np.empty((n, m), dtype=b.dtype)
+        denom = np.empty((n, m), dtype=b.dtype)
+        t1 = np.empty(m, dtype=b.dtype)
+        denom[0] = tb[0]
+        np.divide(tc[0], tb[0], out=cp[0])
+        for i in range(1, n):
+            np.multiply(cp[i - 1], ta[i], out=t1)
+            np.subtract(tb[i], t1, out=denom[i])
+            np.divide(tc[i], denom[i], out=cp[i])
+        return cls(ta=ta, cp=cp, denom=denom)
+
+    def solve_shard(self, ws, d, out, lo: int, hi: int) -> None:
+        """RHS-only sweep for batch rows ``[lo, hi)`` into ``out``.
+
+        Shards are column slices of the transposed ``(N, M)`` workspace
+        buffers, so concurrent shards share one workspace and write
+        disjoint regions.  Identical operation order to the full solve:
+        multiply, subtract, divide by the stored denominator.
+        """
+        n = self.n
+        ta, cp, denom = self.ta, self.cp, self.denom
+        td, dp, xt = ws.td, ws.dp, ws.xt
+        t1, t2 = ws.t1[lo:hi], ws.t2[lo:hi]
+        s = slice(lo, hi)
+        td[:, s] = d[s].T
+        np.divide(td[0, s], denom[0, s], out=dp[0, s])
+        for i in range(1, n):
+            np.multiply(dp[i - 1, s], ta[i, s], out=t2)
+            np.subtract(td[i, s], t2, out=t2)
+            np.divide(t2, denom[i, s], out=dp[i, s])
+        xt[n - 1, s] = dp[n - 1, s]
+        for i in range(n - 2, -1, -1):
+            np.multiply(cp[i, s], xt[i + 1, s], out=t1)
+            np.subtract(dp[i, s], t1, out=xt[i, s])
+        out[s] = xt[:, s].T
+
+
+def factorization_nbytes(fact) -> int:
+    """Bytes of stored factorization state (for the engine's ledger)."""
+    if isinstance(fact, ThomasRhsFactorization):
+        return fact.nbytes
+    nb = sum(k1.nbytes + k2.nbytes for k1, k2 in fact.level_factors)
+    red = fact.reduced
+    if red is not None:
+        nb += red.a.nbytes + red.cp.nbytes + red.inv_denom.nbytes
+    return nb
+
+
+def build_factorization(plan, a, b, c):
+    """Factor coefficients for ``plan``: Thomas at ``k=0``, hybrid above."""
+    if plan.uses_thomas:
+        return ThomasRhsFactorization.factor(a, b, c)
+    return HybridFactorization.factor(a, b, c, k=plan.k, check=False)
+
+
+def _shard_hybrid(fact: HybridFactorization, lo: int, hi: int):
+    """A zero-copy view of rows ``[lo, hi)`` of a hybrid factorization.
+
+    Level factors slice along the batch axis; the reduced interleaved
+    system's rows for batch row ``i`` are ``[i·g, (i+1)·g)``, so the
+    view's reduced factorization is the contiguous row block
+    ``[lo·g, hi·g)``.  Elementwise along ``M`` throughout → the shard
+    produces the exact bits the full solve would.
+    """
+    g = 1 << fact.k
+    red = fact.reduced
+    return HybridFactorization(
+        k=fact.k,
+        level_factors=[(k1[lo:hi], k2[lo:hi]) for k1, k2 in fact.level_factors],
+        reduced=ThomasFactorization(
+            a=red.a[lo * g : hi * g],
+            cp=red.cp[lo * g : hi * g],
+            inv_denom=red.inv_denom[lo * g : hi * g],
+        ),
+    )
+
+
+def execute_rhs_only(
+    engine,
+    plan,
+    fact,
+    d,
+    *,
+    out: np.ndarray | None = None,
+    workers: int | None = None,
+    stage_times: list | None = None,
+) -> np.ndarray:
+    """Run the RHS-only sweep of ``fact`` under ``plan``'s engine state.
+
+    Checks a :class:`~repro.engine.workspace.PreparedWorkspace` out of
+    the engine's pool, optionally shards the batch axis across the
+    engine's thread pool, and returns the solution.  ``d`` must be a
+    contiguous ``(M, N)`` array of the plan's dtype.
+    """
+    m, n = plan.m, plan.n
+    if out is None:
+        out = np.empty((m, n), dtype=plan.dtype)
+    shards = shard_bounds(m, workers) if workers and workers > 1 else [(0, m)]
+    ws = engine.checkout_prepared(plan)
+    t0 = time.perf_counter()
+    try:
+        if plan.uses_thomas:
+            if len(shards) == 1:
+                fact.solve_shard(ws, d, out, 0, m)
+            else:
+                pool = engine.thread_pool(len(shards))
+                list(
+                    pool.map(
+                        lambda lohi: fact.solve_shard(ws, d, out, *lohi),
+                        shards,
+                    )
+                )
+        else:
+            if len(shards) == 1:
+                fact.solve(d, out=out, scratch=ws.scratch_for(0, (0, m)))
+            else:
+
+                def run(job):
+                    idx, (lo, hi) = job
+                    _shard_hybrid(fact, lo, hi).solve(
+                        d[lo:hi],
+                        out=out[lo:hi],
+                        scratch=ws.scratch_for(idx, (lo, hi)),
+                    )
+
+                pool = engine.thread_pool(len(shards))
+                list(pool.map(run, enumerate(shards)))
+    finally:
+        engine.checkin_prepared(plan, ws)
+    if stage_times is not None:
+        kind = "thomas" if plan.uses_thomas else "hybrid"
+        tag = f" [{len(shards)} shards]" if len(shards) > 1 else ""
+        stage_times.append(
+            (f"rhs-only {kind}{tag}", time.perf_counter() - t0)
+        )
+    return out
+
+
+class PreparedPlan:
+    """A solve handle bound to one factored coefficient set.
+
+    Returned by :func:`prepare` / :meth:`ExecutionEngine.prepare
+    <repro.engine.engine.ExecutionEngine.prepare>`.  Each
+    :meth:`solve` runs the RHS-only sweep — no re-elimination, pooled
+    workspaces, optional batch-axis sharding — and records a
+    :class:`~repro.backends.trace.SolveTrace` with
+    ``factorization="handle"``.
+
+    ``k = 0`` handles are bitwise identical to unprepared engine
+    solves; ``k > 0`` handles agree to rounding (the stored hybrid
+    reciprocals differ from the live p-Thomas divisions in the last
+    ulp).
+    """
+
+    def __init__(self, engine, plan, fact, fingerprint: str, workers=None):
+        self.engine = engine
+        self.plan = plan
+        self.factorization = fact
+        self.fingerprint = fingerprint
+        self.default_workers = workers
+        self.solves = 0
+
+    @property
+    def m(self) -> int:
+        return self.plan.m
+
+    @property
+    def n(self) -> int:
+        return self.plan.n
+
+    @property
+    def k(self) -> int:
+        return self.plan.k
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.plan.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the stored factorization."""
+        return factorization_nbytes(self.factorization)
+
+    def describe(self) -> dict:
+        """Plan summary plus factorization provenance."""
+        desc = self.plan.describe()
+        desc["fingerprint"] = self.fingerprint
+        desc["factorization_bytes"] = self.nbytes
+        desc["solves"] = self.solves
+        return desc
+
+    def solve(
+        self,
+        d,
+        *,
+        out: np.ndarray | None = None,
+        workers: int | None = None,
+        check: bool = True,
+    ) -> np.ndarray:
+        """Solve the prepared system against a fresh ``(M, N)`` RHS."""
+        d = np.asarray(d)
+        if d.shape != (self.m, self.n):
+            raise ValueError(
+                f"d has shape {d.shape}, prepared for ({self.m}, {self.n})"
+            )
+        if check and not np.all(np.isfinite(d)):
+            raise ValueError("d contains non-finite values")
+        d = np.ascontiguousarray(d, dtype=self.plan.dtype)
+        if workers is None:
+            workers = self.default_workers
+        stage_times: list = []
+        x = execute_rhs_only(
+            self.engine,
+            self.plan,
+            self.factorization,
+            d,
+            out=out,
+            workers=workers,
+            stage_times=stage_times,
+        )
+        self.solves += 1
+        with self.engine._lock:
+            self.engine.stats.rhs_only_solves += 1
+            if workers is not None and workers > 1:
+                self.engine.stats.sharded_solves += 1
+        from repro.backends.trace import SolveTrace, StageTiming, record_trace
+
+        record_trace(
+            SolveTrace(
+                backend="prepared",
+                m=self.m,
+                n=self.n,
+                dtype=np.dtype(self.plan.dtype).name,
+                k=self.plan.k,
+                k_source=self.plan.k_source,
+                fuse=self.plan.fuse,
+                n_windows=self.plan.n_windows,
+                workers=workers or 1,
+                plan_cache="hit",
+                factorization="handle",
+                rhs_only=True,
+                stages=[StageTiming(n_, s) for n_, s in stage_times],
+            )
+        )
+        return x
+
+
+def prepare(
+    a,
+    b,
+    c,
+    *,
+    check: bool = True,
+    engine=None,
+    **opts,
+) -> PreparedPlan:
+    """Factor a coefficient set once; solve many right-hand sides.
+
+    The module-level convenience over
+    :meth:`ExecutionEngine.prepare`.  Keywords mirror ``solve_batch``
+    (``k``, ``fuse``, ``n_windows``, ``subtile_scale``,
+    ``parallelism``, ``heuristic``, ``workers``).
+
+    Examples
+    --------
+    >>> import numpy as np, repro
+    >>> from repro.workloads.generators import random_batch
+    >>> a, b, c, d = random_batch(8, 64, seed=0)
+    >>> handle = repro.prepare(a, b, c)
+    >>> x = handle.solve(d)                  # RHS-only: no re-elimination
+    >>> bool(np.allclose(x, repro.solve_batch(a, b, c, d)))
+    True
+    """
+    if engine is None:
+        from repro.engine.engine import default_engine
+
+        engine = default_engine()
+    if check:
+        d0 = np.zeros_like(np.asarray(b, dtype=float))
+        a, b, c, _ = check_batch_arrays(a, b, c, d0)
+    else:
+        d0 = np.zeros_like(np.asarray(b))
+        a, b, c, _ = coerce_batch_arrays(a, b, c, d0)
+    return engine.prepare(a, b, c, **opts)

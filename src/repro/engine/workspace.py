@@ -31,7 +31,7 @@ import numpy as np
 from repro.core.pthomas import PThomasWorkspace
 from repro.core.tiled_pcr import TiledWorkspace
 
-__all__ = ["PlanWorkspace"]
+__all__ = ["PlanWorkspace", "PreparedWorkspace"]
 
 
 class PlanWorkspace:
@@ -85,6 +85,55 @@ class PlanWorkspace:
                     np.empty((m, n), dtype=dtype) for _ in range(4)
                 )
                 self.nbytes += sum(r.nbytes for r in self.reduced)
+
+    def fits(self, plan) -> bool:
+        """True if this workspace serves exactly ``plan``'s signature."""
+        return self.plan.signature() == plan.signature()
+
+
+class PreparedWorkspace:
+    """Scratch for one in-flight RHS-only prepared solve.
+
+    The prepared path never touches coefficients, so this is the slim
+    sibling of :class:`PlanWorkspace`: for ``k = 0`` plans just the
+    transposed RHS / modified-RHS / solution buffers (the coefficient
+    triple lives in the factorization); for ``k > 0`` plans a family of
+    named-buffer dicts that
+    :meth:`HybridFactorization.solve <repro.core.factorize.HybridFactorization.solve>`
+    keys its ping-pong and regroup buffers into — one dict per shard,
+    so sharded solves share one workspace without aliasing.
+    """
+
+    def __init__(self, plan):
+        self.plan = plan
+        m, n, dtype = plan.m, plan.n, plan.dtype
+        if plan.uses_thomas:
+            self.td = np.empty((n, m), dtype=dtype)
+            self.dp = np.empty((n, m), dtype=dtype)
+            self.xt = np.empty((n, m), dtype=dtype)
+            self.t1 = np.empty(m, dtype=dtype)
+            self.t2 = np.empty(m, dtype=dtype)
+            self._scratch = None
+        else:
+            self._scratch = {}
+
+    def scratch_for(self, shard: int, bounds: tuple) -> dict:
+        """The named-buffer dict for one shard (``k > 0`` plans only)."""
+        return self._scratch.setdefault((shard, bounds), {})
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held (hybrid dicts fill lazily)."""
+        if self._scratch is None:
+            return sum(
+                v.nbytes
+                for v in (self.td, self.dp, self.xt, self.t1, self.t2)
+            )
+        return sum(
+            arr.nbytes
+            for bufs in self._scratch.values()
+            for arr in bufs.values()
+        )
 
     def fits(self, plan) -> bool:
         """True if this workspace serves exactly ``plan``'s signature."""

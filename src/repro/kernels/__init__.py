@@ -16,6 +16,7 @@ Modules
 ``fused_kernel``      fused PCR + p-Thomas forward reduction (III-C)
 ``pcr_kernel``        whole-system-in-shared-memory PCR
 ``cr_kernel``         CR, bank-conflicted and conflict-free variants
+``rhs_kernel``        RHS-only sweeps of a prepared (factored) solve
 ``hybrid_gpu``        the full simulated GPU solver (numbers + time)
 """
 
@@ -24,6 +25,11 @@ from repro.kernels.tiled_pcr_kernel import tiled_pcr_counters
 from repro.kernels.fused_kernel import fused_hybrid_counters
 from repro.kernels.pcr_kernel import inshared_pcr_counters
 from repro.kernels.cr_kernel import cr_counters
+from repro.kernels.rhs_kernel import (
+    rhs_level_counters,
+    rhs_only_counters,
+    rhs_pthomas_counters,
+)
 from repro.kernels.hybrid_gpu import GpuHybridSolver, GpuSolveReport
 
 __all__ = [
@@ -32,6 +38,9 @@ __all__ = [
     "fused_hybrid_counters",
     "inshared_pcr_counters",
     "cr_counters",
+    "rhs_level_counters",
+    "rhs_only_counters",
+    "rhs_pthomas_counters",
     "GpuHybridSolver",
     "GpuSolveReport",
 ]

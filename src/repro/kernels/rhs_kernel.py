@@ -1,0 +1,166 @@
+"""RHS-only kernel ledgers — what a prepared solve costs on the device.
+
+A prepared (factored) solve skips every coefficient elimination and
+streams only the right-hand side:
+
+* ``k = 0``: the p-Thomas recurrence with stored factors.  The forward
+  pass reads the sub-diagonal, the stored denominator and ``d`` (3
+  values/row instead of the unprepared 4) and writes ``d'`` (1 instead
+  of the unprepared ``(c', d')`` pair); the backward pass is unchanged
+  (read ``c'``, ``d'``, write ``x``).  Per row: 6 values moved vs. 9 —
+  the memory-bound win the ``BENCH_prepared`` numbers measure on CPU.
+* ``k > 0``: each stored PCR level applies
+  ``d' = d − k1·d_{−s} − k2·d_{+s}`` — an elementwise streaming kernel
+  reading ``(k1, k2, d, d_shifted×2)`` and writing ``d'`` per row per
+  level (the shifted re-reads hit cache/L2 on real devices; the ledger
+  counts them as loads, a deliberately conservative bound) — followed
+  by the RHS-only p-Thomas over the ``M·2^k`` reduced interleaved
+  systems.
+
+These ledgers price the prepared path in the same vocabulary
+(:class:`~repro.gpusim.counters.KernelCounters` →
+:class:`~repro.gpusim.timing.GpuTimingModel`) as the unprepared stage
+ledgers, so a :class:`~repro.backends.trace.SolveTrace` can put the
+device model's predicted RHS-only time next to the measured one.
+"""
+
+from __future__ import annotations
+
+from repro.core.layout import Layout
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec, GTX480
+from repro.gpusim.memory import MemoryTraffic, warp_transactions_strided
+
+__all__ = ["rhs_level_counters", "rhs_only_counters", "rhs_pthomas_counters"]
+
+
+def _warp_tx(device: DeviceSpec, n_systems: int, stride: int, dtype_bytes: int):
+    warp = device.warp_size
+    tx = warp_transactions_strided(warp, stride, dtype_bytes)
+    full_warps, rem = divmod(n_systems, warp)
+    rem_tx = (
+        warp_transactions_strided(warp, stride, dtype_bytes, active_lanes=rem)
+        if rem
+        else 0
+    )
+    return full_warps * tx + rem_tx
+
+
+def rhs_pthomas_counters(
+    n_systems: int,
+    length: int,
+    dtype_bytes: int,
+    device: DeviceSpec = GTX480,
+    layout: Layout = Layout.INTERLEAVED,
+    threads_per_block: int = 128,
+) -> KernelCounters:
+    """Ledger for the RHS-only p-Thomas sweep with stored factors.
+
+    Mirrors :func:`~repro.kernels.pthomas_kernel.pthomas_counters` but
+    with the prepared-path traffic: the coefficient eliminations are
+    gone, so the forward pass moves 4 values/row (3 loads + 1 store)
+    and the backward pass 3 — and no modified coefficients are ever
+    written back.
+    """
+    if n_systems < 1 or length < 1:
+        raise ValueError(
+            f"need n_systems, length >= 1, got {n_systems}, {length}"
+        )
+    if dtype_bytes not in (4, 8):
+        raise ValueError(f"dtype_bytes must be 4 or 8, got {dtype_bytes}")
+
+    threads_per_block = min(
+        threads_per_block, max(device.warp_size, n_systems)
+    )
+    stride = 1 if layout is Layout.INTERLEAVED else length
+    tx_per_row = _warp_tx(device, n_systems, stride, dtype_bytes)
+
+    def bulk(values_per_row: int, rows: int) -> tuple:
+        useful = values_per_row * rows * n_systems * dtype_bytes
+        return useful, values_per_row * rows * tx_per_row
+
+    traffic = MemoryTraffic()
+    # forward: read a, stored denom, d; write d'
+    traffic.add_load(*bulk(3, length))
+    traffic.add_store(*bulk(1, length))
+    # backward: read stored c', d'; write x
+    traffic.add_load(*bulk(2, length))
+    traffic.add_store(*bulk(1, length))
+
+    return KernelCounters(
+        name="p-Thomas (RHS-only)",
+        eliminations=n_systems * (2 * length - 1),
+        traffic=traffic,
+        launches=1,
+        dependent_steps=2 * length - 1,
+        threads=n_systems,
+        threads_per_block=threads_per_block,
+        smem_per_block=0,
+        regs_per_thread=16,
+        mlp=4.0,
+    )
+
+
+def rhs_level_counters(
+    m: int,
+    n: int,
+    k: int,
+    dtype_bytes: int,
+    device: DeviceSpec = GTX480,
+    threads_per_block: int = 128,
+) -> KernelCounters:
+    """Ledger for applying ``k`` stored PCR level factors to the RHS.
+
+    Per level, per row: load ``k1``, ``k2``, ``d`` and the two shifted
+    ``d`` neighbours, store ``d'`` — fully coalesced elementwise
+    streaming (stride 1 along the row axis).
+    """
+    if m < 1 or n < 1 or k < 1:
+        raise ValueError(f"need m, n >= 1 and k >= 1, got ({m}, {n}, {k})")
+    if dtype_bytes not in (4, 8):
+        raise ValueError(f"dtype_bytes must be 4 or 8, got {dtype_bytes}")
+
+    rows = m * n
+    tx_per_val = _warp_tx(device, rows, 1, dtype_bytes)
+    traffic = MemoryTraffic()
+    traffic.add_load(5 * k * rows * dtype_bytes, 5 * k * tx_per_val)
+    traffic.add_store(k * rows * dtype_bytes, k * tx_per_val)
+
+    return KernelCounters(
+        name="PCR level apply (RHS-only)",
+        eliminations=k * rows,
+        traffic=traffic,
+        launches=k,
+        dependent_steps=k,  # levels are sequential; each is elementwise
+        threads=rows,
+        threads_per_block=min(threads_per_block, max(device.warp_size, rows)),
+        smem_per_block=0,
+        regs_per_thread=12,
+        mlp=8.0,
+    )
+
+
+def rhs_only_counters(
+    m: int,
+    n: int,
+    k: int,
+    dtype_bytes: int,
+    device: DeviceSpec = GTX480,
+) -> list:
+    """Stage ledgers of a prepared solve: ``[(level apply,)] + p-Thomas``.
+
+    ``k = 0`` is a single RHS-only p-Thomas stage over the ``(M, N)``
+    batch; ``k > 0`` prepends the stored-level application and runs the
+    back-end over the ``M·2^k`` reduced interleaved systems.
+    """
+    if k == 0:
+        return [rhs_pthomas_counters(m, n, dtype_bytes, device=device)]
+    g = 1 << k
+    length = -(-n // g)
+    return [
+        rhs_level_counters(m, n, k, dtype_bytes, device=device),
+        rhs_pthomas_counters(
+            m * g, length, dtype_bytes, device=device,
+            layout=Layout.INTERLEAVED,
+        ),
+    ]

@@ -23,7 +23,10 @@ from repro.workloads.fluid import FluidSim, advect_semi_lagrangian, diffuse_adi
 from repro.workloads.poisson_fft import poisson_dirichlet_fft
 from repro.workloads.pde import (
     crank_nicolson_system,
+    crank_nicolson_coefficients,
+    crank_nicolson_rhs,
     adi_row_systems,
+    adi_row_coefficients,
     cubic_spline_system,
     multigrid_line_systems,
 )
@@ -39,7 +42,10 @@ __all__ = [
     "graded_batch",
     "near_singular_batch",
     "crank_nicolson_system",
+    "crank_nicolson_coefficients",
+    "crank_nicolson_rhs",
     "adi_row_systems",
+    "adi_row_coefficients",
     "cubic_spline_system",
     "multigrid_line_systems",
 ]

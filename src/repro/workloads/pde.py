@@ -5,6 +5,14 @@ cubic splines, Poisson solvers and multigrid smoothing.  These builders
 produce the actual systems those applications assemble, in the batched
 ``(M, N)`` layout the library consumes; the examples drive full
 simulations with them.
+
+The time-stepping workloads (Crank–Nicolson, ADI) have **fixed
+coefficients** — only the right-hand side changes between steps.  Each
+therefore splits into a coefficient-only builder (call once, feed
+:func:`repro.prepare`) and an RHS-only builder (call every step):
+``crank_nicolson_coefficients`` / ``crank_nicolson_rhs`` and
+``adi_row_coefficients``.  The original one-shot builders delegate to
+these, so both spellings assemble bit-identical systems.
 """
 
 from __future__ import annotations
@@ -13,10 +21,61 @@ import numpy as np
 
 __all__ = [
     "crank_nicolson_system",
+    "crank_nicolson_coefficients",
+    "crank_nicolson_rhs",
     "adi_row_systems",
+    "adi_row_coefficients",
     "cubic_spline_system",
     "multigrid_line_systems",
 ]
+
+
+def crank_nicolson_coefficients(
+    m: int, n: int, alpha: float, dt: float, dx: float, dtype=np.float64
+):
+    """Coefficients of the Crank–Nicolson step matrix (RHS-independent).
+
+    The implicit half of CN with Dirichlet boundaries depends only on
+    the grid and ``r = α·dt/(2·dx²)`` — never on the field — so a
+    simulation can factor it once (:func:`repro.prepare`) and stream
+    each step's RHS from :func:`crank_nicolson_rhs`.
+
+    Returns
+    -------
+    tuple
+        ``(a, b, c)`` diagonals of shape ``(m, n)``.
+    """
+    r = alpha * dt / (2.0 * dx * dx)
+    a = np.full((m, n), -r, dtype=dtype)
+    b = np.full((m, n), 1.0 + 2.0 * r, dtype=dtype)
+    c = np.full((m, n), -r, dtype=dtype)
+    # Dirichlet rows: identity
+    a[:, 0] = 0.0
+    c[:, -1] = 0.0
+    b[:, 0] = 1.0
+    b[:, -1] = 1.0
+    c[:, 0] = 0.0
+    a[:, -1] = 0.0
+    return a, b, c
+
+
+def crank_nicolson_rhs(u: np.ndarray, alpha: float, dt: float, dx: float):
+    """The explicit (RHS) half of a Crank–Nicolson step.
+
+    ``u`` is the ``(M, N)`` current field; pairs with
+    :func:`crank_nicolson_coefficients` for prepared time stepping.
+    """
+    u = np.asarray(u)
+    if u.ndim != 2:
+        raise ValueError(f"u must be (M, N), got {u.ndim}-D")
+    r = alpha * dt / (2.0 * dx * dx)
+    d = u.copy()
+    d[:, 1:-1] = (
+        r * u[:, :-2] + (1.0 - 2.0 * r) * u[:, 1:-1] + r * u[:, 2:]
+    )
+    d[:, 0] = u[:, 0]
+    d[:, -1] = u[:, -1]
+    return d
 
 
 def crank_nicolson_system(u: np.ndarray, alpha: float, dt: float, dx: float):
@@ -41,26 +100,8 @@ def crank_nicolson_system(u: np.ndarray, alpha: float, dt: float, dx: float):
     if u.ndim != 2:
         raise ValueError(f"u must be (M, N), got {u.ndim}-D")
     m, n = u.shape
-    r = alpha * dt / (2.0 * dx * dx)
-    dtype = u.dtype
-    a = np.full((m, n), -r, dtype=dtype)
-    b = np.full((m, n), 1.0 + 2.0 * r, dtype=dtype)
-    c = np.full((m, n), -r, dtype=dtype)
-    # explicit half of CN on the RHS
-    d = u.copy()
-    d[:, 1:-1] = (
-        r * u[:, :-2] + (1.0 - 2.0 * r) * u[:, 1:-1] + r * u[:, 2:]
-    )
-    # Dirichlet rows: identity
-    a[:, 0] = 0.0
-    c[:, -1] = 0.0
-    b[:, 0] = 1.0
-    b[:, -1] = 1.0
-    c[:, 0] = 0.0
-    a[:, -1] = 0.0
-    d[:, 0] = u[:, 0]
-    d[:, -1] = u[:, -1]
-    return a, b, c, d
+    a, b, c = crank_nicolson_coefficients(m, n, alpha, dt, dx, dtype=u.dtype)
+    return a, b, c, crank_nicolson_rhs(u, alpha, dt, dx)
 
 
 def adi_row_systems(field: np.ndarray, beta: float):
@@ -76,7 +117,23 @@ def adi_row_systems(field: np.ndarray, beta: float):
     if f.ndim != 2:
         raise ValueError(f"field must be 2-D, got {f.ndim}-D")
     m, n = f.shape
-    dtype = f.dtype
+    a, b, c = adi_row_coefficients(m, n, beta, dtype=f.dtype)
+    return a, b, c, f.copy()
+
+
+def adi_row_coefficients(m: int, n: int, beta: float, dtype=np.float64):
+    """The ADI half-step matrix alone (RHS-independent).
+
+    ``beta`` and the grid fix the matrix for the whole simulation; an
+    ADI loop prepares the row- and column-sweep matrices once
+    (:func:`repro.prepare`) and feeds only the folded explicit field
+    each half-step.  Same closure as :func:`adi_row_systems`.
+
+    Returns
+    -------
+    tuple
+        ``(a, b, c)`` diagonals of shape ``(m, n)``.
+    """
     a = np.full((m, n), -beta, dtype=dtype)
     b = np.full((m, n), 1.0 + 2.0 * beta, dtype=dtype)
     c = np.full((m, n), -beta, dtype=dtype)
@@ -85,7 +142,7 @@ def adi_row_systems(field: np.ndarray, beta: float):
     # Neumann-ish boundary closure: mirror the missing neighbour
     b[:, 0] = 1.0 + beta
     b[:, -1] = 1.0 + beta
-    return a, b, c, f.copy()
+    return a, b, c
 
 
 def cubic_spline_system(x: np.ndarray, y: np.ndarray):

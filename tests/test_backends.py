@@ -131,6 +131,60 @@ def test_out_parameter_is_written_in_place():
     assert trace.backend == "engine"
 
 
+# -------------------------------------------------- prepared vs unprepared
+
+
+@pytest.mark.parametrize("backend", ["engine", "threaded", "gpusim"])
+def test_prepared_matches_unprepared_bitwise_k0(backend):
+    # k = 0 pins the plan, so the RHS-only sweep with stored
+    # denominators must change no bits on any prepared-capable backend
+    a, b, c, d = _batch(m=48, n=96, seed=41)
+    ref = repro.solve_batch(a, b, c, d, backend=backend, k=0,
+                            fingerprint=False)
+    repro.solve_batch(a, b, c, d, backend=backend, k=0, fingerprint=True)
+    x = repro.solve_batch(a, b, c, d, backend=backend, k=0, fingerprint=True)
+    trace = repro.last_trace()
+    assert trace.backend == backend
+    assert trace.factorization == "hit"
+    assert trace.rhs_only is True
+    assert np.array_equal(x, ref)
+
+
+@pytest.mark.parametrize("backend", ["engine", "threaded", "gpusim"])
+def test_prepared_matches_unprepared_hybrid(backend):
+    a, b, c, d = _batch(m=8, n=320, seed=42)
+    ref = repro.solve_batch(a, b, c, d, backend=backend, k=4,
+                            fingerprint=False)
+    repro.solve_batch(a, b, c, d, backend=backend, k=4, fingerprint=True)
+    x = repro.solve_batch(a, b, c, d, backend=backend, k=4, fingerprint=True)
+    assert repro.last_trace().rhs_only is True
+    assert np.allclose(x, ref, rtol=1e-10, atol=1e-13)
+
+
+def test_fingerprint_true_rejects_numpy_backend():
+    a, b, c, d = _batch(m=4, n=64, seed=43)
+    with pytest.raises(BackendError, match="prepared"):
+        repro.solve_batch(a, b, c, d, backend="numpy", fingerprint=True)
+
+
+def test_fingerprint_true_negotiates_past_numpy():
+    registry = BackendRegistry(router=Router())
+    registry.register(NumpyReferenceBackend())
+    registry.register(EngineBackend())
+    a, b, c, d = _batch(m=4, n=64, seed=44)
+    _, trace = solve_via(a, b, c, d, fingerprint=True, registry=registry)
+    assert trace.backend == "engine"
+
+
+def test_threaded_trace_merges_shard_stages():
+    a, b, c, d = _batch(m=32, n=128, seed=45)
+    repro.solve_batch(a, b, c, d, workers=4, fingerprint=False)
+    trace = repro.last_trace()
+    assert trace.backend == "threaded"
+    # per-shard stage ledgers are merged into a critical-path view
+    assert any("[4 shards]" in s.name for s in trace.stages)
+
+
 # ------------------------------------------------------------- negotiation
 
 

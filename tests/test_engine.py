@@ -68,7 +68,11 @@ def test_warm_plan_bitwise_equals_cold(engine, m, n, k, fuse, nw):
     assert np.array_equal(cold, warm)
     assert np.array_equal(cold, warm2)
     assert engine.stats.plan_hits >= 2
-    assert engine.stats.workspaces_reused >= 2
+    # each warm call either reused a pooled workspace or skipped
+    # elimination entirely via the fingerprint/factorization cache
+    assert (
+        engine.stats.workspaces_reused + engine.stats.rhs_only_solves >= 2
+    )
 
 
 @pytest.mark.parametrize("workers", [2, 3, 8])

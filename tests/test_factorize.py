@@ -44,6 +44,48 @@ def test_thomas_multi_rhs():
         assert max_err(X[:, :, j], reference_solve(a, b, c, D[:, :, j])) < 1e-11
 
 
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_thomas_multi_rhs_preserves_dtype(dtype):
+    m, n, r = 4, 48, 3
+    a, b, c, _ = make_batch(m, n, dtype=dtype, seed=30)
+    D = np.random.default_rng(5).standard_normal((m, n, r)).astype(dtype)
+    fact = ThomasFactorization.factor(a, b, c)
+    X = fact.solve(D)
+    assert X.dtype == dtype
+    tol = 1e-4 if dtype == np.float32 else 1e-11
+    for j in range(r):
+        assert max_err(X[:, :, j], reference_solve(a, b, c, D[:, :, j])) < tol
+
+
+def test_thomas_solve_accepts_f_ordered_and_strided_d():
+    m, n = 6, 80
+    a, b, c, d = make_batch(m, n, seed=31)
+    fact = ThomasFactorization.factor(a, b, c)
+    ref = fact.solve(d)
+    assert np.array_equal(fact.solve(np.asfortranarray(d)), ref)
+    wide = np.zeros((m, 2 * n))
+    wide[:, ::2] = d
+    strided = wide[:, ::2]
+    assert strided.strides != d.strides  # genuinely non-contiguous
+    assert np.array_equal(fact.solve(strided), ref)
+
+
+def test_thomas_solve_scratch_and_out_reuse_is_clean():
+    # caller-owned buffers reused across different right-hand sides
+    # must not leak state between solves
+    m, n = 5, 64
+    a, b, c, d = make_batch(m, n, seed=32)
+    d2 = np.random.default_rng(6).standard_normal((m, n))
+    fact = ThomasFactorization.factor(a, b, c)
+    scratch = np.empty_like(d)
+    out = np.empty_like(d)
+    x1 = fact.solve(d, out=out, scratch=scratch).copy()
+    x2 = fact.solve(d2, out=out, scratch=scratch)
+    assert x2 is out
+    assert np.array_equal(x1, fact.solve(d))
+    assert np.array_equal(x2, fact.solve(d2))
+
+
 def test_thomas_factor_shape_check():
     a, b, c, _ = make_batch(2, 16, seed=4)
     fact = ThomasFactorization.factor(a, b, c)
@@ -107,6 +149,50 @@ def test_hybrid_factor_multi_rhs():
     X = fact.solve(D)
     for j in range(r):
         assert max_err(X[:, :, j], reference_solve(a, b, c, D[:, :, j])) < 1e-10
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_hybrid_multi_rhs_preserves_dtype(dtype):
+    m, n, r, k = 3, 96, 4, 3
+    a, b, c, _ = make_batch(m, n, dtype=dtype, seed=33)
+    D = np.random.default_rng(7).standard_normal((m, n, r)).astype(dtype)
+    fact = HybridFactorization.factor(a, b, c, k=k)
+    X = fact.solve(D)
+    assert X.shape == (m, n, r) and X.dtype == dtype
+    tol = 1e-3 if dtype == np.float32 else 1e-10
+    for j in range(r):
+        assert max_err(X[:, :, j], reference_solve(a, b, c, D[:, :, j])) < tol
+
+
+def test_hybrid_solve_scratch_dict_reuse_is_clean():
+    # the same scratch dict over many steps (the prepared-path pattern)
+    # must give the same bits as fresh allocations — including the
+    # regroup pad re-zeroing when n does not divide by 2^k
+    m, n, k = 4, 100, 3  # 100 not divisible by 8 -> padded regroup
+    a, b, c, d = make_batch(m, n, seed=34)
+    d2 = np.random.default_rng(8).standard_normal((m, n))
+    fact = HybridFactorization.factor(a, b, c, k=k)
+    scratch: dict = {}
+    x1 = fact.solve(d, scratch=scratch)
+    x2 = fact.solve(d2, scratch=scratch)
+    x3 = fact.solve(d, scratch=scratch)
+    assert np.array_equal(x1, fact.solve(d))
+    assert np.array_equal(x2, fact.solve(d2))
+    assert np.array_equal(x1, x3)
+
+
+def test_hybrid_solve_accepts_f_ordered_d():
+    a, b, c, d = make_batch(4, 128, seed=35)
+    fact = HybridFactorization.factor(a, b, c, k=3)
+    assert np.array_equal(fact.solve(np.asfortranarray(d)), fact.solve(d))
+
+
+def test_hybrid_solve_does_not_mutate_input():
+    a, b, c, d = make_batch(4, 128, seed=36)
+    fact = HybridFactorization.factor(a, b, c, k=3)
+    d0 = d.copy()
+    fact.solve(d)
+    assert np.array_equal(d, d0)
 
 
 def test_hybrid_factor_stores_k_levels():

@@ -1,0 +1,296 @@
+"""Prepared-solve pipeline: coefficient fingerprinting, the engine's
+factorization cache, the explicit ``repro.prepare`` handle, and the
+RHS-only fast path's numerics/sharding/trace contract."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import ExecutionEngine, PreparedPlan, coefficient_fingerprint
+from repro.engine.prepared import FINGERPRINT_SAMPLE, ThomasRhsFactorization
+
+from .conftest import make_batch, max_err, reference_solve
+
+# (M, N) in the paper's large-M regime: Table III picks k = 0 (Thomas),
+# where the RHS-only path is bitwise identical to the unprepared solve.
+K0_SHAPE = (1024, 64)
+
+
+# ----------------------------------------------------------- fingerprint
+
+
+def test_fingerprint_is_deterministic():
+    a, b, c, _ = make_batch(4, 64, seed=0)
+    assert coefficient_fingerprint(a, b, c) == coefficient_fingerprint(a, b, c)
+    assert coefficient_fingerprint(a, b, c) == coefficient_fingerprint(
+        a.copy(), b.copy(), c.copy()
+    )
+
+
+def test_fingerprint_changes_with_values_shape_dtype():
+    a, b, c, _ = make_batch(4, 64, seed=1)
+    base = coefficient_fingerprint(a, b, c)
+    b2 = b.copy()
+    b2[2, 30] *= 1.0 + 1e-12
+    assert coefficient_fingerprint(a, b2, c) != base
+    assert coefficient_fingerprint(b, a, c) != base  # order matters
+    af, bf, cf = (v.astype(np.float32) for v in (a, b, c))
+    assert coefficient_fingerprint(af, bf, cf) != base
+    a3, b3, c3, _ = make_batch(4, 32, seed=1)
+    assert coefficient_fingerprint(a3, b3, c3) != base
+
+
+def test_fingerprint_sampled_path_detects_any_change():
+    # above FINGERPRINT_SAMPLE elements the digest samples positions but
+    # folds in the full sum — so a change *between* samples still flips it
+    rng = np.random.default_rng(2)
+    a = rng.standard_normal((8, FINGERPRINT_SAMPLE))  # 8x the threshold
+    base = coefficient_fingerprint(a)
+    a2 = a.copy()
+    a2[3, 1237] += 1e-9
+    assert coefficient_fingerprint(a2) != base
+
+
+# ------------------------------------------------ factorization cache
+
+
+def _info_solve(engine, a, b, c, d, **kw):
+    info = {}
+    x = engine.solve_batch(a, b, c, d, info=info, **kw)
+    return x, info
+
+
+def test_auto_fingerprint_lifecycle_k0():
+    m, n = K0_SHAPE
+    a, b, c, d = make_batch(m, n, seed=3)
+    engine = ExecutionEngine()
+    ref = reference_solve(a, b, c, d)
+
+    x1, i1 = _info_solve(engine, a, b, c, d)
+    x2, i2 = _info_solve(engine, a, b, c, d)
+    x3, i3 = _info_solve(engine, a, b, c, d)
+    assert i1["factorization"] == "miss"       # first sighting: ledger only
+    assert i2["factorization"] == "factored"   # second: build + serve
+    assert i3["factorization"] == "hit"
+    assert not i1["rhs_only"] and i2["rhs_only"] and i3["rhs_only"]
+    # ... and the fast path changes no bits
+    assert np.array_equal(x1, x2) and np.array_equal(x1, x3)
+    assert max_err(x1, ref) < 1e-11
+    assert engine.stats.factorizations_built == 1
+    assert engine.stats.fingerprint_hits >= 1
+    assert engine.stats.factorization_bytes > 0
+
+
+def test_auto_fingerprint_new_rhs_hits_cache():
+    m, n = K0_SHAPE
+    a, b, c, d = make_batch(m, n, seed=4)
+    engine = ExecutionEngine()
+    _info_solve(engine, a, b, c, d)
+    _info_solve(engine, a, b, c, d)
+    d2 = np.random.default_rng(9).standard_normal((m, n))
+    x, info = _info_solve(engine, a, b, c, d2)
+    assert info["factorization"] == "hit"
+    assert np.array_equal(
+        x, engine.solve_batch(a, b, c, d2, fingerprint=False)
+    )
+
+
+def test_changed_coefficients_miss():
+    m, n = K0_SHAPE
+    a, b, c, d = make_batch(m, n, seed=5)
+    engine = ExecutionEngine()
+    _info_solve(engine, a, b, c, d)
+    _info_solve(engine, a, b, c, d)
+    b2 = b + 0.25
+    _, info = _info_solve(engine, a, b2, c, d)
+    assert info["factorization"] == "miss"
+
+
+def test_auto_stays_off_for_hybrid_plans():
+    # k > 0 RHS-only agrees to rounding, not bitwise — the default
+    # (fingerprint=None) must not silently change results there
+    a, b, c, d = make_batch(8, 256, seed=6)
+    engine = ExecutionEngine()
+    for _ in range(3):
+        _, info = _info_solve(engine, a, b, c, d, k=4)
+        assert info["factorization"] == "n/a"
+        assert not info["rhs_only"]
+    assert engine.stats.factorizations_built == 0
+
+
+def test_forced_fingerprint_runs_hybrid_prepared():
+    a, b, c, d = make_batch(8, 256, seed=7)
+    engine = ExecutionEngine()
+    ref = engine.solve_batch(a, b, c, d, k=4, fingerprint=False)
+    x1, i1 = _info_solve(engine, a, b, c, d, k=4, fingerprint=True)
+    x2, i2 = _info_solve(engine, a, b, c, d, k=4, fingerprint=True)
+    assert i1["factorization"] == "factored"   # True forces factor-on-first
+    assert i2["factorization"] == "hit" and i2["rhs_only"]
+    assert np.allclose(x1, ref, rtol=1e-10, atol=1e-13)
+    assert np.array_equal(x1, x2)
+
+
+def test_fingerprint_false_disables_cache():
+    m, n = K0_SHAPE
+    a, b, c, d = make_batch(m, n, seed=8)
+    engine = ExecutionEngine()
+    for _ in range(3):
+        _, info = _info_solve(engine, a, b, c, d, fingerprint=False)
+        assert info["factorization"] == "off"
+        assert not info["rhs_only"]
+    assert engine.stats.fingerprint_hits == 0
+
+
+def test_factorization_cache_eviction_is_lru():
+    m, n = 64, 32
+    engine = ExecutionEngine(max_factorizations=2)
+    batches = [make_batch(m, n, seed=20 + i) for i in range(3)]
+    for a, b, c, d in batches:
+        _info_solve(engine, a, b, c, d, k=0, fingerprint=True)
+    assert engine.stats.factorizations_built == 3
+    assert engine.stats.factorization_evictions == 1
+    # oldest entry was evicted: solving it again rebuilds
+    a, b, c, d = batches[0]
+    _, info = _info_solve(engine, a, b, c, d, k=0, fingerprint=True)
+    assert info["factorization"] == "factored"
+
+
+def test_clear_drops_factorizations():
+    m, n = K0_SHAPE
+    a, b, c, d = make_batch(m, n, seed=9)
+    engine = ExecutionEngine()
+    _info_solve(engine, a, b, c, d)
+    _info_solve(engine, a, b, c, d)
+    assert engine.stats.factorization_bytes > 0
+    engine.clear()
+    assert engine.stats.factorization_bytes == 0
+    _, info = _info_solve(engine, a, b, c, d)
+    assert info["factorization"] == "miss"  # ledger cleared too
+
+
+# ------------------------------------------------------------ handle API
+
+
+def test_prepare_handle_bitwise_k0():
+    m, n = K0_SHAPE
+    a, b, c, d = make_batch(m, n, seed=10)
+    engine = ExecutionEngine()
+    handle = engine.prepare(a, b, c)
+    assert isinstance(handle, PreparedPlan)
+    assert handle.k == 0
+    x = handle.solve(d)
+    assert np.array_equal(
+        x, engine.solve_batch(a, b, c, d, fingerprint=False)
+    )
+    assert handle.solves == 1
+
+
+def test_prepare_handle_hybrid_allclose():
+    a, b, c, d = make_batch(8, 300, seed=11)
+    engine = ExecutionEngine()
+    handle = engine.prepare(a, b, c, k=3)
+    x = handle.solve(d)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-10
+
+
+def test_prepare_seeds_solve_batch_cache():
+    # an explicit handle and a later solve_batch with the same
+    # coefficients share one cached factorization
+    m, n = K0_SHAPE
+    a, b, c, d = make_batch(m, n, seed=12)
+    engine = ExecutionEngine()
+    handle = engine.prepare(a, b, c)
+    _, info = _info_solve(engine, a, b, c, d)
+    assert info["factorization"] == "hit"
+    assert engine.stats.factorizations_built == 1
+    assert np.array_equal(
+        handle.solve(d), engine.solve_batch(a, b, c, d, fingerprint=False)
+    )
+
+
+def test_prepare_handle_describe_and_nbytes():
+    a, b, c, _ = make_batch(4, 128, seed=13)
+    engine = ExecutionEngine()
+    handle = engine.prepare(a, b, c, k=2)
+    desc = handle.describe()
+    assert desc["m"] == 4 and desc["n"] == 128 and desc["k"] == 2
+    assert desc["fingerprint"] == coefficient_fingerprint(a, b, c)
+    assert handle.nbytes > 0
+    assert handle.dtype == np.float64
+
+
+def test_prepare_handle_validates_rhs():
+    a, b, c, _ = make_batch(4, 128, seed=14)
+    handle = ExecutionEngine().prepare(a, b, c)
+    with pytest.raises(ValueError, match="shape"):
+        handle.solve(np.zeros((4, 64)))
+    bad = np.zeros((4, 128))
+    bad[1, 3] = np.nan
+    with pytest.raises(ValueError):
+        handle.solve(bad)
+
+
+def test_module_level_prepare_uses_default_engine():
+    m, n = K0_SHAPE
+    a, b, c, d = make_batch(m, n, seed=15)
+    handle = repro.prepare(a, b, c)
+    x = handle.solve(d)
+    assert max_err(x, reference_solve(a, b, c, d)) < 1e-11
+    trace = repro.last_trace()
+    assert trace.backend == "prepared"
+    assert trace.factorization == "handle"
+    assert trace.rhs_only is True
+
+
+def test_prepared_solve_preserves_float32():
+    a, b, c, d = make_batch(512, 64, dtype=np.float32, seed=16)
+    engine = ExecutionEngine()
+    handle = engine.prepare(a, b, c, k=0)
+    x = handle.solve(d)
+    assert x.dtype == np.float32
+    assert np.array_equal(
+        x, engine.solve_batch(a, b, c, d, k=0, fingerprint=False)
+    )
+
+
+# -------------------------------------------------------------- sharding
+
+
+@pytest.mark.parametrize("k", [0, 4], ids=["thomas", "hybrid"])
+def test_prepared_sharding_is_bitwise_invisible(k):
+    a, b, c, d = make_batch(64, 256, seed=17)
+    engine = ExecutionEngine()
+    handle = engine.prepare(a, b, c, k=k)
+    x1 = handle.solve(d)
+    xw = handle.solve(d, workers=3)
+    assert np.array_equal(x1, xw)
+    assert engine.stats.sharded_solves >= 1
+
+
+def test_prepared_workers_route_through_threaded_backend():
+    m, n = K0_SHAPE
+    a, b, c, d = make_batch(m, n, seed=18)
+    x1 = repro.solve_batch(a, b, c, d, fingerprint=True)
+    xw = repro.solve_batch(a, b, c, d, workers=3, fingerprint=True)
+    trace = repro.last_trace()
+    assert trace.backend == "threaded"
+    assert trace.rhs_only is True
+    assert np.array_equal(x1, xw)
+
+
+# ------------------------------------------------- RHS factorization unit
+
+
+def test_thomas_rhs_factorization_matches_reference():
+    a, b, c, d = make_batch(16, 40, seed=19)
+    fact = ThomasRhsFactorization.factor(a, b, c)
+    assert fact.m == 16 and fact.n == 40
+    assert fact.nbytes == 3 * a.nbytes
+    from repro.engine.workspace import PreparedWorkspace
+
+    engine = ExecutionEngine()
+    plan = engine.plan_for(16, 40, np.dtype(np.float64), k=0)
+    ws = PreparedWorkspace(plan)
+    out = np.empty_like(d)
+    fact.solve_shard(ws, d, out, 0, 16)
+    assert max_err(out, reference_solve(a, b, c, d)) < 1e-11
