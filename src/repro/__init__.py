@@ -42,6 +42,8 @@ factorization cache automatically (see :mod:`repro.engine.prepared`).
 
 from repro.core import (
     GTX480_HEURISTIC,
+    CyclicFactorization,
+    CyclicSingularError,
     HybridFactorization,
     ThomasFactorization,
     HybridReport,
@@ -101,6 +103,8 @@ __all__ = [
     "rd_solve_batch",
     "ThomasFactorization",
     "HybridFactorization",
+    "CyclicFactorization",
+    "CyclicSingularError",
     "ExecutionEngine",
     "PreparedPlan",
     "SolvePlan",

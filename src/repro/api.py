@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.solver import solve_batch
 
-__all__ = ["gtsv", "gtsv_nopivot", "gtsv_strided_batch"]
+__all__ = ["gtsv", "gtsv_cyclic", "gtsv_nopivot", "gtsv_strided_batch"]
 
 _FLOATS = (np.dtype(np.float32), np.dtype(np.float64))
 
@@ -120,6 +120,86 @@ def gtsv_nopivot(
 ):
     """cuSPARSE ``gtsv2_nopivot``-style alias (the library never pivots)."""
     return gtsv(dl, d, du, B, backend=backend, fingerprint=fingerprint)
+
+
+def gtsv_cyclic(
+    dl,
+    d,
+    du,
+    B,
+    *,
+    backend: str = "auto",
+    check: bool = True,
+    fingerprint: bool | None = None,
+):
+    """cuSPARSE ``gtsv2cyclic``-style: one *periodic* tridiagonal system.
+
+    The vendor convention stores full-length diagonals whose wrap
+    entries carry the corners: ``dl[0]`` couples row 0 to row ``n−1``
+    and ``du[n−1]`` couples row ``n−1`` to row 0 — exactly the cyclic
+    convention of :func:`repro.solve_periodic`, so this adapter is a
+    layout-only shim.
+
+    Parameters
+    ----------
+    dl, d, du:
+        Length-``n`` diagonals (``n ≥ 3``), corners in ``dl[0]`` /
+        ``du[-1]``.
+    B:
+        Right-hand sides: ``(n,)`` or ``(n, nrhs)``.  Multi-RHS calls
+        solve one fixed cyclic matrix against every column — the shape
+        the engine's cyclic factorization cache is built for, so they
+        are dispatched as a batch with fingerprinting on.
+    backend:
+        Backend registry selection (``Capabilities.periodic`` is
+        negotiated).
+    check:
+        Raise :class:`~repro.core.periodic.CyclicSingularError` on a
+        singular Sherman–Morrison correction; ``check=False`` warns
+        and emits NaN for the singular systems instead.
+    fingerprint:
+        Factorization-cache tri-state forwarded to the cyclic solve.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``X`` with the same shape as ``B`` (C-contiguous).
+    """
+    from repro.core.periodic import solve_periodic_batch
+
+    dl = np.asarray(dl)
+    d = np.asarray(d)
+    du = np.asarray(du)
+    B = np.asarray(B)
+    if d.ndim != 1 or d.shape[0] < 3:
+        raise ValueError(
+            f"d must be a 1-D main diagonal with n >= 3, got shape {d.shape}"
+        )
+    n = d.shape[0]
+    if dl.shape != (n,) or du.shape != (n,):
+        raise ValueError(
+            f"cyclic dl/du must have full length n = {n}, "
+            f"got dl shape {dl.shape} and du shape {du.shape}"
+        )
+    if B.ndim not in (1, 2) or B.shape[0] != n:
+        raise ValueError(
+            f"B must be (n,) or (n, nrhs) with n = {n}, got shape {B.shape}"
+        )
+    if B.ndim == 1:
+        x = solve_periodic_batch(
+            dl[None], d[None], du[None], B[None],
+            backend=backend, check=check, fingerprint=fingerprint,
+        )
+        return x[0]
+    nrhs = B.shape[1]
+    aa = np.tile(dl, (nrhs, 1))
+    bb = np.tile(d, (nrhs, 1))
+    cc = np.tile(du, (nrhs, 1))
+    x = solve_periodic_batch(
+        aa, bb, cc, np.ascontiguousarray(B.T),
+        backend=backend, check=check, fingerprint=fingerprint,
+    )
+    return np.ascontiguousarray(x.T)
 
 
 def gtsv_strided_batch(

@@ -46,6 +46,7 @@ from repro.backends.registry import (
     get_backend,
     list_backends,
     register_backend,
+    solve_periodic_via,
     solve_via,
 )
 from repro.backends.threaded import ThreadedBackend, execute_sharded
@@ -80,5 +81,6 @@ __all__ = [
     "record_trace",
     "reference_solver",
     "register_backend",
+    "solve_periodic_via",
     "solve_via",
 ]

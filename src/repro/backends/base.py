@@ -29,12 +29,13 @@ no new dispatch code anywhere else.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, replace
 from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.backends.trace import SolveTrace, record_trace
+from repro.backends.trace import SolveTrace, StageTiming, record_trace
 from repro.core.validation import check_batch_arrays, coerce_batch_arrays
 
 __all__ = ["Backend", "BackendBase", "Capabilities", "SolveSignature"]
@@ -159,6 +160,12 @@ class Backend(Protocol):
         """Run ``batch`` (a coerced ``(a, b, c, d)`` tuple) through ``plan``."""
         ...
 
+    def execute_periodic(
+        self, signature: SolveSignature, batch, out=None, *, check: bool = True
+    ) -> np.ndarray:
+        """Solve a cyclic batch (corners in ``a[:, 0]`` / ``c[:, -1]``)."""
+        ...
+
     def instrument(self) -> SolveTrace:
         """The trace of the most recent :meth:`execute` on this thread."""
         ...
@@ -193,6 +200,53 @@ class BackendBase:
                 f"backend {self.name!r} has not executed on this thread yet"
             )
         return trace
+
+    # -- cyclic (Sherman–Morrison) execution --------------------------
+    def execute_periodic(
+        self, signature: SolveSignature, batch, out=None, *, check: bool = True
+    ):
+        """Generic cyclic solve: corner-reduce + two inner ``execute``\\ s.
+
+        Any backend that can solve plain batches can serve periodic
+        ones through this fallback — the correction algebra is the
+        shared implementation in :mod:`repro.core.periodic`, so results
+        stay elementwise identical to every other path.  Backends with
+        a cheaper route (the engine's prepared cyclic sweep) override.
+        """
+        from repro.core.periodic import (
+            apply_cyclic_correction,
+            correction_denominator,
+            correction_scale,
+            cyclic_reduce,
+        )
+
+        a, b, c, d = batch
+        t0 = time.perf_counter()
+        ap, bp, cp, u, w = cyclic_reduce(a, b, c, check=check)
+        t_reduce = time.perf_counter() - t0
+
+        plan = self.prepare(signature.with_options(periodic=False))
+        y = self.execute(plan, (ap, bp, cp, d))
+        q = self.execute(plan, (ap, bp, cp, u))
+        # the q-solve's trace carries the plan/stage detail; promote it
+        # to describe the whole cyclic solve
+        trace = self.instrument()
+
+        t1 = time.perf_counter()
+        scale = correction_scale(
+            correction_denominator(q, w), b.shape[1], check=check
+        )
+        x = apply_cyclic_correction(y, q, w, scale, out=out)
+        t_correct = time.perf_counter() - t1
+
+        trace.periodic = True
+        trace.stages = [
+            StageTiming("cyclic-reduce", t_reduce),
+            *trace.stages,
+            StageTiming("cyclic-correction", t_correct),
+        ]
+        self._set_trace(trace)
+        return x
 
     # -- convenience entry point --------------------------------------
     def solve_batch(self, a, b, c, d, *, check: bool = True, out=None, **opts):

@@ -40,6 +40,7 @@ __all__ = [
     "get_backend",
     "list_backends",
     "register_backend",
+    "solve_periodic_via",
     "solve_via",
 ]
 
@@ -267,6 +268,55 @@ def solve_via(
         StageTiming("prepare", t_prepare),
         *inner,
     ]
+    record_trace(trace)
+    return x, trace
+
+
+def solve_periodic_via(
+    a,
+    b,
+    c,
+    d,
+    *,
+    backend: str = "auto",
+    check: bool = True,
+    coerced: bool = False,
+    out=None,
+    registry: BackendRegistry | None = None,
+    **opts,
+):
+    """Dispatch one *cyclic* batch solve through the registry.
+
+    Returns ``(x, trace)``.  The signature carries ``periodic=True``,
+    so negotiation actually exercises ``Capabilities.periodic``:
+    periodic-incapable backends are filtered out (or, named explicitly,
+    rejected with the reason).  The chosen backend's
+    ``execute_periodic`` runs the whole Sherman–Morrison pipeline —
+    engine-family backends serve repeat coefficients from the cyclic
+    factorization cache (RHS-only sweep + rank-one correction); the
+    generic fallback corner-reduces and runs two inner solves.
+    """
+    from repro.core.validation import (
+        check_cyclic_batch_arrays,
+        coerce_cyclic_batch_arrays,
+    )
+
+    reg = registry if registry is not None else default_registry()
+    t0 = time.perf_counter()
+    if not coerced:
+        if check:
+            a, b, c, d = check_cyclic_batch_arrays(a, b, c, d)
+        else:
+            a, b, c, d = coerce_cyclic_batch_arrays(a, b, c, d)
+    t_validate = time.perf_counter() - t0
+
+    sig = SolveSignature.for_batch(b, **opts).with_options(periodic=True)
+    chosen = reg.resolve(backend, sig)
+
+    x = chosen.execute_periodic(sig, (a, b, c, d), out=out, check=check)
+
+    trace = chosen.instrument()
+    trace.stages = [StageTiming("validate", t_validate), *trace.stages]
     record_trace(trace)
     return x, trace
 

@@ -239,3 +239,49 @@ class ThreadedBackend(BackendBase):
             )
         )
         return x
+
+    def execute_periodic(
+        self, signature: SolveSignature, batch, out=None, *, check: bool = True
+    ) -> np.ndarray:
+        a, b, c, d = batch
+        workers = self._workers_for(signature)
+        stage_times: list = []
+        info: dict = {}
+        t0 = time.perf_counter()
+        x = self.engine.solve_periodic(
+            a, b, c, d,
+            check=check,
+            workers=workers,
+            k=signature.k,
+            fuse=signature.fuse,
+            n_windows=signature.n_windows,
+            subtile_scale=signature.subtile_scale,
+            parallelism=signature.parallelism,
+            heuristic=signature.heuristic,
+            fingerprint=signature.fingerprint,
+            out=out,
+            info=info,
+            stage_times=stage_times,
+        )
+        if not stage_times:
+            stage_times = [("execute", time.perf_counter() - t0)]
+        plan = info["plan"]
+        self._set_trace(
+            SolveTrace(
+                backend=self.name,
+                m=signature.m,
+                n=signature.n,
+                dtype=signature.dtype,
+                k=plan.k,
+                k_source=plan.k_source,
+                fuse=plan.fuse,
+                n_windows=plan.n_windows,
+                workers=workers,
+                plan_cache=info.get("cache", "n/a"),
+                factorization=info.get("factorization", "n/a"),
+                rhs_only=info.get("rhs_only", False),
+                periodic=True,
+                stages=[StageTiming(n_, s) for n_, s in stage_times],
+            )
+        )
+        return x

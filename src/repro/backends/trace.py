@@ -70,6 +70,9 @@ class SolveTrace:
     rhs_only:
         True when the solve skipped elimination entirely and ran the
         stored factorization's RHS-only sweep.
+    periodic:
+        True when the trace describes a *cyclic* (Sherman–Morrison)
+        solve — the whole correction pipeline, not the inner q-solve.
     stages:
         Per-stage :class:`StageTiming` in execution order.
     predicted_total_us:
@@ -89,6 +92,7 @@ class SolveTrace:
     plan_cache: str = "n/a"
     factorization: str = "n/a"
     rhs_only: bool = False
+    periodic: bool = False
     stages: list = field(default_factory=list)
     predicted_total_us: float | None = None
 
@@ -119,6 +123,7 @@ class SolveTrace:
             "plan_cache": self.plan_cache,
             "factorization": self.factorization,
             "rhs_only": self.rhs_only,
+            "periodic": self.periodic,
             "total_ms": self.total_s * 1e3,
             "predicted_total_us": self.predicted_total_us,
             "stages": [

@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         "solve STEPS fresh right-hand sides through the prepared "
         "RHS-only path (and the same loop unprepared, for comparison)",
     )
+    solve.add_argument(
+        "--periodic", action="store_true",
+        help="solve cyclic (periodic-boundary) systems via "
+        "Sherman-Morrison; combines with --prepare and --trace",
+    )
 
     sub.add_parser(
         "backends", help="list registered execution backends"
@@ -142,6 +147,31 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _random_cyclic_batch(m: int, n: int, seed: int):
+    """Random dominant *cyclic* batch (corners in ``a[:,0]``/``c[:,-1]``)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    c = rng.standard_normal((m, n))
+    b = 2.0 + np.abs(a) + np.abs(c)
+    d = rng.standard_normal((m, n))
+    return a, b, c, d
+
+
+def _cyclic_residual(a, b, c, d, x) -> float:
+    """Max relative residual of a cyclic batch solve."""
+    import numpy as np
+
+    r = b * x
+    r[:, 1:] += a[:, 1:] * x[:, :-1]
+    r[:, :-1] += c[:, :-1] * x[:, 1:]
+    r[:, 0] += a[:, 0] * x[:, -1]
+    r[:, -1] += c[:, -1] * x[:, 0]
+    denom = max(float(np.abs(d).max()), 1e-30)
+    return float(np.abs(r - d).max()) / denom
+
+
 def _cmd_solve(args) -> int:
     import repro
     from repro.util.numerics import residual_norm
@@ -168,12 +198,23 @@ def _cmd_solve(args) -> int:
         kwargs["backend"] = args.backend
         if args.workers is not None:
             kwargs["workers"] = args.workers
-    a, b, c, d = random_batch(args.M, args.N, seed=args.seed)
-    t0 = time.perf_counter()
-    x = repro.solve_batch(a, b, c, d, algorithm=args.algorithm, **kwargs)
-    dt = time.perf_counter() - t0
-    res = residual_norm(BatchTridiagonal(a, b, c, d), x)
-    print(f"solved M={args.M} x N={args.N} with {args.algorithm} "
+    if args.periodic:
+        a, b, c, d = _random_cyclic_batch(args.M, args.N, args.seed)
+        t0 = time.perf_counter()
+        x = repro.solve_periodic_batch(
+            a, b, c, d, algorithm=args.algorithm, **kwargs
+        )
+        dt = time.perf_counter() - t0
+        res = _cyclic_residual(a, b, c, d, x)
+        what = f"periodic {args.algorithm}"
+    else:
+        a, b, c, d = random_batch(args.M, args.N, seed=args.seed)
+        t0 = time.perf_counter()
+        x = repro.solve_batch(a, b, c, d, algorithm=args.algorithm, **kwargs)
+        dt = time.perf_counter() - t0
+        res = residual_norm(BatchTridiagonal(a, b, c, d), x)
+        what = args.algorithm
+    print(f"solved M={args.M} x N={args.N} with {what} "
           f"in {dt * 1e3:.2f} ms (this machine, NumPy)")
     print(f"relative residual: {res:.3e}")
     if args.trace:
@@ -197,14 +238,17 @@ def _solve_prepared(args) -> int:
     if args.prepare < 1:
         print("--prepare needs at least one step", file=sys.stderr)
         return 2
-    a, b, c, d0 = random_batch(args.M, args.N, seed=args.seed)
+    if args.periodic:
+        a, b, c, d0 = _random_cyclic_batch(args.M, args.N, args.seed)
+    else:
+        a, b, c, d0 = random_batch(args.M, args.N, seed=args.seed)
     rng = np.random.default_rng(args.seed + 1)
     rhs = [d0] + [
         rng.standard_normal((args.M, args.N)) for _ in range(args.prepare - 1)
     ]
     workers = args.workers
 
-    handle = repro.prepare(a, b, c, fuse=args.fuse)
+    handle = repro.prepare(a, b, c, fuse=args.fuse, periodic=args.periodic)
     t0 = time.perf_counter()
     xs = [handle.solve(di, workers=workers) for di in rhs]
     prepared_ms = (time.perf_counter() - t0) * 1e3
@@ -214,14 +258,24 @@ def _solve_prepared(args) -> int:
     if workers is not None:
         kwargs["workers"] = workers
     t0 = time.perf_counter()
-    ref = [repro.solve_batch(a, b, c, di, **kwargs) for di in rhs]
+    if args.periodic:
+        ref = [repro.solve_periodic_batch(a, b, c, di, **kwargs)
+               for di in rhs]
+    else:
+        ref = [repro.solve_batch(a, b, c, di, **kwargs) for di in rhs]
     unprepared_ms = (time.perf_counter() - t0) * 1e3
 
     agree = all(np.allclose(x, r) for x, r in zip(xs, ref))
-    res = max(
-        residual_norm(BatchTridiagonal(a, b, c, di), xi)
-        for di, xi in zip(rhs, xs)
-    )
+    if args.periodic:
+        res = max(
+            _cyclic_residual(a, b, c, di, xi)
+            for di, xi in zip(rhs, xs)
+        )
+    else:
+        res = max(
+            residual_norm(BatchTridiagonal(a, b, c, di), xi)
+            for di, xi in zip(rhs, xs)
+        )
     steps = args.prepare
     print(f"prepared handle: {handle.describe()}")
     print(f"{steps} time steps, M={args.M} x N={args.N}:")
@@ -237,8 +291,12 @@ def _solve_prepared(args) -> int:
 
         # one more solve through the public API with the same
         # coefficients: shows the fingerprint cache auto-hitting
-        repro.solve_batch(a, b, c, rhs[-1], fuse=args.fuse,
-                          backend=args.backend)
+        if args.periodic:
+            repro.solve_periodic_batch(a, b, c, rhs[-1],
+                                       backend=args.backend)
+        else:
+            repro.solve_batch(a, b, c, rhs[-1], fuse=args.fuse,
+                              backend=args.backend)
         trace = repro.last_trace()
         print()
         print(trace_markdown(trace) if trace is not None

@@ -42,9 +42,17 @@ from repro.core.cost_model import (
     pcr_cost,
     thomas_cost,
 )
-from repro.core.factorize import HybridFactorization, ThomasFactorization
+from repro.core.factorize import (
+    CyclicFactorization,
+    HybridFactorization,
+    ThomasFactorization,
+)
 from repro.core.blocktridiag import block_thomas_solve, block_thomas_solve_batch
-from repro.core.periodic import solve_periodic, solve_periodic_batch
+from repro.core.periodic import (
+    CyclicSingularError,
+    solve_periodic,
+    solve_periodic_batch,
+)
 from repro.core.refine import RefinementResult, solve_mixed_precision
 from repro.core.solver import solve, solve_batch
 
@@ -77,6 +85,8 @@ __all__ = [
     "solve_batch",
     "ThomasFactorization",
     "HybridFactorization",
+    "CyclicFactorization",
+    "CyclicSingularError",
     "solve_periodic",
     "solve_periodic_batch",
     "block_thomas_solve",

@@ -13,8 +13,10 @@ import numpy as np
 
 __all__ = [
     "coerce_batch_arrays",
+    "coerce_cyclic_batch_arrays",
     "check_system_arrays",
     "check_batch_arrays",
+    "check_cyclic_batch_arrays",
     "require_power_of_two",
     "is_power_of_two",
 ]
@@ -86,6 +88,48 @@ def check_batch_arrays(a, b, c, d):
     if np.any(b == 0.0):
         raise ValueError("zero on the main diagonal (pivot-free solvers need b != 0)")
     return a, b, c, d
+
+
+def coerce_cyclic_batch_arrays(a, b, c, d):
+    """Coerce + shape-validate a *cyclic* ``(M, N)`` batch.
+
+    Cyclic (periodic) systems use the corner entries ``a[:, 0]`` and
+    ``c[:, -1]`` as real matrix couplings, so unlike
+    :func:`check_batch_arrays` the pads are **never zeroed**.  Shape
+    agreement is enforced unconditionally — a mismatched diagonal in a
+    Sherman–Morrison solve would otherwise surface as an opaque
+    broadcasting error two layers down.  1-D inputs are promoted to a
+    single-system batch.
+    """
+    arrays = [np.atleast_2d(np.asarray(v)) for v in (a, b, c, d)]
+    dtype = np.result_type(*arrays)
+    if dtype not in _ALLOWED:
+        dtype = np.dtype(np.float64)
+    arrays = [np.ascontiguousarray(v, dtype=dtype) for v in arrays]
+    shape = arrays[1].shape
+    for name, arr in zip("abcd", arrays):
+        if arr.ndim != 2:
+            raise ValueError(
+                f"cyclic diagonals must all be (M, N) batches: "
+                f"{name!r} is {arr.ndim}-D"
+            )
+        if arr.shape != shape:
+            raise ValueError(
+                f"cyclic diagonals must all share one (M, N) shape: "
+                f"{name!r} has shape {arr.shape}, expected {shape}"
+            )
+    if any(s == 0 for s in shape):
+        raise ValueError("empty system")
+    return tuple(arrays)
+
+
+def check_cyclic_batch_arrays(a, b, c, d):
+    """Validate a cyclic ``(M, N)`` batch (corners kept, finiteness on)."""
+    arrays = coerce_cyclic_batch_arrays(a, b, c, d)
+    for name, arr in zip("abcd", arrays):
+        if not np.all(np.isfinite(arr)):
+            raise ValueError(f"{name!r} contains non-finite values")
+    return arrays
 
 
 def is_power_of_two(x: int) -> bool:

@@ -29,6 +29,7 @@ from repro.engine.engine import EngineStats, ExecutionEngine, default_engine
 from repro.engine.executor import execute_plan, shard_bounds
 from repro.engine.plan import SolvePlan, build_plan, plan_key
 from repro.engine.prepared import (
+    CyclicRhsFactorization,
     PreparedPlan,
     ThomasRhsFactorization,
     coefficient_fingerprint,
@@ -37,6 +38,7 @@ from repro.engine.prepared import (
 from repro.engine.workspace import PlanWorkspace, PreparedWorkspace
 
 __all__ = [
+    "CyclicRhsFactorization",
     "EngineStats",
     "ExecutionEngine",
     "PlanWorkspace",

@@ -42,8 +42,10 @@ from repro.engine.executor import execute_plan, shard_bounds
 from repro.engine.plan import SolvePlan, build_plan
 from repro.engine.prepared import (
     PreparedPlan,
+    build_cyclic_factorization,
     build_factorization,
     coefficient_fingerprint,
+    execute_cyclic_rhs_only,
     execute_rhs_only,
     factorization_nbytes,
 )
@@ -247,10 +249,13 @@ class ExecutionEngine:
 
     # ---- factorization cache -----------------------------------------
     @staticmethod
-    def _fact_key(plan: SolvePlan, digest: str) -> tuple:
+    def _fact_key(plan: SolvePlan, digest: str, periodic: bool = False) -> tuple:
         # Factorizations depend only on (m, n, dtype, k) + content —
         # fuse / window choices change scheduling, not elimination math.
-        return plan.signature()[:4] + (digest,)
+        # Cyclic factorizations carry corner state a plain one lacks, so
+        # the periodic flag keys them separately: the same coefficient
+        # digest means different matrices under the two conventions.
+        return plan.signature()[:4] + (periodic, digest)
 
     def _store_factorization(self, key: tuple, fact) -> None:
         with self._lock:
@@ -272,6 +277,8 @@ class ExecutionEngine:
         c,
         *,
         force: bool,
+        periodic: bool = False,
+        check: bool = True,
         stage_times: list | None = None,
     ):
         """Look up / build the factorization for fingerprinted inputs.
@@ -282,8 +289,11 @@ class ExecutionEngine:
         digests on their second sighting), or ``"miss"`` (first
         sighting under auto mode: recorded in the ledger, solved
         normally — one-shot batches never pay for a factorization).
+
+        ``periodic=True`` builds/looks up a cyclic (Sherman–Morrison)
+        factorization instead — same lifecycle, separate cache keyspace.
         """
-        key = self._fact_key(plan, digest)
+        key = self._fact_key(plan, digest, periodic)
         with self._lock:
             fact = self._facts.get(key)
             if fact is not None:
@@ -300,7 +310,10 @@ class ExecutionEngine:
                 if not seen:
                     return None, "miss"
         t0 = time.perf_counter()
-        fact = build_factorization(plan, a, b, c)
+        if periodic:
+            fact = build_cyclic_factorization(self, plan, a, b, c, check=check)
+        else:
+            fact = build_factorization(plan, a, b, c)
         if stage_times is not None:
             stage_times.append(("factorize", time.perf_counter() - t0))
         self._store_factorization(key, fact)
@@ -319,6 +332,8 @@ class ExecutionEngine:
         subtile_scale: int = 1,
         parallelism: int | None = None,
         heuristic: TransitionHeuristic | None = None,
+        periodic: bool = False,
+        check: bool = True,
     ) -> PreparedPlan:
         """Factor a coefficient set into an explicit solve handle.
 
@@ -326,9 +341,23 @@ class ExecutionEngine:
         fingerprint cache, so plain ``solve_batch`` calls with the same
         coefficients hit it too (``k = 0`` plans; see
         :mod:`repro.engine.prepared` for the bitwise rationale).
+
+        ``periodic=True`` prepares the cyclic (Sherman–Morrison)
+        pipeline: the stored state is the core ``A'`` factorization plus
+        the solved correction vector ``q`` and precomputed
+        ``1/(1 + vᵀq)`` scale, and ``handle.solve`` runs one RHS-only
+        sweep plus a rank-one update.  The caller supplies cyclic
+        diagonals (corners in ``a[:, 0]`` / ``c[:, -1]``) — they are
+        *not* zeroed here.  ``check`` governs the singular-correction
+        guard (see :func:`repro.core.periodic.correction_scale`).
         """
         d0 = np.zeros_like(np.asarray(b))
-        a, b, c, _ = coerce_batch_arrays(a, b, c, d0)
+        if periodic:
+            from repro.core.validation import coerce_cyclic_batch_arrays
+
+            a, b, c, _ = coerce_cyclic_batch_arrays(a, b, c, d0)
+        else:
+            a, b, c, _ = coerce_batch_arrays(a, b, c, d0)
         m, n = b.shape
         plan = self.plan_for(
             m,
@@ -342,8 +371,12 @@ class ExecutionEngine:
             heuristic=heuristic,
         )
         digest = coefficient_fingerprint(a, b, c)
-        fact, _ = self._factorization_for(plan, digest, a, b, c, force=True)
-        return PreparedPlan(self, plan, fact, digest, workers=workers)
+        fact, _ = self._factorization_for(
+            plan, digest, a, b, c, force=True, periodic=periodic, check=check
+        )
+        return PreparedPlan(
+            self, plan, fact, digest, workers=workers, periodic=periodic
+        )
 
     # ---- execution ---------------------------------------------------
     def execute_pooled(
@@ -562,6 +595,119 @@ class ExecutionEngine:
             plan, a, b, c, d,
             counters=counters, out=out, stage_times=stage_times,
         )
+
+    def solve_periodic(
+        self,
+        a,
+        b,
+        c,
+        d,
+        *,
+        check: bool = True,
+        workers: int | None = None,
+        k: int | None = None,
+        fuse: bool = False,
+        n_windows: int = 1,
+        subtile_scale: int = 1,
+        parallelism: int | None = None,
+        heuristic: TransitionHeuristic | None = None,
+        fingerprint: bool | None = None,
+        out: np.ndarray | None = None,
+        info: dict | None = None,
+        stage_times: list | None = None,
+    ) -> np.ndarray:
+        """Solve a cyclic ``(M, N)`` batch through the engine.
+
+        Arrays must already be coerced cyclic diagonals (corners in
+        ``a[:, 0]`` / ``c[:, -1]``; see
+        :func:`repro.core.validation.coerce_cyclic_batch_arrays`) — the
+        public entry points validate before calling in.  The
+        ``fingerprint`` tri-state mirrors :meth:`solve_batch`: repeat
+        sightings of one cyclic coefficient set engage a stored
+        :class:`~repro.engine.prepared.CyclicRhsFactorization` and run
+        one RHS-only sweep plus the rank-one correction; first
+        sightings (and ``fingerprint=False``) run the classic
+        corner-reduce + two inner solves.  The inner solves disable
+        their own fingerprinting — caching happens at the cyclic level
+        only, never on the reduced ``A'`` diagonals.
+        """
+        m, n = b.shape
+        plan = self.plan_for(
+            m,
+            n,
+            b.dtype,
+            k=k,
+            fuse=fuse,
+            n_windows=n_windows,
+            subtile_scale=subtile_scale,
+            parallelism=parallelism,
+            heuristic=heuristic,
+            info=info,
+        )
+        if info is not None:
+            info["plan"] = plan
+            info["periodic"] = True
+
+        fact = None
+        fp_state = "off" if fingerprint is False else "n/a"
+        if fingerprint is not False and (plan.uses_thomas or fingerprint):
+            t_fp = time.perf_counter()
+            digest = coefficient_fingerprint(a, b, c)
+            if stage_times is not None:
+                stage_times.append(
+                    ("fingerprint", time.perf_counter() - t_fp)
+                )
+            fact, fp_state = self._factorization_for(
+                plan, digest, a, b, c,
+                force=fingerprint is True,
+                periodic=True,
+                check=check,
+                stage_times=stage_times,
+            )
+        if info is not None:
+            info["factorization"] = fp_state
+            info["rhs_only"] = fact is not None
+
+        if fact is not None:
+            x = execute_cyclic_rhs_only(
+                self, plan, fact, d,
+                out=out, workers=workers, check=check,
+                stage_times=stage_times,
+            )
+            with self._lock:
+                self.stats.solves += 1
+                self.stats.rhs_only_solves += 1
+                if workers is not None and workers > 1:
+                    self.stats.sharded_solves += 1
+            return x
+
+        from repro.core.periodic import (
+            apply_cyclic_correction,
+            correction_denominator,
+            correction_scale,
+            cyclic_reduce,
+        )
+
+        t0 = time.perf_counter()
+        ap, bp, cp, u, w = cyclic_reduce(a, b, c, check=check)
+        if stage_times is not None:
+            stage_times.append(("cyclic-reduce", time.perf_counter() - t0))
+        y = self.dispatch(
+            plan, ap, bp, cp, d,
+            workers=workers, fingerprint=False, stage_times=stage_times,
+        )
+        q = self.dispatch(
+            plan, ap, bp, cp, u,
+            workers=workers, fingerprint=False, stage_times=stage_times,
+        )
+        t1 = time.perf_counter()
+        scale = correction_scale(correction_denominator(q, w), n, check=check)
+        x = apply_cyclic_correction(y, q, w, scale, out=out)
+        if stage_times is not None:
+            stage_times.append(
+                ("cyclic-correction", time.perf_counter() - t1)
+            )
+        return x
 
     def solve(self, a, b, c, d, *, check: bool = True, **kwargs) -> np.ndarray:
         """Solve a single system (treated as an ``M = 1`` batch)."""

@@ -41,21 +41,37 @@ import time
 import numpy as np
 
 from repro.core.factorize import HybridFactorization, ThomasFactorization
-from repro.core.validation import check_batch_arrays, coerce_batch_arrays
+from repro.core.validation import (
+    check_batch_arrays,
+    check_cyclic_batch_arrays,
+    coerce_batch_arrays,
+    coerce_cyclic_batch_arrays,
+)
 from repro.engine.executor import shard_bounds
 
 __all__ = [
+    "CyclicRhsFactorization",
     "PreparedPlan",
     "ThomasRhsFactorization",
+    "build_cyclic_factorization",
     "coefficient_fingerprint",
+    "execute_cyclic_rhs_only",
     "factorization_nbytes",
     "prepare",
 ]
 
-#: Elements sampled per array by the fingerprint (plus a full-array
-#: checksum); calibrated so fingerprinting a 1024x1024 float64 batch
+#: Elements sampled per array by the fingerprint (plus the chunk-sum
+#: checksums); calibrated so fingerprinting a 1024x1024 float64 batch
 #: costs ~1 ms against a ~20 ms RHS-only solve.
 FINGERPRINT_SAMPLE = 4096
+
+#: Width of the chunk-sum grid the large-array checksum reduces over.
+#: Hashing both row sums (contiguous 1024-element chunks) and column
+#: sums (stride-1024 element classes) means a sum-preserving edit can
+#: only collide if every changed element keeps both its row total and
+#: its column total — impossible for any edit that moves value between
+#: two distinct positions.
+FINGERPRINT_CHUNK = 1024
 
 _sample_idx_cache: dict = {}
 
@@ -75,10 +91,20 @@ def coefficient_fingerprint(*arrays) -> str:
 
     Hashes each array's shape, dtype, and content.  Small arrays are
     hashed in full; large ones contribute an evenly-strided
-    :data:`FINGERPRINT_SAMPLE`-element sample plus a full float64
-    checksum — O(N) in memory traffic but far below the cost of one
-    elimination sweep, which is the comparison that matters.  Used to
-    detect *unchanged* coefficients across time steps, not to
+    :data:`FINGERPRINT_SAMPLE`-element sample plus a two-axis chunk-sum
+    checksum: the flat array is viewed as a ``(rows,
+    FINGERPRINT_CHUNK)`` grid and both the per-row sums (contiguous
+    chunks) and the per-column sums (strided element classes) are
+    hashed, along with any ragged tail verbatim.  A position-blind
+    single checksum was provably collidable — swapping two off-sample
+    elements, or any ``+x``/``−x`` pair of edits, preserved the total
+    and silently served a stale factorization.  With the grid, an edit
+    escapes detection only if it changes no row sum *and* no column
+    sum, which for moved value between distinct positions cannot
+    happen (two positions in the same row are in different columns and
+    vice versa).  Still two O(N) streaming passes — far below the cost
+    of one elimination sweep, which is the comparison that matters.
+    Used to detect *unchanged* coefficients across time steps, not to
     authenticate data.
     """
     h = hashlib.blake2b(digest_size=16)
@@ -91,7 +117,13 @@ def coefficient_fingerprint(*arrays) -> str:
             h.update(np.ascontiguousarray(flat).tobytes())
         else:
             h.update(flat[_sample_indices(flat.size)].tobytes())
-            h.update(np.float64(flat.sum(dtype=np.float64)).tobytes())
+            trunc = flat.size - flat.size % FINGERPRINT_CHUNK
+            grid = np.ascontiguousarray(flat[:trunc]).reshape(
+                -1, FINGERPRINT_CHUNK
+            )
+            h.update(grid.sum(axis=1, dtype=np.float64).tobytes())
+            h.update(grid.sum(axis=0, dtype=np.float64).tobytes())
+            h.update(np.ascontiguousarray(flat[trunc:]).tobytes())
     return h.hexdigest()
 
 
@@ -172,7 +204,7 @@ class ThomasRhsFactorization:
 
 def factorization_nbytes(fact) -> int:
     """Bytes of stored factorization state (for the engine's ledger)."""
-    if isinstance(fact, ThomasRhsFactorization):
+    if isinstance(fact, (ThomasRhsFactorization, CyclicRhsFactorization)):
         return fact.nbytes
     nb = sum(k1.nbytes + k2.nbytes for k1, k2 in fact.level_factors)
     red = fact.reduced
@@ -271,6 +303,111 @@ def execute_rhs_only(
     return out
 
 
+class CyclicRhsFactorization:
+    """Engine-layer cyclic factorization: corner-reduced core + correction.
+
+    The engine sibling of
+    :class:`~repro.core.factorize.CyclicFactorization`: the core ``A'``
+    factorization is an engine RHS-only factorization
+    (:class:`ThomasRhsFactorization` at ``k = 0`` — transposed layout,
+    stored denominators, bitwise-identical sweeps — or
+    :class:`~repro.core.factorize.HybridFactorization` above), and the
+    Sherman–Morrison state (``q``, ``w = a_0/γ``, the precomputed
+    ``1/(1 + vᵀq)`` scale) is stored alongside.  A cyclic solve against
+    a cached instance is **one** core RHS-only sweep plus a vectorized
+    rank-one update — versus the two full eliminations the unprepared
+    path pays.
+    """
+
+    __slots__ = ("core", "q", "w", "scale", "singular", "nbytes")
+
+    def __init__(self, core, q, w, scale, singular):
+        self.core = core
+        self.q = q
+        self.w = w
+        self.scale = scale
+        self.singular = singular
+        self.nbytes = (
+            factorization_nbytes(core)
+            + q.nbytes + w.nbytes + scale.nbytes
+        )
+
+
+def build_cyclic_factorization(
+    engine, plan, a, b, c, *, check: bool = True
+) -> CyclicRhsFactorization:
+    """Corner-reduce + factor a cyclic coefficient set under ``plan``.
+
+    The correction column ``q`` is solved through the freshly built
+    core factorization's own RHS-only sweep, so the stored ``q`` is
+    bitwise identical to what an unprepared engine solve of
+    ``A' q = u`` would produce — which is what keeps the prepared
+    cyclic path bitwise-equal to re-elimination at ``k = 0``.
+    ``check`` sets the singular-correction policy (raise vs warn+NaN).
+    """
+    from repro.core.periodic import (
+        correction_denominator,
+        correction_scale,
+        cyclic_reduce,
+        singular_rows,
+    )
+
+    ap, bp, cp, u, w = cyclic_reduce(a, b, c, check=check)
+    core = build_factorization(plan, ap, bp, cp)
+    q = execute_rhs_only(engine, plan, core, u)
+    denom = correction_denominator(q, w)
+    scale = correction_scale(denom, plan.n, check=check)
+    return CyclicRhsFactorization(
+        core=core, q=q, w=w, scale=scale,
+        singular=singular_rows(denom, plan.n),
+    )
+
+
+def execute_cyclic_rhs_only(
+    engine,
+    plan,
+    fact: CyclicRhsFactorization,
+    d,
+    *,
+    out: np.ndarray | None = None,
+    workers: int | None = None,
+    check: bool = True,
+    stage_times: list | None = None,
+) -> np.ndarray:
+    """One cyclic solve against a stored :class:`CyclicRhsFactorization`.
+
+    Runs the core RHS-only sweep (optionally sharded, same bitwise
+    argument as :func:`execute_rhs_only`) into a pooled workspace
+    buffer, then applies the precomputed rank-one correction.  The
+    returned array never aliases pooled workspace memory.
+    """
+    if check and fact.singular.size:
+        from repro.core.periodic import CyclicSingularError, _describe_rows
+
+        raise CyclicSingularError(
+            "singular Sherman–Morrison correction in batch row(s) "
+            f"{_describe_rows(fact.singular)} — re-factor with "
+            "check=False for NaN output"
+        )
+    from repro.core.periodic import apply_cyclic_correction
+
+    ws = engine.checkout_prepared(plan)
+    try:
+        y = execute_rhs_only(
+            engine, plan, fact.core, d,
+            out=ws.cyclic_y(), workers=workers, stage_times=stage_times,
+        )
+        t0 = time.perf_counter()
+        if out is None:
+            out = np.empty((plan.m, plan.n), dtype=plan.dtype)
+        x = apply_cyclic_correction(y, fact.q, fact.w, fact.scale, out=out)
+    finally:
+        engine.checkin_prepared(plan, ws)
+    if stage_times is not None:
+        stage_times.append(("cyclic-correction", time.perf_counter() - t0))
+    return x
+
+
 class PreparedPlan:
     """A solve handle bound to one factored coefficient set.
 
@@ -287,12 +424,16 @@ class PreparedPlan:
     ulp).
     """
 
-    def __init__(self, engine, plan, fact, fingerprint: str, workers=None):
+    def __init__(
+        self, engine, plan, fact, fingerprint: str, workers=None,
+        periodic: bool = False,
+    ):
         self.engine = engine
         self.plan = plan
         self.factorization = fact
         self.fingerprint = fingerprint
         self.default_workers = workers
+        self.periodic = periodic
         self.solves = 0
 
     @property
@@ -322,6 +463,7 @@ class PreparedPlan:
         desc["fingerprint"] = self.fingerprint
         desc["factorization_bytes"] = self.nbytes
         desc["solves"] = self.solves
+        desc["periodic"] = self.periodic
         return desc
 
     def solve(
@@ -344,15 +486,27 @@ class PreparedPlan:
         if workers is None:
             workers = self.default_workers
         stage_times: list = []
-        x = execute_rhs_only(
-            self.engine,
-            self.plan,
-            self.factorization,
-            d,
-            out=out,
-            workers=workers,
-            stage_times=stage_times,
-        )
+        if self.periodic:
+            x = execute_cyclic_rhs_only(
+                self.engine,
+                self.plan,
+                self.factorization,
+                d,
+                out=out,
+                workers=workers,
+                check=check,
+                stage_times=stage_times,
+            )
+        else:
+            x = execute_rhs_only(
+                self.engine,
+                self.plan,
+                self.factorization,
+                d,
+                out=out,
+                workers=workers,
+                stage_times=stage_times,
+            )
         self.solves += 1
         with self.engine._lock:
             self.engine.stats.rhs_only_solves += 1
@@ -374,6 +528,7 @@ class PreparedPlan:
                 plan_cache="hit",
                 factorization="handle",
                 rhs_only=True,
+                periodic=self.periodic,
                 stages=[StageTiming(n_, s) for n_, s in stage_times],
             )
         )
@@ -387,6 +542,7 @@ def prepare(
     *,
     check: bool = True,
     engine=None,
+    periodic: bool = False,
     **opts,
 ) -> PreparedPlan:
     """Factor a coefficient set once; solve many right-hand sides.
@@ -395,6 +551,11 @@ def prepare(
     :meth:`ExecutionEngine.prepare`.  Keywords mirror ``solve_batch``
     (``k``, ``fuse``, ``n_windows``, ``subtile_scale``,
     ``parallelism``, ``heuristic``, ``workers``).
+
+    ``periodic=True`` prepares a *cyclic* (Sherman–Morrison) system:
+    the corner entries ``a[:, 0]`` / ``c[:, -1]`` are real couplings
+    (never zeroed by validation), and ``handle.solve(d)`` runs one core
+    RHS-only sweep plus the precomputed rank-one correction.
 
     Examples
     --------
@@ -410,6 +571,18 @@ def prepare(
         from repro.engine.engine import default_engine
 
         engine = default_engine()
+    if periodic:
+        # cyclic corners are used — validate without pad zeroing
+        d0 = np.zeros_like(np.asarray(b))
+        validate = (
+            check_cyclic_batch_arrays if check else coerce_cyclic_batch_arrays
+        )
+        a, b, c, _ = validate(a, b, c, d0)
+        if b.shape[1] < 3:
+            raise ValueError(
+                f"cyclic solver needs N >= 3, got {b.shape[1]}"
+            )
+        return engine.prepare(a, b, c, periodic=True, check=check, **opts)
     if check:
         d0 = np.zeros_like(np.asarray(b, dtype=float))
         a, b, c, _ = check_batch_arrays(a, b, c, d0)

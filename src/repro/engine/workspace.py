@@ -107,6 +107,7 @@ class PreparedWorkspace:
     def __init__(self, plan):
         self.plan = plan
         m, n, dtype = plan.m, plan.n, plan.dtype
+        self._cyclic_y = None
         if plan.uses_thomas:
             self.td = np.empty((n, m), dtype=dtype)
             self.dp = np.empty((n, m), dtype=dtype)
@@ -121,15 +122,29 @@ class PreparedWorkspace:
         """The named-buffer dict for one shard (``k > 0`` plans only)."""
         return self._scratch.setdefault((shard, bounds), {})
 
+    def cyclic_y(self) -> np.ndarray:
+        """The intermediate ``A' y = d`` buffer for prepared cyclic solves.
+
+        Allocated on first use (plain prepared solves never pay for it)
+        and kept for the workspace's pooled lifetime — a prepared cyclic
+        sweep allocates nothing but its output, same as the plain path.
+        """
+        if self._cyclic_y is None:
+            self._cyclic_y = np.empty(
+                (self.plan.m, self.plan.n), dtype=self.plan.dtype
+            )
+        return self._cyclic_y
+
     @property
     def nbytes(self) -> int:
         """Bytes currently held (hybrid dicts fill lazily)."""
+        extra = 0 if self._cyclic_y is None else self._cyclic_y.nbytes
         if self._scratch is None:
-            return sum(
+            return extra + sum(
                 v.nbytes
                 for v in (self.td, self.dp, self.xt, self.t1, self.t2)
             )
-        return sum(
+        return extra + sum(
             arr.nbytes
             for bufs in self._scratch.values()
             for arr in bufs.values()

@@ -31,7 +31,12 @@ from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import DeviceSpec, GTX480
 from repro.gpusim.memory import MemoryTraffic, warp_transactions_strided
 
-__all__ = ["rhs_level_counters", "rhs_only_counters", "rhs_pthomas_counters"]
+__all__ = [
+    "cyclic_correction_counters",
+    "rhs_level_counters",
+    "rhs_only_counters",
+    "rhs_pthomas_counters",
+]
 
 
 def _warp_tx(device: DeviceSpec, n_systems: int, stride: int, dtype_bytes: int):
@@ -138,6 +143,79 @@ def rhs_level_counters(
         regs_per_thread=12,
         mlp=8.0,
     )
+
+
+def cyclic_correction_counters(
+    m: int,
+    n: int,
+    dtype_bytes: int,
+    device: DeviceSpec = GTX480,
+    threads_per_block: int = 128,
+) -> list:
+    """Ledgers for the Sherman–Morrison correction of a cyclic solve.
+
+    Two kernels follow the inner solve(s):
+
+    * **boundary dot** — one thread per system gathers the boundary
+      values ``y_0, y_{n−1}, q_0, q_{n−1}`` plus ``w`` and the stored
+      ``1/(1+vᵀq)`` scale and emits the per-system factor.  Row-major
+      ``(M, N)`` storage makes the column gathers stride-``n``, so a
+      warp's loads splinter into per-lane transactions — tiny useful
+      bytes, terrible efficiency, but only ``O(M)`` work total.
+    * **correction axpy** — ``x = y − factor·q`` over the full batch:
+      perfectly coalesced elementwise streaming (2 loads + broadcast
+      factor + 1 store per element).
+    """
+    if m < 1 or n < 1:
+        raise ValueError(f"need m, n >= 1, got ({m}, {n})")
+    if dtype_bytes not in (4, 8):
+        raise ValueError(f"dtype_bytes must be 4 or 8, got {dtype_bytes}")
+
+    tpb = min(threads_per_block, max(device.warp_size, m))
+
+    # boundary dot: 4 strided column gathers (y/q at rows 0 and n-1)
+    # plus the contiguous w and scale vectors; one factor store
+    tx_strided = _warp_tx(device, m, n, dtype_bytes)
+    tx_unit = _warp_tx(device, m, 1, dtype_bytes)
+    dot_traffic = MemoryTraffic()
+    dot_traffic.add_load(4 * m * dtype_bytes, 4 * tx_strided)
+    dot_traffic.add_load(2 * m * dtype_bytes, 2 * tx_unit)
+    dot_traffic.add_store(m * dtype_bytes, tx_unit)
+    dot = KernelCounters(
+        name="cyclic boundary dot",
+        eliminations=m,
+        traffic=dot_traffic,
+        launches=1,
+        dependent_steps=1,
+        threads=m,
+        threads_per_block=tpb,
+        smem_per_block=0,
+        regs_per_thread=12,
+        mlp=4.0,
+    )
+
+    # correction axpy: read y and q, broadcast-read factor, store x
+    rows = m * n
+    tx_elem = _warp_tx(device, rows, 1, dtype_bytes)
+    axpy_traffic = MemoryTraffic()
+    axpy_traffic.add_load(2 * rows * dtype_bytes + m * dtype_bytes,
+                          2 * tx_elem + tx_unit)
+    axpy_traffic.add_store(rows * dtype_bytes, tx_elem)
+    axpy = KernelCounters(
+        name="cyclic correction axpy",
+        eliminations=rows,
+        traffic=axpy_traffic,
+        launches=1,
+        dependent_steps=1,
+        threads=rows,
+        threads_per_block=min(
+            threads_per_block, max(device.warp_size, rows)
+        ),
+        smem_per_block=0,
+        regs_per_thread=10,
+        mlp=8.0,
+    )
+    return [dot, axpy]
 
 
 def rhs_only_counters(

@@ -23,6 +23,8 @@ __all__ = [
     "crank_nicolson_system",
     "crank_nicolson_coefficients",
     "crank_nicolson_rhs",
+    "periodic_heat_coefficients",
+    "periodic_heat_rhs",
     "adi_row_systems",
     "adi_row_coefficients",
     "cubic_spline_system",
@@ -102,6 +104,50 @@ def crank_nicolson_system(u: np.ndarray, alpha: float, dt: float, dx: float):
     m, n = u.shape
     a, b, c = crank_nicolson_coefficients(m, n, alpha, dt, dx, dtype=u.dtype)
     return a, b, c, crank_nicolson_rhs(u, alpha, dt, dx)
+
+
+def periodic_heat_coefficients(
+    m: int, n: int, alpha: float, dt: float, dx: float, dtype=np.float64
+):
+    """Crank–Nicolson step matrix on a *ring* (periodic boundaries).
+
+    Heat conduction on closed loops — annular ducts, ring resonators,
+    the azimuthal direction of any polar grid — has no boundary rows:
+    every grid point couples to both neighbours, with points ``0`` and
+    ``n−1`` coupling to each other through the cyclic corners.  The
+    returned diagonals use the cyclic convention of
+    :func:`repro.solve_periodic_batch` (corners live in ``a[:, 0]`` and
+    ``c[:, -1]``); feed them to ``repro.prepare(..., periodic=True)``
+    and stream each step's RHS from :func:`periodic_heat_rhs`.
+
+    Returns
+    -------
+    tuple
+        ``(a, b, c)`` cyclic diagonals of shape ``(m, n)``.
+    """
+    r = alpha * dt / (2.0 * dx * dx)
+    a = np.full((m, n), -r, dtype=dtype)
+    b = np.full((m, n), 1.0 + 2.0 * r, dtype=dtype)
+    c = np.full((m, n), -r, dtype=dtype)
+    return a, b, c
+
+
+def periodic_heat_rhs(u: np.ndarray, alpha: float, dt: float, dx: float):
+    """The explicit half of a periodic Crank–Nicolson step.
+
+    ``u`` is the ``(M, N)`` field on the ring; the stencil wraps via
+    ``np.roll``, so the RHS conserves the field's total mass exactly
+    (the explicit operator's row sums are 1).
+    """
+    u = np.asarray(u)
+    if u.ndim != 2:
+        raise ValueError(f"u must be (M, N), got {u.ndim}-D")
+    r = alpha * dt / (2.0 * dx * dx)
+    return (
+        r * np.roll(u, 1, axis=1)
+        + (1.0 - 2.0 * r) * u
+        + r * np.roll(u, -1, axis=1)
+    )
 
 
 def adi_row_systems(field: np.ndarray, beta: float):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.api import gtsv, gtsv_nopivot, gtsv_strided_batch
+from repro.api import gtsv, gtsv_cyclic, gtsv_nopivot, gtsv_strided_batch
 
 from .conftest import make_system, max_err, reference_solve
 
@@ -219,3 +219,71 @@ def test_strided_batch_writes_through_noncontiguous_view():
     )
     assert got is view
     assert np.array_equal(backing[::2], ref)  # wrote through the view
+
+
+# ---- cyclic adapter --------------------------------------------------------
+
+
+def _cyclic_dense_1d(a, b, c):
+    n = b.shape[0]
+    A = np.zeros((n, n))
+    A[np.arange(n), np.arange(n)] = b
+    A[np.arange(1, n), np.arange(n - 1)] = a[1:]
+    A[np.arange(n - 1), np.arange(1, n)] = c[:-1]
+    A[0, n - 1] = a[0]
+    A[n - 1, 0] = c[-1]
+    return A
+
+
+def _cyclic_system(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(n)
+    c = rng.standard_normal(n)
+    b = 4.0 + np.abs(a) + np.abs(c)
+    return a, b, c
+
+
+def test_gtsv_cyclic_single_rhs():
+    n = 48
+    a, b, c = _cyclic_system(n, seed=10)
+    rhs = np.random.default_rng(1).standard_normal(n)
+    # vendor layout: corners ride in dl[0] / du[-1]
+    x = gtsv_cyclic(a, b, c, rhs)
+    assert x.shape == (n,)
+    ref = np.linalg.solve(_cyclic_dense_1d(a, b, c), rhs)
+    assert np.allclose(x, ref, atol=1e-10)
+
+
+def test_gtsv_cyclic_multi_rhs_matches_columnwise():
+    n, nrhs = 40, 5
+    a, b, c = _cyclic_system(n, seed=11)
+    B = np.random.default_rng(2).standard_normal((n, nrhs))
+    X = gtsv_cyclic(a, b, c, B)
+    assert X.shape == (n, nrhs)
+    A = _cyclic_dense_1d(a, b, c)
+    for j in range(nrhs):
+        assert np.allclose(X[:, j], np.linalg.solve(A, B[:, j]), atol=1e-10)
+
+
+def test_gtsv_cyclic_validation():
+    a, b, c = _cyclic_system(16, seed=12)
+    with pytest.raises(ValueError, match="full length"):
+        gtsv_cyclic(a[:-1], b, c, np.zeros(16))
+    with pytest.raises(ValueError, match="n >= 3"):
+        gtsv_cyclic(np.ones(2), np.full(2, 3.0), np.ones(2), np.ones(2))
+    with pytest.raises(ValueError):
+        gtsv_cyclic(a, b, c, np.zeros((17,)))
+
+
+def test_gtsv_cyclic_singular_guard():
+    from repro.core.periodic import CyclicSingularError
+
+    n = 16
+    a = np.full(n, -1.0)
+    b = np.full(n, 2.0)
+    c = np.full(n, -1.0)
+    with pytest.raises(CyclicSingularError):
+        gtsv_cyclic(a, b, c, np.zeros(n))
+    with pytest.warns(RuntimeWarning):
+        x = gtsv_cyclic(a, b, c, np.zeros(n), check=False)
+    assert np.isnan(x).all()

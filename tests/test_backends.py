@@ -24,9 +24,10 @@ from repro.backends import (
     SolveSignature,
     clear_last_trace,
     default_registry,
+    solve_periodic_via,
     solve_via,
 )
-from repro.core.periodic import solve_periodic_batch
+from repro.core.periodic import CyclicSingularError, solve_periodic_batch
 from repro.workloads.generators import random_batch
 
 ALL_BACKENDS = ("engine", "threaded", "numpy", "gpusim")
@@ -36,6 +37,15 @@ TOL = {np.float64: 1e-12, np.float32: 1e-4}
 
 def _batch(m=12, n=256, dtype=np.float64, seed=3):
     return random_batch(m, n, dtype=dtype, seed=seed)
+
+
+def _cyclic_batch(m, n, dtype=np.float64, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n)).astype(dtype)
+    c = rng.standard_normal((m, n)).astype(dtype)
+    b = (4.0 + np.abs(a) + np.abs(c)).astype(dtype)
+    d = rng.standard_normal((m, n)).astype(dtype)
+    return a, b, c, d
 
 
 # ---------------------------------------------------------------- registry
@@ -121,6 +131,53 @@ def test_cross_backend_agreement_periodic(backend, dtype):
         assert np.allclose(x, ref, rtol=TOL[dtype], atol=TOL[dtype])
     else:
         assert np.array_equal(x, ref)
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+@pytest.mark.parametrize("backend", ["engine", "threaded", "gpusim"])
+def test_periodic_prepared_matches_unprepared(backend, dtype):
+    # k = 0 pins the plan, so the cyclic RHS-only sweep (stored core
+    # factorization + q + scale) must change no bits vs re-elimination
+    a, b, c, d = _cyclic_batch(48, 96, dtype=dtype, seed=21)
+    ref = solve_periodic_batch(
+        a, b, c, d, backend=backend, k=0, fingerprint=False
+    )
+    solve_periodic_batch(a, b, c, d, backend=backend, k=0, fingerprint=True)
+    x = solve_periodic_batch(
+        a, b, c, d, backend=backend, k=0, fingerprint=True
+    )
+    trace = repro.last_trace()
+    assert trace.backend == backend
+    assert trace.periodic is True
+    assert trace.factorization == "hit"
+    assert trace.rhs_only is True
+    assert x.dtype == ref.dtype
+    assert np.array_equal(x, ref)
+
+
+def test_periodic_trace_fields():
+    a, b, c, d = _cyclic_batch(4, 64, seed=22)
+    solve_periodic_batch(a, b, c, d)
+    trace = repro.last_trace()
+    assert trace.periodic is True
+    assert trace.describe()["periodic"] is True
+    assert any("cyclic" in s.name for s in trace.stages)
+    # plain solves leave the flag down
+    repro.solve_batch(*_batch(m=2, n=64))
+    assert repro.last_trace().periodic is False
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_periodic_singular_raises_through_backends(backend):
+    # the periodic Laplacian [-1, 2, -1] has the constant nullvector:
+    # |1 + v·q| collapses and every backend must surface the guard
+    n = 32
+    a = np.full((2, n), -1.0)
+    c = np.full((2, n), -1.0)
+    b = np.full((2, n), 2.0)
+    d = np.zeros((2, n))
+    with pytest.raises(CyclicSingularError, match="row"):
+        solve_periodic_batch(a, b, c, d, backend=backend)
 
 
 def test_out_parameter_is_written_in_place():
@@ -235,6 +292,50 @@ def test_auto_falls_back_past_incapable_backends():
     a, b, c, d = _batch(m=2, n=64, dtype=np.float64)
     _, trace = solve_via(a, b, c, d, registry=registry)
     assert trace.backend == "f64only"  # highest capable priority wins
+
+
+class _NoPeriodic(BackendBase):
+    """Test double: top priority but cannot serve cyclic systems."""
+
+    name = "noperiodic"
+    priority = 999
+
+    def __init__(self):
+        super().__init__()
+        self._inner = NumpyReferenceBackend()
+
+    def capabilities(self):
+        return Capabilities(periodic=False, description="test double")
+
+    def prepare(self, signature):
+        return self._inner.prepare(signature)
+
+    def execute(self, prepared, batch, out=None):
+        x = self._inner.execute(prepared, batch, out=out)
+        trace = self._inner.instrument()
+        trace.backend = self.name
+        self._set_trace(trace)
+        return x
+
+
+def test_periodic_capability_is_negotiated():
+    registry = BackendRegistry(router=Router())
+    registry.register(_NoPeriodic())
+    registry.register(EngineBackend())
+    a, b, c, d = _cyclic_batch(2, 48, seed=23)
+
+    # named explicitly: the rejection reason is surfaced
+    with pytest.raises(BackendError, match="periodic"):
+        solve_periodic_via(a, b, c, d, backend="noperiodic", registry=registry)
+
+    # auto: negotiation skips the periodic-incapable backend ...
+    _, trace = solve_periodic_via(a, b, c, d, registry=registry)
+    assert trace.backend == "engine"
+    assert trace.periodic is True
+
+    # ... which still wins plain (non-periodic) dispatch on priority
+    _, trace = solve_via(*_batch(m=2, n=48), registry=registry)
+    assert trace.backend == "noperiodic"
 
 
 def test_no_capable_backend_lists_every_rejection():

@@ -20,6 +20,7 @@ ALL = [
     "adi_fluid.py",
     "poisson_multigrid.py",
     "heat_equation.py",
+    "ring_diffusion.py",
     "streaming_smoother.py",
     "smoke_transport.py",
     "fast_poisson.py",

@@ -75,6 +75,78 @@ def test_cyclic_rejects_tiny():
         solve_periodic(np.ones(2), np.full(2, 3.0), np.ones(2), np.ones(2))
 
 
+def test_cyclic_shape_mismatch_is_validated_up_front():
+    a, b, c, d = _make_cyclic(3, 16, seed=4)
+    with pytest.raises(ValueError, match=r"share one \(M, N\) shape"):
+        solve_periodic_batch(a, b, c[:, :-1], d)
+    with pytest.raises(ValueError, match=r"share one \(M, N\) shape"):
+        solve_periodic_batch(a[:2], b, c, d)
+
+
+def test_cyclic_corners_survive_validation():
+    # plain-batch validation zeroes the a[:,0]/c[:,-1] pads; the cyclic
+    # path must NOT — the corners are the whole point.  A wrong
+    # validator would silently return the non-periodic solution.
+    a, b, c, d = _make_cyclic(2, 24, seed=5)
+    a_orig, c_orig = a.copy(), c.copy()
+    x = solve_periodic_batch(a, b, c, d)
+    assert np.array_equal(a, a_orig) and np.array_equal(c, c_orig)
+    for i in range(2):
+        ref = np.linalg.solve(_cyclic_dense(a[i], b[i], c[i]), d[i])
+        assert np.allclose(x[i], ref, atol=1e-9)
+
+
+# ---- Sherman–Morrison singular guard ---------------------------------------
+
+
+def _singular_mixed_batch(dtype, n=24):
+    """Rows 0/2 healthy, row 1 the singular periodic Laplacian."""
+    rng = np.random.default_rng(6)
+    a = rng.standard_normal((3, n)).astype(dtype)
+    c = rng.standard_normal((3, n)).astype(dtype)
+    b = (4.0 + np.abs(a) + np.abs(c)).astype(dtype)
+    a[1], c[1], b[1] = dtype(-1.0), dtype(-1.0), dtype(2.0)
+    d = rng.standard_normal((3, n)).astype(dtype)
+    return a, b, c, d
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+def test_cyclic_singular_raises_naming_rows(dtype):
+    from repro.core.periodic import CyclicSingularError
+
+    a, b, c, d = _singular_mixed_batch(dtype)
+    with pytest.raises(CyclicSingularError, match=r"row\(s\) \[1\]"):
+        solve_periodic_batch(a, b, c, d)  # check=True is the default
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+def test_cyclic_singular_check_false_warns_and_nans(dtype):
+    a, b, c, d = _singular_mixed_batch(dtype)
+    with pytest.warns(RuntimeWarning, match="singular Sherman"):
+        x = solve_periodic_batch(a, b, c, d, check=False)
+    assert np.isnan(x[1]).all()  # the singular system: all-NaN, no ±inf
+    # healthy rows are bitwise what a fully healthy solve produces
+    for i in (0, 2):
+        ref = np.linalg.solve(
+            _cyclic_dense(*(v[i].astype(np.float64) for v in (a, b, c))),
+            d[i].astype(np.float64),
+        )
+        tol = 1e-9 if dtype is np.float64 else 1e-3
+        assert np.allclose(x[i], ref, atol=tol)
+
+
+def test_cyclic_singular_guard_on_direct_algorithms():
+    from repro.core.periodic import CyclicSingularError
+
+    a, b, c, d = _singular_mixed_batch(np.float64)
+    with pytest.raises(CyclicSingularError):
+        solve_periodic_batch(a, b, c, d, algorithm="thomas")
+    with pytest.warns(RuntimeWarning):
+        x = solve_periodic_batch(a, b, c, d, algorithm="pcr", check=False)
+    assert np.isnan(x[1]).all()
+    assert np.isfinite(x[0]).all() and np.isfinite(x[2]).all()
+
+
 # ---- Hockney fast Poisson ------------------------------------------------------
 
 

@@ -42,13 +42,70 @@ def test_fingerprint_changes_with_values_shape_dtype():
 
 def test_fingerprint_sampled_path_detects_any_change():
     # above FINGERPRINT_SAMPLE elements the digest samples positions but
-    # folds in the full sum — so a change *between* samples still flips it
+    # folds in chunk-sum checksums — a change *between* samples flips it
     rng = np.random.default_rng(2)
     a = rng.standard_normal((8, FINGERPRINT_SAMPLE))  # 8x the threshold
     base = coefficient_fingerprint(a)
     a2 = a.copy()
     a2[3, 1237] += 1e-9
     assert coefficient_fingerprint(a2) != base
+
+
+def test_fingerprint_offsample_sum_preserving_swap_changes_digest():
+    """Regression: the 2^20 collision construction.
+
+    The original large-array digest hashed a strided sample plus one
+    position-blind total checksum.  Swapping the values at two
+    positions the sample misses preserves both views bit-for-bit, so
+    the digest collided and the engine served a stale factorization.
+    The grid checksum (per-row *and* per-column chunk sums) must tell
+    the two arrays apart.
+    """
+    from repro.engine.prepared import _sample_indices
+
+    size = 1 << 20
+    rng = np.random.default_rng(30)
+    # integer-valued floats: every partial sum is exact, so the swap
+    # preserves the total checksum bitwise regardless of summation order
+    a = rng.integers(-512, 512, size).astype(np.float64)
+    sampled = set(_sample_indices(size).tolist())
+    i = next(p for p in range(size) if p not in sampled)
+    j = next(p for p in range(size - 1, -1, -1) if p not in sampled)
+    a[i], a[j] = 1.0, 2.0
+    base = coefficient_fingerprint(a)
+    a2 = a.copy()
+    a2[i], a2[j] = a[j], a[i]
+    # the old digest's two views are identical ...
+    assert np.sum(a2) == np.sum(a)
+    assert np.array_equal(a2[_sample_indices(size)], a[_sample_indices(size)])
+    # ... but the grid checksum catches the moved value
+    assert coefficient_fingerprint(a2) != base
+
+
+def test_offsample_edit_invalidates_factorization_cache():
+    # the same construction end to end: after the swap the engine must
+    # re-eliminate, never serve the stale factorization
+    m, n = 1024, 1024  # 2^20 elements per array: the checksummed regime
+    a, b, c, d = make_batch(m, n, seed=31)
+    engine = ExecutionEngine()
+    _info_solve(engine, a, b, c, d)
+    _, info = _info_solve(engine, a, b, c, d)
+    assert info["factorization"] == "factored"
+
+    from repro.engine.prepared import _sample_indices
+
+    sampled = set(_sample_indices(m * n).tolist())
+    i = next(p for p in range(m * n) if p not in sampled)
+    j = next(p for p in range(m * n - 1, -1, -1) if p not in sampled)
+    flat = b.copy().reshape(-1)
+    flat[i], flat[j] = flat[j], flat[i]  # sum-preserving off-sample edit
+    b2 = flat.reshape(m, n)
+    x, info = _info_solve(engine, a, b2, c, d)
+    assert info["factorization"] == "miss"  # new digest: first sighting
+    assert not info["rhs_only"]
+    assert np.array_equal(
+        x, engine.solve_batch(a, b2, c, d, fingerprint=False)
+    )
 
 
 # ------------------------------------------------ factorization cache
@@ -276,6 +333,119 @@ def test_prepared_workers_route_through_threaded_backend():
     assert trace.backend == "threaded"
     assert trace.rhs_only is True
     assert np.array_equal(x1, xw)
+
+
+# ----------------------------------------------------- periodic prepared
+
+
+def _cyclic_batch(m, n, dtype=np.float64, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n)).astype(dtype)
+    c = rng.standard_normal((m, n)).astype(dtype)
+    b = (4.0 + np.abs(a) + np.abs(c)).astype(dtype)
+    d = rng.standard_normal((m, n)).astype(dtype)
+    return a, b, c, d
+
+
+def test_periodic_auto_lifecycle_k0():
+    m, n = K0_SHAPE
+    a, b, c, d = _cyclic_batch(m, n, seed=32)
+    engine = ExecutionEngine()
+    info1, info2, info3 = {}, {}, {}
+    x1 = engine.solve_periodic(a, b, c, d, info=info1)
+    x2 = engine.solve_periodic(a, b, c, d, info=info2)
+    x3 = engine.solve_periodic(a, b, c, d, info=info3)
+    assert info1["factorization"] == "miss"
+    assert info2["factorization"] == "factored"
+    assert info3["factorization"] == "hit"
+    assert not info1["rhs_only"] and info2["rhs_only"] and info3["rhs_only"]
+    assert all(i["periodic"] for i in (info1, info2, info3))
+    # the cyclic RHS-only fast path changes no bits at k = 0
+    assert np.array_equal(x1, x2) and np.array_equal(x1, x3)
+    assert engine.stats.factorizations_built == 1
+    assert engine.stats.rhs_only_solves == 2
+
+
+def test_periodic_and_plain_factorizations_do_not_collide():
+    # identical (padded) coefficient arrays, so identical digests: only
+    # the cache key's periodic flag separates the two factorizations —
+    # neither solve may ever serve the other's entry
+    m, n = K0_SHAPE
+    a, b, c, d = make_batch(m, n, seed=33)
+    engine = ExecutionEngine()
+    _info_solve(engine, a, b, c, d)
+    _, info = _info_solve(engine, a, b, c, d)
+    assert info["factorization"] == "factored"  # plain entry cached
+    info = {}
+    engine.solve_periodic(a, b, c, d, info=info)
+    assert info["factorization"] == "miss"  # cyclic key: first sighting
+
+
+def test_periodic_prepare_handle_bitwise_k0():
+    m, n = K0_SHAPE
+    a, b, c, d = _cyclic_batch(m, n, seed=34)
+    engine = ExecutionEngine()
+    handle = engine.prepare(a, b, c, periodic=True)
+    assert handle.k == 0
+    assert handle.describe()["periodic"] is True
+    x = handle.solve(d)
+    assert np.array_equal(
+        x, engine.solve_periodic(a, b, c, d, fingerprint=False)
+    )
+
+
+def test_periodic_prepare_handle_hybrid_allclose():
+    a, b, c, d = _cyclic_batch(8, 300, seed=35)
+    engine = ExecutionEngine()
+    handle = engine.prepare(a, b, c, periodic=True, k=3)
+    x = handle.solve(d)
+    ref = engine.solve_periodic(a, b, c, d, k=3, fingerprint=False)
+    assert np.allclose(x, ref, rtol=1e-10, atol=1e-13)
+
+
+def test_periodic_prepare_seeds_solve_periodic_cache():
+    m, n = K0_SHAPE
+    a, b, c, d = _cyclic_batch(m, n, seed=36)
+    engine = ExecutionEngine()
+    handle = engine.prepare(a, b, c, periodic=True)
+    info = {}
+    x = engine.solve_periodic(a, b, c, d, info=info)
+    assert info["factorization"] == "hit"
+    assert engine.stats.factorizations_built == 1
+    assert np.array_equal(handle.solve(d), x)
+
+
+def test_periodic_prepared_sharding_is_bitwise_invisible():
+    a, b, c, d = _cyclic_batch(64, 256, seed=37)
+    engine = ExecutionEngine()
+    handle = engine.prepare(a, b, c, periodic=True, k=0)
+    assert np.array_equal(handle.solve(d), handle.solve(d, workers=3))
+    assert engine.stats.sharded_solves >= 1
+
+
+def test_periodic_prepare_singular_raises_at_factor_time():
+    from repro.core.periodic import CyclicSingularError
+
+    n = 24
+    a = np.full((2, n), -1.0)
+    c = np.full((2, n), -1.0)
+    b = np.full((2, n), 2.0)  # periodic Laplacian: constant nullvector
+    with pytest.raises(CyclicSingularError, match="row"):
+        ExecutionEngine().prepare(a, b, c, periodic=True)
+
+
+def test_module_level_prepare_periodic():
+    m, n = K0_SHAPE
+    a, b, c, d = _cyclic_batch(m, n, seed=38)
+    handle = repro.prepare(a, b, c, periodic=True)
+    x = handle.solve(d)
+    trace = repro.last_trace()
+    assert trace.backend == "prepared"
+    assert trace.periodic is True
+    assert trace.rhs_only is True
+    assert np.array_equal(
+        x, repro.solve_periodic_batch(a, b, c, d, fingerprint=False)
+    )
 
 
 # ------------------------------------------------- RHS factorization unit

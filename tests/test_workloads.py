@@ -17,6 +17,8 @@ from repro.workloads.pde import (
     crank_nicolson_system,
     cubic_spline_system,
     multigrid_line_systems,
+    periodic_heat_coefficients,
+    periodic_heat_rhs,
 )
 
 from .conftest import max_err, reference_solve
@@ -165,3 +167,48 @@ def test_multigrid_lines_dominant():
         multigrid_line_systems(r, anisotropy=0.5)
     with pytest.raises(ValueError):
         multigrid_line_systems(np.zeros(5))
+
+
+# ---- periodic (ring) heat builders ----------------------------------------
+
+
+def test_periodic_heat_coefficients_shape_and_corners():
+    a, b, c = periodic_heat_coefficients(3, 20, alpha=0.2, dt=1e-3, dx=0.05)
+    r = 0.2 * 1e-3 / (2 * 0.05**2)
+    assert a.shape == b.shape == c.shape == (3, 20)
+    # no boundary rows: every entry is the interior stencil, and the
+    # corners a[:,0]/c[:,-1] carry the wrap coupling
+    assert np.allclose(a, -r) and np.allclose(c, -r)
+    assert np.allclose(b, 1.0 + 2.0 * r)
+
+
+def test_periodic_heat_rhs_is_mass_conserving():
+    rng = np.random.default_rng(3)
+    u = rng.random((4, 32))
+    d = periodic_heat_rhs(u, alpha=0.3, dt=1e-3, dx=0.1)
+    # explicit half-step row sums are 1: total mass is preserved exactly
+    assert np.allclose(d.sum(axis=1), u.sum(axis=1), rtol=1e-13)
+
+
+def test_periodic_heat_step_conserves_and_decays():
+    m, n = 2, 64
+    alpha, dt = 0.25, 5e-4
+    dx = 1.0 / n
+    xg = np.arange(n) * dx
+    u = 1.0 + np.outer([0.5, 1.5], np.sin(2 * np.pi * xg))
+    a, b, c = periodic_heat_coefficients(m, n, alpha, dt, dx)
+    u1 = repro.solve_periodic_batch(a, b, c, periodic_heat_rhs(u, alpha, dt, dx))
+    assert np.allclose(u1.sum(axis=1), u.sum(axis=1), rtol=1e-12)
+    # CN damps the fundamental ring mode by the trapezoidal factor of
+    # the discrete eigenvalue
+    lam = alpha * (2.0 - 2.0 * np.cos(2 * np.pi / n)) / dx**2
+    expected = (1 - lam * dt / 2) / (1 + lam * dt / 2)
+    measured = (u1[0] - 1.0)[n // 4] / (u[0] - 1.0)[n // 4]
+    assert measured == pytest.approx(expected, rel=1e-10)
+
+
+def test_periodic_heat_coefficients_float32():
+    a, b, c = periodic_heat_coefficients(
+        2, 16, alpha=0.1, dt=1e-3, dx=0.1, dtype=np.float32
+    )
+    assert a.dtype == b.dtype == c.dtype == np.float32
