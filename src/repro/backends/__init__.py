@@ -2,8 +2,10 @@
 
 The repo's four execution strategies — the single-call reference
 solver, the plan-caching engine, the thread-sharded executor, and the
-simulated-GPU solver — stand behind one :class:`Backend` protocol and
-one registry with capability negotiation:
+simulated-GPU solver — stand behind one two-method :class:`Backend`
+protocol (``capabilities()`` + ``execute(request)``) and one registry
+that negotiates a :class:`SolveRequest` against capabilities — plain,
+prepared, and periodic solves are all the same request shape:
 
 >>> import numpy as np
 >>> import repro
@@ -33,7 +35,6 @@ from repro.backends.base import (
     Backend,
     BackendBase,
     Capabilities,
-    SolveSignature,
 )
 from repro.backends.engine_backend import EngineBackend
 from repro.backends.gpusim_backend import GpuSimBackend
@@ -46,9 +47,9 @@ from repro.backends.registry import (
     get_backend,
     list_backends,
     register_backend,
-    solve_periodic_via,
     solve_via,
 )
+from repro.backends.request import OPTION_NAMES, SolveOutcome, SolveRequest
 from repro.backends.threaded import ThreadedBackend, execute_sharded
 from repro.backends.trace import (
     SolveTrace,
@@ -67,8 +68,10 @@ __all__ = [
     "EngineBackend",
     "GpuSimBackend",
     "NumpyReferenceBackend",
+    "OPTION_NAMES",
     "Router",
-    "SolveSignature",
+    "SolveOutcome",
+    "SolveRequest",
     "SolveTrace",
     "StageTiming",
     "ThreadedBackend",
@@ -81,6 +84,5 @@ __all__ = [
     "record_trace",
     "reference_solver",
     "register_backend",
-    "solve_periodic_via",
     "solve_via",
 ]

@@ -3,25 +3,24 @@
 A *backend* is one way of executing a tridiagonal batch solve.  The
 repo grew four of them organically — the single-call reference solver,
 the plan-caching engine, the simulated-GPU solver, and the thread-
-sharded executor — each with its own entry path, validation and
-reporting.  This module defines the one interface they all now stand
-behind:
+sharded executor — and for a while each solve flavour (plain,
+prepared, periodic) had its own protocol method.  The protocol is now
+two methods around one request shape:
 
 ``capabilities()``
     What the backend can negotiate: dtypes, periodic systems, layouts,
-    worker counts, whether its timing is simulated.
-``prepare(signature)``
-    Freeze the launch-time decisions (transition ``k``, windows,
-    buffers) for one :class:`SolveSignature` into an opaque plan.
-    Plan-caching backends answer repeated signatures from cache.
-``execute(plan, batch, out=)``
-    Run one ``(M, N)`` batch through a prepared plan.
-``instrument()``
-    The :class:`~repro.backends.trace.SolveTrace` of the most recent
-    ``execute`` on this thread.
+    worker counts, prepared execution, whether its timing is simulated.
+``execute(request)``
+    Run one :class:`~repro.backends.request.SolveRequest` — plain,
+    prepared (``rhs_only``), or cyclic (``periodic``) — and return a
+    :class:`~repro.backends.request.SolveOutcome` carrying the
+    solution and its :class:`~repro.backends.trace.SolveTrace`.
+
+``instrument()`` (supplied by :class:`BackendBase`) still exposes the
+most recent trace per thread for callers that hold a backend directly.
 
 The registry (:mod:`repro.backends.registry`) negotiates capabilities
-against a signature and routes; adding a fifth backend (numba, cupy,
+against a request and routes; adding a fifth backend (numba, cupy,
 distributed…) means implementing this protocol and registering it —
 no new dispatch code anywhere else.
 """
@@ -30,15 +29,19 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
-import numpy as np
-
+from repro.backends.request import SolveOutcome, SolveRequest
 from repro.backends.trace import SolveTrace, StageTiming, record_trace
-from repro.core.validation import check_batch_arrays, coerce_batch_arrays
 
-__all__ = ["Backend", "BackendBase", "Capabilities", "SolveSignature"]
+__all__ = [
+    "Backend",
+    "BackendBase",
+    "Capabilities",
+    "SolveOutcome",
+    "SolveRequest",
+]
 
 #: dtype names every NumPy-backed solver in this repo accepts.
 FLOAT_DTYPES = ("float32", "float64")
@@ -53,8 +56,8 @@ class Capabilities:
     dtypes:
         Canonical dtype names (``"float64"``…) the backend accepts.
     periodic:
-        Whether the backend may serve the inner solves of the cyclic
-        (Sherman–Morrison) path.
+        Whether the backend may serve cyclic (Sherman–Morrison)
+        requests.
     layouts:
         Accepted input layouts.  All current backends take the padded
         contiguous ``(M, N)`` convention; adapters normalize first.
@@ -65,9 +68,9 @@ class Capabilities:
         prediction rather than a measurement.
     prepared:
         Whether the backend serves prepared (fingerprinted /
-        factorization-cached, RHS-only) solves.  Signatures with
-        ``fingerprint=True`` negotiate only against prepared-capable
-        backends.
+        factorization-cached, RHS-only) solves.  Requests with
+        ``fingerprint=True`` or ``rhs_only=True`` negotiate only
+        against prepared-capable backends.
     description:
         One-line summary for ``repro backends`` listings.
     """
@@ -81,66 +84,6 @@ class Capabilities:
     description: str = ""
 
 
-@dataclass(frozen=True)
-class SolveSignature:
-    """Everything a backend needs to freeze a plan for one problem shape.
-
-    Mirrors the engine's plan signature (PR 1) plus the negotiation
-    axes: dtype, periodicity and requested worker count.  ``heuristic``
-    is a :class:`~repro.core.transition.TransitionHeuristic` override
-    (``None`` = backend default).  ``fingerprint`` is the
-    factorization-cache tri-state: ``None`` auto-engages where bitwise
-    safe (``k = 0``), ``True`` requires prepared execution (and
-    restricts negotiation to prepared-capable backends), ``False``
-    disables fingerprinting.
-    """
-
-    m: int
-    n: int
-    dtype: str = "float64"
-    k: int | None = None
-    fuse: bool = False
-    n_windows: int = 1
-    subtile_scale: int = 1
-    parallelism: int | None = None
-    workers: int | None = None
-    periodic: bool = False
-    heuristic: object = None
-    fingerprint: bool | None = None
-
-    #: keyword options accepted by :meth:`for_batch` / ``solve_batch``.
-    OPTION_NAMES = (
-        "k",
-        "fuse",
-        "n_windows",
-        "subtile_scale",
-        "parallelism",
-        "workers",
-        "periodic",
-        "heuristic",
-        "fingerprint",
-    )
-
-    @classmethod
-    def for_batch(cls, b, **opts) -> "SolveSignature":
-        """Build a signature from a coerced ``(M, N)`` batch + options."""
-        unknown = sorted(set(opts) - set(cls.OPTION_NAMES))
-        if unknown:
-            raise TypeError(
-                f"unknown solve option(s) {unknown}; "
-                f"valid options: {sorted(cls.OPTION_NAMES)}"
-            )
-        b = np.asarray(b)
-        if b.ndim != 2:
-            raise ValueError(f"batch must be 2-D (M, N), got {b.ndim}-D")
-        m, n = b.shape
-        return cls(m=m, n=n, dtype=np.dtype(b.dtype).name, **opts)
-
-    def with_options(self, **opts) -> "SolveSignature":
-        """A copy of this signature with some fields replaced."""
-        return replace(self, **opts)
-
-
 @runtime_checkable
 class Backend(Protocol):
     """The one dispatch seam every execution strategy stands behind."""
@@ -152,34 +95,22 @@ class Backend(Protocol):
         """Static description of what this backend can negotiate."""
         ...
 
-    def prepare(self, signature: SolveSignature):
-        """Freeze the launch-time decisions for ``signature`` → plan."""
-        ...
-
-    def execute(self, plan, batch, out=None) -> np.ndarray:
-        """Run ``batch`` (a coerced ``(a, b, c, d)`` tuple) through ``plan``."""
-        ...
-
-    def execute_periodic(
-        self, signature: SolveSignature, batch, out=None, *, check: bool = True
-    ) -> np.ndarray:
-        """Solve a cyclic batch (corners in ``a[:, 0]`` / ``c[:, -1]``)."""
-        ...
-
-    def instrument(self) -> SolveTrace:
-        """The trace of the most recent :meth:`execute` on this thread."""
+    def execute(self, request: SolveRequest) -> SolveOutcome:
+        """Run one request (plain / prepared / periodic) end to end."""
         ...
 
 
 class BackendBase:
     """Shared plumbing for concrete backends.
 
-    Subclasses implement :meth:`capabilities`, :meth:`prepare` and
-    :meth:`execute`, and store their trace with :meth:`_set_trace`;
-    this base supplies thread-local trace storage, the
-    :meth:`instrument` accessor, and the :meth:`solve_batch`
-    convenience wrapper (validate → prepare → execute → record trace)
-    used by standalone callers such as benchmarks.
+    Subclasses implement :meth:`capabilities` and :meth:`execute`, and
+    store their trace with :meth:`_set_trace`; this base supplies
+    thread-local trace storage, the :meth:`instrument` accessor, the
+    generic cyclic fallback (:meth:`_periodic_fallback`) for backends
+    with no native Sherman–Morrison pipeline, and the
+    :meth:`solve_batch` convenience wrapper (validate → build request →
+    execute → record trace) used by standalone callers such as
+    benchmarks.
     """
 
     name = "base"
@@ -201,17 +132,16 @@ class BackendBase:
             )
         return trace
 
-    # -- cyclic (Sherman–Morrison) execution --------------------------
-    def execute_periodic(
-        self, signature: SolveSignature, batch, out=None, *, check: bool = True
-    ):
-        """Generic cyclic solve: corner-reduce + two inner ``execute``\\ s.
+    # -- cyclic (Sherman–Morrison) fallback ----------------------------
+    def _periodic_fallback(self, request: SolveRequest) -> SolveOutcome:
+        """Generic cyclic solve: corner-reduce + two plain ``execute``\\ s.
 
         Any backend that can solve plain batches can serve periodic
-        ones through this fallback — the correction algebra is the
+        requests through this fallback — the correction algebra is the
         shared implementation in :mod:`repro.core.periodic`, so results
         stay elementwise identical to every other path.  Backends with
-        a cheaper route (the engine's prepared cyclic sweep) override.
+        a cheaper route (the engine family's prepared cyclic sweep)
+        never call it.
         """
         from repro.core.periodic import (
             apply_cyclic_correction,
@@ -220,25 +150,29 @@ class BackendBase:
             cyclic_reduce,
         )
 
-        a, b, c, d = batch
         t0 = time.perf_counter()
-        ap, bp, cp, u, w = cyclic_reduce(a, b, c, check=check)
+        ap, bp, cp, u, w = cyclic_reduce(
+            request.a, request.b, request.c, check=request.check
+        )
         t_reduce = time.perf_counter() - t0
 
-        plan = self.prepare(signature.with_options(periodic=False))
-        y = self.execute(plan, (ap, bp, cp, d))
-        q = self.execute(plan, (ap, bp, cp, u))
-        # the q-solve's trace carries the plan/stage detail; promote it
-        # to describe the whole cyclic solve
-        trace = self.instrument()
+        inner = request.replace(
+            a=ap, b=bp, c=cp, periodic=False, out=None, fingerprint=False
+        )
+        y = self.execute(inner).x
+        q_outcome = self.execute(inner.replace(d=u))
+        q = q_outcome.x
 
         t1 = time.perf_counter()
         scale = correction_scale(
-            correction_denominator(q, w), b.shape[1], check=check
+            correction_denominator(q, w), request.n, check=request.check
         )
-        x = apply_cyclic_correction(y, q, w, scale, out=out)
+        x = apply_cyclic_correction(y, q, w, scale, out=request.out)
         t_correct = time.perf_counter() - t1
 
+        # the q-solve's trace carries the plan/stage detail; promote it
+        # to describe the whole cyclic solve
+        trace = q_outcome.trace
         trace.periodic = True
         trace.stages = [
             StageTiming("cyclic-reduce", t_reduce),
@@ -246,24 +180,14 @@ class BackendBase:
             StageTiming("cyclic-correction", t_correct),
         ]
         self._set_trace(trace)
-        return x
+        return SolveOutcome(x=x, trace=trace, plan=q_outcome.plan)
 
     # -- convenience entry point --------------------------------------
     def solve_batch(self, a, b, c, d, *, check: bool = True, out=None, **opts):
         """One-call solve through this backend (bypasses the router)."""
-        if check:
-            a, b, c, d = check_batch_arrays(a, b, c, d)
-        else:
-            a, b, c, d = coerce_batch_arrays(a, b, c, d)
-        sig = SolveSignature.for_batch(b, **opts)
-        plan = self.prepare(sig)
-        x = self.execute(plan, (a, b, c, d), out=out)
-        record_trace(self.instrument())
-        return x
-
-
-def stage_timings_to_trace(stage_times) -> list:
-    """Convert ``[(name, seconds), ...]`` hook output to trace stages."""
-    from repro.backends.trace import StageTiming
-
-    return [StageTiming(name=n, seconds=s) for n, s in stage_times]
+        request = SolveRequest.build(
+            a, b, c, d, check=check, out=out, **opts
+        )
+        outcome = self.execute(request)
+        record_trace(outcome.trace)
+        return outcome.x

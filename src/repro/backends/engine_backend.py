@@ -1,9 +1,12 @@
 """The default backend: the PR-1 plan-caching, workspace-pooling engine.
 
 Wraps the process-wide :class:`~repro.engine.engine.ExecutionEngine`
-behind the :class:`~repro.backends.base.Backend` protocol.  ``prepare``
-answers from the engine's LRU plan cache (the trace records hit/miss);
-``execute`` runs against pooled workspaces; ``workers=`` requests are
+behind the :class:`~repro.backends.base.Backend` protocol.  ``execute``
+hands the request straight to :meth:`ExecutionEngine.run
+<repro.engine.engine.ExecutionEngine.run>` — the engine's one
+entrypoint answers plans from its LRU cache, serves repeat
+coefficients (and prepared handles) through the factorization cache,
+and runs against pooled workspaces.  ``workers=`` requests are
 honoured through the engine's sharding seam, though the router
 normally sends those to the threaded backend instead.
 """
@@ -12,10 +15,8 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
-
-from repro.backends.base import BackendBase, Capabilities, SolveSignature
-from repro.backends.trace import SolveTrace, StageTiming
+from repro.backends.base import BackendBase, Capabilities
+from repro.backends.request import SolveOutcome, SolveRequest
 from repro.engine import ExecutionEngine, default_engine
 
 __all__ = ["EngineBackend"]
@@ -49,110 +50,7 @@ class EngineBackend(BackendBase):
             ),
         )
 
-    def prepare(self, signature: SolveSignature):
-        info: dict = {}
-        plan = self.engine.plan_for(
-            signature.m,
-            signature.n,
-            np.dtype(signature.dtype),
-            k=signature.k,
-            fuse=signature.fuse,
-            n_windows=signature.n_windows,
-            subtile_scale=signature.subtile_scale,
-            parallelism=signature.parallelism,
-            heuristic=signature.heuristic,
-            info=info,
-        )
-        return (signature, plan, info.get("cache", "miss"))
-
-    def execute(self, prepared, batch, out=None) -> np.ndarray:
-        from repro.core.hybrid import HybridReport
-        from repro.core.tiled_pcr import TilingCounters
-
-        signature, plan, cache = prepared
-        a, b, c, d = batch
-        stage_times: list = []
-        counters = TilingCounters()
-        report = HybridReport(
-            m=signature.m,
-            n=signature.n,
-            k=plan.k,
-            k_source=plan.k_source,
-            subsystems=signature.m * plan.g,
-            fused=plan.fuse,
-            n_windows=plan.n_windows,
-            tiling=counters,
-        )
-        workers = signature.workers
-        info: dict = {}
-        x = self.engine.dispatch(
-            plan, a, b, c, d,
-            workers=workers,
-            fingerprint=signature.fingerprint,
-            counters=counters,
-            out=out,
-            info=info,
-            stage_times=stage_times,
-        )
-        self.engine.last_report = report
-        self._set_trace(
-            SolveTrace(
-                backend=self.name,
-                m=signature.m,
-                n=signature.n,
-                dtype=signature.dtype,
-                k=plan.k,
-                k_source=plan.k_source,
-                fuse=plan.fuse,
-                n_windows=plan.n_windows,
-                workers=workers if workers is not None else 1,
-                plan_cache=cache,
-                factorization=info.get("factorization", "n/a"),
-                rhs_only=info.get("rhs_only", False),
-                stages=[StageTiming(n_, s) for n_, s in stage_times],
-            )
-        )
-        return x
-
-    def execute_periodic(
-        self, signature: SolveSignature, batch, out=None, *, check: bool = True
-    ) -> np.ndarray:
-        a, b, c, d = batch
-        stage_times: list = []
-        info: dict = {}
-        workers = signature.workers
-        x = self.engine.solve_periodic(
-            a, b, c, d,
-            check=check,
-            workers=workers,
-            k=signature.k,
-            fuse=signature.fuse,
-            n_windows=signature.n_windows,
-            subtile_scale=signature.subtile_scale,
-            parallelism=signature.parallelism,
-            heuristic=signature.heuristic,
-            fingerprint=signature.fingerprint,
-            out=out,
-            info=info,
-            stage_times=stage_times,
-        )
-        plan = info["plan"]
-        self._set_trace(
-            SolveTrace(
-                backend=self.name,
-                m=signature.m,
-                n=signature.n,
-                dtype=signature.dtype,
-                k=plan.k,
-                k_source=plan.k_source,
-                fuse=plan.fuse,
-                n_windows=plan.n_windows,
-                workers=workers if workers is not None else 1,
-                plan_cache=info.get("cache", "n/a"),
-                factorization=info.get("factorization", "n/a"),
-                rhs_only=info.get("rhs_only", False),
-                periodic=True,
-                stages=[StageTiming(n_, s) for n_, s in stage_times],
-            )
-        )
-        return x
+    def execute(self, request: SolveRequest) -> SolveOutcome:
+        outcome = self.engine.run(request)
+        self._set_trace(outcome.trace)
+        return outcome

@@ -2,11 +2,13 @@
 
 Wraps :class:`~repro.kernels.hybrid_gpu.GpuHybridSolver` behind the
 backend protocol so counter/timing reports ride the same interface as
-every other solve.  ``execute`` solves the batch numerically (through
-the engine, with the *device* plan's launch parameters) and prices the
-same launch on the device model; the resulting trace carries each
-kernel stage's **predicted** device time next to the **measured**
-NumPy wall time, plus the predicted total.
+every other solve.  ``execute`` solves the request numerically (through
+the engine spine, with the *device* plan's launch parameters) and
+prices the same launch on the device model; the resulting trace carries
+each kernel stage's **predicted** device time next to the **measured**
+NumPy wall time, plus the predicted total.  Cyclic requests price the
+Sherman–Morrison pipeline (two inner launches — or the prepared
+RHS-only sweep — plus the rank-one correction pair).
 
 Numerics note: the device planner caps ``k`` by shared-memory capacity
 and picks Fig. 11b window counts, so its plan can differ from the
@@ -17,15 +19,19 @@ path asserted in ``tests/test_backends.py``).
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro.backends.base import BackendBase, Capabilities, SolveSignature
+from repro.backends.base import BackendBase, Capabilities
+from repro.backends.request import SolveOutcome, SolveRequest
 from repro.backends.trace import SolveTrace, StageTiming
 from repro.kernels.hybrid_gpu import GpuHybridSolver
 
 __all__ = ["GpuSimBackend"]
+
+#: engine stages with no device-side counterpart — excluded from the
+#: positional measured-vs-predicted kernel pairing
+_HOST_STAGES = ("prepare", "fingerprint", "factorize")
+_HOST_STAGES_PERIODIC = _HOST_STAGES + ("cyclic-reduce",)
 
 
 class GpuSimBackend(BackendBase):
@@ -49,100 +55,7 @@ class GpuSimBackend(BackendBase):
             ),
         )
 
-    def prepare(self, signature: SolveSignature):
-        dtype_bytes = np.dtype(signature.dtype).itemsize
-        if signature.k is None:
-            k, n_windows = self.solver.plan(
-                signature.m, signature.n, dtype_bytes
-            )
-            k_source = "device-plan"
-        else:
-            k = signature.k
-            n_windows = self.solver.plan_windows(signature.m, signature.n, k)
-            k_source = "fixed"
-        return (signature, k, n_windows, k_source, dtype_bytes)
-
-    def execute(self, prepared, batch, out=None) -> np.ndarray:
-        from repro.engine import default_engine
-
-        signature, k, n_windows, k_source, dtype_bytes = prepared
-        a, b, c, d = batch
-        stage_times: list = []
-        info: dict = {}
-        t0 = time.perf_counter()
-        x = default_engine().solve_batch(
-            a,
-            b,
-            c,
-            d,
-            check=False,
-            k=k,
-            subtile_scale=self.solver.subtile_scale,
-            n_windows=n_windows,
-            fuse=self.solver.fuse,
-            fingerprint=signature.fingerprint,
-            out=out,
-            info=info,
-            stage_times=stage_times,
-        )
-        measured = time.perf_counter() - t0
-        report = self.solver.predict(
-            signature.m, signature.n, dtype_bytes, k=k, n_windows=n_windows
-        )
-        if info.get("rhs_only"):
-            # the stored factorization skipped elimination — price the
-            # RHS-only kernel sequence instead of the full launch
-            from repro.gpusim.timing import GpuTimingModel
-            from repro.kernels.rhs_kernel import rhs_only_counters
-
-            model = GpuTimingModel(self.solver.device)
-            predicted = [
-                (c.name, model.time(c, dtype_bytes).total_s * 1e6)
-                for c in rhs_only_counters(
-                    signature.m, signature.n, report.k, dtype_bytes,
-                    device=self.solver.device,
-                )
-            ]
-        else:
-            predicted = report.trace_stages()
-        predicted_total_us = sum(us for _, us in predicted)
-        stages = [StageTiming(n_, s) for n_, s in stage_times]
-        # pair measured kernel stages with predicted kernel times
-        # positionally (both ledgers follow the same front-end →
-        # back-end order); fingerprint/factorize bookkeeping stages
-        # have no device-side counterpart
-        kernel_stages = [
-            s for s in stages
-            if s.name not in ("fingerprint", "factorize")
-        ]
-        for stage, (_, us) in zip(kernel_stages, predicted):
-            stage.predicted_us = us
-        for name, us in predicted[len(kernel_stages):]:
-            stages.append(StageTiming(f"{name} (predicted)", 0.0, us))
-        if not stages:
-            stages = [StageTiming("execute", measured)]
-        self._set_trace(
-            SolveTrace(
-                backend=self.name,
-                m=signature.m,
-                n=signature.n,
-                dtype=signature.dtype,
-                k=report.k,
-                k_source=k_source,
-                fuse=report.fused,
-                n_windows=report.n_windows,
-                plan_cache="n/a",
-                factorization=info.get("factorization", "n/a"),
-                rhs_only=info.get("rhs_only", False),
-                stages=stages,
-                predicted_total_us=predicted_total_us,
-            )
-        )
-        return x
-
-    def execute_periodic(
-        self, signature: SolveSignature, batch, out=None, *, check: bool = True
-    ) -> np.ndarray:
+    def execute(self, request: SolveRequest) -> SolveOutcome:
         from repro.engine import default_engine
         from repro.gpusim.timing import GpuTimingModel
         from repro.kernels.rhs_kernel import (
@@ -150,84 +63,94 @@ class GpuSimBackend(BackendBase):
             rhs_only_counters,
         )
 
-        prepared = self.prepare(signature)
-        _, k, n_windows, k_source, dtype_bytes = prepared
-        a, b, c, d = batch
-        stage_times: list = []
-        info: dict = {}
-        t0 = time.perf_counter()
-        x = default_engine().solve_periodic(
-            a,
-            b,
-            c,
-            d,
-            check=check,
-            k=k,
-            subtile_scale=self.solver.subtile_scale,
-            n_windows=n_windows,
-            fuse=self.solver.fuse,
-            fingerprint=signature.fingerprint,
-            out=out,
-            info=info,
-            stage_times=stage_times,
-        )
-        measured = time.perf_counter() - t0
-        report = self.solver.predict(
-            signature.m, signature.n, dtype_bytes, k=k, n_windows=n_windows
-        )
-        model = GpuTimingModel(self.solver.device)
-        correction = [
-            (c_.name, model.time(c_, dtype_bytes).total_s * 1e6)
-            for c_ in cyclic_correction_counters(
-                signature.m, signature.n, dtype_bytes,
-                device=self.solver.device,
-            )
-        ]
-        if info.get("rhs_only"):
-            # prepared cyclic: one RHS-only sweep + the correction pair
-            predicted = [
-                (c_.name, model.time(c_, dtype_bytes).total_s * 1e6)
-                for c_ in rhs_only_counters(
-                    signature.m, signature.n, report.k, dtype_bytes,
-                    device=self.solver.device,
-                )
-            ] + correction
+        dtype_bytes = np.dtype(request.dtype).itemsize
+        if request.k is None:
+            k, n_windows = self.solver.plan(request.m, request.n, dtype_bytes)
+            k_source = "device-plan"
         else:
-            # unprepared cyclic: the full launch runs twice (y and q
-            # inner solves), then the correction pair
-            predicted = (
-                report.trace_stages() * 2 + correction
+            k = request.k
+            n_windows = self.solver.plan_windows(request.m, request.n, k)
+            k_source = "fixed"
+
+        # solve on the engine spine under the *device* plan's launch
+        # parameters; the trace it returns carries the measured stages
+        outcome = default_engine().run(
+            request.replace(
+                k=k,
+                n_windows=n_windows,
+                subtile_scale=self.solver.subtile_scale,
+                fuse=self.solver.fuse,
             )
+        )
+        rhs_only = outcome.trace.rhs_only
+        report = self.solver.predict(
+            request.m, request.n, dtype_bytes, k=k, n_windows=n_windows
+        )
+
+        if request.periodic or rhs_only:
+            model = GpuTimingModel(self.solver.device)
+
+            def price(counters):
+                return [
+                    (c.name, model.time(c, dtype_bytes).total_s * 1e6)
+                    for c in counters
+                ]
+
+        if rhs_only:
+            # the stored factorization skipped elimination — price the
+            # RHS-only kernel sequence instead of the full launch
+            sweep = price(rhs_only_counters(
+                request.m, request.n, report.k, dtype_bytes,
+                device=self.solver.device,
+            ))
+        if request.periodic:
+            correction = price(cyclic_correction_counters(
+                request.m, request.n, dtype_bytes, device=self.solver.device,
+            ))
+            if rhs_only:
+                # prepared cyclic: one RHS-only sweep + the correction pair
+                predicted = sweep + correction
+            else:
+                # unprepared cyclic: the full launch runs twice (y and q
+                # inner solves), then the correction pair
+                predicted = report.trace_stages() * 2 + correction
+        else:
+            predicted = sweep if rhs_only else report.trace_stages()
         predicted_total_us = sum(us for _, us in predicted)
-        stages = [StageTiming(n_, s) for n_, s in stage_times]
-        # positional pairing as in execute(); host-side bookkeeping
-        # stages have no device counterpart
-        kernel_stages = [
-            s for s in stages
-            if s.name not in ("fingerprint", "factorize", "cyclic-reduce")
-        ]
+
+        stages = list(outcome.trace.stages)
+        # pair measured kernel stages with predicted kernel times
+        # positionally (both ledgers follow the same front-end →
+        # back-end order); plan/fingerprint/reduction bookkeeping runs
+        # host-side and has no device counterpart
+        host = _HOST_STAGES_PERIODIC if request.periodic else _HOST_STAGES
+        kernel_stages = [s for s in stages if s.name not in host]
         for stage, (_, us) in zip(kernel_stages, predicted):
             stage.predicted_us = us
         for name, us in predicted[len(kernel_stages):]:
             stages.append(StageTiming(f"{name} (predicted)", 0.0, us))
-        if not stages:
-            stages = [StageTiming("execute", measured)]
-        self._set_trace(
+
+        trace = self._set_trace(
             SolveTrace(
-                backend=self.name,
-                m=signature.m,
-                n=signature.n,
-                dtype=signature.dtype,
+                backend=request.label or self.name,
+                m=request.m,
+                n=request.n,
+                dtype=request.dtype,
                 k=report.k,
                 k_source=k_source,
                 fuse=report.fused,
                 n_windows=report.n_windows,
                 plan_cache="n/a",
-                factorization=info.get("factorization", "n/a"),
-                rhs_only=info.get("rhs_only", False),
-                periodic=True,
+                factorization=outcome.trace.factorization,
+                rhs_only=rhs_only,
+                periodic=request.periodic,
                 stages=stages,
                 predicted_total_us=predicted_total_us,
             )
         )
-        return x
+        return SolveOutcome(
+            x=outcome.x,
+            trace=trace,
+            factorization=outcome.factorization,
+            plan=outcome.plan,
+        )

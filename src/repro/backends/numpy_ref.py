@@ -14,11 +14,9 @@ tests); everything else reaches it through the registry or through
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 
-import numpy as np
-
-from repro.backends.base import BackendBase, Capabilities, SolveSignature
+from repro.backends.base import BackendBase, Capabilities
+from repro.backends.request import SolveOutcome, SolveRequest
 from repro.backends.trace import SolveTrace, StageTiming
 from repro.core.hybrid import HybridSolver, choose_transition
 from repro.core.transition import GTX480_HEURISTIC
@@ -37,15 +35,6 @@ def reference_solver(**opts) -> HybridSolver:
     return HybridSolver(**opts)
 
 
-@dataclass(frozen=True)
-class _RefPlan:
-    """The reference backend's 'plan': a resolved solver configuration."""
-
-    sig: SolveSignature
-    k: int
-    k_source: str
-
-
 class NumpyReferenceBackend(BackendBase):
     """Registry adapter over the single-call reference solver."""
 
@@ -60,48 +49,55 @@ class NumpyReferenceBackend(BackendBase):
             ),
         )
 
-    def prepare(self, signature: SolveSignature) -> _RefPlan:
+    def execute(self, request: SolveRequest) -> SolveOutcome:
+        if request.periodic:
+            # no native cyclic pipeline — corner-reduce and run two
+            # plain executes through the shared correction algebra
+            return self._periodic_fallback(request)
+
+        t0 = time.perf_counter()
         heuristic = (
-            signature.heuristic
-            if signature.heuristic is not None
+            request.heuristic
+            if request.heuristic is not None
             else GTX480_HEURISTIC
         )
-        k, source = choose_transition(
-            signature.m,
-            signature.n,
-            k=signature.k,
+        k, k_source = choose_transition(
+            request.m,
+            request.n,
+            k=request.k,
             heuristic=heuristic,
-            parallelism=signature.parallelism,
+            parallelism=request.parallelism,
         )
-        return _RefPlan(sig=signature, k=k, k_source=source)
-
-    def execute(self, plan: _RefPlan, batch, out=None) -> np.ndarray:
-        sig = plan.sig
         solver = reference_solver(
-            k=plan.k,
-            subtile_scale=sig.subtile_scale,
-            n_windows=sig.n_windows,
-            fuse=sig.fuse,
+            k=k,
+            subtile_scale=request.subtile_scale,
+            n_windows=request.n_windows,
+            fuse=request.fuse,
         )
-        a, b, c, d = batch
-        t0 = time.perf_counter()
-        x = solver.solve_batch(a, b, c, d, check=False)
-        dt = time.perf_counter() - t0
-        if out is not None:
-            out[...] = x
-            x = out
-        self._set_trace(
+        t_prepare = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        x = solver.solve_batch(request.a, request.b, request.c, request.d,
+                               check=False)
+        dt = time.perf_counter() - t1
+        if request.out is not None:
+            request.out[...] = x
+            x = request.out
+        trace = self._set_trace(
             SolveTrace(
-                backend=self.name,
-                m=sig.m,
-                n=sig.n,
-                dtype=sig.dtype,
-                k=plan.k,
-                k_source=plan.k_source,
-                fuse=sig.fuse,
-                n_windows=sig.n_windows,
+                backend=request.label or self.name,
+                m=request.m,
+                n=request.n,
+                dtype=request.dtype,
+                k=k,
+                k_source=k_source,
+                fuse=request.fuse,
+                n_windows=request.n_windows,
                 plan_cache="n/a",
-                stages=[StageTiming("hybrid (single-call)", dt)],
+                stages=[
+                    StageTiming("prepare", t_prepare),
+                    StageTiming("hybrid (single-call)", dt),
+                ],
             )
         )
-        return x
+        return SolveOutcome(x=x, trace=trace)

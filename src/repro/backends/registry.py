@@ -3,12 +3,13 @@
 The paper's runtime picks an execution strategy per problem shape
 (Table III); :class:`Router` generalizes that idea one level up — a
 deterministic, pluggable policy choosing *which backend* serves a
-:class:`~repro.backends.base.SolveSignature`, after the registry has
-filtered the candidates by capability (dtype, periodic, workers).
+:class:`~repro.backends.request.SolveRequest`, after the registry has
+filtered the candidates by capability (dtype, periodic, workers,
+prepared).
 
 Resolution is fully deterministic:
 
-1. An explicit ``backend="name"`` must support the signature or a
+1. An explicit ``backend="name"`` must support the request or a
    :class:`BackendError` explains exactly why it cannot.
 2. ``backend="auto"`` filters registered backends by capability, then
    asks the router.  The default policy routes ``workers > 1`` solves
@@ -17,8 +18,10 @@ Resolution is fully deterministic:
    plan-caching engine wins unless something better registers itself.
 
 :func:`solve_via` is the single dispatch seam every public entry path
-(``repro.solve_batch``, ``api.gtsv*``, the CLI, the examples) now goes
-through: validate → negotiate → prepare → execute → trace.
+(``repro.solve_batch``, ``solve_periodic_batch``, ``api.gtsv*``, the
+CLI, the examples) goes through: validate → build request → negotiate →
+``execute(request)`` → trace.  Cyclic solves are the same seam with
+``periodic=True`` — there is no separate periodic protocol anymore.
 """
 
 from __future__ import annotations
@@ -28,9 +31,9 @@ import time
 
 import numpy as np
 
-from repro.backends.base import Backend, Capabilities, SolveSignature
+from repro.backends.base import Backend, Capabilities
+from repro.backends.request import SolveRequest
 from repro.backends.trace import SolveTrace, StageTiming, record_trace
-from repro.core.validation import check_batch_arrays, coerce_batch_arrays
 
 __all__ = [
     "BackendError",
@@ -40,27 +43,30 @@ __all__ = [
     "get_backend",
     "list_backends",
     "register_backend",
-    "solve_periodic_via",
     "solve_via",
 ]
 
 
 class BackendError(ValueError):
-    """A backend could not be resolved for a solve signature."""
+    """A backend could not be resolved for a solve request."""
 
 
-def reject_reason(caps: Capabilities, sig: SolveSignature) -> str | None:
-    """Why ``caps`` cannot serve ``sig`` (``None`` = it can)."""
-    if sig.dtype not in caps.dtypes:
+def reject_reason(caps: Capabilities, request: SolveRequest) -> str | None:
+    """Why ``caps`` cannot serve ``request`` (``None`` = it can)."""
+    if request.dtype not in caps.dtypes:
         return (
-            f"dtype {sig.dtype} unsupported (supports: "
+            f"dtype {request.dtype} unsupported (supports: "
             f"{', '.join(caps.dtypes)})"
         )
-    if sig.periodic and not caps.periodic:
+    if request.periodic and not caps.periodic:
         return "periodic systems unsupported"
-    if sig.workers is not None and sig.workers > 1 and caps.max_workers <= 1:
-        return f"workers={sig.workers} unsupported (single-worker backend)"
-    if sig.fingerprint is True and not caps.prepared:
+    if (
+        request.workers is not None
+        and request.workers > 1
+        and caps.max_workers <= 1
+    ):
+        return f"workers={request.workers} unsupported (single-worker backend)"
+    if (request.fingerprint is True or request.rhs_only) and not caps.prepared:
         return "prepared (fingerprinted) execution unsupported"
     return None
 
@@ -68,7 +74,7 @@ def reject_reason(caps: Capabilities, sig: SolveSignature) -> str | None:
 class Router:
     """Deterministic backend-selection policy (pluggable).
 
-    ``rules`` is an ordered tuple of callables ``rule(signature) ->
+    ``rules`` is an ordered tuple of callables ``rule(request) ->
     str | None``; the first rule naming a *capable* backend wins.  When
     no rule fires, the capable backend with the highest ``priority``
     (ties broken alphabetically) is chosen — the same
@@ -80,19 +86,19 @@ class Router:
         self.rules = tuple(rules) if rules else (self.route_workers,)
 
     @staticmethod
-    def route_workers(sig: SolveSignature) -> str | None:
+    def route_workers(request: SolveRequest) -> str | None:
         """Sharding requested → the threaded layer."""
-        if sig.workers is not None and sig.workers > 1:
+        if request.workers is not None and request.workers > 1:
             return "threaded"
         return None
 
-    def select(self, sig: SolveSignature, candidates: list) -> Backend:
+    def select(self, request: SolveRequest, candidates: list) -> Backend:
         """Pick one backend from capability-filtered ``candidates``."""
         if not candidates:
             raise BackendError("no candidate backends")
         by_name = {b.name: b for b in candidates}
         for rule in self.rules:
-            name = rule(sig)
+            name = rule(request)
             if name is not None and name in by_name:
                 return by_name[name]
         return max(candidates, key=lambda b: (b.priority, b.name))
@@ -146,33 +152,33 @@ class BackendRegistry:
         return sorted(values, key=lambda b: (-b.priority, b.name))
 
     # -- negotiation ----------------------------------------------------
-    def capable(self, sig: SolveSignature) -> list:
-        """Backends whose capabilities cover ``sig`` (priority order)."""
+    def capable(self, request: SolveRequest) -> list:
+        """Backends whose capabilities cover ``request`` (priority order)."""
         return [
             b for b in self.backends()
-            if reject_reason(b.capabilities(), sig) is None
+            if reject_reason(b.capabilities(), request) is None
         ]
 
-    def resolve(self, name: str, sig: SolveSignature) -> Backend:
-        """Resolve ``"auto"`` or an explicit name against ``sig``."""
+    def resolve(self, name: str, request: SolveRequest) -> Backend:
+        """Resolve ``"auto"`` or an explicit name against ``request``."""
         if name != "auto":
             backend = self.get(name)
-            reason = reject_reason(backend.capabilities(), sig)
+            reason = reject_reason(backend.capabilities(), request)
             if reason is not None:
                 raise BackendError(
                     f"backend {name!r} cannot solve this problem: {reason}"
                 )
             return backend
-        candidates = self.capable(sig)
+        candidates = self.capable(request)
         if not candidates:
             reasons = "; ".join(
-                f"{b.name}: {reject_reason(b.capabilities(), sig)}"
+                f"{b.name}: {reject_reason(b.capabilities(), request)}"
                 for b in self.backends()
             )
             raise BackendError(
                 f"no registered backend supports this solve ({reasons})"
             )
-        return self.router.select(sig, candidates)
+        return self.router.select(request, candidates)
 
 
 _default_registry: BackendRegistry | None = None
@@ -225,100 +231,42 @@ def solve_via(
     d,
     *,
     backend: str = "auto",
+    periodic: bool = False,
     check: bool = True,
     coerced: bool = False,
     out=None,
     registry: BackendRegistry | None = None,
     **opts,
 ):
-    """Dispatch one batch solve through the registry.
+    """Dispatch one batch solve (plain or cyclic) through the registry.
 
     Returns ``(x, trace)``.  ``coerced=True`` promises the inputs are
-    already contiguous same-dtype ``(M, N)`` arrays (the public
-    ``solve_batch`` validates before calling); otherwise inputs are
-    checked (``check=True``) or merely coerced here.  Remaining
-    keywords are the :class:`SolveSignature` options (``k``, ``fuse``,
-    ``n_windows``, ``subtile_scale``, ``parallelism``, ``workers``,
-    ``heuristic``, ``periodic``).
+    already contiguous same-dtype ``(M, N)`` arrays (the public entry
+    points validate before calling); otherwise inputs are checked
+    (``check=True``) or merely coerced here.  ``periodic=True`` makes
+    this a cyclic solve: the request carries corners in ``a[:, 0]`` /
+    ``c[:, -1]``, negotiation actually exercises
+    ``Capabilities.periodic``, and the chosen backend runs the whole
+    Sherman–Morrison pipeline inside its one ``execute``.  Remaining
+    keywords are the :data:`~repro.backends.request.OPTION_NAMES`
+    options (``k``, ``fuse``, ``n_windows``, ``subtile_scale``,
+    ``parallelism``, ``workers``, ``heuristic``, ``fingerprint``).
     """
     reg = registry if registry is not None else default_registry()
     t0 = time.perf_counter()
-    if not coerced:
-        if check:
-            a, b, c, d = check_batch_arrays(a, b, c, d)
-        else:
-            a, b, c, d = coerce_batch_arrays(a, b, c, d)
-    t_validate = time.perf_counter() - t0
-
-    sig = SolveSignature.for_batch(b, **opts)
-    chosen = reg.resolve(backend, sig)
-
-    t1 = time.perf_counter()
-    plan = chosen.prepare(sig)
-    t_prepare = time.perf_counter() - t1
-
-    t2 = time.perf_counter()
-    x = chosen.execute(plan, (a, b, c, d), out=out)
-    t_execute = time.perf_counter() - t2
-
-    trace = chosen.instrument()
-    inner = trace.stages or [StageTiming("execute", t_execute)]
-    trace.stages = [
-        StageTiming("validate", t_validate),
-        StageTiming("prepare", t_prepare),
-        *inner,
-    ]
-    record_trace(trace)
-    return x, trace
-
-
-def solve_periodic_via(
-    a,
-    b,
-    c,
-    d,
-    *,
-    backend: str = "auto",
-    check: bool = True,
-    coerced: bool = False,
-    out=None,
-    registry: BackendRegistry | None = None,
-    **opts,
-):
-    """Dispatch one *cyclic* batch solve through the registry.
-
-    Returns ``(x, trace)``.  The signature carries ``periodic=True``,
-    so negotiation actually exercises ``Capabilities.periodic``:
-    periodic-incapable backends are filtered out (or, named explicitly,
-    rejected with the reason).  The chosen backend's
-    ``execute_periodic`` runs the whole Sherman–Morrison pipeline —
-    engine-family backends serve repeat coefficients from the cyclic
-    factorization cache (RHS-only sweep + rank-one correction); the
-    generic fallback corner-reduces and runs two inner solves.
-    """
-    from repro.core.validation import (
-        check_cyclic_batch_arrays,
-        coerce_cyclic_batch_arrays,
+    request = SolveRequest.build(
+        a, b, c, d,
+        periodic=periodic, check=check, coerced=coerced, out=out, **opts
     )
-
-    reg = registry if registry is not None else default_registry()
-    t0 = time.perf_counter()
-    if not coerced:
-        if check:
-            a, b, c, d = check_cyclic_batch_arrays(a, b, c, d)
-        else:
-            a, b, c, d = coerce_cyclic_batch_arrays(a, b, c, d)
     t_validate = time.perf_counter() - t0
 
-    sig = SolveSignature.for_batch(b, **opts).with_options(periodic=True)
-    chosen = reg.resolve(backend, sig)
+    chosen = reg.resolve(backend, request)
+    outcome = chosen.execute(request)
 
-    x = chosen.execute_periodic(sig, (a, b, c, d), out=out, check=check)
-
-    trace = chosen.instrument()
+    trace = outcome.trace
     trace.stages = [StageTiming("validate", t_validate), *trace.stages]
     record_trace(trace)
-    return x, trace
+    return outcome.x, trace
 
 
 def record_direct_trace(algorithm: str, b, seconds: float) -> SolveTrace:

@@ -1,0 +1,206 @@
+"""The one request/outcome vocabulary every solve in the repo speaks.
+
+PRs 1–4 grew three parallel solve paths — plain ``solve_batch``, the
+prepared RHS-only path, and ``solve_periodic_batch`` — each with its
+own engine entrypoint, backend protocol method and trace wiring.  This
+module collapses that Cartesian product into two dataclasses:
+
+:class:`SolveRequest`
+    Everything one solve needs: the coerced ``(M, N)`` diagonals and
+    right-hand side (or a factorization handle plus the RHS alone),
+    the negotiation axes (dtype, ``periodic``, ``workers``,
+    ``fingerprint``), the plan options (``k``, ``fuse``, windows…),
+    and the execution flags (``rhs_only``, ``check``, ``out``).
+    Built by the public adapters (``repro.solve_batch``,
+    ``repro.prepare(...).solve``, ``solve_periodic_batch``,
+    ``api.gtsv*``, the CLI) and consumed by exactly two seams:
+    :meth:`BackendRegistry.resolve
+    <repro.backends.registry.BackendRegistry.resolve>` (capability
+    negotiation on request attributes) and ``backend.execute(request)``.
+:class:`SolveOutcome`
+    What came back: the solution, the
+    :class:`~repro.backends.trace.SolveTrace`, and — when the engine
+    factored or reused one — the factorization handle and frozen plan.
+
+One request shape means one negotiation path, one trace path, and one
+``execute`` method per backend, whatever the solve's flavour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.validation import (
+    check_batch_arrays,
+    check_cyclic_batch_arrays,
+    coerce_batch_arrays,
+    coerce_cyclic_batch_arrays,
+)
+
+__all__ = ["OPTION_NAMES", "SolveOutcome", "SolveRequest"]
+
+#: keyword options accepted by :meth:`SolveRequest.build` /
+#: ``solve_batch`` — unknown names are a ``TypeError`` at the dispatch
+#: boundary, not deep inside a kernel.
+OPTION_NAMES = (
+    "k",
+    "fuse",
+    "n_windows",
+    "subtile_scale",
+    "parallelism",
+    "workers",
+    "periodic",
+    "heuristic",
+    "fingerprint",
+)
+
+
+@dataclass
+class SolveRequest:
+    """One batch solve, fully described.
+
+    Attributes
+    ----------
+    a, b, c, d:
+        Coerced contiguous ``(M, N)`` diagonals and right-hand side.
+        For ``rhs_only`` requests the coefficients may be ``None`` —
+        the elimination already lives in ``factorization``.
+    m, n, dtype:
+        Problem shape and canonical dtype name — the negotiation axes
+        the registry filters capabilities against.
+    periodic:
+        Cyclic convention: corners ride in ``a[:, 0]`` / ``c[:, -1]``
+        and are couplings, not pads.
+    rhs_only:
+        The request carries a prebuilt ``factorization`` (and usually a
+        frozen ``plan``); execution is the RHS-only sweep.
+    fingerprint:
+        Factorization-cache tri-state: ``None`` auto-engages where
+        bitwise safe (``k = 0``), ``True`` forces prepared execution
+        (and restricts negotiation to prepared-capable backends),
+        ``False`` disables hashing.
+    workers:
+        Requested batch-axis shard count (``None`` = backend default).
+    k, fuse, n_windows, subtile_scale, parallelism, heuristic:
+        Plan options, exactly as ``solve_batch`` takes them.
+    factorization, plan:
+        Prebuilt state for ``rhs_only`` requests (prepared handles).
+    check:
+        Validation / singular-guard policy for execution-time checks.
+    out:
+        Optional preallocated ``(M, N)`` output.
+    label:
+        Trace ``backend`` name override — the threaded and prepared
+        adapters run on the engine spine but report their own name.
+    layout:
+        Input layout (all current backends take ``"contiguous"``).
+    """
+
+    a: np.ndarray | None
+    b: np.ndarray | None
+    c: np.ndarray | None
+    d: np.ndarray
+    m: int
+    n: int
+    dtype: str = "float64"
+    periodic: bool = False
+    rhs_only: bool = False
+    fingerprint: bool | None = None
+    workers: int | None = None
+    k: int | None = None
+    fuse: bool = False
+    n_windows: int = 1
+    subtile_scale: int = 1
+    parallelism: int | None = None
+    heuristic: object = None
+    factorization: object = None
+    plan: object = None
+    check: bool = True
+    out: np.ndarray | None = None
+    label: str | None = None
+    layout: str = "contiguous"
+
+    @classmethod
+    def build(
+        cls,
+        a,
+        b,
+        c,
+        d,
+        *,
+        periodic: bool = False,
+        check: bool = True,
+        coerced: bool = False,
+        out=None,
+        label: str | None = None,
+        **opts,
+    ) -> "SolveRequest":
+        """Validate/coerce a batch and its options into a request.
+
+        ``coerced=True`` promises the inputs are already contiguous
+        same-dtype ``(M, N)`` arrays (the public entry points validate
+        before calling); otherwise they are checked (``check=True``) or
+        merely coerced here — cyclic requests through the dedicated
+        cyclic validators, whose corners are couplings the plain
+        validator would zero.  Unknown options raise ``TypeError`` at
+        this boundary.
+        """
+        unknown = sorted(set(opts) - set(OPTION_NAMES))
+        if unknown:
+            raise TypeError(
+                f"unknown solve option(s) {unknown}; "
+                f"valid options: {sorted(OPTION_NAMES)}"
+            )
+        periodic = bool(opts.pop("periodic", periodic))
+        if not coerced:
+            if periodic:
+                validate = (
+                    check_cyclic_batch_arrays
+                    if check
+                    else coerce_cyclic_batch_arrays
+                )
+            else:
+                validate = check_batch_arrays if check else coerce_batch_arrays
+            a, b, c, d = validate(a, b, c, d)
+        b = np.asarray(b)
+        if b.ndim != 2:
+            raise ValueError(f"batch must be 2-D (M, N), got {b.ndim}-D")
+        m, n = b.shape
+        return cls(
+            a=a,
+            b=b,
+            c=c,
+            d=d,
+            m=m,
+            n=n,
+            dtype=np.dtype(b.dtype).name,
+            periodic=periodic,
+            check=check,
+            out=out,
+            label=label,
+            **opts,
+        )
+
+    def replace(self, **changes) -> "SolveRequest":
+        """A copy of this request with some fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class SolveOutcome:
+    """What one dispatched solve produced.
+
+    ``x`` is the solution batch; ``trace`` the
+    :class:`~repro.backends.trace.SolveTrace` describing how it was
+    computed (backend, frozen ``k``, cache outcomes, stage timings);
+    ``factorization`` / ``plan`` carry the reusable state the engine
+    built or reused, when any (prepared and fingerprinted solves).
+    """
+
+    x: np.ndarray
+    trace: object
+    factorization: object = None
+    plan: object = None
+    stats: dict = field(default_factory=dict)

@@ -24,12 +24,11 @@ batch before sharding, so results are independent of ``workers``.
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 
-from repro.backends.base import BackendBase, Capabilities, SolveSignature
-from repro.backends.trace import SolveTrace, StageTiming
+from repro.backends.base import BackendBase, Capabilities
+from repro.backends.request import SolveOutcome, SolveRequest
 from repro.core.tiled_pcr import TilingCounters
 from repro.engine.executor import execute_plan
 
@@ -144,7 +143,7 @@ class ThreadedBackend(BackendBase):
         The engine whose plans, workspace pools, and thread pool the
         shards run on (default: the process-wide engine).
     default_workers:
-        Worker count when the signature does not request one
+        Worker count when the request does not carry one
         (default: ``min(4, cpu count)``).
     """
 
@@ -168,9 +167,9 @@ class ThreadedBackend(BackendBase):
 
         return default_engine()
 
-    def _workers_for(self, signature: SolveSignature) -> int:
-        if signature.workers is not None:
-            return max(1, signature.workers)
+    def _workers_for(self, request: SolveRequest) -> int:
+        if request.workers is not None:
+            return max(1, request.workers)
         if self.default_workers is not None:
             return self.default_workers
         return min(4, os.cpu_count() or 1)
@@ -188,100 +187,20 @@ class ThreadedBackend(BackendBase):
             ),
         )
 
-    def prepare(self, signature: SolveSignature):
-        info: dict = {}
-        plan = self.engine.plan_for(
-            signature.m,
-            signature.n,
-            np.dtype(signature.dtype),
-            k=signature.k,
-            fuse=signature.fuse,
-            n_windows=signature.n_windows,
-            subtile_scale=signature.subtile_scale,
-            parallelism=signature.parallelism,
-            heuristic=signature.heuristic,
-            info=info,
-        )
-        return (signature, plan, info.get("cache", "miss"))
+    def execute(self, request: SolveRequest) -> SolveOutcome:
+        """Run the request on the engine spine with sharding resolved.
 
-    def execute(self, prepared, batch, out=None) -> np.ndarray:
-        signature, plan, cache = prepared
-        a, b, c, d = batch
-        workers = self._workers_for(signature)
-        stage_times: list = []
-        info: dict = {}
-        t0 = time.perf_counter()
-        x = self.engine.dispatch(
-            plan, a, b, c, d,
-            workers=workers,
-            fingerprint=signature.fingerprint,
-            out=out,
-            info=info,
-            stage_times=stage_times,
-        )
-        if not stage_times:  # one shard: solve_sharded fell back to pooled
-            stage_times = [("execute", time.perf_counter() - t0)]
-        self._set_trace(
-            SolveTrace(
-                backend=self.name,
-                m=signature.m,
-                n=signature.n,
-                dtype=signature.dtype,
-                k=plan.k,
-                k_source=plan.k_source,
-                fuse=plan.fuse,
-                n_windows=plan.n_windows,
-                workers=workers,
-                plan_cache=cache,
-                factorization=info.get("factorization", "n/a"),
-                rhs_only=info.get("rhs_only", False),
-                stages=[StageTiming(n_, s) for n_, s in stage_times],
+        The request's ``workers`` is defaulted to this backend's shard
+        count when unset; everything else — plan cache, fingerprint
+        seam, periodic pipeline, prepared handles — is the engine's
+        :meth:`~repro.engine.engine.ExecutionEngine.run`, so results
+        stay bitwise identical to every other engine-family backend.
+        """
+        outcome = self.engine.run(
+            request.replace(
+                workers=self._workers_for(request),
+                label=request.label or self.name,
             )
         )
-        return x
-
-    def execute_periodic(
-        self, signature: SolveSignature, batch, out=None, *, check: bool = True
-    ) -> np.ndarray:
-        a, b, c, d = batch
-        workers = self._workers_for(signature)
-        stage_times: list = []
-        info: dict = {}
-        t0 = time.perf_counter()
-        x = self.engine.solve_periodic(
-            a, b, c, d,
-            check=check,
-            workers=workers,
-            k=signature.k,
-            fuse=signature.fuse,
-            n_windows=signature.n_windows,
-            subtile_scale=signature.subtile_scale,
-            parallelism=signature.parallelism,
-            heuristic=signature.heuristic,
-            fingerprint=signature.fingerprint,
-            out=out,
-            info=info,
-            stage_times=stage_times,
-        )
-        if not stage_times:
-            stage_times = [("execute", time.perf_counter() - t0)]
-        plan = info["plan"]
-        self._set_trace(
-            SolveTrace(
-                backend=self.name,
-                m=signature.m,
-                n=signature.n,
-                dtype=signature.dtype,
-                k=plan.k,
-                k_source=plan.k_source,
-                fuse=plan.fuse,
-                n_windows=plan.n_windows,
-                workers=workers,
-                plan_cache=info.get("cache", "n/a"),
-                factorization=info.get("factorization", "n/a"),
-                rhs_only=info.get("rhs_only", False),
-                periodic=True,
-                stages=[StageTiming(n_, s) for n_, s in stage_times],
-            )
-        )
-        return x
+        self._set_trace(outcome.trace)
+        return outcome

@@ -286,6 +286,11 @@ class HybridFactorization:
 
         # Apply the stored PCR level factors to the RHS, ping-ponging
         # between two scratch buffers (the input is left untouched).
+        # Each level is one strided apply on the interior slices — the
+        # zero-filled shift buffers the loop used to materialize are
+        # gone; the boundary rows they zeroed carry k1/k2 == 0 (set at
+        # factor time), so skipping them is bitwise identical
+        # (x - 0.0*y == x for every finite x and for -0.0).
         cur = d
         if self.level_factors:
             work = (
@@ -296,12 +301,17 @@ class HybridFactorization:
             s = 1
             for lvl, (k1, k2) in enumerate(self.level_factors):
                 nxt = work[lvl & 1]
-                _shift_rhs(cur, -s, out=tm)
-                np.multiply(k1[..., None], tm, out=tm)
-                np.subtract(cur, tm, out=nxt)
-                _shift_rhs(cur, +s, out=tm)
-                np.multiply(k2[..., None], tm, out=tm)
-                np.subtract(nxt, tm, out=nxt)
+                if s < n:
+                    np.multiply(k1[:, s:, None], cur[:, : n - s],
+                                out=nxt[:, s:])
+                    np.subtract(cur[:, s:], nxt[:, s:], out=nxt[:, s:])
+                    nxt[:, :s] = cur[:, :s]
+                    np.multiply(k2[:, : n - s, None], cur[:, s:],
+                                out=tm[:, : n - s])
+                    np.subtract(nxt[:, : n - s], tm[:, : n - s],
+                                out=nxt[:, : n - s])
+                else:  # stride exceeds N: this level is the identity
+                    nxt[...] = cur
                 cur = nxt
                 s *= 2
 

@@ -265,11 +265,12 @@ def solve_periodic_batch(
         raise ValueError(f"cyclic solver needs N >= 3, got {n}")
 
     if algorithm in ("auto", "hybrid"):
-        from repro.backends.registry import solve_periodic_via
+        from repro.backends.registry import solve_via
 
-        x, _ = solve_periodic_via(
+        x, _ = solve_via(
             a, b, c, d,
-            backend=backend, check=check, coerced=True, out=out, **kwargs,
+            backend=backend, periodic=True,
+            check=check, coerced=True, out=out, **kwargs,
         )
         return x
 

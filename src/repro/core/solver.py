@@ -18,10 +18,12 @@ True
 transition; explicit names select a specific algorithm (useful for
 comparisons and education).
 
-``auto``/``hybrid`` solves dispatch through the **backend registry**
-(:mod:`repro.backends`): capability negotiation picks an execution
-backend (the plan-caching engine by default; ``workers=W`` routes to
-the thread-sharded backend; ``backend="name"`` forces one), and every
+``auto``/``hybrid`` solves build a
+:class:`~repro.backends.request.SolveRequest` and dispatch it through
+the **backend registry** (:mod:`repro.backends`): capability
+negotiation against the request picks an execution backend (the
+plan-caching engine by default; ``workers=W`` routes to the
+thread-sharded backend; ``backend="name"`` forces one), and every
 solve records a :class:`~repro.backends.trace.SolveTrace` queryable
 via :func:`repro.last_trace`.  Results are bitwise identical across
 the engine, numpy-reference, and threaded backends.
@@ -87,7 +89,7 @@ def solve_batch(
         Inputs are *coerced* (lists → arrays, uniform float dtype)
         unconditionally; ``check=False`` only skips the validation.
     **kwargs:
-        For the hybrid/auto algorithms: the solve-signature options
+        For the hybrid/auto algorithms: the solve-request options
         (``k``, ``fuse``, ``n_windows``, ``subtile_scale``,
         ``heuristic``, ``parallelism``) plus ``workers=W`` to shard the
         batch across a thread pool and ``fingerprint`` to control the

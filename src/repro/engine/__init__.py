@@ -25,6 +25,7 @@ coefficients so repeated solves of one matrix hit the factorization
 cache on their own (see :mod:`repro.engine.prepared`).
 """
 
+from repro.engine.diskcache import FactorizationDiskCache
 from repro.engine.engine import EngineStats, ExecutionEngine, default_engine
 from repro.engine.executor import execute_plan, shard_bounds
 from repro.engine.plan import SolvePlan, build_plan, plan_key
@@ -41,6 +42,7 @@ __all__ = [
     "CyclicRhsFactorization",
     "EngineStats",
     "ExecutionEngine",
+    "FactorizationDiskCache",
     "PlanWorkspace",
     "PreparedPlan",
     "PreparedWorkspace",

@@ -1,0 +1,259 @@
+"""Spill-to-disk tier for the engine's factorization cache.
+
+The in-memory factorization cache (:class:`ExecutionEngine
+<repro.engine.engine.ExecutionEngine>`, ``max_factorizations``) is
+deliberately small — stored eliminations are workspace-sized and the
+LRU keeps the hot set resident.  Long-running simulations rotate
+through more coefficient sets than that (multi-region time steppers,
+parameter sweeps), and every eviction costs a full re-elimination on
+the next sighting.
+
+This module adds a second, capacity-bounded tier: factorizations spill
+to digest-named ``.npz`` files under a configurable cache directory,
+and a memory miss consults the directory before re-factoring.  The
+files are written atomically (temp file + ``os.replace``) so
+concurrent engines — or separate processes — can share one directory;
+the stored arrays are the exact elimination state, so a disk-served
+solve reproduces the same bits a memory-served one would.
+
+Enable it per engine::
+
+    engine = ExecutionEngine(cache_dir="/tmp/repro-cache")
+
+Eviction is size-capped (``max_bytes``): after each spill, the oldest
+files (by modification time) are removed until the directory fits.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+
+import numpy as np
+
+__all__ = ["FactorizationDiskCache"]
+
+#: default on-disk budget: enough for dozens of factored PDE-sized
+#: batches while staying a rounding error on any modern disk
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_SUFFIX = ".npz"
+
+
+def _key_filename(key: tuple) -> str:
+    """Digest-named, human-skim-friendly filename for a cache key.
+
+    ``key`` is the engine's factorization key ``(m, n, dtype_str, k,
+    periodic, digest)``.  The content digest leads (it is the unique
+    part); the shape/plan coordinates follow for debuggability.
+    """
+    m, n, dtype_str, k, periodic, digest = key
+    dtype = np.dtype(dtype_str).name
+    tag = "-cyclic" if periodic else ""
+    return f"{digest}-{m}x{n}-{dtype}-k{k}{tag}{_SUFFIX}"
+
+
+def _pack(fact, payload: dict, prefix: str = "") -> None:
+    """Flatten a factorization into ``payload`` arrays under ``prefix``."""
+    from repro.core.factorize import HybridFactorization, ThomasFactorization
+    from repro.engine.prepared import (
+        CyclicRhsFactorization,
+        ThomasRhsFactorization,
+    )
+
+    if isinstance(fact, ThomasRhsFactorization):
+        payload[prefix + "kind"] = np.array("thomas")
+        payload[prefix + "ta"] = fact.ta
+        payload[prefix + "cp"] = fact.cp
+        payload[prefix + "denom"] = fact.denom
+    elif isinstance(fact, HybridFactorization):
+        payload[prefix + "kind"] = np.array("hybrid")
+        payload[prefix + "k"] = np.array(fact.k)
+        for i, (k1, k2) in enumerate(fact.level_factors):
+            payload[f"{prefix}lvl{i}_k1"] = k1
+            payload[f"{prefix}lvl{i}_k2"] = k2
+        red = fact.reduced
+        payload[prefix + "red_a"] = red.a
+        payload[prefix + "red_cp"] = red.cp
+        payload[prefix + "red_inv_denom"] = red.inv_denom
+    elif isinstance(fact, CyclicRhsFactorization):
+        payload[prefix + "kind"] = np.array("cyclic")
+        payload[prefix + "q"] = fact.q
+        payload[prefix + "w"] = fact.w
+        payload[prefix + "scale"] = fact.scale
+        payload[prefix + "singular"] = fact.singular
+        _pack(fact.core, payload, prefix=prefix + "core_")
+    else:  # pragma: no cover - new kinds must be taught to spill
+        raise TypeError(f"cannot spill factorization {type(fact).__name__}")
+
+
+def _unpack(data, prefix: str = ""):
+    """Rebuild a factorization from ``_pack``'s array layout."""
+    from repro.core.factorize import HybridFactorization, ThomasFactorization
+    from repro.engine.prepared import (
+        CyclicRhsFactorization,
+        ThomasRhsFactorization,
+    )
+
+    kind = str(data[prefix + "kind"])
+    if kind == "thomas":
+        return ThomasRhsFactorization(
+            ta=data[prefix + "ta"],
+            cp=data[prefix + "cp"],
+            denom=data[prefix + "denom"],
+        )
+    if kind == "hybrid":
+        k = int(data[prefix + "k"])
+        return HybridFactorization(
+            k=k,
+            level_factors=[
+                (data[f"{prefix}lvl{i}_k1"], data[f"{prefix}lvl{i}_k2"])
+                for i in range(k)
+            ],
+            reduced=ThomasFactorization(
+                a=data[prefix + "red_a"],
+                cp=data[prefix + "red_cp"],
+                inv_denom=data[prefix + "red_inv_denom"],
+            ),
+        )
+    if kind == "cyclic":
+        return CyclicRhsFactorization(
+            core=_unpack(data, prefix=prefix + "core_"),
+            q=data[prefix + "q"],
+            w=data[prefix + "w"],
+            scale=data[prefix + "scale"],
+            singular=data[prefix + "singular"],
+        )
+    raise ValueError(f"unknown factorization kind {kind!r} in cache file")
+
+
+class FactorizationDiskCache:
+    """Digest-named ``.npz`` spill tier with a size-capped LRU-by-mtime.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory (created on first use).  Multiple engines — or
+        processes — may share one directory; writes are atomic.
+    max_bytes:
+        Size cap.  After each store, oldest-modified files are evicted
+        until the directory's ``.npz`` payload fits.
+    """
+
+    def __init__(self, directory, max_bytes: int = DEFAULT_MAX_BYTES):
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.directory = os.fspath(directory)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        # hit/store/eviction tallies for instrumentation and tests
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # -- inventory ------------------------------------------------------
+    def _entries(self) -> list:
+        """``(path, mtime, size)`` of every cache file, oldest first."""
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return []
+        entries = []
+        for name in names:
+            if not name.endswith(_SUFFIX):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries.append((path, st.st_mtime, st.st_size))
+        entries.sort(key=lambda e: e[1])
+        return entries
+
+    def nbytes(self) -> int:
+        """Total bytes currently spilled."""
+        return sum(size for _, _, size in self._entries())
+
+    def files(self) -> list:
+        """Cache file paths, oldest-modified first."""
+        return [path for path, _, _ in self._entries()]
+
+    # -- store / load ---------------------------------------------------
+    def store(self, key: tuple, fact) -> str:
+        """Spill ``fact`` under ``key``; returns the file path written."""
+        payload: dict = {}
+        _pack(fact, payload)
+        path = os.path.join(self.directory, _key_filename(key))
+        with self._lock:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, suffix=_SUFFIX + ".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(fh, **payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.stores += 1
+            self._evict_over_cap(keep=path)
+        return path
+
+    def load(self, key: tuple):
+        """Rebuild the factorization for ``key``, or ``None`` if absent."""
+        path = os.path.join(self.directory, _key_filename(key))
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                fact = _unpack(data)
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError):
+            # torn or stale file: drop it and re-factor
+            with self._lock:
+                self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        # freshen the mtime so eviction tracks recency of *use*
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        with self._lock:
+            self.hits += 1
+        return fact
+
+    def clear(self) -> None:
+        """Remove every cache file (the directory itself stays)."""
+        for path in self.files():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def _evict_over_cap(self, keep: str | None = None) -> None:
+        """Drop oldest-modified files until the payload fits the cap."""
+        entries = self._entries()
+        total = sum(size for _, _, size in entries)
+        for path, _, size in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep and len(entries) > 1:
+                continue  # evict older siblings before the fresh write
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1

@@ -45,9 +45,9 @@ from repro.engine.prepared import (
     build_cyclic_factorization,
     build_factorization,
     coefficient_fingerprint,
-    execute_cyclic_rhs_only,
-    execute_rhs_only,
+    cyclic_rhs_only_sweep,
     factorization_nbytes,
+    rhs_only_sweep,
 )
 from repro.engine.workspace import PlanWorkspace, PreparedWorkspace
 
@@ -98,6 +98,16 @@ class ExecutionEngine:
     heuristic:
         Default Table-III-style transition table for plans that do not
         fix ``k`` explicitly.
+    cache_dir:
+        Optional directory enabling the factorization spill tier: built
+        factorizations are written as digest-named ``.npz`` files, and
+        a memory-cache miss consults the directory before re-factoring
+        (see :mod:`repro.engine.diskcache`).  Engines — and processes —
+        sharing one directory share the spilled eliminations.
+    disk_cache_bytes:
+        Size cap for the spill directory (oldest-modified files are
+        evicted past it); default
+        :data:`~repro.engine.diskcache.DEFAULT_MAX_BYTES`.
     """
 
     def __init__(
@@ -106,6 +116,8 @@ class ExecutionEngine:
         pool_size: int = 4,
         heuristic: TransitionHeuristic = GTX480_HEURISTIC,
         max_factorizations: int = 8,
+        cache_dir=None,
+        disk_cache_bytes: int | None = None,
     ):
         if max_plans < 1:
             raise ValueError(f"max_plans must be >= 1, got {max_plans}")
@@ -119,6 +131,21 @@ class ExecutionEngine:
         self.pool_size = pool_size
         self.max_factorizations = max_factorizations
         self.heuristic = heuristic
+        self.disk_cache = None
+        if cache_dir is not None:
+            from repro.engine.diskcache import (
+                DEFAULT_MAX_BYTES,
+                FactorizationDiskCache,
+            )
+
+            self.disk_cache = FactorizationDiskCache(
+                cache_dir,
+                max_bytes=(
+                    disk_cache_bytes
+                    if disk_cache_bytes is not None
+                    else DEFAULT_MAX_BYTES
+                ),
+            )
         self.stats = EngineStats()
         self.last_report: HybridReport | None = None
         self._lock = threading.Lock()
@@ -257,11 +284,12 @@ class ExecutionEngine:
         # digest means different matrices under the two conventions.
         return plan.signature()[:4] + (periodic, digest)
 
-    def _store_factorization(self, key: tuple, fact) -> None:
+    def _store_factorization(self, key: tuple, fact, built: bool = True) -> None:
         with self._lock:
             self._facts[key] = fact
             self._facts.move_to_end(key)
-            self.stats.factorizations_built += 1
+            if built:
+                self.stats.factorizations_built += 1
             self.stats.factorization_bytes += factorization_nbytes(fact)
             while len(self._facts) > self.max_factorizations:
                 _, old = self._facts.popitem(last=False)
@@ -300,6 +328,16 @@ class ExecutionEngine:
                 self._facts.move_to_end(key)
                 self.stats.fingerprint_hits += 1
                 return fact, "hit"
+        if self.disk_cache is not None:
+            # spill tier: a sibling engine (or an earlier run sharing
+            # the cache dir) may have factored this coefficient set
+            fact = self.disk_cache.load(key)
+            if fact is not None:
+                with self._lock:
+                    self.stats.fingerprint_hits += 1
+                self._store_factorization(key, fact, built=False)
+                return fact, "hit"
+        with self._lock:
             self.stats.fingerprint_misses += 1
             if not force:
                 seen = key in self._fp_seen
@@ -317,6 +355,11 @@ class ExecutionEngine:
         if stage_times is not None:
             stage_times.append(("factorize", time.perf_counter() - t0))
         self._store_factorization(key, fact)
+        if self.disk_cache is not None:
+            try:
+                self.disk_cache.store(key, fact)
+            except OSError:
+                pass  # a full or read-only disk never fails the solve
         return fact, "factored"
 
     def prepare(
@@ -453,6 +496,246 @@ class ExecutionEngine:
             self.stats.sharded_solves += 1
         return x
 
+    def run(self, request) -> "object":
+        """The one engine entrypoint: execute a ``SolveRequest``.
+
+        Composes the orthogonal stages every solve flavour shares —
+        **plan** (cached, or frozen in the request), **factorize or
+        cache** (the ``fingerprint`` tri-state, or the handle the
+        request carries), **execute** (RHS-only sweep, pooled plan, or
+        sharded plan; cyclic requests corner-reduce and correct around
+        the same core), **trace** — and returns a
+        :class:`~repro.backends.request.SolveOutcome`.
+
+        Every public path (``solve_batch``, ``solve_periodic``,
+        ``PreparedPlan.solve``, and the engine-family backends) is a
+        thin adapter that builds a request and calls this method.
+        ``request.label`` overrides the trace's backend name so
+        adapters keep their identity (``"threaded"``, ``"prepared"``).
+        """
+        from repro.backends.request import SolveOutcome
+        from repro.backends.trace import SolveTrace, StageTiming
+
+        stage_times: list = []
+        info: dict = {}
+        t0 = time.perf_counter()
+        if request.plan is not None:
+            plan = request.plan
+            cache = "hit"
+        else:
+            plan = self.plan_for(
+                request.m,
+                request.n,
+                np.dtype(request.dtype),
+                k=request.k,
+                fuse=request.fuse,
+                n_windows=request.n_windows,
+                subtile_scale=request.subtile_scale,
+                parallelism=request.parallelism,
+                heuristic=request.heuristic,
+                info=info,
+            )
+            cache = info.get("cache", "miss")
+        stage_times.append(("prepare", time.perf_counter() - t0))
+
+        workers = request.workers
+        if request.rhs_only:
+            # prepared handle: the factorization rode in on the request
+            fact, fp_state = request.factorization, "handle"
+            if request.periodic:
+                x = cyclic_rhs_only_sweep(
+                    self, plan, fact, request.d,
+                    out=request.out, workers=workers, check=request.check,
+                    stage_times=stage_times,
+                )
+            else:
+                x = rhs_only_sweep(
+                    self, plan, fact, request.d,
+                    out=request.out, workers=workers,
+                    stage_times=stage_times,
+                )
+            with self._lock:
+                self.stats.rhs_only_solves += 1
+                if workers is not None and workers > 1:
+                    self.stats.sharded_solves += 1
+            rhs_only = True
+        elif request.periodic:
+            x, fact, fp_state = self._run_periodic(plan, request, stage_times)
+            rhs_only = fact is not None
+        else:
+            counters = TilingCounters()
+            report = HybridReport(
+                m=request.m,
+                n=request.n,
+                k=plan.k,
+                k_source=plan.k_source,
+                subsystems=request.m * plan.g,
+                fused=plan.fuse,
+                n_windows=plan.n_windows,
+                tiling=counters,
+            )
+            x, fact, fp_state = self._run_plain(
+                plan,
+                request.a, request.b, request.c, request.d,
+                workers=workers,
+                fingerprint=request.fingerprint,
+                counters=counters,
+                out=request.out,
+                stage_times=stage_times,
+            )
+            rhs_only = fact is not None
+            self.last_report = report
+
+        trace = SolveTrace(
+            backend=request.label or "engine",
+            m=request.m,
+            n=request.n,
+            dtype=request.dtype,
+            k=plan.k,
+            k_source=plan.k_source,
+            fuse=plan.fuse,
+            n_windows=plan.n_windows,
+            workers=workers if workers is not None else 1,
+            plan_cache=cache,
+            factorization=fp_state,
+            rhs_only=rhs_only,
+            periodic=request.periodic,
+            stages=[StageTiming(n_, s) for n_, s in stage_times],
+        )
+        return SolveOutcome(x=x, trace=trace, factorization=fact, plan=plan)
+
+    def _run_plain(
+        self,
+        plan: SolvePlan,
+        a,
+        b,
+        c,
+        d,
+        *,
+        workers: int | None = None,
+        fingerprint: bool | None = None,
+        counters: TilingCounters | None = None,
+        out: np.ndarray | None = None,
+        stage_times: list | None = None,
+    ):
+        """Execute coerced arrays under ``plan``, fingerprint-aware.
+
+        Consults the coefficient-fingerprint cache (per the
+        ``fingerprint`` tri-state — see :meth:`solve_batch`) and runs
+        either the RHS-only factorized sweep or the full plan, sharded
+        when ``workers > 1``.  Returns ``(x, factorization | None,
+        state)`` where ``state`` is the trace's factorization field
+        (``"hit" / "factored" / "miss" / "off" / "n/a"``).
+        """
+        fact = None
+        fp_state = "off" if fingerprint is False else "n/a"
+        if fingerprint is not False and (plan.uses_thomas or fingerprint):
+            t_fp = time.perf_counter()
+            digest = coefficient_fingerprint(a, b, c)
+            if stage_times is not None:
+                stage_times.append(
+                    ("fingerprint", time.perf_counter() - t_fp)
+                )
+            fact, fp_state = self._factorization_for(
+                plan, digest, a, b, c,
+                force=fingerprint is True,
+                stage_times=stage_times,
+            )
+
+        if fact is not None:
+            x = rhs_only_sweep(
+                self, plan, fact, d,
+                out=out, workers=workers, stage_times=stage_times,
+            )
+            with self._lock:
+                self.stats.solves += 1
+                self.stats.rhs_only_solves += 1
+                if workers is not None and workers > 1:
+                    self.stats.sharded_solves += 1
+            return x, fact, fp_state
+        if workers is not None and workers > 1:
+            x = self.solve_sharded(
+                plan, workers, a, b, c, d,
+                counters=counters, out=out, stage_times=stage_times,
+            )
+            return x, None, fp_state
+        x = self.execute_pooled(
+            plan, a, b, c, d,
+            counters=counters, out=out, stage_times=stage_times,
+        )
+        return x, None, fp_state
+
+    def _run_periodic(self, plan: SolvePlan, request, stage_times: list):
+        """Cyclic execution under a frozen plan (Sherman–Morrison).
+
+        Repeat sightings of one cyclic coefficient set engage a stored
+        :class:`~repro.engine.prepared.CyclicRhsFactorization` and run
+        one RHS-only sweep plus the rank-one correction; first
+        sightings (and ``fingerprint=False``) run the classic
+        corner-reduce + two inner solves.  The inner solves disable
+        their own fingerprinting — caching happens at the cyclic level
+        only, never on the reduced ``A'`` diagonals.  Returns
+        ``(x, factorization | None, state)``.
+        """
+        a, b, c, d = request.a, request.b, request.c, request.d
+        workers = request.workers
+        check = request.check
+        fingerprint = request.fingerprint
+
+        fact = None
+        fp_state = "off" if fingerprint is False else "n/a"
+        if fingerprint is not False and (plan.uses_thomas or fingerprint):
+            t_fp = time.perf_counter()
+            digest = coefficient_fingerprint(a, b, c)
+            stage_times.append(("fingerprint", time.perf_counter() - t_fp))
+            fact, fp_state = self._factorization_for(
+                plan, digest, a, b, c,
+                force=fingerprint is True,
+                periodic=True,
+                check=check,
+                stage_times=stage_times,
+            )
+
+        if fact is not None:
+            x = cyclic_rhs_only_sweep(
+                self, plan, fact, d,
+                out=request.out, workers=workers, check=check,
+                stage_times=stage_times,
+            )
+            with self._lock:
+                self.stats.solves += 1
+                self.stats.rhs_only_solves += 1
+                if workers is not None and workers > 1:
+                    self.stats.sharded_solves += 1
+            return x, fact, fp_state
+
+        from repro.core.periodic import (
+            apply_cyclic_correction,
+            correction_denominator,
+            correction_scale,
+            cyclic_reduce,
+        )
+
+        t0 = time.perf_counter()
+        ap, bp, cp, u, w = cyclic_reduce(a, b, c, check=check)
+        stage_times.append(("cyclic-reduce", time.perf_counter() - t0))
+        y, _, _ = self._run_plain(
+            plan, ap, bp, cp, d,
+            workers=workers, fingerprint=False, stage_times=stage_times,
+        )
+        q, _, _ = self._run_plain(
+            plan, ap, bp, cp, u,
+            workers=workers, fingerprint=False, stage_times=stage_times,
+        )
+        t1 = time.perf_counter()
+        scale = correction_scale(
+            correction_denominator(q, w), request.n, check=check
+        )
+        x = apply_cyclic_correction(y, q, w, scale, out=request.out)
+        stage_times.append(("cyclic-correction", time.perf_counter() - t1))
+        return x, None, fp_state
+
+    # ---- thin request-building adapters ------------------------------
     def solve_batch(
         self,
         a,
@@ -475,12 +758,13 @@ class ExecutionEngine:
     ) -> np.ndarray:
         """Solve an ``(M, N)`` batch through a cached plan.
 
-        ``workers=W`` (opt-in) shards the batch axis across a thread
-        pool; results are bitwise independent of ``W``.  ``info`` and
-        ``stage_times`` are instrumentation hooks (plan-cache hit/miss
-        and per-stage wall time; see :mod:`repro.backends.trace`).
-        Remaining keywords mirror
-        :class:`~repro.core.hybrid.HybridSolver`.
+        A thin adapter over :meth:`run`: validates, builds a
+        :class:`~repro.backends.request.SolveRequest`, and unpacks the
+        outcome.  ``workers=W`` (opt-in) shards the batch axis across a
+        thread pool; results are bitwise independent of ``W``.
+        ``info`` and ``stage_times`` are instrumentation hooks
+        (populated from the outcome's trace).  Remaining keywords
+        mirror :class:`~repro.core.hybrid.HybridSolver`.
 
         ``fingerprint`` controls the factorization fast path: ``None``
         (default) hashes the coefficients and — for ``k = 0`` plans,
@@ -494,107 +778,27 @@ class ExecutionEngine:
             a, b, c, d = check_batch_arrays(a, b, c, d)
         else:
             a, b, c, d = coerce_batch_arrays(a, b, c, d)
+        from repro.backends.request import SolveRequest
+
         m, n = b.shape
-        plan = self.plan_for(
-            m,
-            n,
-            b.dtype,
-            k=k,
-            fuse=fuse,
-            n_windows=n_windows,
-            subtile_scale=subtile_scale,
-            parallelism=parallelism,
-            heuristic=heuristic,
-            info=info,
-        )
-        if info is not None:
-            info["plan"] = plan
-        counters = TilingCounters()
-        report = HybridReport(
-            m=m,
-            n=n,
-            k=plan.k,
-            k_source=plan.k_source,
-            subsystems=m * plan.g,
-            fused=plan.fuse,
-            n_windows=plan.n_windows,
-            tiling=counters,
-        )
-        x = self.dispatch(
-            plan, a, b, c, d,
-            workers=workers,
-            fingerprint=fingerprint,
-            counters=counters,
-            out=out,
-            info=info,
-            stage_times=stage_times,
-        )
-        self.last_report = report
-        return x
-
-    def dispatch(
-        self,
-        plan: SolvePlan,
-        a,
-        b,
-        c,
-        d,
-        *,
-        workers: int | None = None,
-        fingerprint: bool | None = None,
-        counters: TilingCounters | None = None,
-        out: np.ndarray | None = None,
-        info: dict | None = None,
-        stage_times: list | None = None,
-    ) -> np.ndarray:
-        """Execute coerced arrays under ``plan``, fingerprint-aware.
-
-        The one execution seam shared by :meth:`solve_batch` and the
-        backend layer: consult the coefficient-fingerprint cache (per
-        the ``fingerprint`` tri-state — see :meth:`solve_batch`) and
-        run either the RHS-only factorized sweep or the full
-        plan, sharded when ``workers > 1``.  ``info`` receives
-        ``info["factorization"]`` (``"hit" / "factored" / "miss" /
-        "off" / "n/a"``) and ``info["rhs_only"]``.
-        """
-        fact = None
-        fp_state = "off" if fingerprint is False else "n/a"
-        if fingerprint is not False and (plan.uses_thomas or fingerprint):
-            t_fp = time.perf_counter()
-            digest = coefficient_fingerprint(a, b, c)
-            if stage_times is not None:
-                stage_times.append(
-                    ("fingerprint", time.perf_counter() - t_fp)
-                )
-            fact, fp_state = self._factorization_for(
-                plan, digest, a, b, c,
-                force=fingerprint is True,
-                stage_times=stage_times,
+        outcome = self.run(
+            SolveRequest(
+                a=a, b=b, c=c, d=d,
+                m=m, n=n, dtype=np.dtype(b.dtype).name,
+                workers=workers,
+                k=k,
+                fuse=fuse,
+                n_windows=n_windows,
+                subtile_scale=subtile_scale,
+                parallelism=parallelism,
+                heuristic=heuristic,
+                fingerprint=fingerprint,
+                check=check,
+                out=out,
             )
-        if info is not None:
-            info["factorization"] = fp_state
-            info["rhs_only"] = fact is not None
-
-        if fact is not None:
-            x = execute_rhs_only(
-                self, plan, fact, d,
-                out=out, workers=workers, stage_times=stage_times,
-            )
-            with self._lock:
-                self.stats.solves += 1
-                self.stats.rhs_only_solves += 1
-                if workers is not None and workers > 1:
-                    self.stats.sharded_solves += 1
-            return x
-        if workers is not None and workers > 1:
-            return self.solve_sharded(
-                plan, workers, a, b, c, d,
-                counters=counters, out=out, stage_times=stage_times,
-            )
-        return self.execute_pooled(
-            plan, a, b, c, d,
-            counters=counters, out=out, stage_times=stage_times,
         )
+        self._fill_hooks(outcome, info, stage_times)
+        return outcome.x
 
     def solve_periodic(
         self,
@@ -618,96 +822,50 @@ class ExecutionEngine:
     ) -> np.ndarray:
         """Solve a cyclic ``(M, N)`` batch through the engine.
 
-        Arrays must already be coerced cyclic diagonals (corners in
+        A thin adapter over :meth:`run` with ``periodic=True``.  Arrays
+        must already be coerced cyclic diagonals (corners in
         ``a[:, 0]`` / ``c[:, -1]``; see
         :func:`repro.core.validation.coerce_cyclic_batch_arrays`) — the
         public entry points validate before calling in.  The
-        ``fingerprint`` tri-state mirrors :meth:`solve_batch`: repeat
-        sightings of one cyclic coefficient set engage a stored
-        :class:`~repro.engine.prepared.CyclicRhsFactorization` and run
-        one RHS-only sweep plus the rank-one correction; first
-        sightings (and ``fingerprint=False``) run the classic
-        corner-reduce + two inner solves.  The inner solves disable
-        their own fingerprinting — caching happens at the cyclic level
-        only, never on the reduced ``A'`` diagonals.
+        ``fingerprint`` tri-state mirrors :meth:`solve_batch` (see
+        :meth:`_run_periodic` for the cyclic cache semantics).
         """
+        from repro.backends.request import SolveRequest
+
         m, n = b.shape
-        plan = self.plan_for(
-            m,
-            n,
-            b.dtype,
-            k=k,
-            fuse=fuse,
-            n_windows=n_windows,
-            subtile_scale=subtile_scale,
-            parallelism=parallelism,
-            heuristic=heuristic,
-            info=info,
-        )
-        if info is not None:
-            info["plan"] = plan
-            info["periodic"] = True
-
-        fact = None
-        fp_state = "off" if fingerprint is False else "n/a"
-        if fingerprint is not False and (plan.uses_thomas or fingerprint):
-            t_fp = time.perf_counter()
-            digest = coefficient_fingerprint(a, b, c)
-            if stage_times is not None:
-                stage_times.append(
-                    ("fingerprint", time.perf_counter() - t_fp)
-                )
-            fact, fp_state = self._factorization_for(
-                plan, digest, a, b, c,
-                force=fingerprint is True,
+        outcome = self.run(
+            SolveRequest(
+                a=a, b=b, c=c, d=d,
+                m=m, n=n, dtype=np.dtype(b.dtype).name,
                 periodic=True,
+                workers=workers,
+                k=k,
+                fuse=fuse,
+                n_windows=n_windows,
+                subtile_scale=subtile_scale,
+                parallelism=parallelism,
+                heuristic=heuristic,
+                fingerprint=fingerprint,
                 check=check,
-                stage_times=stage_times,
+                out=out,
             )
+        )
+        self._fill_hooks(outcome, info, stage_times)
+        return outcome.x
+
+    @staticmethod
+    def _fill_hooks(outcome, info: dict | None, stage_times: list | None):
+        """Populate the legacy ``info=`` / ``stage_times=`` hooks."""
+        trace = outcome.trace
         if info is not None:
-            info["factorization"] = fp_state
-            info["rhs_only"] = fact is not None
-
-        if fact is not None:
-            x = execute_cyclic_rhs_only(
-                self, plan, fact, d,
-                out=out, workers=workers, check=check,
-                stage_times=stage_times,
-            )
-            with self._lock:
-                self.stats.solves += 1
-                self.stats.rhs_only_solves += 1
-                if workers is not None and workers > 1:
-                    self.stats.sharded_solves += 1
-            return x
-
-        from repro.core.periodic import (
-            apply_cyclic_correction,
-            correction_denominator,
-            correction_scale,
-            cyclic_reduce,
-        )
-
-        t0 = time.perf_counter()
-        ap, bp, cp, u, w = cyclic_reduce(a, b, c, check=check)
+            info["cache"] = trace.plan_cache
+            info["plan"] = outcome.plan
+            info["factorization"] = trace.factorization
+            info["rhs_only"] = trace.rhs_only
+            if trace.periodic:
+                info["periodic"] = True
         if stage_times is not None:
-            stage_times.append(("cyclic-reduce", time.perf_counter() - t0))
-        y = self.dispatch(
-            plan, ap, bp, cp, d,
-            workers=workers, fingerprint=False, stage_times=stage_times,
-        )
-        q = self.dispatch(
-            plan, ap, bp, cp, u,
-            workers=workers, fingerprint=False, stage_times=stage_times,
-        )
-        t1 = time.perf_counter()
-        scale = correction_scale(correction_denominator(q, w), n, check=check)
-        x = apply_cyclic_correction(y, q, w, scale, out=out)
-        if stage_times is not None:
-            stage_times.append(
-                ("cyclic-correction", time.perf_counter() - t1)
-            )
-        return x
+            stage_times.extend((s.name, s.seconds) for s in trace.stages)
 
     def solve(self, a, b, c, d, *, check: bool = True, **kwargs) -> np.ndarray:
         """Solve a single system (treated as an ``M = 1`` batch)."""

@@ -55,9 +55,10 @@ __all__ = [
     "ThomasRhsFactorization",
     "build_cyclic_factorization",
     "coefficient_fingerprint",
-    "execute_cyclic_rhs_only",
+    "cyclic_rhs_only_sweep",
     "factorization_nbytes",
     "prepare",
+    "rhs_only_sweep",
 ]
 
 #: Elements sampled per array by the fingerprint (plus the chunk-sum
@@ -242,7 +243,7 @@ def _shard_hybrid(fact: HybridFactorization, lo: int, hi: int):
     )
 
 
-def execute_rhs_only(
+def rhs_only_sweep(
     engine,
     plan,
     fact,
@@ -354,7 +355,7 @@ def build_cyclic_factorization(
 
     ap, bp, cp, u, w = cyclic_reduce(a, b, c, check=check)
     core = build_factorization(plan, ap, bp, cp)
-    q = execute_rhs_only(engine, plan, core, u)
+    q = rhs_only_sweep(engine, plan, core, u)
     denom = correction_denominator(q, w)
     scale = correction_scale(denom, plan.n, check=check)
     return CyclicRhsFactorization(
@@ -363,7 +364,7 @@ def build_cyclic_factorization(
     )
 
 
-def execute_cyclic_rhs_only(
+def cyclic_rhs_only_sweep(
     engine,
     plan,
     fact: CyclicRhsFactorization,
@@ -377,7 +378,7 @@ def execute_cyclic_rhs_only(
     """One cyclic solve against a stored :class:`CyclicRhsFactorization`.
 
     Runs the core RHS-only sweep (optionally sharded, same bitwise
-    argument as :func:`execute_rhs_only`) into a pooled workspace
+    argument as :func:`rhs_only_sweep`) into a pooled workspace
     buffer, then applies the precomputed rank-one correction.  The
     returned array never aliases pooled workspace memory.
     """
@@ -393,7 +394,7 @@ def execute_cyclic_rhs_only(
 
     ws = engine.checkout_prepared(plan)
     try:
-        y = execute_rhs_only(
+        y = rhs_only_sweep(
             engine, plan, fact.core, d,
             out=ws.cyclic_y(), workers=workers, stage_times=stage_times,
         )
@@ -474,7 +475,14 @@ class PreparedPlan:
         workers: int | None = None,
         check: bool = True,
     ) -> np.ndarray:
-        """Solve the prepared system against a fresh ``(M, N)`` RHS."""
+        """Solve the prepared system against a fresh ``(M, N)`` RHS.
+
+        A thin adapter: builds an ``rhs_only``
+        :class:`~repro.backends.request.SolveRequest` carrying the
+        stored factorization and runs it through the one engine
+        entrypoint, :meth:`ExecutionEngine.run
+        <repro.engine.engine.ExecutionEngine.run>`.
+        """
         d = np.asarray(d)
         if d.shape != (self.m, self.n):
             raise ValueError(
@@ -485,54 +493,31 @@ class PreparedPlan:
         d = np.ascontiguousarray(d, dtype=self.plan.dtype)
         if workers is None:
             workers = self.default_workers
-        stage_times: list = []
-        if self.periodic:
-            x = execute_cyclic_rhs_only(
-                self.engine,
-                self.plan,
-                self.factorization,
-                d,
-                out=out,
-                workers=workers,
-                check=check,
-                stage_times=stage_times,
-            )
-        else:
-            x = execute_rhs_only(
-                self.engine,
-                self.plan,
-                self.factorization,
-                d,
-                out=out,
-                workers=workers,
-                stage_times=stage_times,
-            )
-        self.solves += 1
-        with self.engine._lock:
-            self.engine.stats.rhs_only_solves += 1
-            if workers is not None and workers > 1:
-                self.engine.stats.sharded_solves += 1
-        from repro.backends.trace import SolveTrace, StageTiming, record_trace
+        from repro.backends.request import SolveRequest
+        from repro.backends.trace import record_trace
 
-        record_trace(
-            SolveTrace(
-                backend="prepared",
+        outcome = self.engine.run(
+            SolveRequest(
+                a=None,
+                b=None,
+                c=None,
+                d=d,
                 m=self.m,
                 n=self.n,
                 dtype=np.dtype(self.plan.dtype).name,
-                k=self.plan.k,
-                k_source=self.plan.k_source,
-                fuse=self.plan.fuse,
-                n_windows=self.plan.n_windows,
-                workers=workers or 1,
-                plan_cache="hit",
-                factorization="handle",
-                rhs_only=True,
                 periodic=self.periodic,
-                stages=[StageTiming(n_, s) for n_, s in stage_times],
+                rhs_only=True,
+                factorization=self.factorization,
+                plan=self.plan,
+                workers=workers,
+                check=check,
+                out=out,
+                label="prepared",
             )
         )
-        return x
+        self.solves += 1
+        record_trace(outcome.trace)
+        return outcome.x
 
 
 def prepare(

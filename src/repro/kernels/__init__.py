@@ -26,6 +26,7 @@ from repro.kernels.fused_kernel import fused_hybrid_counters
 from repro.kernels.pcr_kernel import inshared_pcr_counters
 from repro.kernels.cr_kernel import cr_counters
 from repro.kernels.rhs_kernel import (
+    rhs_kernel_footprint,
     rhs_level_counters,
     rhs_only_counters,
     rhs_pthomas_counters,
@@ -38,6 +39,7 @@ __all__ = [
     "fused_hybrid_counters",
     "inshared_pcr_counters",
     "cr_counters",
+    "rhs_kernel_footprint",
     "rhs_level_counters",
     "rhs_only_counters",
     "rhs_pthomas_counters",

@@ -33,10 +33,38 @@ from repro.gpusim.memory import MemoryTraffic, warp_transactions_strided
 
 __all__ = [
     "cyclic_correction_counters",
+    "rhs_kernel_footprint",
     "rhs_level_counters",
     "rhs_only_counters",
     "rhs_pthomas_counters",
 ]
+
+#: address arithmetic, loop counter, and predicate overhead every
+#: RHS-only kernel carries regardless of dtype (32-bit registers)
+_BASE_REGS = 6
+
+
+def rhs_kernel_footprint(
+    live_values: int, dtype_bytes: int
+) -> tuple:
+    """``(regs_per_thread, smem_per_block)`` for an RHS-only kernel.
+
+    The generic (unprepared) stage ledgers carry a flat
+    ``regs_per_thread=20`` estimate sized for full-elimination kernels
+    that keep three coefficient streams live.  A prepared kernel's
+    working set is smaller and dtype-dependent: each live value costs
+    one 32-bit register in fp32 and a register *pair* in fp64 (64-bit
+    operands occupy two words), on top of a fixed address/loop
+    overhead.  RHS-only kernels stage nothing in shared memory — their
+    factors stream straight from global — so the smem footprint is 0;
+    returning it here keeps the occupancy inputs paired at one seam.
+    """
+    if live_values < 1:
+        raise ValueError(f"need live_values >= 1, got {live_values}")
+    if dtype_bytes not in (4, 8):
+        raise ValueError(f"dtype_bytes must be 4 or 8, got {dtype_bytes}")
+    words_per_value = dtype_bytes // 4
+    return _BASE_REGS + live_values * words_per_value, 0
 
 
 def _warp_tx(device: DeviceSpec, n_systems: int, stride: int, dtype_bytes: int):
@@ -92,6 +120,9 @@ def rhs_pthomas_counters(
     traffic.add_load(*bulk(2, length))
     traffic.add_store(*bulk(1, length))
 
+    # live per thread: sub-diagonal, stored denominator, rolling d'/x,
+    # stored c' — the eliminated coefficient streams are gone
+    regs, smem = rhs_kernel_footprint(4, dtype_bytes)
     return KernelCounters(
         name="p-Thomas (RHS-only)",
         eliminations=n_systems * (2 * length - 1),
@@ -100,8 +131,8 @@ def rhs_pthomas_counters(
         dependent_steps=2 * length - 1,
         threads=n_systems,
         threads_per_block=threads_per_block,
-        smem_per_block=0,
-        regs_per_thread=16,
+        smem_per_block=smem,
+        regs_per_thread=regs,
         mlp=4.0,
     )
 
@@ -131,6 +162,8 @@ def rhs_level_counters(
     traffic.add_load(5 * k * rows * dtype_bytes, 5 * k * tx_per_val)
     traffic.add_store(k * rows * dtype_bytes, k * tx_per_val)
 
+    # live per thread: k1, k2, d, the two shifted neighbours, d'
+    regs, smem = rhs_kernel_footprint(6, dtype_bytes)
     return KernelCounters(
         name="PCR level apply (RHS-only)",
         eliminations=k * rows,
@@ -139,8 +172,8 @@ def rhs_level_counters(
         dependent_steps=k,  # levels are sequential; each is elementwise
         threads=rows,
         threads_per_block=min(threads_per_block, max(device.warp_size, rows)),
-        smem_per_block=0,
-        regs_per_thread=12,
+        smem_per_block=smem,
+        regs_per_thread=regs,
         mlp=8.0,
     )
 
@@ -181,6 +214,9 @@ def cyclic_correction_counters(
     dot_traffic.add_load(4 * m * dtype_bytes, 4 * tx_strided)
     dot_traffic.add_load(2 * m * dtype_bytes, 2 * tx_unit)
     dot_traffic.add_store(m * dtype_bytes, tx_unit)
+    # live per thread: w, scale, the running factor, and one loaded
+    # boundary pair at a time (y/q values are consumed as they arrive)
+    dot_regs, dot_smem = rhs_kernel_footprint(5, dtype_bytes)
     dot = KernelCounters(
         name="cyclic boundary dot",
         eliminations=m,
@@ -189,8 +225,8 @@ def cyclic_correction_counters(
         dependent_steps=1,
         threads=m,
         threads_per_block=tpb,
-        smem_per_block=0,
-        regs_per_thread=12,
+        smem_per_block=dot_smem,
+        regs_per_thread=dot_regs,
         mlp=4.0,
     )
 
@@ -201,6 +237,8 @@ def cyclic_correction_counters(
     axpy_traffic.add_load(2 * rows * dtype_bytes + m * dtype_bytes,
                           2 * tx_elem + tx_unit)
     axpy_traffic.add_store(rows * dtype_bytes, tx_elem)
+    # live per thread: y, q, broadcast factor
+    axpy_regs, axpy_smem = rhs_kernel_footprint(3, dtype_bytes)
     axpy = KernelCounters(
         name="cyclic correction axpy",
         eliminations=rows,
@@ -211,8 +249,8 @@ def cyclic_correction_counters(
         threads_per_block=min(
             threads_per_block, max(device.warp_size, rows)
         ),
-        smem_per_block=0,
-        regs_per_thread=10,
+        smem_per_block=axpy_smem,
+        regs_per_thread=axpy_regs,
         mlp=8.0,
     )
     return [dot, axpy]

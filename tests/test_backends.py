@@ -21,10 +21,9 @@ from repro.backends import (
     EngineBackend,
     NumpyReferenceBackend,
     Router,
-    SolveSignature,
+    SolveRequest,
     clear_last_trace,
     default_registry,
-    solve_periodic_via,
     solve_via,
 )
 from repro.core.periodic import CyclicSingularError, solve_periodic_batch
@@ -258,15 +257,11 @@ class _Float64Only(BackendBase):
     def capabilities(self):
         return Capabilities(dtypes=("float64",), description="test double")
 
-    def prepare(self, signature):
-        return self._inner.prepare(signature)
-
-    def execute(self, prepared, batch, out=None):
-        x = self._inner.execute(prepared, batch, out=out)
-        trace = self._inner.instrument()
-        trace.backend = self.name
-        self._set_trace(trace)
-        return x
+    def execute(self, request):
+        outcome = self._inner.execute(request)
+        outcome.trace.backend = self.name
+        self._set_trace(outcome.trace)
+        return outcome
 
 
 def _test_registry():
@@ -307,15 +302,11 @@ class _NoPeriodic(BackendBase):
     def capabilities(self):
         return Capabilities(periodic=False, description="test double")
 
-    def prepare(self, signature):
-        return self._inner.prepare(signature)
-
-    def execute(self, prepared, batch, out=None):
-        x = self._inner.execute(prepared, batch, out=out)
-        trace = self._inner.instrument()
-        trace.backend = self.name
-        self._set_trace(trace)
-        return x
+    def execute(self, request):
+        outcome = self._inner.execute(request)
+        outcome.trace.backend = self.name
+        self._set_trace(outcome.trace)
+        return outcome
 
 
 def test_periodic_capability_is_negotiated():
@@ -326,10 +317,12 @@ def test_periodic_capability_is_negotiated():
 
     # named explicitly: the rejection reason is surfaced
     with pytest.raises(BackendError, match="periodic"):
-        solve_periodic_via(a, b, c, d, backend="noperiodic", registry=registry)
+        solve_via(
+            a, b, c, d, periodic=True, backend="noperiodic", registry=registry
+        )
 
     # auto: negotiation skips the periodic-incapable backend ...
-    _, trace = solve_periodic_via(a, b, c, d, registry=registry)
+    _, trace = solve_via(a, b, c, d, periodic=True, registry=registry)
     assert trace.backend == "engine"
     assert trace.periodic is True
 
@@ -346,13 +339,28 @@ def test_no_capable_backend_lists_every_rejection():
         solve_via(a, b, c, d, registry=registry)
 
 
-def test_signature_validation():
-    sig = SolveSignature.for_batch(np.zeros((3, 16)), k=2)
-    assert (sig.m, sig.n, sig.k) == (3, 16, 2)
+def test_request_validation():
+    z = np.zeros((3, 16))
+    request = SolveRequest.build(z, z + 2, z, z, coerced=True, k=2)
+    assert (request.m, request.n, request.k) == (3, 16, 2)
+    assert request.dtype == "float64"
     with pytest.raises(TypeError, match="unknown solve option"):
-        SolveSignature.for_batch(np.zeros((3, 16)), block_size=32)
+        SolveRequest.build(z, z + 2, z, z, coerced=True, block_size=32)
     with pytest.raises(ValueError):
-        SolveSignature.for_batch(np.zeros(16))
+        SolveRequest.build(
+            np.zeros(16), np.zeros(16), np.zeros(16), np.zeros(16),
+            coerced=True,
+        )
+
+
+def test_periodic_requests_are_one_dispatch_seam():
+    # periodic is a request attribute, not a separate protocol method:
+    # the same solve_via seam serves cyclic systems
+    a, b, c, d = _cyclic_batch(3, 48, seed=24)
+    x, trace = solve_via(a, b, c, d, periodic=True)
+    ref = solve_periodic_batch(a, b, c, d)
+    assert trace.periodic is True
+    assert np.array_equal(x, ref)
 
 
 # ------------------------------------------------------------------ traces

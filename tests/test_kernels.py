@@ -204,3 +204,57 @@ def test_timing_model_prices_all_kernels():
     ):
         st = model.time(counters, 8)
         assert st.total_s > 0
+
+
+# --------------------------------------- RHS-only kernel footprints
+
+
+def test_rhs_footprint_is_dtype_aware():
+    from repro.kernels.rhs_kernel import rhs_kernel_footprint
+
+    regs64, smem64 = rhs_kernel_footprint(4, 8)
+    regs32, smem32 = rhs_kernel_footprint(4, 4)
+    # fp64 live values occupy register pairs; fp32 a single word each
+    assert regs64 - regs32 == 4
+    assert smem64 == smem32 == 0
+    with pytest.raises(ValueError, match="live_values"):
+        rhs_kernel_footprint(0, 8)
+    with pytest.raises(ValueError, match="dtype_bytes"):
+        rhs_kernel_footprint(4, 2)
+
+
+def test_rhs_ledgers_drop_the_generic_register_estimate():
+    from repro.kernels.rhs_kernel import (
+        cyclic_correction_counters,
+        rhs_only_counters,
+    )
+
+    # the unprepared stage ledgers carry a flat 20-register estimate
+    # sized for full elimination; every RHS-only kernel keeps fewer
+    # values live and must report a tighter footprint
+    generic = pthomas_counters(256, 64, 8).regs_per_thread
+    assert generic == 20
+    stages = rhs_only_counters(256, 512, 3, 8) + cyclic_correction_counters(
+        256, 512, 8
+    )
+    for counters in stages:
+        assert counters.regs_per_thread < generic, counters.name
+        assert counters.smem_per_block == 0
+    # fp32 footprints are tighter still
+    for c64, c32 in zip(
+        rhs_only_counters(256, 512, 3, 8), rhs_only_counters(256, 512, 3, 4)
+    ):
+        assert c32.regs_per_thread < c64.regs_per_thread
+
+
+def test_rhs_footprint_raises_occupancy_over_generic():
+    from repro.gpusim.occupancy import occupancy
+    from repro.kernels.rhs_kernel import rhs_pthomas_counters
+
+    c = rhs_pthomas_counters(4096, 64, 8)
+    prepared = occupancy(
+        GTX480, c.threads_per_block, c.smem_per_block, c.regs_per_thread
+    )
+    generic = occupancy(GTX480, c.threads_per_block, 0, 20)
+    # fewer live registers → at least as many resident warps per SM
+    assert prepared.warps_per_sm >= generic.warps_per_sm

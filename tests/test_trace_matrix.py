@@ -1,0 +1,101 @@
+"""Trace uniformity: every route × backend fills the same vocabulary.
+
+The SolveRequest → SolveOutcome spine promises that *one* trace schema
+describes every dispatch: plain, prepared (fingerprinted), and periodic
+solves all populate backend, k, plan-cache state, factorization state,
+``periodic`` and ``rhs_only`` — no backend leaves a field at a
+misleading default.  This matrix pins that promise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import BackendError, last_trace, solve_via
+
+_PLAN_CACHE_STATES = {"hit", "miss", "n/a"}
+_FACTORIZATION_STATES = {"hit", "factored", "miss", "off", "handle", "n/a"}
+
+ROUTES = ("plain", "prepared", "periodic")
+BACKENDS = ("engine", "threaded", "numpy", "gpusim")
+
+
+def _batch(route: str, backend: str, m=8, n=64):
+    # distinct coefficients per (route, backend) cell so the shared
+    # default engine's fingerprint ledger never couples two cells
+    seed = sum(map(ord, route + ":" + backend))
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    c = rng.standard_normal((m, n))
+    b = 4.0 + np.abs(a) + np.abs(c)
+    d = rng.standard_normal((m, n))
+    if route != "periodic":
+        a[:, 0] = 0.0
+        c[:, -1] = 0.0
+    return a, b, c, d
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("route", ROUTES)
+def test_every_route_populates_the_full_trace(route, backend):
+    a, b, c, d = _batch(route, backend)
+
+    if route == "prepared":
+        if backend == "numpy":
+            with pytest.raises(BackendError, match="prepared"):
+                solve_via(a, b, c, d, backend=backend, fingerprint=True)
+            return
+        solve_via(a, b, c, d, backend=backend, fingerprint=True)  # factor
+        x, trace = solve_via(a, b, c, d, backend=backend, fingerprint=True)
+        assert trace.factorization == "hit"
+        assert trace.rhs_only is True
+    elif route == "periodic":
+        x, trace = solve_via(a, b, c, d, backend=backend, periodic=True)
+        assert trace.periodic is True
+    else:
+        x, trace = solve_via(a, b, c, d, backend=backend)
+        assert trace.periodic is False
+
+    # one schema, uniformly populated
+    assert trace.backend == backend
+    assert trace.m == 8 and trace.n == 64
+    assert trace.dtype == "float64"
+    assert isinstance(trace.k, int) and trace.k >= 0
+    assert trace.k_source
+    assert trace.workers >= 1
+    assert trace.plan_cache in _PLAN_CACHE_STATES
+    assert trace.factorization in _FACTORIZATION_STATES
+    assert isinstance(trace.rhs_only, bool)
+    assert isinstance(trace.periodic, bool)
+
+    # stages: validate first, every timing finite and non-negative
+    assert trace.stages, "no stage timings recorded"
+    assert trace.stages[0].name == "validate"
+    assert all(s.seconds >= 0.0 for s in trace.stages)
+
+    # the trace is also the thread's queryable last_trace
+    assert last_trace() is trace
+
+    # and the route actually solved the system
+    ref, _ = solve_via(
+        a, b, c, d, backend="numpy", periodic=(route == "periodic")
+    )
+    np.testing.assert_allclose(x, ref, rtol=1e-10, atol=1e-12)
+
+
+def test_prepared_handle_traces_use_the_same_schema():
+    import repro
+
+    a, b, c, d = _batch("handle", "prepared", n=32)
+    handle = repro.prepare(a, b, c, k=0)
+    x = handle.solve(d)
+    trace = last_trace()
+    assert trace is not None
+    assert trace.backend == "prepared"
+    assert trace.factorization == "handle"
+    assert trace.rhs_only is True
+    assert trace.periodic is False
+    assert trace.plan_cache in _PLAN_CACHE_STATES
+    assert trace.stages
+    np.testing.assert_allclose(
+        x, solve_via(a, b, c, d, backend="numpy")[0], rtol=1e-10, atol=1e-12
+    )
