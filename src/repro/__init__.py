@@ -66,11 +66,18 @@ from repro.core import (
 from repro.backends import (
     Backend,
     Capabilities,
+    RouteDecision,
     SolveTrace,
     get_backend,
     last_trace,
     list_backends,
     register_backend,
+)
+from repro.autotune import (
+    AdaptiveRouter,
+    PerformanceModel,
+    disable_adaptive_routing,
+    enable_adaptive_routing,
 )
 from repro.engine import (
     ExecutionEngine,
@@ -110,9 +117,14 @@ __all__ = [
     "SolvePlan",
     "default_engine",
     "prepare",
+    "AdaptiveRouter",
     "Backend",
     "Capabilities",
+    "PerformanceModel",
+    "RouteDecision",
     "SolveTrace",
+    "disable_adaptive_routing",
+    "enable_adaptive_routing",
     "get_backend",
     "last_trace",
     "list_backends",

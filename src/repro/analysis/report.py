@@ -65,8 +65,18 @@ def trace_markdown(trace) -> str:
         f"plan cache: {info['plan_cache']}",
         f"factorization: {info['factorization']}"
         + ("  (RHS-only fast path)" if info["rhs_only"] else ""),
-        "",
     ]
+    decision = info.get("decision")
+    if decision:
+        line = f"routing: {decision['router']} -> {decision['chosen']}"
+        if decision.get("model") not in (None, "", "n/a"):
+            line += f"  [model {decision['model']}]"
+        if decision.get("explore"):
+            line += "  [explore]"
+        if decision.get("reason"):
+            line += f"  ({decision['reason']})"
+        lines.append(line)
+    lines.append("")
     cols = [("name", "stage"), ("ms", "measured (ms)")]
     if any(s["predicted_us"] is not None for s in info["stages"]):
         cols.append(("predicted_us", "predicted (us)"))

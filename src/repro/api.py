@@ -36,7 +36,16 @@ def _solve_dtype(*arrays) -> np.dtype:
     return dtype if dtype in _FLOATS else np.dtype(np.float64)
 
 
-def gtsv(dl, d, du, B, *, backend: str = "auto", fingerprint: bool | None = None):
+def gtsv(
+    dl,
+    d,
+    du,
+    B,
+    *,
+    backend: str = "auto",
+    fingerprint: bool | None = None,
+    rtol: float | None = None,
+):
     """LAPACK ``?gtsv``-style: one system, possibly many RHS columns.
 
     Parameters
@@ -58,6 +67,10 @@ def gtsv(dl, d, du, B, *, backend: str = "auto", fingerprint: bool | None = None
     fingerprint:
         Factorization-cache tri-state forwarded to
         :func:`repro.solve_batch`.
+    rtol:
+        Accuracy contract forwarded to :func:`repro.solve_batch` —
+        tolerances above the dtype floor let fingerprinting
+        auto-engage on hybrid ``k > 0`` plans too.
 
     Returns
     -------
@@ -100,7 +113,7 @@ def gtsv(dl, d, du, B, *, backend: str = "auto", fingerprint: bool | None = None
     if B.ndim == 1:
         x = solve_batch(
             a[None], d[None], c[None], B[None],
-            backend=backend, fingerprint=fingerprint,
+            backend=backend, fingerprint=fingerprint, rtol=rtol,
         )
         return x[0]
     nrhs = B.shape[1]
@@ -110,16 +123,25 @@ def gtsv(dl, d, du, B, *, backend: str = "auto", fingerprint: bool | None = None
     # B.T is evaluated by value, so Fortran-ordered / strided B is fine.
     x = solve_batch(
         aa, bb, cc, np.ascontiguousarray(B.T),
-        backend=backend, fingerprint=fingerprint,
+        backend=backend, fingerprint=fingerprint, rtol=rtol,
     )
     return np.ascontiguousarray(x.T)
 
 
 def gtsv_nopivot(
-    dl, d, du, B, *, backend: str = "auto", fingerprint: bool | None = None
+    dl,
+    d,
+    du,
+    B,
+    *,
+    backend: str = "auto",
+    fingerprint: bool | None = None,
+    rtol: float | None = None,
 ):
     """cuSPARSE ``gtsv2_nopivot``-style alias (the library never pivots)."""
-    return gtsv(dl, d, du, B, backend=backend, fingerprint=fingerprint)
+    return gtsv(
+        dl, d, du, B, backend=backend, fingerprint=fingerprint, rtol=rtol
+    )
 
 
 def gtsv_cyclic(
@@ -131,6 +153,7 @@ def gtsv_cyclic(
     backend: str = "auto",
     check: bool = True,
     fingerprint: bool | None = None,
+    rtol: float | None = None,
 ):
     """cuSPARSE ``gtsv2cyclic``-style: one *periodic* tridiagonal system.
 
@@ -159,6 +182,9 @@ def gtsv_cyclic(
         and emits NaN for the singular systems instead.
     fingerprint:
         Factorization-cache tri-state forwarded to the cyclic solve.
+    rtol:
+        Accuracy contract forwarded to the cyclic solve (see
+        :func:`gtsv`).
 
     Returns
     -------
@@ -189,6 +215,7 @@ def gtsv_cyclic(
         x = solve_periodic_batch(
             dl[None], d[None], du[None], B[None],
             backend=backend, check=check, fingerprint=fingerprint,
+            rtol=rtol,
         )
         return x[0]
     nrhs = B.shape[1]
@@ -197,7 +224,7 @@ def gtsv_cyclic(
     cc = np.tile(du, (nrhs, 1))
     x = solve_periodic_batch(
         aa, bb, cc, np.ascontiguousarray(B.T),
-        backend=backend, check=check, fingerprint=fingerprint,
+        backend=backend, check=check, fingerprint=fingerprint, rtol=rtol,
     )
     return np.ascontiguousarray(x.T)
 
@@ -212,6 +239,7 @@ def gtsv_strided_batch(
     *,
     backend: str = "auto",
     fingerprint: bool | None = None,
+    rtol: float | None = None,
 ):
     """cuSPARSE ``gtsv2StridedBatch``-style: flat strided system batch.
 
@@ -238,6 +266,9 @@ def gtsv_strided_batch(
         Factorization-cache tri-state forwarded to
         :func:`repro.solve_batch` — fixed diagonals across repeated
         calls hit the stored factorization automatically.
+    rtol:
+        Accuracy contract forwarded to :func:`repro.solve_batch` (see
+        :func:`gtsv`).
 
     Returns
     -------
@@ -284,7 +315,8 @@ def gtsv_strided_batch(
         sol = d2 / np.asarray(b2, dtype=x.dtype)
     else:
         sol = solve_batch(
-            a2, b2, c2, d2, backend=backend, fingerprint=fingerprint
+            a2, b2, c2, d2, backend=backend, fingerprint=fingerprint,
+            rtol=rtol,
         )
     x[:needed] = sol.reshape(-1)
     return x

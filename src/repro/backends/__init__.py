@@ -52,6 +52,7 @@ from repro.backends.registry import (
 from repro.backends.request import OPTION_NAMES, SolveOutcome, SolveRequest
 from repro.backends.threaded import ThreadedBackend, execute_sharded
 from repro.backends.trace import (
+    RouteDecision,
     SolveTrace,
     StageTiming,
     clear_last_trace,
@@ -69,6 +70,7 @@ __all__ = [
     "GpuSimBackend",
     "NumpyReferenceBackend",
     "OPTION_NAMES",
+    "RouteDecision",
     "Router",
     "SolveOutcome",
     "SolveRequest",

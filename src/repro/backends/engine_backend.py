@@ -38,17 +38,22 @@ class EngineBackend(BackendBase):
         return self._engine if self._engine is not None else default_engine()
 
     def capabilities(self) -> Capabilities:
-        # max_workers is the accepted limit, not the core count —
-        # sharding stays functional (and bitwise-safe) on any machine.
-        return Capabilities(
-            max_workers=max(32, os.cpu_count() or 1),
-            prepared=True,
-            description=(
-                "plan-caching + workspace-pooling engine — warm solves "
-                "allocate only their result, repeat coefficients hit the "
-                "factorization cache (default)"
-            ),
-        )
+        # memoized: Capabilities is frozen and this sits on every
+        # dispatch (and router admissibility) hot path
+        caps = getattr(self, "_caps", None)
+        if caps is None:
+            # max_workers is the accepted limit, not the core count —
+            # sharding stays functional (and bitwise-safe) on any machine.
+            caps = self._caps = Capabilities(
+                max_workers=max(32, os.cpu_count() or 1),
+                prepared=True,
+                description=(
+                    "plan-caching + workspace-pooling engine — warm solves "
+                    "allocate only their result, repeat coefficients hit the "
+                    "factorization cache (default)"
+                ),
+            )
+        return caps
 
     def execute(self, request: SolveRequest) -> SolveOutcome:
         outcome = self.engine.run(request)

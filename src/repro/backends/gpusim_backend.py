@@ -45,15 +45,18 @@ class GpuSimBackend(BackendBase):
         self.solver = solver if solver is not None else GpuHybridSolver()
 
     def capabilities(self) -> Capabilities:
-        return Capabilities(
-            simulated=True,
-            prepared=True,
-            description=(
-                f"engine numerics + {self.solver.device.name} device-model "
-                "pricing — trace shows predicted kernel times; prepared "
-                "solves price the RHS-only kernels"
-            ),
-        )
+        caps = getattr(self, "_caps", None)
+        if caps is None:
+            caps = self._caps = Capabilities(
+                simulated=True,
+                prepared=True,
+                description=(
+                    f"engine numerics + {self.solver.device.name} "
+                    "device-model pricing — trace shows predicted kernel "
+                    "times; prepared solves price the RHS-only kernels"
+                ),
+            )
+        return caps
 
     def execute(self, request: SolveRequest) -> SolveOutcome:
         from repro.engine import default_engine

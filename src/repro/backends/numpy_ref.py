@@ -42,12 +42,15 @@ class NumpyReferenceBackend(BackendBase):
     priority = 20
 
     def capabilities(self) -> Capabilities:
-        return Capabilities(
-            description=(
-                "single-call HybridSolver reference — re-plans and "
-                "re-allocates every call; the bitwise baseline"
-            ),
-        )
+        caps = getattr(self, "_caps", None)
+        if caps is None:
+            caps = self._caps = Capabilities(
+                description=(
+                    "single-call HybridSolver reference — re-plans and "
+                    "re-allocates every call; the bitwise baseline"
+                ),
+            )
+        return caps
 
     def execute(self, request: SolveRequest) -> SolveOutcome:
         if request.periodic:

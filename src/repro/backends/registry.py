@@ -33,7 +33,12 @@ import numpy as np
 
 from repro.backends.base import Backend, Capabilities
 from repro.backends.request import SolveRequest
-from repro.backends.trace import SolveTrace, StageTiming, record_trace
+from repro.backends.trace import (
+    RouteDecision,
+    SolveTrace,
+    StageTiming,
+    record_trace,
+)
 
 __all__ = [
     "BackendError",
@@ -80,7 +85,17 @@ class Router:
     (ties broken alphabetically) is chosen — the same
     piecewise-deterministic shape as the paper's Table III, lifted from
     "which k" to "which backend".
+
+    ``select`` also stamps :class:`~repro.backends.trace.RouteDecision`
+    provenance onto the request (which policy chose, from what
+    candidates, and why); subclasses — notably
+    :class:`repro.autotune.AdaptiveRouter` — may additionally refine
+    request knobs the caller left unset (``k``, ``workers``,
+    ``fingerprint``) before execution.
     """
+
+    #: provenance tag recorded in :class:`RouteDecision.router`
+    kind = "static"
 
     def __init__(self, rules: tuple = ()):
         self.rules = tuple(rules) if rules else (self.route_workers,)
@@ -97,11 +112,25 @@ class Router:
         if not candidates:
             raise BackendError("no candidate backends")
         by_name = {b.name: b for b in candidates}
+        names = tuple(b.name for b in candidates)
         for rule in self.rules:
             name = rule(request)
             if name is not None and name in by_name:
+                request.decision = RouteDecision(
+                    router=self.kind,
+                    chosen=name,
+                    candidates=names,
+                    reason=f"rule {getattr(rule, '__name__', 'rule')}",
+                )
                 return by_name[name]
-        return max(candidates, key=lambda b: (b.priority, b.name))
+        chosen = max(candidates, key=lambda b: (b.priority, b.name))
+        request.decision = RouteDecision(
+            router=self.kind,
+            chosen=chosen.name,
+            candidates=names,
+            reason="highest-priority capable backend",
+        )
+        return chosen
 
 
 class BackendRegistry:
@@ -168,6 +197,12 @@ class BackendRegistry:
                 raise BackendError(
                     f"backend {name!r} cannot solve this problem: {reason}"
                 )
+            request.decision = RouteDecision(
+                router="explicit",
+                chosen=name,
+                candidates=(name,),
+                reason="caller named the backend",
+            )
             return backend
         candidates = self.capable(request)
         if not candidates:
@@ -264,8 +299,13 @@ def solve_via(
     outcome = chosen.execute(request)
 
     trace = outcome.trace
+    if trace.decision is None:
+        trace.decision = request.decision
     trace.stages = [StageTiming("validate", t_validate), *trace.stages]
     record_trace(trace)
+    observe = getattr(reg.router, "observe", None)
+    if observe is not None:
+        observe(request, trace)
     return outcome.x, trace
 
 

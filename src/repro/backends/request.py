@@ -54,6 +54,7 @@ OPTION_NAMES = (
     "periodic",
     "heuristic",
     "fingerprint",
+    "rtol",
 )
 
 
@@ -81,6 +82,15 @@ class SolveRequest:
         bitwise safe (``k = 0``), ``True`` forces prepared execution
         (and restricts negotiation to prepared-capable backends),
         ``False`` disables hashing.
+    rtol:
+        The caller's accuracy contract: the relative drift (vs the
+        unprepared solve) this request tolerates.  ``None`` (default)
+        means *bitwise* — fingerprinting auto-engages only where it is
+        bit-exact (``k = 0``).  A positive ``rtol`` above the dtype
+        floor (:data:`repro.engine.prepared.FINGERPRINT_RTOL_FLOOR`)
+        lets the auto tier also reuse hybrid ``k > 0`` factorizations,
+        whose RHS-only sweeps are allclose-grade, and licenses the
+        adaptive router to select forced-fingerprint routes.
     workers:
         Requested batch-axis shard count (``None`` = backend default).
     k, fuse, n_windows, subtile_scale, parallelism, heuristic:
@@ -96,6 +106,10 @@ class SolveRequest:
         adapters run on the engine spine but report their own name.
     layout:
         Input layout (all current backends take ``"contiguous"``).
+    decision:
+        :class:`~repro.backends.trace.RouteDecision` provenance, set
+        at negotiation time by the registry/router and copied onto the
+        final trace by ``solve_via``.
     """
 
     a: np.ndarray | None
@@ -108,6 +122,7 @@ class SolveRequest:
     periodic: bool = False
     rhs_only: bool = False
     fingerprint: bool | None = None
+    rtol: float | None = None
     workers: int | None = None
     k: int | None = None
     fuse: bool = False
@@ -121,6 +136,7 @@ class SolveRequest:
     out: np.ndarray | None = None
     label: str | None = None
     layout: str = "contiguous"
+    decision: object = None
 
     @classmethod
     def build(
@@ -153,6 +169,14 @@ class SolveRequest:
                 f"unknown solve option(s) {unknown}; "
                 f"valid options: {sorted(OPTION_NAMES)}"
             )
+        rtol = opts.get("rtol")
+        if rtol is not None:
+            rtol = float(rtol)
+            if not np.isfinite(rtol) or rtol < 0.0:
+                raise ValueError(
+                    f"rtol must be a finite value >= 0 (or None), got {rtol}"
+                )
+            opts["rtol"] = rtol
         periodic = bool(opts.pop("periodic", periodic))
         if not coerced:
             if periodic:

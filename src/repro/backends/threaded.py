@@ -175,17 +175,22 @@ class ThreadedBackend(BackendBase):
         return min(4, os.cpu_count() or 1)
 
     def capabilities(self) -> Capabilities:
-        # max_workers is the accepted limit, not the core count —
-        # sharding stays functional (and bitwise-safe) on any machine.
-        return Capabilities(
-            max_workers=max(32, os.cpu_count() or 1),
-            prepared=True,
-            description=(
-                "batch-axis sharding over the engine's thread pool — "
-                "bitwise independent of the worker count; prepared "
-                "solves shard the RHS-only sweep"
-            ),
-        )
+        # memoized: Capabilities is frozen and this sits on every
+        # dispatch (and router admissibility) hot path
+        caps = getattr(self, "_caps", None)
+        if caps is None:
+            # max_workers is the accepted limit, not the core count —
+            # sharding stays functional (and bitwise-safe) on any machine.
+            caps = self._caps = Capabilities(
+                max_workers=max(32, os.cpu_count() or 1),
+                prepared=True,
+                description=(
+                    "batch-axis sharding over the engine's thread pool — "
+                    "bitwise independent of the worker count; prepared "
+                    "solves shard the RHS-only sweep"
+                ),
+            )
+        return caps
 
     def execute(self, request: SolveRequest) -> SolveOutcome:
         """Run the request on the engine spine with sharding resolved.

@@ -18,6 +18,7 @@ import threading
 from dataclasses import dataclass, field
 
 __all__ = [
+    "RouteDecision",
     "StageTiming",
     "SolveTrace",
     "last_trace",
@@ -38,6 +39,66 @@ class StageTiming:
     name: str
     seconds: float
     predicted_us: float | None = None
+
+
+@dataclass
+class RouteDecision:
+    """Why a solve ran where it ran: the router's provenance record.
+
+    Filled at negotiation time (``BackendRegistry.resolve``) and copied
+    onto the resulting :class:`SolveTrace` by ``solve_via`` — so every
+    registry-dispatched trace says not just *what* executed but *which
+    policy chose it and from what alternatives*.
+
+    Attributes
+    ----------
+    router:
+        The policy that routed: ``"static"`` (the Table-III-shaped
+        default :class:`~repro.backends.registry.Router`),
+        ``"adaptive"`` (:class:`~repro.autotune.AdaptiveRouter`), or
+        ``"explicit"`` (the caller named the backend — no policy ran).
+    chosen:
+        Registry name of the selected backend.
+    candidates:
+        Capability-filtered backend names that were considered
+        (just the chosen one for explicit dispatch).
+    cell:
+        The performance-model cell key consulted (``""`` when no model
+        was involved).
+    model:
+        ``"hit"`` (a calibrated route was applied), ``"cold"`` (cell
+        had no usable data — static fallback), or ``"n/a"`` (no model).
+    explore:
+        True when this pick was an epsilon-exploration sample rather
+        than the believed-best route.
+    route:
+        The knobs the policy applied (``{"backend", "k", "workers",
+        "fingerprint"}``); empty when nothing was overridden.
+    reason:
+        One-line human rationale.
+    """
+
+    router: str = "static"
+    chosen: str = ""
+    candidates: tuple = ()
+    cell: str = ""
+    model: str = "n/a"
+    explore: bool = False
+    route: dict = field(default_factory=dict)
+    reason: str = ""
+
+    def describe(self) -> dict:
+        """Flat summary dict (mirrors :meth:`SolveTrace.describe`)."""
+        return {
+            "router": self.router,
+            "chosen": self.chosen,
+            "candidates": list(self.candidates),
+            "cell": self.cell,
+            "model": self.model,
+            "explore": self.explore,
+            "route": dict(self.route),
+            "reason": self.reason,
+        }
 
 
 @dataclass
@@ -73,6 +134,10 @@ class SolveTrace:
     periodic:
         True when the trace describes a *cyclic* (Sherman–Morrison)
         solve — the whole correction pipeline, not the inner q-solve.
+    decision:
+        The :class:`RouteDecision` negotiation provenance (``None`` for
+        solves that bypassed the registry: direct algorithm paths,
+        engine-direct adapters, prepared handles).
     stages:
         Per-stage :class:`StageTiming` in execution order.
     predicted_total_us:
@@ -93,6 +158,7 @@ class SolveTrace:
     factorization: str = "n/a"
     rhs_only: bool = False
     periodic: bool = False
+    decision: RouteDecision | None = None
     stages: list = field(default_factory=list)
     predicted_total_us: float | None = None
 
@@ -124,6 +190,9 @@ class SolveTrace:
             "factorization": self.factorization,
             "rhs_only": self.rhs_only,
             "periodic": self.periodic,
+            "decision": (
+                self.decision.describe() if self.decision is not None else None
+            ),
             "total_ms": self.total_s * 1e3,
             "predicted_total_us": self.predicted_total_us,
             "stages": [

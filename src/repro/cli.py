@@ -9,6 +9,9 @@ Commands
 ``tables``    print Table I / II / III
 ``anchors``   verify the calibration anchors against the paper
 ``report``    emit the full EXPERIMENTS.md body
+``trace``     run one solve and print its instrumentation trace
+``tune``      calibrate the adaptive router's performance model
+``router``    inspect (or reset) a persisted performance model
 
 Examples
 --------
@@ -22,6 +25,9 @@ Examples
     python -m repro.cli figures --figure 12 --panel 512
     python -m repro.cli tables --table 3
     python -m repro.cli anchors
+    python -m repro.cli trace -M 64 -N 1024 --json
+    python -m repro.cli tune --model router_model.json --repeats 3
+    python -m repro.cli router --model router_model.json
 """
 
 from __future__ import annotations
@@ -119,6 +125,66 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "--no-accuracy", action="store_true",
         help="skip the (slower) accuracy sweeps",
+    )
+
+    tr = sub.add_parser(
+        "trace", help="run one solve and print its instrumentation trace"
+    )
+    tr.add_argument("-M", type=int, default=64)
+    tr.add_argument("-N", type=int, default=1024)
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--backend", default=None,
+                    help="pin the backend (default: let the router choose)")
+    tr.add_argument("--periodic", action="store_true")
+    tr.add_argument("--fp32", action="store_true")
+    tr.add_argument(
+        "--rtol", type=float, default=None,
+        help="accuracy contract: licenses factorization reuse on "
+        "hybrid plans (see SolveRequest.rtol)",
+    )
+    tr.add_argument(
+        "--adaptive", metavar="MODEL", default=None,
+        help="route through an AdaptiveRouter loaded from MODEL",
+    )
+    tr.add_argument(
+        "--json", action="store_true",
+        help="dump the full trace.describe() payload as JSON",
+    )
+
+    tune = sub.add_parser(
+        "tune", help="calibrate the adaptive router's performance model"
+    )
+    tune.add_argument(
+        "--model", default="router_model.json",
+        help="model file to create or extend (default: %(default)s)",
+    )
+    tune.add_argument(
+        "--shapes", default=None,
+        help="comma-separated MxN shapes, e.g. '8x1024,512x512' "
+        "(default: the built-in Table-III sweep)",
+    )
+    tune.add_argument("--repeats", type=int, default=3,
+                      help="observed rounds per route")
+    tune.add_argument("--warmup", type=int, default=2,
+                      help="unobserved warm-up rounds")
+    tune.add_argument("--fp32", action="store_true")
+    tune.add_argument("--periodic", action="store_true")
+    tune.add_argument("--rtol", type=float, default=None,
+                      help="also calibrate rtol-licensed reuse routes")
+    tune.add_argument(
+        "--fresh", action="store_true",
+        help="start from an empty model instead of extending the file",
+    )
+
+    router = sub.add_parser(
+        "router", help="inspect (or reset) a persisted performance model"
+    )
+    router.add_argument(
+        "--model", default="router_model.json",
+        help="model file to inspect (default: %(default)s)",
+    )
+    router.add_argument(
+        "--reset", action="store_true", help="delete the model file"
     )
     return p
 
@@ -448,6 +514,152 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import json as _json
+
+    import repro
+    from repro.analysis.report import trace_markdown
+    from repro.workloads.generators import random_batch
+
+    if args.periodic:
+        a, b, c, d = _random_cyclic_batch(args.M, args.N, args.seed)
+    else:
+        a, b, c, d = random_batch(args.M, args.N, seed=args.seed)
+    if args.fp32:
+        a, b, c, d = (v.astype("float32") for v in (a, b, c, d))
+    kwargs = {}
+    if args.backend is not None:
+        kwargs["backend"] = args.backend
+    if args.rtol is not None:
+        kwargs["rtol"] = args.rtol
+
+    adaptive = None
+    if args.adaptive is not None:
+        from repro.autotune import enable_adaptive_routing
+
+        adaptive = enable_adaptive_routing(args.adaptive)
+        if adaptive.load_note is not None:
+            print(f"note: {adaptive.load_note} — starting cold",
+                  file=sys.stderr)
+    try:
+        if args.periodic:
+            repro.solve_periodic_batch(a, b, c, d, **kwargs)
+        else:
+            repro.solve_batch(a, b, c, d, **kwargs)
+    finally:
+        if adaptive is not None:
+            from repro.autotune import disable_adaptive_routing
+
+            disable_adaptive_routing()
+    trace = repro.last_trace()
+    if trace is None:
+        print("no trace recorded", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(trace.describe(), indent=2, default=str))
+    else:
+        print(trace_markdown(trace))
+    return 0
+
+
+def _parse_shapes(text: str):
+    shapes = []
+    for part in text.split(","):
+        part = part.strip().lower()
+        if not part:
+            continue
+        try:
+            m, n = part.split("x")
+            shapes.append((int(m), int(n)))
+        except ValueError:
+            raise SystemExit(
+                f"bad shape {part!r}: expected MxN, e.g. 64x1024"
+            )
+    if not shapes:
+        raise SystemExit("--shapes named no shapes")
+    return tuple(shapes)
+
+
+def _print_model_summary(model) -> None:
+    cells = model.cells()
+    if not cells:
+        print("model is empty")
+        return
+    print(f"{len(cells)} cell(s):")
+    for cell in cells:
+        routes = model.routes(cell)
+        samples = model.observations(cell)
+        best = model.best(cell)
+        print(f"  {cell}: {len(routes)} route(s), {samples} sample(s)")
+        if best is None:
+            print("    best: (no route trusted yet)")
+        else:
+            route, stats = best
+            knobs = ", ".join(
+                f"{f}={route[f]}" for f in ("backend", "k", "workers",
+                                            "fingerprint")
+                if route.get(f) is not None
+            )
+            print(f"    best: {knobs}  "
+                  f"({stats.mean_s * 1e3:.3f} ms mean, n={stats.count})")
+
+
+def _cmd_tune(args) -> int:
+    from repro.autotune import DEFAULT_SHAPES, PerformanceModel, calibrate
+
+    shapes = (
+        _parse_shapes(args.shapes) if args.shapes else DEFAULT_SHAPES
+    )
+    if args.fresh:
+        model, note = PerformanceModel(), None
+    else:
+        model, note = PerformanceModel.load_or_new(args.model)
+    if note is not None:
+        print(f"note: {note} — starting fresh", file=sys.stderr)
+    calibrate(
+        shapes,
+        model=model,
+        repeats=args.repeats,
+        warmup_rounds=args.warmup,
+        dtype="float32" if args.fp32 else "float64",
+        periodic=args.periodic,
+        rtol=args.rtol,
+        progress=print,
+    )
+    path = model.save(args.model)
+    print(f"model saved to {path}")
+    _print_model_summary(model)
+    return 0
+
+
+def _cmd_router(args) -> int:
+    import os
+
+    from repro.autotune import PerformanceModel
+
+    if args.reset:
+        try:
+            os.unlink(args.model)
+        except FileNotFoundError:
+            print(f"no model at {args.model} (nothing to reset)")
+            return 0
+        print(f"removed {args.model}")
+        return 0
+    if not os.path.exists(args.model):
+        print(f"no model at {args.model} — run `repro tune` first",
+              file=sys.stderr)
+        return 1
+    model, note = PerformanceModel.load_or_new(args.model)
+    if note is not None:
+        print(f"unusable model at {args.model}: {note}", file=sys.stderr)
+        print("(the adaptive router would start cold; "
+              "`repro router --reset` clears it)", file=sys.stderr)
+        return 1
+    print(f"model: {args.model}")
+    _print_model_summary(model)
+    return 0
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "solve": _cmd_solve,
@@ -459,6 +671,9 @@ _COMMANDS = {
     "roofline": _cmd_roofline,
     "accuracy": _cmd_accuracy,
     "export": _cmd_export,
+    "trace": _cmd_trace,
+    "tune": _cmd_tune,
+    "router": _cmd_router,
 }
 
 

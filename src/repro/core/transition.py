@@ -40,6 +40,7 @@ __all__ = [
     "GTX480_HEURISTIC",
     "select_k_heuristic",
     "select_k_analytic",
+    "candidate_ks",
     "clamp_k",
 ]
 
@@ -106,6 +107,27 @@ def select_k_heuristic(
 ) -> int:
     """Table III lookup (default: the GTX480 table), clamped to ``N``."""
     return heuristic.k_for(m, n)
+
+
+def candidate_ks(
+    m: int,
+    n: int,
+    heuristic: TransitionHeuristic = GTX480_HEURISTIC,
+) -> tuple:
+    """Distinct transition points worth measuring for ``(M, N)``.
+
+    The autotuner's exploration set: pure Thomas (``k = 0``), the
+    static table's pick, and its immediate neighbours — the region
+    where Table III mispredicts on hardware it was not tuned for
+    (Section III-D: the optimum moves with the machine's parallelism).
+    All values are clamped to ``2^k ≤ N / 2``; duplicates collapse, so
+    shapes where the table already says 0 explore just ``(0,)``.
+    """
+    table_k = heuristic.k_for(m, n)
+    ks = {0, table_k}
+    ks.add(clamp_k(table_k - 1, n))
+    ks.add(clamp_k(table_k + 1, n))
+    return tuple(sorted(ks))
 
 
 def select_k_analytic(n_log2: int, m: int, p: int, k_max: int | None = None) -> int:

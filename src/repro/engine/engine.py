@@ -26,6 +26,7 @@ churn).  A module-level :func:`default_engine` instance backs
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -48,6 +49,7 @@ from repro.engine.prepared import (
     cyclic_rhs_only_sweep,
     factorization_nbytes,
     rhs_only_sweep,
+    rtol_permits_hybrid_reuse,
 )
 from repro.engine.workspace import PlanWorkspace, PreparedWorkspace
 
@@ -155,8 +157,26 @@ class ExecutionEngine:
         self._facts: OrderedDict = OrderedDict()  # fact key -> factorization
         self._fp_seen: OrderedDict = OrderedDict()  # fact key sighting ledger
         self._fp_seen_cap = 64
+        # request-coordinate -> resolved plan memo: skips re-running the
+        # transition heuristic + plan construction on warm repeat shapes
+        # (the dominant per-call dispatch cost for tiny batches)
+        self._plan_memo: OrderedDict = OrderedDict()
+        self._plan_memo_cap = 4 * max_plans
         self._executor: ThreadPoolExecutor | None = None
         self._executor_workers = 0
+
+    @property
+    def router_model_path(self) -> str | None:
+        """Where this engine's adaptive-router model persists.
+
+        The autotune :class:`~repro.autotune.PerformanceModel` lives as
+        a versioned JSON file next to the factorization spill tier —
+        one ``cache_dir`` holds both kinds of cross-process calibration
+        state.  ``None`` when the engine has no ``cache_dir``.
+        """
+        if self.disk_cache is None:
+            return None
+        return os.path.join(self.disk_cache.directory, "router_model.json")
 
     # ---- planning --------------------------------------------------------
     def plan_for(
@@ -180,7 +200,28 @@ class ExecutionEngine:
         heuristics that agree on ``k`` share an entry.  ``info``, if
         given, receives ``info["cache"] = "hit" | "miss"`` — the
         instrumentation hook the backend layer's traces are built on.
+
+        Warm repeats skip even the transition resolution: a bounded
+        memo maps raw request coordinates (pre-heuristic) to their
+        resolved plan, so steady-state dispatch does one dict probe
+        instead of re-running ``choose_transition`` + plan
+        construction each call.
         """
+        heur = heuristic if heuristic is not None else self.heuristic
+        memo_key = (
+            m, n, np.dtype(dtype).str, k, bool(fuse),
+            n_windows, subtile_scale, parallelism, heur,
+        )
+        with self._lock:
+            memoized = self._plan_memo.get(memo_key)
+            if memoized is not None and memoized.signature() in self._plans:
+                self._plans.move_to_end(memoized.signature())
+                self._plan_memo.move_to_end(memo_key)
+                self.stats.plan_requests += 1
+                self.stats.plan_hits += 1
+                if info is not None:
+                    info["cache"] = "hit"
+                return memoized
         plan = build_plan(
             m,
             n,
@@ -189,13 +230,19 @@ class ExecutionEngine:
             fuse=fuse,
             n_windows=n_windows,
             subtile_scale=subtile_scale,
-            heuristic=heuristic if heuristic is not None else self.heuristic,
+            heuristic=heur,
             parallelism=parallelism,
         )
         sig = plan.signature()
         with self._lock:
             self.stats.plan_requests += 1
             cached = self._plans.get(sig)
+            # memoize the canonical (cached) object so identity checks
+            # downstream keep seeing one plan per signature
+            self._plan_memo[memo_key] = cached if cached is not None else plan
+            self._plan_memo.move_to_end(memo_key)
+            while len(self._plan_memo) > self._plan_memo_cap:
+                self._plan_memo.popitem(last=False)
             if cached is not None:
                 self._plans.move_to_end(sig)
                 self.stats.plan_hits += 1
@@ -579,6 +626,7 @@ class ExecutionEngine:
                 request.a, request.b, request.c, request.d,
                 workers=workers,
                 fingerprint=request.fingerprint,
+                rtol=request.rtol,
                 counters=counters,
                 out=request.out,
                 stage_times=stage_times,
@@ -614,6 +662,7 @@ class ExecutionEngine:
         *,
         workers: int | None = None,
         fingerprint: bool | None = None,
+        rtol: float | None = None,
         counters: TilingCounters | None = None,
         out: np.ndarray | None = None,
         stage_times: list | None = None,
@@ -623,13 +672,22 @@ class ExecutionEngine:
         Consults the coefficient-fingerprint cache (per the
         ``fingerprint`` tri-state — see :meth:`solve_batch`) and runs
         either the RHS-only factorized sweep or the full plan, sharded
-        when ``workers > 1``.  Returns ``(x, factorization | None,
-        state)`` where ``state`` is the trace's factorization field
+        when ``workers > 1``.  ``rtol`` is the request's accuracy
+        contract: when it clears the dtype floor, auto-mode
+        fingerprinting also engages on hybrid ``k > 0`` plans (whose
+        reuse is allclose-grade, not bitwise) — still through the
+        two-sighting ledger, so one-shot batches never pay for a
+        factorization.  Returns ``(x, factorization | None, state)``
+        where ``state`` is the trace's factorization field
         (``"hit" / "factored" / "miss" / "off" / "n/a"``).
         """
         fact = None
         fp_state = "off" if fingerprint is False else "n/a"
-        if fingerprint is not False and (plan.uses_thomas or fingerprint):
+        if fingerprint is not False and (
+            plan.uses_thomas
+            or fingerprint
+            or rtol_permits_hybrid_reuse(rtol, plan.dtype)
+        ):
             t_fp = time.perf_counter()
             digest = coefficient_fingerprint(a, b, c)
             if stage_times is not None:
@@ -684,7 +742,11 @@ class ExecutionEngine:
 
         fact = None
         fp_state = "off" if fingerprint is False else "n/a"
-        if fingerprint is not False and (plan.uses_thomas or fingerprint):
+        if fingerprint is not False and (
+            plan.uses_thomas
+            or fingerprint
+            or rtol_permits_hybrid_reuse(request.rtol, plan.dtype)
+        ):
             t_fp = time.perf_counter()
             digest = coefficient_fingerprint(a, b, c)
             stage_times.append(("fingerprint", time.perf_counter() - t_fp))
@@ -752,6 +814,7 @@ class ExecutionEngine:
         parallelism: int | None = None,
         heuristic: TransitionHeuristic | None = None,
         fingerprint: bool | None = None,
+        rtol: float | None = None,
         out: np.ndarray | None = None,
         info: dict | None = None,
         stage_times: list | None = None,
@@ -772,7 +835,9 @@ class ExecutionEngine:
         sightings from the factorization cache; ``True`` additionally
         engages the (allclose-grade) hybrid factorization for
         ``k > 0`` plans and factors on first sight; ``False`` disables
-        fingerprinting entirely.
+        fingerprinting entirely.  ``rtol`` is the accuracy contract
+        that widens the auto tier to ``k > 0`` plans (see
+        :func:`repro.engine.prepared.rtol_permits_hybrid_reuse`).
         """
         if check:
             a, b, c, d = check_batch_arrays(a, b, c, d)
@@ -793,6 +858,7 @@ class ExecutionEngine:
                 parallelism=parallelism,
                 heuristic=heuristic,
                 fingerprint=fingerprint,
+                rtol=rtol,
                 check=check,
                 out=out,
             )
@@ -816,6 +882,7 @@ class ExecutionEngine:
         parallelism: int | None = None,
         heuristic: TransitionHeuristic | None = None,
         fingerprint: bool | None = None,
+        rtol: float | None = None,
         out: np.ndarray | None = None,
         info: dict | None = None,
         stage_times: list | None = None,
@@ -846,6 +913,7 @@ class ExecutionEngine:
                 parallelism=parallelism,
                 heuristic=heuristic,
                 fingerprint=fingerprint,
+                rtol=rtol,
                 check=check,
                 out=out,
             )
@@ -900,6 +968,7 @@ class ExecutionEngine:
         (stats persist)."""
         with self._lock:
             self._plans.clear()
+            self._plan_memo.clear()
             self._pools.clear()
             self._prepared_pools.clear()
             self._facts.clear()

@@ -51,6 +51,7 @@ from repro.engine.executor import shard_bounds
 
 __all__ = [
     "CyclicRhsFactorization",
+    "FINGERPRINT_RTOL_FLOOR",
     "PreparedPlan",
     "ThomasRhsFactorization",
     "build_cyclic_factorization",
@@ -59,7 +60,32 @@ __all__ = [
     "factorization_nbytes",
     "prepare",
     "rhs_only_sweep",
+    "rtol_permits_hybrid_reuse",
 ]
+
+#: Per-dtype drift floor for the ``rtol=`` accuracy contract: hybrid
+#: (``k > 0``) RHS-only sweeps reuse stored reciprocals and agree with
+#: the unprepared solve only to rounding (allclose grade, empirically a
+#: few hundred ulps on dominant systems).  A request whose ``rtol`` is
+#: at or above this floor has declared it tolerates that drift, so the
+#: fingerprint auto tier may engage on ``k > 0`` plans too.
+FINGERPRINT_RTOL_FLOOR = {
+    "float64": 1e-12,
+    "float32": 1e-5,
+}
+
+
+def rtol_permits_hybrid_reuse(rtol, dtype) -> bool:
+    """Does this accuracy contract license hybrid factorization reuse?
+
+    ``rtol=None`` means bitwise (never); otherwise the tolerance must
+    clear the dtype's :data:`FINGERPRINT_RTOL_FLOOR`.  Unknown dtypes
+    are conservative: only an explicit ``fingerprint=True`` engages.
+    """
+    if rtol is None:
+        return False
+    floor = FINGERPRINT_RTOL_FLOOR.get(np.dtype(dtype).name)
+    return floor is not None and rtol >= floor
 
 #: Elements sampled per array by the fingerprint (plus the chunk-sum
 #: checksums); calibrated so fingerprinting a 1024x1024 float64 batch

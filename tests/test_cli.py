@@ -151,3 +151,76 @@ def test_solve_unknown_backend_errors():
 
     with pytest.raises(BackendError, match="unknown backend"):
         main(["solve", "-M", "4", "-N", "128", "--backend", "nope"])
+
+
+def test_trace_command(capsys):
+    assert main(["trace", "-M", "4", "-N", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "backend: engine" in out
+    assert "routing: static -> engine" in out
+    assert "| stage |" in out
+
+
+def test_trace_command_json(capsys):
+    import json
+
+    assert main(["trace", "-M", "4", "-N", "256", "--json"]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["backend"] == "engine"
+    assert info["decision"]["router"] == "static"
+    assert info["decision"]["chosen"] == "engine"
+    assert "engine" in info["decision"]["candidates"]
+    assert info["stages"][0]["name"] == "validate"
+
+
+def test_trace_command_explicit_backend(capsys):
+    import json
+
+    assert main(["trace", "-M", "4", "-N", "128",
+                 "--backend", "numpy", "--json"]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["backend"] == "numpy"
+    assert info["decision"]["router"] == "explicit"
+    assert info["decision"]["candidates"] == ["numpy"]
+
+
+def test_tune_and_router_commands(capsys, tmp_path):
+    model = str(tmp_path / "model.json")
+    assert main(["tune", "--model", model, "--shapes", "4x64",
+                 "--repeats", "2", "--warmup", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "calibrating M=4 N=64" in out
+    assert f"model saved to {model}" in out
+    assert "best: backend=" in out
+
+    assert main(["router", "--model", model]) == 0
+    out = capsys.readouterr().out
+    assert "M2^2|N2^6|float64|plain" in out
+    assert "best: backend=" in out
+
+    # adaptive trace consumes the tuned model
+    assert main(["trace", "-M", "4", "-N", "64",
+                 "--adaptive", model, "--json"]) == 0
+    import json
+
+    info = json.loads(capsys.readouterr().out)
+    assert info["decision"]["router"] == "adaptive"
+    assert info["decision"]["model"] == "hit"
+
+    assert main(["router", "--model", model, "--reset"]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert main(["router", "--model", model]) == 1
+    assert "run `repro tune` first" in capsys.readouterr().err
+
+
+def test_router_command_corrupt_model(capsys, tmp_path):
+    model = tmp_path / "model.json"
+    model.write_text("{not json")
+    assert main(["router", "--model", str(model)]) == 1
+    err = capsys.readouterr().err
+    assert "unusable model" in err
+
+
+def test_tune_bad_shapes():
+    with pytest.raises(SystemExit, match="expected MxN"):
+        main(["tune", "--shapes", "64", "--model", "ignored.json"])

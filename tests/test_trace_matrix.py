@@ -75,11 +75,40 @@ def test_every_route_populates_the_full_trace(route, backend):
     # the trace is also the thread's queryable last_trace
     assert last_trace() is trace
 
+    # decision provenance: explicit dispatch is recorded as such
+    assert trace.decision is not None
+    assert trace.decision.router == "explicit"
+    assert trace.decision.chosen == backend
+    assert trace.decision.candidates == (backend,)
+    assert trace.decision.reason
+    info = trace.describe()["decision"]
+    assert info["router"] == "explicit" and info["chosen"] == backend
+
     # and the route actually solved the system
     ref, _ = solve_via(
         a, b, c, d, backend="numpy", periodic=(route == "periodic")
     )
     np.testing.assert_allclose(x, ref, rtol=1e-10, atol=1e-12)
+
+
+@pytest.mark.parametrize("periodic", [False, True])
+def test_routed_dispatch_stamps_static_decision(periodic):
+    a, b, c, d = _batch("periodic" if periodic else "plain", "auto")
+    _, trace = solve_via(a, b, c, d, periodic=periodic)
+    assert trace.decision is not None
+    assert trace.decision.router == "static"
+    assert trace.decision.chosen == trace.backend
+    assert trace.backend in trace.decision.candidates
+    assert len(trace.decision.candidates) > 1
+    assert trace.decision.reason
+
+
+def test_workers_rule_decision_names_the_rule():
+    a, b, c, d = _batch("plain", "workers-rule")
+    _, trace = solve_via(a, b, c, d, workers=2)
+    assert trace.decision.router == "static"
+    assert trace.decision.chosen == "threaded"
+    assert "route_workers" in trace.decision.reason
 
 
 def test_prepared_handle_traces_use_the_same_schema():
