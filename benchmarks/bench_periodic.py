@@ -21,8 +21,8 @@ q-solve, so its advantage over re-elimination is larger than the plain
 prepared path's.  At ``k = 0`` (the large-M Thomas regime) prepared
 results are **bitwise identical** to unprepared; ``k > 0`` agrees to
 floating-point tolerance.  The headline case (M = 1024, N = 1024,
-50 steps) must show ``prepared`` at least 2x faster than
-``unprepared``; results land in ``BENCH_periodic.json``.
+50 steps) must show ``prepared`` at least ``HEADLINE_TARGET``x faster
+than ``unprepared``; results land in ``BENCH_periodic.json``.
 
 Run:   python benchmarks/bench_periodic.py
 Smoke: python benchmarks/bench_periodic.py --smoke   (small, asserts
@@ -39,6 +39,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.engine import ExecutionEngine
+
+#: Headline acceptance floor for prepared-vs-unprepared at M=N=1024.
+#: Recalibrated 2026-08: recent measurement sessions spread
+#: 5.14x-5.88x (~13% run-to-run and machine-to-machine variation), so
+#: the floor sits ~10% under the low end of that spread rather than at
+#: the freshest reading — far enough to absorb noisy CI runners, close
+#: enough that losing the RHS-only fast path (which would drop the
+#: ratio toward 1x) still fails loudly.
+HEADLINE_TARGET = 4.7
 
 
 def make_cyclic_coefficients(m: int, n: int, seed: int = 0):
@@ -173,15 +182,15 @@ def main() -> None:
         ),
         "acceptance": {
             "target": (
-                "prepared >= 2x over unprepared at M=1024 N=1024 x50, "
-                "bitwise identical (k = 0)"
+                f"prepared >= {HEADLINE_TARGET}x over unprepared at "
+                "M=1024 N=1024 x50, bitwise identical (k = 0)"
             ),
             "speedup_prepared_vs_unprepared": headline[
                 "speedup_prepared_vs_unprepared"
             ],
             "bitwise_identical": headline["bitwise_identical"],
             "met": (
-                headline["speedup_prepared_vs_unprepared"] >= 2.0
+                headline["speedup_prepared_vs_unprepared"] >= HEADLINE_TARGET
                 and headline["bitwise_identical"]
             ),
         },
@@ -192,7 +201,8 @@ def main() -> None:
     print(f"\nwrote {out}")
     if not payload["acceptance"]["met"]:
         raise SystemExit(
-            "acceptance target missed: prepared < 2x over unprepared "
+            f"acceptance target missed: prepared < {HEADLINE_TARGET}x "
+            "over unprepared "
             "or not bitwise"
         )
     print(

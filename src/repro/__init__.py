@@ -42,10 +42,14 @@ factorization cache automatically (see :mod:`repro.engine.prepared`).
 
 from repro.core import (
     GTX480_HEURISTIC,
+    BlockThomasFactorization,
     CyclicFactorization,
     CyclicSingularError,
     HybridFactorization,
+    PentaFactorization,
     ThomasFactorization,
+    block_thomas_solve_batch,
+    pentadiag_solve_batch,
     HybridReport,
     HybridSolver,
     TiledPCR,
@@ -68,6 +72,7 @@ from repro.backends import (
     Capabilities,
     RouteDecision,
     SolveTrace,
+    SystemDescriptor,
     get_backend,
     last_trace,
     list_backends,
@@ -108,10 +113,15 @@ __all__ = [
     "pcr_solve_batch",
     "rd_solve",
     "rd_solve_batch",
+    "pentadiag_solve_batch",
+    "block_thomas_solve_batch",
     "ThomasFactorization",
     "HybridFactorization",
     "CyclicFactorization",
     "CyclicSingularError",
+    "PentaFactorization",
+    "BlockThomasFactorization",
+    "SystemDescriptor",
     "ExecutionEngine",
     "PreparedPlan",
     "SolvePlan",

@@ -59,6 +59,11 @@ def trace_markdown(trace) -> str:
     lines = [
         f"backend: {info['backend']}"
         + ("  [periodic]" if info.get("periodic") else "")
+        + (
+            f"  [{info['system']}]"
+            if info.get("system", "tridiagonal") != "tridiagonal"
+            else ""
+        )
         + f"  (M={info['m']}, N={info['n']}, {info['dtype']})",
         f"plan: k={info['k']} ({info['k_source']}), fuse={info['fuse']}, "
         f"windows={info['n_windows']}, workers={info['workers']}, "

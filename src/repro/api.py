@@ -25,7 +25,14 @@ import numpy as np
 
 from repro.core.solver import solve_batch
 
-__all__ = ["gtsv", "gtsv_cyclic", "gtsv_nopivot", "gtsv_strided_batch"]
+__all__ = [
+    "gpsv_batch",
+    "gtsv",
+    "gtsv_block_batch",
+    "gtsv_cyclic",
+    "gtsv_nopivot",
+    "gtsv_strided_batch",
+]
 
 _FLOATS = (np.dtype(np.float32), np.dtype(np.float64))
 
@@ -227,6 +234,96 @@ def gtsv_cyclic(
         backend=backend, check=check, fingerprint=fingerprint, rtol=rtol,
     )
     return np.ascontiguousarray(x.T)
+
+
+def gpsv_batch(
+    ds,
+    dl,
+    d,
+    du,
+    dw,
+    B,
+    *,
+    backend: str = "auto",
+    check: bool = True,
+    fingerprint: bool | None = None,
+):
+    """cuSPARSE ``gpsvInterleavedBatch``-style: batched pentadiagonal solve.
+
+    Parameters
+    ----------
+    ds, dl, d, du, dw:
+        ``(M, N)`` diagonals in offset order −2, −1, 0, +1, +2 — the
+        vendor's five-diagonal vocabulary on this library's padded
+        batch convention (out-of-matrix pads ``ds[:, :2]``,
+        ``dl[:, 0]``, ``du[:, -1]``, ``dw[:, -2:]`` are ignored).
+    B:
+        ``(M, N)`` right-hand sides.
+    backend:
+        Backend registry selection; pentadiagonal requests negotiate
+        against ``Capabilities.systems``.
+    check:
+        Validate shapes/dtype/finiteness (skip inside hot loops).
+    fingerprint:
+        Factorization-cache tri-state — fixed diagonals across
+        repeated calls serve the stored LU's RHS-only sweep, which is
+        bitwise identical to the cold path.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(M, N)`` solutions (C-contiguous).
+    """
+    from repro.backends import solve_via
+
+    x, _ = solve_via(
+        dl, d, du, B, e=ds, f=dw,
+        backend=backend, check=check, fingerprint=fingerprint,
+    )
+    return x
+
+
+def gtsv_block_batch(
+    dl,
+    d,
+    du,
+    B,
+    *,
+    backend: str = "auto",
+    check: bool = True,
+    fingerprint: bool | None = None,
+):
+    """Batched block-tridiagonal solve (``gtsv``-style, dense blocks).
+
+    Parameters
+    ----------
+    dl, d, du:
+        ``(M, N, B, B)`` sub-/main-/super-diagonal block stacks
+        (``dl[:, 0]`` and ``du[:, -1]`` are ignored).
+    B:
+        ``(M, N, B)`` right-hand sides.
+    backend:
+        Backend registry selection; block requests negotiate against
+        ``Capabilities.systems``.
+    check:
+        Validate shapes/dtype/finiteness (skip inside hot loops).
+    fingerprint:
+        Factorization-cache tri-state — repeated coefficient blocks
+        serve the stored block elimination's RHS-only sweep (bitwise
+        identical to the cold path).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(M, N, B)`` solutions (C-contiguous).
+    """
+    from repro.backends import solve_via
+
+    x, _ = solve_via(
+        dl, d, du, B,
+        backend=backend, check=check, fingerprint=fingerprint,
+    )
+    return x
 
 
 def gtsv_strided_batch(

@@ -71,17 +71,33 @@ def _bucket(v: int) -> int:
     return int(math.floor(math.log2(max(int(v), 1))))
 
 
-def cell_key(m: int, n: int, dtype, periodic: bool) -> str:
-    """Canonical cell key for a problem-shape bucket."""
+def cell_key(m: int, n: int, dtype, periodic: bool, system: str = "") -> str:
+    """Canonical cell key for a problem-shape bucket.
+
+    ``system`` is the descriptor tag (``""`` for tridiagonal,
+    ``"penta"`` / ``"block<B>"`` otherwise).  Tridiagonal keys keep
+    their historical spelling — persisted models calibrated before the
+    descriptor axis existed stay valid — and banded cells gain a
+    trailing segment so the router never attributes a pentadiagonal or
+    block-sweep cost to the tridiagonal stencil (or across block
+    sizes).
+    """
     kind = "cyclic" if periodic else "plain"
-    return (
-        f"M2^{_bucket(m)}|N2^{_bucket(n)}|{np.dtype(dtype).name}|{kind}"
-    )
+    key = f"M2^{_bucket(m)}|N2^{_bucket(n)}|{np.dtype(dtype).name}|{kind}"
+    if system:
+        key += f"|{system}"
+    return key
 
 
 def cell_key_for(request) -> str:
     """The cell a :class:`~repro.backends.request.SolveRequest` lands in."""
-    return cell_key(request.m, request.n, request.dtype, request.periodic)
+    return cell_key(
+        request.m,
+        request.n,
+        request.dtype,
+        request.periodic,
+        request.system.tag,
+    )
 
 
 def fingerprint_tier(fingerprint) -> str:

@@ -77,12 +77,17 @@ def candidate_routes(
     :class:`AdaptiveRouter` exploration and offline
     :func:`~repro.autotune.calibrate.calibrate`.
     """
+    banded = request.system.kind != "tridiagonal"
     routes = []
     for backend in sorted(candidates, key=lambda b: b.name):
         caps = backend.capabilities()
         if caps.simulated:
             continue  # model measured backends only
-        if request.k is not None:
+        if banded:
+            # banded plans have no PCR front-end — k is pinned to the
+            # stencil's Thomas-style sweep, never an exploration axis
+            ks = (0,)
+        elif request.k is not None:
             ks = (request.k,)
         else:
             ks = candidate_ks(request.m, request.n, heuristic=heuristic)

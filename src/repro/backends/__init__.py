@@ -49,7 +49,14 @@ from repro.backends.registry import (
     register_backend,
     solve_via,
 )
-from repro.backends.request import OPTION_NAMES, SolveOutcome, SolveRequest
+from repro.backends.request import (
+    OPTION_NAMES,
+    SYSTEM_KINDS,
+    SolveOutcome,
+    SolveRequest,
+    SystemDescriptor,
+    block_system,
+)
 from repro.backends.threaded import ThreadedBackend, execute_sharded
 from repro.backends.trace import (
     RouteDecision,
@@ -72,11 +79,14 @@ __all__ = [
     "OPTION_NAMES",
     "RouteDecision",
     "Router",
+    "SYSTEM_KINDS",
     "SolveOutcome",
     "SolveRequest",
     "SolveTrace",
     "StageTiming",
+    "SystemDescriptor",
     "ThreadedBackend",
+    "block_system",
     "clear_last_trace",
     "default_registry",
     "execute_sharded",

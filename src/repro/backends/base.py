@@ -71,6 +71,12 @@ class Capabilities:
         factorization-cached, RHS-only) solves.  Requests with
         ``fingerprint=True`` or ``rhs_only=True`` negotiate only
         against prepared-capable backends.
+    systems:
+        System kinds the backend can execute — entries of
+        :data:`~repro.backends.request.SYSTEM_KINDS`.  Defaults to
+        tridiagonal only, so backends ignorant of the descriptor axis
+        are automatically rejected for penta/block requests instead of
+        mis-executing them.
     description:
         One-line summary for ``repro backends`` listings.
     """
@@ -81,6 +87,7 @@ class Capabilities:
     max_workers: int = 1
     simulated: bool = False
     prepared: bool = False
+    systems: tuple = ("tridiagonal",)
     description: str = ""
 
 

@@ -47,6 +47,7 @@ class EngineBackend(BackendBase):
             caps = self._caps = Capabilities(
                 max_workers=max(32, os.cpu_count() or 1),
                 prepared=True,
+                systems=("tridiagonal", "pentadiagonal", "block"),
                 description=(
                     "plan-caching + workspace-pooling engine — warm solves "
                     "allocate only their result, repeat coefficients hit the "

@@ -50,6 +50,7 @@ class GpuSimBackend(BackendBase):
             caps = self._caps = Capabilities(
                 simulated=True,
                 prepared=True,
+                systems=("tridiagonal", "pentadiagonal", "block"),
                 description=(
                     f"engine numerics + {self.solver.device.name} "
                     "device-model pricing — trace shows predicted kernel "
@@ -58,6 +59,62 @@ class GpuSimBackend(BackendBase):
             )
         return caps
 
+    def _execute_banded(self, request: SolveRequest) -> SolveOutcome:
+        """Run a penta/block request on the engine and price its sweep."""
+        from repro.engine import default_engine
+        from repro.gpusim.timing import GpuTimingModel
+        from repro.kernels.banded_kernel import banded_counters
+
+        dtype_bytes = np.dtype(request.dtype).itemsize
+        outcome = default_engine().run(request)
+        rhs_only = outcome.trace.rhs_only
+
+        model = GpuTimingModel(self.solver.device)
+        predicted = [
+            (c.name, model.time(c, dtype_bytes).total_s * 1e6)
+            for c in banded_counters(
+                request.system.kind,
+                request.m,
+                request.n,
+                dtype_bytes,
+                block_size=request.system.block_size,
+                prepared=rhs_only,
+                device=self.solver.device,
+            )
+        ]
+        predicted_total_us = sum(us for _, us in predicted)
+
+        stages = list(outcome.trace.stages)
+        kernel_stages = [s for s in stages if s.name not in _HOST_STAGES]
+        for stage, (_, us) in zip(kernel_stages, predicted):
+            stage.predicted_us = us
+        for name, us in predicted[len(kernel_stages):]:
+            stages.append(StageTiming(f"{name} (predicted)", 0.0, us))
+
+        trace = self._set_trace(
+            SolveTrace(
+                backend=request.label or self.name,
+                m=request.m,
+                n=request.n,
+                dtype=request.dtype,
+                k=0,
+                k_source="banded",
+                plan_cache=outcome.trace.plan_cache,
+                factorization=outcome.trace.factorization,
+                rhs_only=rhs_only,
+                workers=outcome.trace.workers,
+                system=request.system.kind,
+                stages=stages,
+                predicted_total_us=predicted_total_us,
+            )
+        )
+        return SolveOutcome(
+            x=outcome.x,
+            trace=trace,
+            factorization=outcome.factorization,
+            plan=outcome.plan,
+        )
+
     def execute(self, request: SolveRequest) -> SolveOutcome:
         from repro.engine import default_engine
         from repro.gpusim.timing import GpuTimingModel
@@ -65,6 +122,9 @@ class GpuSimBackend(BackendBase):
             cyclic_correction_counters,
             rhs_only_counters,
         )
+
+        if request.system.kind != "tridiagonal":
+            return self._execute_banded(request)
 
         dtype_bytes = np.dtype(request.dtype).itemsize
         if request.k is None:

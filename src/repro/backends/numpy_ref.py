@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.backends.base import BackendBase, Capabilities
 from repro.backends.request import SolveOutcome, SolveRequest
 from repro.backends.trace import SolveTrace, StageTiming
@@ -45,14 +47,66 @@ class NumpyReferenceBackend(BackendBase):
         caps = getattr(self, "_caps", None)
         if caps is None:
             caps = self._caps = Capabilities(
+                systems=("tridiagonal", "pentadiagonal", "block"),
                 description=(
                     "single-call HybridSolver reference — re-plans and "
-                    "re-allocates every call; the bitwise baseline"
+                    "re-allocates every call; the bitwise baseline "
+                    "(banded systems solve densely)"
                 ),
             )
         return caps
 
+    def _execute_banded(self, request: SolveRequest) -> SolveOutcome:
+        """Dense-assembly reference for penta/block requests.
+
+        Deliberately *not* the banded elimination: assembling the full
+        matrices and calling stacked ``np.linalg.solve`` gives an
+        independent oracle the structured sweeps are validated against
+        (the same role the single-call hybrid plays for tridiagonal).
+        """
+        t0 = time.perf_counter()
+        if request.system.kind == "pentadiagonal":
+            from repro.core.pentadiag import penta_to_dense
+
+            dense = penta_to_dense(
+                request.e, request.a, request.b, request.c, request.f
+            )
+            rhs = request.d
+        else:
+            from repro.core.blocktridiag import block_to_dense
+
+            dense = block_to_dense(request.a, request.b, request.c)
+            rhs = request.d.reshape(request.m, -1)
+        t_assemble = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        x = np.linalg.solve(dense, rhs[..., None])[..., 0]
+        x = np.ascontiguousarray(x.reshape(request.d.shape))
+        dt = time.perf_counter() - t1
+        if request.out is not None:
+            request.out[...] = x
+            x = request.out
+        trace = self._set_trace(
+            SolveTrace(
+                backend=request.label or self.name,
+                m=request.m,
+                n=request.n,
+                dtype=request.dtype,
+                k=0,
+                k_source="banded",
+                plan_cache="n/a",
+                system=request.system.kind,
+                stages=[
+                    StageTiming("dense-assemble", t_assemble),
+                    StageTiming("dense-solve", dt),
+                ],
+            )
+        )
+        return SolveOutcome(x=x, trace=trace)
+
     def execute(self, request: SolveRequest) -> SolveOutcome:
+        if request.system.kind != "tridiagonal":
+            return self._execute_banded(request)
         if request.periodic:
             # no native cyclic pipeline — corner-reduce and run two
             # plain executes through the shared correction algebra

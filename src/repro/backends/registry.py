@@ -65,6 +65,12 @@ def reject_reason(caps: Capabilities, request: SolveRequest) -> str | None:
         )
     if request.periodic and not caps.periodic:
         return "periodic systems unsupported"
+    kind = request.system.kind
+    if kind not in caps.systems:
+        return (
+            f"{kind} systems unsupported (supports: "
+            f"{', '.join(caps.systems)})"
+        )
     if (
         request.workers is not None
         and request.workers > 1

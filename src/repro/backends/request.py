@@ -34,12 +34,79 @@ import numpy as np
 
 from repro.core.validation import (
     check_batch_arrays,
+    check_block_batch_arrays,
     check_cyclic_batch_arrays,
+    check_penta_batch_arrays,
     coerce_batch_arrays,
+    coerce_block_batch_arrays,
     coerce_cyclic_batch_arrays,
+    coerce_penta_batch_arrays,
 )
 
-__all__ = ["OPTION_NAMES", "SolveOutcome", "SolveRequest"]
+__all__ = [
+    "OPTION_NAMES",
+    "SYSTEM_KINDS",
+    "PENTADIAGONAL",
+    "TRIDIAGONAL",
+    "SolveOutcome",
+    "SolveRequest",
+    "SystemDescriptor",
+    "block_system",
+]
+
+#: the matrix classes the spine can carry.
+SYSTEM_KINDS = ("tridiagonal", "pentadiagonal", "block")
+
+
+@dataclass(frozen=True)
+class SystemDescriptor:
+    """What kind of banded system a request carries.
+
+    ``kind`` names the matrix class; ``bandwidth`` is the scalar
+    half-bandwidth (1 for tridiagonal, 2 for pentadiagonal);
+    ``block_size`` is the dense block edge for block-tridiagonal
+    systems (1 otherwise).  The descriptor is frozen and hashable — it
+    participates in plan keys, factorization-cache keys and the
+    autotune cell vocabulary, so entries of different stencils can
+    never collide.
+    """
+
+    kind: str = "tridiagonal"
+    bandwidth: int = 1
+    block_size: int = 1
+
+    def __post_init__(self):
+        if self.kind not in SYSTEM_KINDS:
+            raise ValueError(
+                f"unknown system kind {self.kind!r}; expected one of "
+                f"{SYSTEM_KINDS}"
+            )
+        if self.bandwidth < 1:
+            raise ValueError(f"bandwidth must be >= 1, got {self.bandwidth}")
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+
+    @property
+    def tag(self) -> str:
+        """Short cache-key token: ``""`` for tridiagonal (so every
+        pre-descriptor key stays byte-identical), ``"penta"`` /
+        ``"block<B>"`` otherwise."""
+        if self.kind == "tridiagonal":
+            return ""
+        if self.kind == "pentadiagonal":
+            return "penta"
+        return f"block{self.block_size}"
+
+
+#: the default (and pre-descriptor implicit) system: 3 scalar diagonals.
+TRIDIAGONAL = SystemDescriptor()
+#: five scalar diagonals.
+PENTADIAGONAL = SystemDescriptor(kind="pentadiagonal", bandwidth=2)
+
+
+def block_system(block_size: int) -> SystemDescriptor:
+    """Descriptor for a block-tridiagonal system of ``B × B`` blocks."""
+    return SystemDescriptor(kind="block", block_size=int(block_size))
 
 #: keyword options accepted by :meth:`SolveRequest.build` /
 #: ``solve_batch`` — unknown names are a ``TypeError`` at the dispatch
@@ -106,6 +173,13 @@ class SolveRequest:
         adapters run on the engine spine but report their own name.
     layout:
         Input layout (all current backends take ``"contiguous"``).
+    e, f:
+        Second sub-/super-diagonals (offset ∓2) for pentadiagonal
+        requests; ``None`` otherwise.
+    system:
+        The :class:`SystemDescriptor` naming the matrix class.  For
+        block-tridiagonal systems ``a``/``b``/``c`` are
+        ``(M, N, B, B)`` block stacks and ``d`` is ``(M, N, B)``.
     decision:
         :class:`~repro.backends.trace.RouteDecision` provenance, set
         at negotiation time by the registry/router and copied onto the
@@ -137,6 +211,9 @@ class SolveRequest:
     label: str | None = None
     layout: str = "contiguous"
     decision: object = None
+    e: np.ndarray | None = None
+    f: np.ndarray | None = None
+    system: SystemDescriptor = TRIDIAGONAL
 
     @classmethod
     def build(
@@ -151,6 +228,9 @@ class SolveRequest:
         coerced: bool = False,
         out=None,
         label: str | None = None,
+        e=None,
+        f=None,
+        system: SystemDescriptor | None = None,
         **opts,
     ) -> "SolveRequest":
         """Validate/coerce a batch and its options into a request.
@@ -162,6 +242,11 @@ class SolveRequest:
         cyclic validators, whose corners are couplings the plain
         validator would zero.  Unknown options raise ``TypeError`` at
         this boundary.
+
+        The system kind is inferred when ``system`` is not given:
+        second sub-/super-diagonals ``e``/``f`` mean pentadiagonal, a
+        4-D ``(M, N, B, B)`` main diagonal means block-tridiagonal,
+        otherwise the request is plain tridiagonal.
         """
         unknown = sorted(set(opts) - set(OPTION_NAMES))
         if unknown:
@@ -178,20 +263,79 @@ class SolveRequest:
                 )
             opts["rtol"] = rtol
         periodic = bool(opts.pop("periodic", periodic))
-        if not coerced:
-            if periodic:
-                validate = (
-                    check_cyclic_batch_arrays
-                    if check
-                    else coerce_cyclic_batch_arrays
-                )
+        if system is None:
+            if e is not None or f is not None:
+                system = PENTADIAGONAL
+            elif np.asarray(b).ndim == 4:
+                system = block_system(np.asarray(b).shape[2])
             else:
-                validate = check_batch_arrays if check else coerce_batch_arrays
-            a, b, c, d = validate(a, b, c, d)
-        b = np.asarray(b)
-        if b.ndim != 2:
-            raise ValueError(f"batch must be 2-D (M, N), got {b.ndim}-D")
-        m, n = b.shape
+                system = TRIDIAGONAL
+        if system.kind != "tridiagonal":
+            if periodic:
+                raise ValueError(
+                    f"periodic solves are tridiagonal-only; a "
+                    f"{system.kind!r} request cannot carry periodic=True"
+                )
+            if (
+                opts.get("fuse")
+                or opts.get("n_windows", 1) != 1
+                or opts.get("subtile_scale", 1) != 1
+            ):
+                raise ValueError(
+                    "fuse/n_windows/subtile_scale are hybrid (tridiagonal) "
+                    f"plan options; not applicable to a {system.kind!r} solve"
+                )
+        if system.kind == "pentadiagonal":
+            if e is None or f is None:
+                raise ValueError(
+                    "pentadiagonal requests need both outer diagonals e "
+                    "(offset -2) and f (offset +2)"
+                )
+            if not coerced:
+                validate = (
+                    check_penta_batch_arrays
+                    if check
+                    else coerce_penta_batch_arrays
+                )
+                e, a, b, c, f, d = validate(e, a, b, c, f, d)
+            b = np.asarray(b)
+            m, n = b.shape
+        elif system.kind == "block":
+            if not coerced:
+                validate = (
+                    check_block_batch_arrays
+                    if check
+                    else coerce_block_batch_arrays
+                )
+                a, b, c, d = validate(a, b, c, d)
+            b = np.asarray(b)
+            if b.ndim != 4:
+                raise ValueError(
+                    f"block batch must be (M, N, B, B), got {b.ndim}-D"
+                )
+            if b.shape[2] != system.block_size:
+                raise ValueError(
+                    f"blocks are {b.shape[2]}x{b.shape[3]} but the "
+                    f"descriptor says block_size={system.block_size}"
+                )
+            m, n = b.shape[:2]
+        else:
+            if not coerced:
+                if periodic:
+                    validate = (
+                        check_cyclic_batch_arrays
+                        if check
+                        else coerce_cyclic_batch_arrays
+                    )
+                else:
+                    validate = (
+                        check_batch_arrays if check else coerce_batch_arrays
+                    )
+                a, b, c, d = validate(a, b, c, d)
+            b = np.asarray(b)
+            if b.ndim != 2:
+                raise ValueError(f"batch must be 2-D (M, N), got {b.ndim}-D")
+            m, n = b.shape
         return cls(
             a=a,
             b=b,
@@ -204,6 +348,9 @@ class SolveRequest:
             check=check,
             out=out,
             label=label,
+            e=e,
+            f=f,
+            system=system,
             **opts,
         )
 

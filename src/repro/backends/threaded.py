@@ -184,6 +184,7 @@ class ThreadedBackend(BackendBase):
             caps = self._caps = Capabilities(
                 max_workers=max(32, os.cpu_count() or 1),
                 prepared=True,
+                systems=("tridiagonal", "pentadiagonal", "block"),
                 description=(
                     "batch-axis sharding over the engine's thread pool — "
                     "bitwise independent of the worker count; prepared "

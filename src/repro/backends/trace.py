@@ -134,6 +134,10 @@ class SolveTrace:
     periodic:
         True when the trace describes a *cyclic* (Sherman–Morrison)
         solve — the whole correction pipeline, not the inner q-solve.
+    system:
+        The system kind the solve carried (``"tridiagonal"`` /
+        ``"pentadiagonal"`` / ``"block"``) — one vocabulary across
+        every stencil the spine dispatches.
     decision:
         The :class:`RouteDecision` negotiation provenance (``None`` for
         solves that bypassed the registry: direct algorithm paths,
@@ -158,6 +162,7 @@ class SolveTrace:
     factorization: str = "n/a"
     rhs_only: bool = False
     periodic: bool = False
+    system: str = "tridiagonal"
     decision: RouteDecision | None = None
     stages: list = field(default_factory=list)
     predicted_total_us: float | None = None
@@ -190,6 +195,7 @@ class SolveTrace:
             "factorization": self.factorization,
             "rhs_only": self.rhs_only,
             "periodic": self.periodic,
+            "system": self.system,
             "decision": (
                 self.decision.describe() if self.decision is not None else None
             ),

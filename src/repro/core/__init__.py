@@ -16,6 +16,7 @@ Modules
 ``validation``  input checking and solver preconditions
 ``factorize``   factor-once / solve-many (Thomas LU, stored PCR levels)
 ``periodic``    cyclic (periodic-BC) systems via Sherman-Morrison
+``pentadiag``   batched pentadiagonal elimination (five-diagonal Thomas LU)
 ``blocktridiag``  block-tridiagonal systems (coupled PDEs) via block-Thomas
 ``refine``      mixed-precision solves with fp64 iterative refinement (ref [10])
 ``streaming``   the generalized buffered sliding window (future work, built)
@@ -47,7 +48,17 @@ from repro.core.factorize import (
     HybridFactorization,
     ThomasFactorization,
 )
-from repro.core.blocktridiag import block_thomas_solve, block_thomas_solve_batch
+from repro.core.blocktridiag import (
+    BlockThomasFactorization,
+    block_factor,
+    block_residual,
+    block_thomas_solve_batch,
+)
+from repro.core.pentadiag import (
+    PentaFactorization,
+    penta_factor,
+    pentadiag_solve_batch,
+)
 from repro.core.periodic import (
     CyclicSingularError,
     solve_periodic,
@@ -89,8 +100,13 @@ __all__ = [
     "CyclicSingularError",
     "solve_periodic",
     "solve_periodic_batch",
-    "block_thomas_solve",
+    "BlockThomasFactorization",
+    "block_factor",
+    "block_residual",
     "block_thomas_solve_batch",
+    "PentaFactorization",
+    "penta_factor",
+    "pentadiag_solve_batch",
     "solve_mixed_precision",
     "RefinementResult",
 ]

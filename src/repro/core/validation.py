@@ -17,6 +17,10 @@ __all__ = [
     "check_system_arrays",
     "check_batch_arrays",
     "check_cyclic_batch_arrays",
+    "coerce_penta_batch_arrays",
+    "check_penta_batch_arrays",
+    "coerce_block_batch_arrays",
+    "check_block_batch_arrays",
     "require_power_of_two",
     "is_power_of_two",
 ]
@@ -130,6 +134,97 @@ def check_cyclic_batch_arrays(a, b, c, d):
         if not np.all(np.isfinite(arr)):
             raise ValueError(f"{name!r} contains non-finite values")
     return arrays
+
+
+def _uniform_float(arrays):
+    arrays = [np.asarray(v) for v in arrays]
+    dtype = np.result_type(*arrays)
+    if dtype not in _ALLOWED:
+        dtype = np.dtype(np.float64)
+    return [np.ascontiguousarray(v, dtype=dtype) for v in arrays]
+
+
+def coerce_penta_batch_arrays(e, a, b, c, f, d):
+    """Coerce + shape-validate a pentadiagonal ``(M, N)`` batch.
+
+    Diagonal order follows offset: ``e`` (second sub-diagonal, offset
+    −2), ``a`` (−1), ``b`` (main), ``c`` (+1), ``f`` (+2).  All six
+    arrays share one ``(M, N)`` shape; the out-of-matrix pads are
+    ``e[:, :2]``, ``a[:, 0]``, ``c[:, -1]`` and ``f[:, -2:]``.
+    """
+    arrays = _uniform_float((e, a, b, c, f, d))
+    shape = arrays[2].shape
+    for name, arr in zip("eabcfd", arrays):
+        if arr.ndim != 2:
+            raise ValueError(f"{name!r} must be 2-D (M, N), got {arr.ndim}-D")
+        if arr.shape != shape:
+            raise ValueError(f"{name!r} has shape {arr.shape}, expected {shape}")
+    if any(s == 0 for s in shape):
+        raise ValueError("empty system")
+    return tuple(arrays)
+
+
+def check_penta_batch_arrays(e, a, b, c, f, d):
+    """Validate a pentadiagonal batch: pads zeroed, finiteness, pivots."""
+    e, a, b, c, f, d = coerce_penta_batch_arrays(e, a, b, c, f, d)
+    for name, arr in zip("eabcfd", (e, a, b, c, f, d)):
+        if not np.all(np.isfinite(arr)):
+            raise ValueError(f"{name!r} contains non-finite values")
+    n = b.shape[1]
+    if np.any(e[:, : min(2, n)] != 0.0):
+        e = e.copy()
+        e[:, : min(2, n)] = 0.0
+    if np.any(a[:, 0] != 0.0):
+        a = a.copy()
+        a[:, 0] = 0.0
+    if np.any(c[:, -1] != 0.0):
+        c = c.copy()
+        c[:, -1] = 0.0
+    if np.any(f[:, max(0, n - 2) :] != 0.0):
+        f = f.copy()
+        f[:, max(0, n - 2) :] = 0.0
+    if np.any(b == 0.0):
+        raise ValueError("zero on the main diagonal (pivot-free solvers need b != 0)")
+    return e, a, b, c, f, d
+
+
+def coerce_block_batch_arrays(A, B, C, d):
+    """Coerce + shape-validate a block-tridiagonal batch.
+
+    ``A``, ``B``, ``C`` are ``(M, N, B, B)`` stacks of sub-, main- and
+    super-diagonal blocks; ``d`` is the ``(M, N, B)`` right-hand side.
+    """
+    A, B, C, d = _uniform_float((A, B, C, d))
+    if B.ndim != 4:
+        raise ValueError(f"block diagonals must be (M, N, B, B), got {B.ndim}-D")
+    m, n, bs, bs2 = B.shape
+    if bs != bs2:
+        raise ValueError(f"blocks must be square, got {bs}x{bs2}")
+    for name, arr in zip("ABC", (A, B, C)):
+        if arr.shape != B.shape:
+            raise ValueError(
+                f"{name!r} has shape {arr.shape}, expected {B.shape}"
+            )
+    if d.shape != (m, n, bs):
+        raise ValueError(f"d has shape {d.shape}, expected {(m, n, bs)}")
+    if 0 in (m, n, bs):
+        raise ValueError("empty system")
+    return A, B, C, d
+
+
+def check_block_batch_arrays(A, B, C, d):
+    """Validate a block-tridiagonal batch: pads zeroed, finiteness."""
+    A, B, C, d = coerce_block_batch_arrays(A, B, C, d)
+    for name, arr in zip(("A", "B", "C", "d"), (A, B, C, d)):
+        if not np.all(np.isfinite(arr)):
+            raise ValueError(f"{name!r} contains non-finite values")
+    if np.any(A[:, 0] != 0.0):
+        A = A.copy()
+        A[:, 0] = 0.0
+    if np.any(C[:, -1] != 0.0):
+        C = C.copy()
+        C[:, -1] = 0.0
+    return A, B, C, d
 
 
 def is_power_of_two(x: int) -> bool:

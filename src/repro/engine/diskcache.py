@@ -45,18 +45,25 @@ def _key_filename(key: tuple) -> str:
     """Digest-named, human-skim-friendly filename for a cache key.
 
     ``key`` is the engine's factorization key ``(m, n, dtype_str, k,
-    periodic, digest)``.  The content digest leads (it is the unique
-    part); the shape/plan coordinates follow for debuggability.
+    system, periodic, digest)``.  The content digest leads (it is the
+    unique part); the shape/plan coordinates follow for debuggability.
+    Tridiagonal entries (system tag ``""``) keep the historical
+    filename layout byte-for-byte; banded entries append their tag so
+    stencils can never alias on disk either.
     """
-    m, n, dtype_str, k, periodic, digest = key
+    m, n, dtype_str, k, system, periodic, digest = key
     dtype = np.dtype(dtype_str).name
     tag = "-cyclic" if periodic else ""
+    if system:
+        tag = f"-{system}{tag}"
     return f"{digest}-{m}x{n}-{dtype}-k{k}{tag}{_SUFFIX}"
 
 
 def _pack(fact, payload: dict, prefix: str = "") -> None:
     """Flatten a factorization into ``payload`` arrays under ``prefix``."""
+    from repro.core.blocktridiag import BlockThomasFactorization
     from repro.core.factorize import HybridFactorization, ThomasFactorization
+    from repro.core.pentadiag import PentaFactorization
     from repro.engine.prepared import (
         CyclicRhsFactorization,
         ThomasRhsFactorization,
@@ -67,6 +74,18 @@ def _pack(fact, payload: dict, prefix: str = "") -> None:
         payload[prefix + "ta"] = fact.ta
         payload[prefix + "cp"] = fact.cp
         payload[prefix + "denom"] = fact.denom
+    elif isinstance(fact, PentaFactorization):
+        payload[prefix + "kind"] = np.array("penta")
+        payload[prefix + "te"] = fact.te
+        payload[prefix + "beta"] = fact.beta
+        payload[prefix + "alpha"] = fact.alpha
+        payload[prefix + "gamma"] = fact.gamma
+        payload[prefix + "delta"] = fact.delta
+    elif isinstance(fact, BlockThomasFactorization):
+        payload[prefix + "kind"] = np.array("blockthomas")
+        payload[prefix + "A"] = fact.A
+        payload[prefix + "Cp"] = fact.Cp
+        payload[prefix + "piv"] = fact.piv
     elif isinstance(fact, HybridFactorization):
         payload[prefix + "kind"] = np.array("hybrid")
         payload[prefix + "k"] = np.array(fact.k)
@@ -90,7 +109,9 @@ def _pack(fact, payload: dict, prefix: str = "") -> None:
 
 def _unpack(data, prefix: str = ""):
     """Rebuild a factorization from ``_pack``'s array layout."""
+    from repro.core.blocktridiag import BlockThomasFactorization
     from repro.core.factorize import HybridFactorization, ThomasFactorization
+    from repro.core.pentadiag import PentaFactorization
     from repro.engine.prepared import (
         CyclicRhsFactorization,
         ThomasRhsFactorization,
@@ -102,6 +123,20 @@ def _unpack(data, prefix: str = ""):
             ta=data[prefix + "ta"],
             cp=data[prefix + "cp"],
             denom=data[prefix + "denom"],
+        )
+    if kind == "penta":
+        return PentaFactorization(
+            data[prefix + "te"],
+            data[prefix + "beta"],
+            data[prefix + "alpha"],
+            data[prefix + "gamma"],
+            data[prefix + "delta"],
+        )
+    if kind == "blockthomas":
+        return BlockThomasFactorization(
+            data[prefix + "A"],
+            data[prefix + "Cp"],
+            data[prefix + "piv"],
         )
     if kind == "hybrid":
         k = int(data[prefix + "k"])

@@ -192,6 +192,7 @@ class ExecutionEngine:
         parallelism: int | None = None,
         heuristic: TransitionHeuristic | None = None,
         info: dict | None = None,
+        system: str = "",
     ) -> SolvePlan:
         """Return the cached plan for this signature, building on miss.
 
@@ -210,7 +211,7 @@ class ExecutionEngine:
         heur = heuristic if heuristic is not None else self.heuristic
         memo_key = (
             m, n, np.dtype(dtype).str, k, bool(fuse),
-            n_windows, subtile_scale, parallelism, heur,
+            n_windows, subtile_scale, parallelism, heur, system,
         )
         with self._lock:
             memoized = self._plan_memo.get(memo_key)
@@ -232,6 +233,7 @@ class ExecutionEngine:
             subtile_scale=subtile_scale,
             heuristic=heur,
             parallelism=parallelism,
+            system=system,
         )
         sig = plan.signature()
         with self._lock:
@@ -324,12 +326,15 @@ class ExecutionEngine:
     # ---- factorization cache -----------------------------------------
     @staticmethod
     def _fact_key(plan: SolvePlan, digest: str, periodic: bool = False) -> tuple:
-        # Factorizations depend only on (m, n, dtype, k) + content —
-        # fuse / window choices change scheduling, not elimination math.
-        # Cyclic factorizations carry corner state a plain one lacks, so
-        # the periodic flag keys them separately: the same coefficient
-        # digest means different matrices under the two conventions.
-        return plan.signature()[:4] + (periodic, digest)
+        # Factorizations depend only on (m, n, dtype, k) + the system
+        # descriptor + content — fuse / window choices change
+        # scheduling, not elimination math.  The system tag keeps
+        # penta/block/tri entries apart even when their (m, n, dtype,
+        # k) prefixes agree, and cyclic factorizations carry corner
+        # state a plain one lacks, so the periodic flag keys them
+        # separately: the same coefficient digest means different
+        # matrices under the two conventions.
+        return plan.signature()[:4] + (plan.system, periodic, digest)
 
     def _store_factorization(self, key: tuple, fact, built: bool = True) -> None:
         with self._lock:
@@ -355,6 +360,7 @@ class ExecutionEngine:
         periodic: bool = False,
         check: bool = True,
         stage_times: list | None = None,
+        builder=None,
     ):
         """Look up / build the factorization for fingerprinted inputs.
 
@@ -367,6 +373,9 @@ class ExecutionEngine:
 
         ``periodic=True`` builds/looks up a cyclic (Sherman–Morrison)
         factorization instead — same lifecycle, separate cache keyspace.
+        ``builder`` overrides the construction step (the banded penta /
+        block paths build their own factorization kinds) while keeping
+        the LRU / disk-tier / two-sighting lifecycle identical.
         """
         key = self._fact_key(plan, digest, periodic)
         with self._lock:
@@ -395,7 +404,9 @@ class ExecutionEngine:
                 if not seen:
                     return None, "miss"
         t0 = time.perf_counter()
-        if periodic:
+        if builder is not None:
+            fact = builder()
+        elif periodic:
             fact = build_cyclic_factorization(self, plan, a, b, c, check=check)
         else:
             fact = build_factorization(plan, a, b, c)
@@ -563,6 +574,10 @@ class ExecutionEngine:
         from repro.backends.request import SolveOutcome
         from repro.backends.trace import SolveTrace, StageTiming
 
+        system = getattr(request, "system", None)
+        if system is not None and system.kind != "tridiagonal":
+            return self._run_banded(request)
+
         stage_times: list = []
         info: dict = {}
         t0 = time.perf_counter()
@@ -651,6 +666,120 @@ class ExecutionEngine:
             stages=[StageTiming(n_, s) for n_, s in stage_times],
         )
         return SolveOutcome(x=x, trace=trace, factorization=fact, plan=plan)
+
+    def _run_banded(self, request) -> "object":
+        """Execute a pentadiagonal / block-tridiagonal request.
+
+        The banded spine is the ``k = 0`` Thomas shape of its stencil:
+        plan (descriptor-tagged, cached), fingerprint + factorization
+        cache (the same LRU / disk / two-sighting lifecycle as the
+        tridiagonal path — banded RHS-only sweeps are bitwise identical
+        to the cold solve by construction, so auto fingerprinting
+        engages unconditionally), sweep (sharded along the batch axis
+        when ``workers > 1``), trace.
+        """
+        from repro.backends.request import SolveOutcome
+        from repro.backends.trace import SolveTrace, StageTiming
+        from repro.core.blocktridiag import BlockThomasFactorization
+        from repro.core.pentadiag import PentaFactorization
+
+        stage_times: list = []
+        info: dict = {}
+        kind = request.system.kind
+        tag = request.system.tag
+        t0 = time.perf_counter()
+        if request.plan is not None:
+            plan = request.plan
+            cache = "hit"
+        else:
+            plan = self.plan_for(
+                request.m,
+                request.n,
+                np.dtype(request.dtype),
+                k=request.k,
+                info=info,
+                system=tag,
+            )
+            cache = info.get("cache", "miss")
+        stage_times.append(("prepare", time.perf_counter() - t0))
+
+        if kind == "pentadiagonal":
+            coeffs = (request.e, request.a, request.b, request.c, request.f)
+
+            def builder():
+                return PentaFactorization.factor(*coeffs)
+
+        else:
+            coeffs = (request.a, request.b, request.c)
+
+            def builder():
+                return BlockThomasFactorization.factor(*coeffs)
+
+        fact = None
+        fp_state = "off" if request.fingerprint is False else "n/a"
+        if request.fingerprint is not False:
+            t_fp = time.perf_counter()
+            digest = coefficient_fingerprint(*coeffs)
+            stage_times.append(("fingerprint", time.perf_counter() - t_fp))
+            fact, fp_state = self._factorization_for(
+                plan, digest, request.a, request.b, request.c,
+                force=request.fingerprint is True,
+                stage_times=stage_times,
+                builder=builder,
+            )
+        rhs_only = fact is not None
+        if fact is None:
+            t_b = time.perf_counter()
+            fact = builder()
+            stage_times.append(("factorize", time.perf_counter() - t_b))
+
+        t_s = time.perf_counter()
+        out = request.out if request.out is not None else np.empty_like(request.d)
+        workers = request.workers
+        shards = (
+            shard_bounds(request.m, workers)
+            if workers is not None and workers > 1
+            else [(0, request.m)]
+        )
+        if len(shards) > 1:
+            pool = self.thread_pool(len(shards))
+            list(
+                pool.map(
+                    lambda s: fact.solve_shard(request.d, out, s[0], s[1]),
+                    shards,
+                )
+            )
+        else:
+            fact.solve_shard(request.d, out, 0, request.m)
+        sweep = "rhs-only" if rhs_only else "sweep"
+        shard_note = f" [{len(shards)} shards]" if len(shards) > 1 else ""
+        stage_times.append(
+            (f"{sweep} {tag}{shard_note}", time.perf_counter() - t_s)
+        )
+        with self._lock:
+            self.stats.solves += 1
+            if rhs_only:
+                self.stats.rhs_only_solves += 1
+            if len(shards) > 1:
+                self.stats.sharded_solves += 1
+
+        trace = SolveTrace(
+            backend=request.label or "engine",
+            m=request.m,
+            n=request.n,
+            dtype=request.dtype,
+            k=plan.k,
+            k_source=plan.k_source,
+            workers=workers if workers is not None else 1,
+            plan_cache=cache,
+            factorization=fp_state,
+            rhs_only=rhs_only,
+            periodic=False,
+            system=kind,
+            stages=[StageTiming(n_, s) for n_, s in stage_times],
+        )
+        kept = fact if fp_state in ("hit", "factored") else None
+        return SolveOutcome(x=out, trace=trace, factorization=kept, plan=plan)
 
     def _run_plain(
         self,

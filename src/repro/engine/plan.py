@@ -51,6 +51,11 @@ class SolvePlan:
         Concurrent window regions per system (Fig. 11b).
     subtile_scale:
         Table I's ``c`` — rows per thread per sliding-window round.
+    system:
+        System-descriptor tag (``""`` for tridiagonal, ``"penta"`` /
+        ``"block<B>"`` otherwise) — keeps plan-cache and
+        factorization-cache entries of different stencils from ever
+        colliding on one ``(m, n, dtype, k)`` signature.
     """
 
     m: int
@@ -61,6 +66,7 @@ class SolvePlan:
     fuse: bool = False
     n_windows: int = 1
     subtile_scale: int = 1
+    system: str = ""
 
     # ---- derived schedule ------------------------------------------------
     @property
@@ -110,6 +116,7 @@ class SolvePlan:
             self.fuse,
             self.n_windows,
             self.subtile_scale,
+            self.system,
         )
 
     def describe(self) -> dict:
@@ -139,9 +146,25 @@ def plan_key(
     fuse: bool,
     n_windows: int,
     subtile_scale: int,
+    system: str = "",
 ) -> tuple:
-    """Canonical cache key for a plan signature."""
-    return (m, n, np.dtype(dtype).str, k, bool(fuse), n_windows, subtile_scale)
+    """Canonical cache key for a plan signature.
+
+    ``system`` is the descriptor tag; it rides at the end so every
+    pre-descriptor consumer of the tuple prefix keeps working, and
+    tridiagonal keys (tag ``""``) keep their historical shape-4 prefix
+    ``(m, n, dtype, k)`` distinct only by the trailing fields.
+    """
+    return (
+        m,
+        n,
+        np.dtype(dtype).str,
+        k,
+        bool(fuse),
+        n_windows,
+        subtile_scale,
+        system,
+    )
 
 
 def build_plan(
@@ -155,6 +178,7 @@ def build_plan(
     subtile_scale: int = 1,
     heuristic: TransitionHeuristic = GTX480_HEURISTIC,
     parallelism: int | None = None,
+    system: str = "",
 ) -> SolvePlan:
     """Resolve the transition and freeze a :class:`SolvePlan`.
 
@@ -168,9 +192,18 @@ def build_plan(
         raise ValueError(f"n_windows must be >= 1, got {n_windows}")
     if subtile_scale < 1:
         raise ValueError(f"subtile_scale must be >= 1, got {subtile_scale}")
-    kk, source = choose_transition(
-        m, n, k=k, heuristic=heuristic, parallelism=parallelism
-    )
+    if system:
+        # banded (penta/block) plans have no PCR front-end: the schedule
+        # is always the Thomas-style k = 0 sweep of that stencil.
+        if k not in (None, 0):
+            raise ValueError(
+                f"banded ({system!r}) plans are k = 0 only, got k={k}"
+            )
+        kk, source = 0, "banded"
+    else:
+        kk, source = choose_transition(
+            m, n, k=k, heuristic=heuristic, parallelism=parallelism
+        )
     return SolvePlan(
         m=m,
         n=n,
@@ -180,4 +213,5 @@ def build_plan(
         fuse=bool(fuse),
         n_windows=n_windows,
         subtile_scale=subtile_scale,
+        system=system,
     )

@@ -231,8 +231,9 @@ class ThomasRhsFactorization:
 
 def factorization_nbytes(fact) -> int:
     """Bytes of stored factorization state (for the engine's ledger)."""
-    if isinstance(fact, (ThomasRhsFactorization, CyclicRhsFactorization)):
-        return fact.nbytes
+    nbytes = getattr(fact, "nbytes", None)
+    if nbytes is not None:  # Thomas / cyclic / penta / block kinds
+        return nbytes
     nb = sum(k1.nbytes + k2.nbytes for k1, k2 in fact.level_factors)
     red = fact.reduced
     if red is not None:

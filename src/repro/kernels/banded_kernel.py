@@ -1,0 +1,208 @@
+"""Banded kernel ledgers — pricing penta and block-Thomas sweeps.
+
+The descriptor-carrying spine (:class:`~repro.backends.request
+.SystemDescriptor`) dispatches pentadiagonal and block-tridiagonal
+batches through the same backends as tridiagonal ones, so the gpusim
+backend needs ledgers for their kernels too.  Both sweeps keep the
+interleaved-batch shape the paper's Thomas kernel uses — one thread
+per system, stride-1 coalesced row steps, a ``2N − 1``-step dependent
+chain — they just move more values (five diagonals) or heavier row
+operations (``B × B`` pivot solves and block mat-vecs) per step.
+
+Two kernels each, matching the engine's stage split:
+
+* **cold** — fused factor + sweep: eliminate the coefficients and
+  stream the RHS in one launch (what an unprepared solve costs);
+* **RHS-only** — the prepared path: stored factors stream in, only the
+  right-hand side is swept.
+
+The ledgers speak the same vocabulary
+(:class:`~repro.gpusim.counters.KernelCounters` →
+:class:`~repro.gpusim.timing.GpuTimingModel`) as the tridiagonal stage
+ledgers, so banded traces carry predicted device times side by side
+with measured NumPy times exactly like every other solve.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec, GTX480
+from repro.gpusim.memory import MemoryTraffic
+from repro.kernels.rhs_kernel import _warp_tx, rhs_kernel_footprint
+
+__all__ = [
+    "banded_counters",
+    "block_sweep_counters",
+    "penta_sweep_counters",
+]
+
+
+def penta_sweep_counters(
+    m: int,
+    n: int,
+    dtype_bytes: int,
+    device: DeviceSpec = GTX480,
+    threads_per_block: int = 128,
+    prepared: bool = False,
+) -> KernelCounters:
+    """Ledger for the batched pentadiagonal LU sweep (one thread/system).
+
+    Cold: load the five diagonals plus ``d`` per row, spill the three
+    factor streams needed out of order by the backward pass (``γ``,
+    ``δ``, ``z``) and re-read them, store ``x``.  Prepared: the stored
+    ``e``/``β``/``α`` stream in instead of being computed, eliminating
+    the coefficient loads and the factor spills.
+    """
+    if m < 1 or n < 1:
+        raise ValueError(f"need m, n >= 1, got ({m}, {n})")
+    if dtype_bytes not in (4, 8):
+        raise ValueError(f"dtype_bytes must be 4 or 8, got {dtype_bytes}")
+
+    tpb = min(threads_per_block, max(device.warp_size, m))
+    tx_per_row = _warp_tx(device, m, 1, dtype_bytes)
+
+    def bulk(values_per_row: int) -> tuple:
+        useful = values_per_row * n * m * dtype_bytes
+        return useful, values_per_row * n * tx_per_row
+
+    traffic = MemoryTraffic()
+    if prepared:
+        # forward: read e, stored beta, stored alpha, d; write z
+        traffic.add_load(*bulk(4))
+        traffic.add_store(*bulk(1))
+        # backward: read stored gamma, delta and z; write x
+        traffic.add_load(*bulk(3))
+        traffic.add_store(*bulk(1))
+        # live: e, beta, alpha, gamma, delta + two rolling z/x values
+        regs, smem = rhs_kernel_footprint(7, dtype_bytes)
+        # ~9 flops/row: two fused multiply-subtracts each pass + divide
+        flops = 9 * m * n
+        name = "penta LU (RHS-only)"
+    else:
+        # forward: read e, a, b, c, f, d; spill gamma, delta, z
+        traffic.add_load(*bulk(6))
+        traffic.add_store(*bulk(3))
+        # backward: re-read gamma, delta, z; write x
+        traffic.add_load(*bulk(3))
+        traffic.add_store(*bulk(1))
+        # live: five coefficient streams, d, beta/alpha/gamma/delta and
+        # the two-deep z/x recurrence window
+        regs, smem = rhs_kernel_footprint(12, dtype_bytes)
+        # ~19 flops/row: the factor recurrences (β, α, γ, δ) plus the
+        # forward and backward substitution steps
+        flops = 19 * m * n
+        name = "penta LU (factor+sweep)"
+    return KernelCounters(
+        name=name,
+        eliminations=m * (2 * n - 1),
+        flops=flops,
+        traffic=traffic,
+        launches=1,
+        dependent_steps=2 * n - 1,
+        threads=m,
+        threads_per_block=tpb,
+        smem_per_block=smem,
+        regs_per_thread=regs,
+        mlp=4.0,
+    )
+
+
+def block_sweep_counters(
+    m: int,
+    n: int,
+    block_size: int,
+    dtype_bytes: int,
+    device: DeviceSpec = GTX480,
+    threads_per_block: int = 128,
+    prepared: bool = False,
+) -> KernelCounters:
+    """Ledger for the block-Thomas sweep (``B`` lanes per system).
+
+    Each row step is a small dense problem: cold pays the pivot
+    formation (``B_i − A_i C'_{i−1}``, one ``B³`` mat-mat), its LU, and
+    the ``C'`` triangular solves; prepared streams the stored ``A`` /
+    ``C'`` / pivot blocks and pays only the per-row pivot re-solve and
+    two block mat-vecs.  Lanes within one system cooperate on the block
+    ops, so the launch is ``M·B`` threads wide.
+    """
+    if m < 1 or n < 1:
+        raise ValueError(f"need m, n >= 1, got ({m}, {n})")
+    if block_size < 1:
+        raise ValueError(f"need block_size >= 1, got {block_size}")
+    if dtype_bytes not in (4, 8):
+        raise ValueError(f"dtype_bytes must be 4 or 8, got {dtype_bytes}")
+
+    bs = block_size
+    lanes = m * bs
+    tpb = min(threads_per_block, max(device.warp_size, lanes))
+    tx_per_val = _warp_tx(device, lanes, 1, dtype_bytes)
+
+    def bulk(values_per_lane_row: int) -> tuple:
+        useful = values_per_lane_row * n * lanes * dtype_bytes
+        return useful, values_per_lane_row * n * tx_per_val
+
+    traffic = MemoryTraffic()
+    if prepared:
+        # forward: read A and pivot blocks (bs values per lane each),
+        # d; write z.  backward: read C', z; write x.
+        traffic.add_load(*bulk(2 * bs + 1))
+        traffic.add_store(*bulk(1))
+        traffic.add_load(*bulk(bs + 1))
+        traffic.add_store(*bulk(1))
+        # per row: pivot re-solve (2/3·B³ + 2B²) + two block mat-vecs
+        flops = m * n * (2 * bs**3 // 3 + 6 * bs * bs)
+        name = f"block{bs} Thomas (RHS-only)"
+    else:
+        # forward: read A, B, C blocks and d; write C', pivot, z.
+        # backward: re-read C', z; write x.
+        traffic.add_load(*bulk(3 * bs + 1))
+        traffic.add_store(*bulk(2 * bs + 1))
+        traffic.add_load(*bulk(bs + 1))
+        traffic.add_store(*bulk(1))
+        # per row: pivot formation mat-mat (2B³), LU (2/3·B³), C'
+        # triangular solves (2B³), plus the RHS sweep's mat-vecs
+        flops = m * n * (14 * bs**3 // 3 + 6 * bs * bs)
+        name = f"block{bs} Thomas (factor+sweep)"
+    # live per lane: one A/B/C block row, the rolling C'/pivot row and
+    # the two-deep z/x window (block rows stream through registers)
+    regs, smem = rhs_kernel_footprint(min(3 * bs + 4, 24), dtype_bytes)
+    return KernelCounters(
+        name=name,
+        eliminations=m * (2 * n - 1) * bs,
+        flops=flops,
+        traffic=traffic,
+        launches=1,
+        dependent_steps=2 * n - 1,
+        threads=lanes,
+        threads_per_block=tpb,
+        smem_per_block=smem,
+        regs_per_thread=regs,
+        mlp=float(min(4 * bs, 16)),
+    )
+
+
+def banded_counters(
+    kind: str,
+    m: int,
+    n: int,
+    dtype_bytes: int,
+    *,
+    block_size: int = 1,
+    prepared: bool = False,
+    device: DeviceSpec = GTX480,
+) -> list:
+    """Stage ledgers for one banded solve, by descriptor kind."""
+    if kind == "pentadiagonal":
+        return [
+            penta_sweep_counters(
+                m, n, dtype_bytes, device=device, prepared=prepared
+            )
+        ]
+    if kind == "block":
+        return [
+            block_sweep_counters(
+                m, n, block_size, dtype_bytes,
+                device=device, prepared=prepared,
+            )
+        ]
+    raise ValueError(f"no banded ledger for system kind {kind!r}")

@@ -14,6 +14,8 @@
 
 from repro.workloads.generators import (
     random_batch,
+    random_block_batch,
+    random_penta_batch,
     toeplitz_batch,
     poisson1d_batch,
     graded_batch,
@@ -25,6 +27,8 @@ from repro.workloads.pde import (
     crank_nicolson_system,
     crank_nicolson_coefficients,
     crank_nicolson_rhs,
+    hyperdiffusion_coefficients,
+    hyperdiffusion_rhs,
     adi_row_systems,
     adi_row_coefficients,
     cubic_spline_system,
@@ -37,6 +41,8 @@ __all__ = [
     "diffuse_adi",
     "poisson_dirichlet_fft",
     "random_batch",
+    "random_block_batch",
+    "random_penta_batch",
     "toeplitz_batch",
     "poisson1d_batch",
     "graded_batch",
@@ -44,6 +50,8 @@ __all__ = [
     "crank_nicolson_system",
     "crank_nicolson_coefficients",
     "crank_nicolson_rhs",
+    "hyperdiffusion_coefficients",
+    "hyperdiffusion_rhs",
     "adi_row_systems",
     "adi_row_coefficients",
     "cubic_spline_system",

@@ -14,6 +14,8 @@ import numpy as np
 
 __all__ = [
     "random_batch",
+    "random_block_batch",
+    "random_penta_batch",
     "toeplitz_batch",
     "poisson1d_batch",
     "graded_batch",
@@ -43,6 +45,73 @@ def random_batch(
     b = (dominance + np.abs(a) + np.abs(c)).astype(dtype)
     d = rng.standard_normal((m, n)).astype(dtype)
     return a, b, c, d
+
+
+def random_penta_batch(
+    m: int,
+    n: int,
+    dtype=np.float64,
+    seed: int = 0,
+    dominance: float = 2.0,
+):
+    """Random strictly diagonally dominant pentadiagonal batch.
+
+    Returns ``(e, a, b, c, f, d)`` in offset order −2…+2, padded
+    (``e[:, :2]``, ``a[:, 0]``, ``c[:, -1]``, ``f[:, -2:]`` zero); the
+    main diagonal carries a row margin of exactly ``dominance``.
+    """
+    if dominance <= 0:
+        raise ValueError(f"dominance must be > 0, got {dominance}")
+    rng = np.random.default_rng(seed)
+    e = rng.standard_normal((m, n)).astype(dtype)
+    a = rng.standard_normal((m, n)).astype(dtype)
+    c = rng.standard_normal((m, n)).astype(dtype)
+    f = rng.standard_normal((m, n)).astype(dtype)
+    e[:, : min(2, n)] = 0.0
+    a[:, 0] = 0.0
+    c[:, -1] = 0.0
+    f[:, max(0, n - 2):] = 0.0
+    b = (
+        dominance + np.abs(e) + np.abs(a) + np.abs(c) + np.abs(f)
+    ).astype(dtype)
+    d = rng.standard_normal((m, n)).astype(dtype)
+    return e, a, b, c, f, d
+
+
+def random_block_batch(
+    m: int,
+    n: int,
+    block_size: int = 2,
+    dtype=np.float64,
+    seed: int = 0,
+    dominance: float = 2.0,
+):
+    """Random block-diagonally dominant block-tridiagonal batch.
+
+    Returns ``(A, B, C, d)`` with ``(M, N, B, B)`` block stacks
+    (``A[:, 0]`` and ``C[:, -1]`` zero) and ``(M, N, B)`` right-hand
+    sides; each diagonal block is an identity scaled past its
+    neighbours' row sums plus ``dominance``, the standard sufficient
+    condition for pivot-free block-Thomas.
+    """
+    if dominance <= 0:
+        raise ValueError(f"dominance must be > 0, got {dominance}")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    rng = np.random.default_rng(seed)
+    bs = block_size
+    A = rng.standard_normal((m, n, bs, bs)).astype(dtype)
+    C = rng.standard_normal((m, n, bs, bs)).astype(dtype)
+    A[:, 0] = 0.0
+    C[:, -1] = 0.0
+    B = rng.standard_normal((m, n, bs, bs)).astype(dtype)
+    row_sums = (
+        np.abs(A).sum(axis=3) + np.abs(B).sum(axis=3) + np.abs(C).sum(axis=3)
+    )
+    shift = dominance + row_sums.max(axis=2)  # (m, n)
+    B = B + shift[..., None, None] * np.eye(bs, dtype=dtype)
+    d = rng.standard_normal((m, n, bs)).astype(dtype)
+    return A, B.astype(dtype), C, d
 
 
 def toeplitz_batch(

@@ -23,6 +23,8 @@ __all__ = [
     "crank_nicolson_system",
     "crank_nicolson_coefficients",
     "crank_nicolson_rhs",
+    "hyperdiffusion_coefficients",
+    "hyperdiffusion_rhs",
     "periodic_heat_coefficients",
     "periodic_heat_rhs",
     "adi_row_systems",
@@ -104,6 +106,68 @@ def crank_nicolson_system(u: np.ndarray, alpha: float, dt: float, dx: float):
     m, n = u.shape
     a, b, c = crank_nicolson_coefficients(m, n, alpha, dt, dx, dtype=u.dtype)
     return a, b, c, crank_nicolson_rhs(u, alpha, dt, dx)
+
+
+def hyperdiffusion_coefficients(
+    m: int, n: int, kappa: float, dt: float, dx: float, dtype=np.float64
+):
+    """Implicit-Euler hyperdiffusion step matrix (RHS-independent).
+
+    The fourth-order damping term ``u_t = −κ·u_xxxx`` — the standard
+    hyperdiffusion regularization of spectral and finite-difference
+    turbulence codes (cf. Gloster et al., cuPentBatch, arXiv
+    1909.04539) — discretizes implicitly to a **pentadiagonal** batch:
+    ``(I + r·D₄)·u^{t+1} = u^t`` with ``r = κ·dt/dx⁴`` and the
+    five-point biharmonic stencil ``(1, −4, 6, −4, 1)``.  The matrix
+    depends only on the grid, so a simulation factors it once
+    (pentadiagonal requests fingerprint-cache their LU) and streams
+    each step's field as the RHS.
+
+    Boundary closure: the first/last two rows are identity (clamped
+    values), the simple Dirichlet-style closure that keeps the system
+    strictly diagonally dominant for every ``r > 0``.
+
+    Returns
+    -------
+    tuple
+        ``(e, a, b, c, f)`` diagonals of shape ``(m, n)`` in offset
+        order −2, −1, 0, +1, +2 — feed to ``solve_via(a, b, c, d,
+        e=e, f=f)`` or :func:`repro.api.gpsv_batch`.
+    """
+    if n < 5:
+        raise ValueError(f"hyperdiffusion stencil needs n >= 5, got {n}")
+    r = kappa * dt / (dx ** 4)
+    e = np.full((m, n), r, dtype=dtype)
+    a = np.full((m, n), -4.0 * r, dtype=dtype)
+    b = np.full((m, n), 1.0 + 6.0 * r, dtype=dtype)
+    c = np.full((m, n), -4.0 * r, dtype=dtype)
+    f = np.full((m, n), r, dtype=dtype)
+    # clamped rows: identity at the two boundary points on each side
+    for j in (0, 1, n - 2, n - 1):
+        b[:, j] = 1.0
+        a[:, j] = 0.0
+        c[:, j] = 0.0
+        e[:, j] = 0.0
+        f[:, j] = 0.0
+    # out-of-matrix pads
+    e[:, :2] = 0.0
+    a[:, 0] = 0.0
+    c[:, -1] = 0.0
+    f[:, -2:] = 0.0
+    return e, a, b, c, f
+
+
+def hyperdiffusion_rhs(u: np.ndarray):
+    """The RHS of an implicit-Euler hyperdiffusion step: the field itself.
+
+    ``u`` is the ``(M, N)`` current field; pairs with
+    :func:`hyperdiffusion_coefficients` (clamped boundary rows carry
+    the boundary values through unchanged).
+    """
+    u = np.asarray(u)
+    if u.ndim != 2:
+        raise ValueError(f"u must be (M, N), got {u.ndim}-D")
+    return u.copy()
 
 
 def periodic_heat_coefficients(

@@ -287,3 +287,39 @@ def test_gtsv_cyclic_singular_guard():
     with pytest.warns(RuntimeWarning):
         x = gtsv_cyclic(a, b, c, np.zeros(n), check=False)
     assert np.isnan(x).all()
+
+
+def test_gpsv_batch_matches_dense():
+    from repro.api import gpsv_batch
+    from repro.core.pentadiag import penta_to_dense
+    from repro.workloads.generators import random_penta_batch
+
+    e, a, b, c, f, d = random_penta_batch(3, 32, seed=5)
+    x = gpsv_batch(e, a, b, c, f, d)
+    assert x.shape == (3, 32)
+    ref = np.linalg.solve(penta_to_dense(e, a, b, c, f), d[..., None])[..., 0]
+    assert np.allclose(x, ref, atol=1e-9)
+
+
+def test_gpsv_batch_fingerprint_bitwise():
+    from repro.api import gpsv_batch
+    from repro.workloads.generators import random_penta_batch
+
+    e, a, b, c, f, d = random_penta_batch(4, 48, seed=8)
+    cold = gpsv_batch(e, a, b, c, f, d, backend="engine", fingerprint=False)
+    gpsv_batch(e, a, b, c, f, d, backend="engine", fingerprint=True)
+    warm = gpsv_batch(e, a, b, c, f, d, backend="engine", fingerprint=True)
+    assert np.array_equal(cold, warm)
+
+
+def test_gtsv_block_batch_matches_dense():
+    from repro.api import gtsv_block_batch
+    from repro.core.blocktridiag import block_to_dense
+    from repro.workloads.generators import random_block_batch
+
+    A, Bd, C, d = random_block_batch(2, 12, block_size=3, seed=6)
+    x = gtsv_block_batch(A, Bd, C, d)
+    assert x.shape == (2, 12, 3)
+    dense = block_to_dense(A, Bd, C)
+    ref = np.linalg.solve(dense, d.reshape(2, -1)[..., None])[..., 0]
+    assert np.allclose(x, ref.reshape(2, 12, 3), atol=1e-9)

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core.blocktridiag import (
+    block_factor,
     block_residual,
-    block_thomas_solve,
     block_thomas_solve_batch,
 )
 
@@ -49,7 +49,9 @@ def test_matches_dense(bs, n):
         assert np.allclose(x[mi], ref, atol=1e-9), (mi, bs, n)
 
 
-def test_block_size_one_equals_scalar_thomas():
+def test_block_size_one_bitwise_equals_scalar_thomas():
+    """The B=1 fast path repeats thomas_solve_batch's op sequence, so
+    the degenerate block solve is *bitwise* the scalar solve."""
     from repro.core.thomas import thomas_solve_batch
 
     m, n = 4, 50
@@ -61,7 +63,41 @@ def test_block_size_one_equals_scalar_thomas():
     a[:, 0] = 0.0
     c[:, -1] = 0.0
     x = thomas_solve_batch(a, b, c, d[..., 0])
-    assert np.allclose(x_blk, x, atol=1e-10)
+    assert np.array_equal(x_blk, x)
+
+
+@pytest.mark.parametrize("bs", [1, 3])
+def test_float32_preserved(bs):
+    """float32 batches stay float32 end to end (no silent float64
+    promotion in the factor or the sweep)."""
+    A, B, C, d = (
+        v.astype(np.float32) for v in _make(2, 12, bs, seed=6, dominance=8.0)
+    )
+    x = block_thomas_solve_batch(A, B, C, d)
+    assert x.dtype == np.float32
+    fact = block_factor(A, B, C)
+    assert fact.dtype == np.float32
+    assert np.array_equal(fact.solve(d), x)
+    r = block_residual(A, B, C, d, x)
+    assert np.abs(r).max() < 1e-3
+
+
+@pytest.mark.parametrize("bs", [1, 2, 4])
+@pytest.mark.parametrize("n", [1, 2])
+def test_tiny_n_edges(bs, n):
+    """N = 1 (pure block solve) and N = 2 (one elimination step)."""
+    A, B, C, d = _make(3, n, bs, seed=n + bs)
+    x = block_thomas_solve_batch(A, B, C, d)
+    for mi in range(3):
+        ref = np.linalg.solve(_dense(A, B, C, mi), d[mi].reshape(-1))
+        assert np.allclose(x[mi], ref.reshape(n, bs), atol=1e-9)
+
+
+def test_prepared_bitwise_matches_cold():
+    A, B, C, d = _make(3, 24, 3, seed=5)
+    cold = block_thomas_solve_batch(A, B, C, d)
+    fact = block_factor(A, B, C)
+    assert np.array_equal(fact.solve(d), cold)
 
 
 def test_residual_small():
@@ -71,9 +107,9 @@ def test_residual_small():
     assert np.abs(r).max() < 1e-9
 
 
-def test_single_wrapper():
+def test_single_system_batch_of_one():
     A, B, C, d = _make(1, 16, 2, seed=3)
-    x = block_thomas_solve(A[0], B[0], C[0], d[0])
+    x = block_thomas_solve_batch(A, B, C, d)[0]
     assert x.shape == (16, 2)
     ref = np.linalg.solve(_dense(A, B, C, 0), d[0].reshape(-1)).reshape(16, 2)
     assert np.allclose(x, ref, atol=1e-9)
@@ -88,7 +124,7 @@ def test_validation():
     A, B, C, d = _make(1, 4, 2)
     with pytest.raises(ValueError, match="expected"):
         block_thomas_solve_batch(A, B, C, d[:, :, :1])
-    with pytest.raises(ValueError, match="blocks must be"):
+    with pytest.raises(ValueError, match="must be \\(M, N, B, B\\)"):
         block_thomas_solve_batch(np.zeros((4, 2, 2)), np.zeros((4, 2, 2)),
                                  np.zeros((4, 2, 2)), np.zeros((4, 2)))
 

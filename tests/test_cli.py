@@ -224,3 +224,36 @@ def test_router_command_corrupt_model(capsys, tmp_path):
 def test_tune_bad_shapes():
     with pytest.raises(SystemExit, match="expected MxN"):
         main(["tune", "--shapes", "64", "--model", "ignored.json"])
+
+
+def test_solve_penta_system(capsys):
+    assert main(["solve", "-M", "8", "-N", "64", "--system", "penta"]) == 0
+    out = capsys.readouterr().out
+    assert "pentadiagonal" in out
+    assert "relative residual" in out
+
+
+def test_solve_block_system(capsys):
+    assert main(
+        ["solve", "-M", "4", "-N", "32", "--system", "block",
+         "--block-size", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "block-tridiagonal (B=3)" in out
+
+
+def test_solve_penta_trace_stamps_system(capsys):
+    assert main(
+        ["solve", "-M", "4", "-N", "32", "--system", "penta", "--trace"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "[pentadiagonal]" in out
+
+
+def test_solve_banded_rejects_periodic_prepare_and_algorithms(capsys):
+    base = ["solve", "-M", "4", "-N", "32", "--system", "penta"]
+    assert main(base + ["--periodic"]) == 2
+    assert main(base + ["--prepare", "3"]) == 2
+    assert main(base + ["--algorithm", "thomas"]) == 2
+    err = capsys.readouterr().err
+    assert "penta/block" in err

@@ -105,7 +105,7 @@ def test_torn_cache_file_is_dropped_not_fatal(tmp_path):
 
 
 def test_cache_filenames_are_digest_named():
-    key = (16, 64, "<f8", 0, True, "ab" * 16)
+    key = (16, 64, "<f8", 0, "", True, "ab" * 16)
     name = _key_filename(key)
     assert name.startswith("ab" * 16)
     assert "16x64" in name and "float64" in name and "cyclic" in name

@@ -258,3 +258,47 @@ def test_rhs_footprint_raises_occupancy_over_generic():
     generic = occupancy(GTX480, c.threads_per_block, 0, 20)
     # fewer live registers → at least as many resident warps per SM
     assert prepared.warps_per_sm >= generic.warps_per_sm
+
+
+# ---- banded (penta / block-Thomas) ------------------------------------------
+
+
+def test_penta_prepared_cheaper_than_cold():
+    from repro.kernels.banded_kernel import penta_sweep_counters
+
+    cold = penta_sweep_counters(256, 512, 8)
+    prep = penta_sweep_counters(256, 512, 8, prepared=True)
+    assert prep.flops < cold.flops
+    assert prep.traffic.load_bytes < cold.traffic.load_bytes
+    assert prep.traffic.store_bytes < cold.traffic.store_bytes
+    assert prep.regs_per_thread < cold.regs_per_thread
+    # both walk the same 2N-1 dependent chain with one thread/system
+    assert prep.dependent_steps == cold.dependent_steps == 2 * 512 - 1
+    assert prep.threads == cold.threads == 256
+
+
+def test_block_counters_scale_cubically_with_block_size():
+    from repro.kernels.banded_kernel import block_sweep_counters
+
+    c2 = block_sweep_counters(64, 128, 2, 8)
+    c4 = block_sweep_counters(64, 128, 4, 8)
+    # the B^3 pivot work dominates: doubling B must grow flops
+    # super-quadratically
+    assert c4.flops > 4 * c2.flops
+    assert c4.threads == 2 * c2.threads  # M*B lanes
+    assert block_sweep_counters(64, 128, 4, 8, prepared=True).flops < c4.flops
+
+
+def test_banded_counters_dispatch_and_pricing():
+    from repro.kernels.banded_kernel import banded_counters
+
+    (penta,) = banded_counters("pentadiagonal", 64, 256, 8)
+    assert "penta" in penta.name
+    (blk,) = banded_counters("block", 64, 256, 8, block_size=3)
+    assert "block3" in blk.name
+    with pytest.raises(ValueError, match="no banded ledger"):
+        banded_counters("heptadiagonal", 64, 256, 8)
+    # the ledgers price through the same timing model as every kernel
+    model = GpuTimingModel(GTX480)
+    assert model.time(penta, 8).total_s > 0.0
+    assert model.time(blk, 8).total_s > 0.0

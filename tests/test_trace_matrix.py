@@ -111,6 +111,84 @@ def test_workers_rule_decision_names_the_rule():
     assert "route_workers" in trace.decision.reason
 
 
+def _penta_batch(backend: str, m=8, n=64):
+    from repro.workloads.generators import random_penta_batch
+
+    seed = sum(map(ord, "penta:" + backend))
+    return random_penta_batch(m, n, seed=seed)
+
+
+def _block_batch(backend: str, m=6, n=16, bs=2):
+    from repro.workloads.generators import random_block_batch
+
+    seed = sum(map(ord, "block:" + backend))
+    return random_block_batch(m, n, block_size=bs, seed=seed)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("system", ("pentadiagonal", "block"))
+def test_banded_routes_populate_the_same_trace_schema(system, backend):
+    """Penta and block dispatch fill the *identical* vocabulary the
+    tridiagonal routes do, plus the ``system`` stamp."""
+    if system == "pentadiagonal":
+        e, a, b, c, f, d = _penta_batch(backend)
+        x, trace = solve_via(a, b, c, d, e=e, f=f, backend=backend)
+        m, n = 8, 64
+    else:
+        A, B, C, d = _block_batch(backend)
+        x, trace = solve_via(A, B, C, d, backend=backend)
+        m, n = 6, 16
+
+    assert trace.system == system
+    assert trace.backend == backend
+    assert trace.m == m and trace.n == n
+    assert trace.dtype == "float64"
+    assert trace.k == 0 and trace.k_source == "banded"
+    assert trace.workers >= 1
+    assert trace.plan_cache in _PLAN_CACHE_STATES
+    assert trace.factorization in _FACTORIZATION_STATES
+    assert isinstance(trace.rhs_only, bool)
+    assert trace.periodic is False
+    assert trace.stages
+    assert trace.stages[0].name == "validate"
+    assert all(s.seconds >= 0.0 for s in trace.stages)
+    assert last_trace() is trace
+    assert trace.decision is not None
+    assert trace.decision.router == "explicit"
+    assert trace.decision.chosen == backend
+    info = trace.describe()
+    assert info["system"] == system
+
+    # the route actually solved the system (numpy = dense oracle)
+    if system == "pentadiagonal":
+        ref, _ = solve_via(a, b, c, d, e=e, f=f, backend="numpy")
+    else:
+        ref, _ = solve_via(A, B, C, d, backend="numpy")
+    np.testing.assert_allclose(x, ref, rtol=1e-9, atol=1e-12)
+
+
+def test_prepared_penta_trace_reports_rhs_only():
+    e, a, b, c, f, d = _penta_batch("prep-engine")
+    solve_via(a, b, c, d, e=e, f=f, backend="engine", fingerprint=True)
+    x, trace = solve_via(
+        a, b, c, d, e=e, f=f, backend="engine", fingerprint=True
+    )
+    assert trace.system == "pentadiagonal"
+    assert trace.factorization in {"hit", "factored"}
+    assert trace.rhs_only is True
+    cold, _ = solve_via(
+        a, b, c, d, e=e, f=f, backend="engine", fingerprint=False
+    )
+    assert np.array_equal(x, cold)
+
+
+def test_tridiagonal_routes_stamp_default_system():
+    a, b, c, d = _batch("plain", "engine")
+    _, trace = solve_via(a, b, c, d, backend="engine")
+    assert trace.system == "tridiagonal"
+    assert "system" in trace.describe()
+
+
 def test_prepared_handle_traces_use_the_same_schema():
     import repro
 

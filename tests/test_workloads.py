@@ -212,3 +212,78 @@ def test_periodic_heat_coefficients_float32():
         2, 16, alpha=0.1, dt=1e-3, dx=0.1, dtype=np.float32
     )
     assert a.dtype == b.dtype == c.dtype == np.float32
+
+
+def test_random_penta_batch_shapes_pads_dominance():
+    from repro.workloads.generators import random_penta_batch
+
+    e, a, b, c, f, d = random_penta_batch(3, 16, seed=2)
+    for arr in (e, a, b, c, f, d):
+        assert arr.shape == (3, 16)
+    assert np.all(e[:, :2] == 0) and np.all(a[:, 0] == 0)
+    assert np.all(c[:, -1] == 0) and np.all(f[:, -2:] == 0)
+    # rowwise diagonal dominance (the no-pivot LU's stability condition)
+    assert np.all(
+        np.abs(b)
+        > np.abs(e) + np.abs(a) + np.abs(c) + np.abs(f)
+    )
+    e2, *_ = random_penta_batch(3, 16, seed=2)
+    assert np.array_equal(e, e2)
+
+
+def test_random_block_batch_shapes_pads_dominance():
+    from repro.workloads.generators import random_block_batch
+
+    A, B, C, d = random_block_batch(2, 8, block_size=3, seed=4)
+    assert A.shape == B.shape == C.shape == (2, 8, 3, 3)
+    assert d.shape == (2, 8, 3)
+    assert np.all(A[:, 0] == 0) and np.all(C[:, -1] == 0)
+    # the diagonal shift makes each B_i strictly dominant over its row
+    # of off-diagonal mass -> block-Thomas solvable without pivoting
+    from repro.core.blocktridiag import block_residual, block_thomas_solve_batch
+
+    x = block_thomas_solve_batch(A, B, C, d)
+    assert np.abs(block_residual(A, B, C, d, x)).max() < 1e-9
+
+
+def test_hyperdiffusion_coefficients_structure():
+    from repro.workloads.pde import hyperdiffusion_coefficients
+
+    m, n, kappa, dt, dx = 2, 32, 1.0e-3, 0.1, 0.05
+    e, a, b, c, f = hyperdiffusion_coefficients(m, n, kappa, dt, dx)
+    r = kappa * dt / dx**4
+    # interior rows carry the biharmonic stencil (1, -4, 6, -4, 1) * r
+    assert np.allclose(b[:, 2 : n - 2], 1.0 + 6.0 * r)
+    assert np.allclose(a[:, 2 : n - 2], -4.0 * r)
+    assert np.allclose(e[:, 2 : n - 2], r)
+    # clamped boundary rows are identity
+    for j in (0, 1, n - 2, n - 1):
+        assert np.all(b[:, j] == 1.0)
+        assert np.all(a[:, j] == 0) and np.all(c[:, j] == 0)
+        assert np.all(e[:, j] == 0) and np.all(f[:, j] == 0)
+    with pytest.raises(ValueError, match="n >= 5"):
+        hyperdiffusion_coefficients(1, 4, kappa, dt, dx)
+
+
+def test_hyperdiffusion_step_damps_high_frequencies():
+    from repro.backends import solve_via
+    from repro.workloads.pde import (
+        hyperdiffusion_coefficients,
+        hyperdiffusion_rhs,
+    )
+
+    m, n = 2, 128
+    dx = 1.0 / n
+    e, a, b, c, f = hyperdiffusion_coefficients(m, n, 1e-6, 0.01, dx)
+    xg = np.arange(n) * dx
+    # a smooth mode plus a zig-zag (Nyquist) perturbation
+    u = np.sin(np.pi * xg)[None] + 0.1 * (-1.0) ** np.arange(n)[None]
+    u = np.repeat(u, m, axis=0)
+    u1, _ = solve_via(a, b, c, hyperdiffusion_rhs(u), e=e, f=f)
+    # implicit Euler on u_t = -k u_xxxx damps the Nyquist mode hard
+    # while leaving the smooth mode nearly untouched
+    zigzag = lambda v: np.abs(np.diff(v[:, 2:-2], axis=1)).max()
+    assert zigzag(u1) < 0.5 * zigzag(u)
+    assert np.abs(u1).max() > 0.5  # the smooth bulk survives
+    with pytest.raises(ValueError, match=r"must be \(M, N\)"):
+        hyperdiffusion_rhs(u[0])
