@@ -91,9 +91,15 @@ from repro.engine import (
     default_engine,
     prepare,
 )
+from repro.service import (
+    ServiceConfig,
+    ServiceOverloaded,
+    SolveService,
+    SyncSolveClient,
+)
 from repro.util import BatchTridiagonal, TridiagonalSystem
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "solve",
@@ -122,6 +128,10 @@ __all__ = [
     "PentaFactorization",
     "BlockThomasFactorization",
     "SystemDescriptor",
+    "ServiceConfig",
+    "ServiceOverloaded",
+    "SolveService",
+    "SyncSolveClient",
     "ExecutionEngine",
     "PreparedPlan",
     "SolvePlan",

@@ -10,8 +10,10 @@ Commands
 ``anchors``   verify the calibration anchors against the paper
 ``report``    emit the full EXPERIMENTS.md body
 ``trace``     run one solve and print its instrumentation trace
-``tune``      calibrate the adaptive router's performance model
-``router``    inspect (or reset) a persisted performance model
+``tune``        calibrate the adaptive router's performance model
+``router``      inspect (or reset) a persisted performance model
+``serve-stats``  run a traffic burst through the solve service and
+                 report coalescing + per-tenant latency statistics
 
 Examples
 --------
@@ -28,6 +30,7 @@ Examples
     python -m repro.cli trace -M 64 -N 1024 --json
     python -m repro.cli tune --model router_model.json --repeats 3
     python -m repro.cli router --model router_model.json
+    python -m repro.cli serve-stats --requests 128 -M 8 -N 1024 --tenants 4
 """
 
 from __future__ import annotations
@@ -194,6 +197,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     router.add_argument(
         "--reset", action="store_true", help="delete the model file"
+    )
+
+    serve = sub.add_parser(
+        "serve-stats",
+        help="run a traffic burst through the solve service and report "
+        "coalescing + per-tenant statistics",
+    )
+    serve.add_argument("--requests", type=int, default=128,
+                       help="concurrent requests in the burst")
+    serve.add_argument("-M", type=int, default=8,
+                       help="rows per request fragment")
+    serve.add_argument("-N", type=int, default=1024, help="system size")
+    serve.add_argument("--tenants", type=int, default=4,
+                       help="round-robin tenant count")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--shared-matrix", action="store_true",
+        help="every request solves the same matrix (exercises the "
+        "shared-factorization digest path instead of plain coalescing)",
+    )
+    serve.add_argument(
+        "--max-batch-rows", type=int, default=2048,
+        help="coalescing window row cap (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--max-wait-us", type=float, default=2000.0,
+        help="coalescing window timer in microseconds (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="dump the full service.describe() payload as JSON",
     )
     return p
 
@@ -728,6 +762,87 @@ def _cmd_router(args) -> int:
     return 0
 
 
+def _cmd_serve_stats(args) -> int:
+    import asyncio
+    import json as _json
+    import time as _time
+
+    from repro.service import ServiceConfig, SolveService
+    from repro.workloads.traffic import (
+        shared_matrix_traffic,
+        small_request_traffic,
+    )
+
+    if args.requests < 1:
+        print("--requests must be >= 1", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        max_batch_rows=args.max_batch_rows, max_wait_us=args.max_wait_us
+    )
+
+    async def burst():
+        service = SolveService(config)
+        async with service:
+            if args.shared_matrix:
+                (a, b, c), ds = shared_matrix_traffic(
+                    args.requests, args.M, args.N,
+                    tenants=args.tenants, seed=args.seed,
+                )
+                coros = [
+                    service.submit(a, b, c, d, tenant=t, fingerprint=True)
+                    for t, d in ds
+                ]
+            else:
+                frags = small_request_traffic(
+                    args.requests, args.M, args.N,
+                    tenants=args.tenants, seed=args.seed,
+                )
+                coros = [
+                    service.submit(a, b, c, d, tenant=t)
+                    for t, (a, b, c, d) in frags
+                ]
+            t0 = _time.perf_counter()
+            await asyncio.gather(*coros)
+            elapsed = _time.perf_counter() - t0
+            return elapsed, service.describe()
+
+    elapsed, report = asyncio.run(burst())
+    if args.json:
+        report["burst"] = {
+            "requests": args.requests,
+            "elapsed_s": elapsed,
+            "requests_per_s": args.requests / elapsed,
+        }
+        print(_json.dumps(report, indent=2, default=str))
+        return 0
+
+    shape = "shared-matrix" if args.shared_matrix else "independent"
+    print(f"burst      : {args.requests} {shape} requests, "
+          f"M={args.M} x N={args.N}, {args.tenants} tenant(s)")
+    print(f"throughput : {args.requests / elapsed:,.1f} req/s "
+          f"({elapsed * 1e3:.1f} ms wall)")
+    flushes = report["flushes"]
+    print(f"dispatches : {report['dispatches']} "
+          f"(mean batch {report['mean_batch_rows']:.0f} rows, "
+          f"max {report['max_batch_rows']}; "
+          f"size={flushes['size']} timer={flushes['timer']} "
+          f"solo={flushes['solo']} close={flushes['close']})")
+    print(f"shared     : {report['shared_factorizations']} "
+          f"shared-factorization dispatch(es)")
+    print()
+    print(f"{'tenant':<12} {'req':>5} {'shed':>5} {'rows':>7} "
+          f"{'p50 ms':>8} {'p99 ms':>8} {'max ms':>8}  backends")
+    for t in report["tenants"]:
+        lat = t["latency_ms"]
+        backends = ",".join(
+            f"{name}x{count}" for name, count in sorted(t["backends"].items())
+        )
+        print(f"{t['tenant']:<12} {t['delivered']:>5} {t['shed']:>5} "
+              f"{t['rows']:>7} {lat['p50']:>8.2f} {lat['p99']:>8.2f} "
+              f"{lat['max']:>8.2f}  {backends}")
+    return 0
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "solve": _cmd_solve,
@@ -742,6 +857,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "tune": _cmd_tune,
     "router": _cmd_router,
+    "serve-stats": _cmd_serve_stats,
 }
 
 

@@ -27,6 +27,53 @@ __all__ = [
 
 _ALLOWED = (np.dtype(np.float32), np.dtype(np.float64))
 
+#: ``np.result_type`` over mixed dtype tuples is surprisingly costly on
+#: the small-batch hot path; the handful of dtype combinations a
+#: workload actually mixes is memoized here.
+_result_dtype_cache: dict = {}
+
+
+def _already_canonical(arrays) -> bool:
+    """Are these already contiguous same-float-dtype ``ndarray``s?
+
+    The tiny-batch fast path: a steady-state caller (the engine's warm
+    loop, the service tier's fragments) passes arrays that are already
+    in canonical form, and the per-call ``asarray`` → ``result_type`` →
+    ``ascontiguousarray`` chain costs more than the solve's own
+    dispatch at small ``M``.  One cheap all-attribute scan skips it.
+    """
+    first = arrays[0]
+    if type(first) is not np.ndarray:
+        return False
+    dtype = first.dtype
+    if dtype not in _ALLOWED:
+        return False
+    for arr in arrays:
+        if (
+            type(arr) is not np.ndarray
+            or arr.dtype is not dtype
+            or not arr.flags.c_contiguous
+        ):
+            return False
+    return True
+
+
+def _uniform_float(arrays):
+    """Coerce a sequence to one contiguous allowed float dtype."""
+    if _already_canonical(arrays):
+        return list(arrays)
+    arrays = [np.asarray(v) for v in arrays]
+    key = tuple(arr.dtype for arr in arrays)
+    dtype = _result_dtype_cache.get(key)
+    if dtype is None:
+        dtype = np.result_type(*arrays)
+        if dtype not in _ALLOWED:
+            dtype = np.dtype(np.float64)
+        if len(_result_dtype_cache) > 64:
+            _result_dtype_cache.clear()
+        _result_dtype_cache[key] = dtype
+    return [np.ascontiguousarray(v, dtype=dtype) for v in arrays]
+
 
 def coerce_batch_arrays(a, b, c, d):
     """Coerce batch inputs to uniform float arrays *without* validating.
@@ -39,19 +86,11 @@ def coerce_batch_arrays(a, b, c, d):
     Shape agreement, pad zeroing and finiteness are *not* checked;
     that is :func:`check_batch_arrays`'s job.
     """
-    arrays = [np.asarray(v) for v in (a, b, c, d)]
-    dtype = np.result_type(*arrays)
-    if dtype not in _ALLOWED:
-        dtype = np.dtype(np.float64)
-    return tuple(np.ascontiguousarray(v, dtype=dtype) for v in arrays)
+    return tuple(_uniform_float((a, b, c, d)))
 
 
 def _common(arrays, ndim: int):
-    arrays = [np.asarray(v) for v in arrays]
-    dtype = np.result_type(*arrays)
-    if dtype not in _ALLOWED:
-        dtype = np.dtype(np.float64)
-    arrays = [np.ascontiguousarray(v, dtype=dtype) for v in arrays]
+    arrays = _uniform_float(arrays)
     shape = arrays[0].shape
     for name, arr in zip("abcd", arrays):
         if arr.ndim != ndim:
@@ -105,11 +144,13 @@ def coerce_cyclic_batch_arrays(a, b, c, d):
     broadcasting error two layers down.  1-D inputs are promoted to a
     single-system batch.
     """
-    arrays = [np.atleast_2d(np.asarray(v)) for v in (a, b, c, d)]
-    dtype = np.result_type(*arrays)
-    if dtype not in _ALLOWED:
-        dtype = np.dtype(np.float64)
-    arrays = [np.ascontiguousarray(v, dtype=dtype) for v in arrays]
+    arrays = (a, b, c, d)
+    if _already_canonical(arrays) and all(arr.ndim == 2 for arr in arrays):
+        arrays = list(arrays)
+    else:
+        arrays = _uniform_float(
+            [np.atleast_2d(np.asarray(v)) for v in arrays]
+        )
     shape = arrays[1].shape
     for name, arr in zip("abcd", arrays):
         if arr.ndim != 2:
@@ -134,14 +175,6 @@ def check_cyclic_batch_arrays(a, b, c, d):
         if not np.all(np.isfinite(arr)):
             raise ValueError(f"{name!r} contains non-finite values")
     return arrays
-
-
-def _uniform_float(arrays):
-    arrays = [np.asarray(v) for v in arrays]
-    dtype = np.result_type(*arrays)
-    if dtype not in _ALLOWED:
-        dtype = np.dtype(np.float64)
-    return [np.ascontiguousarray(v, dtype=dtype) for v in arrays]
 
 
 def coerce_penta_batch_arrays(e, a, b, c, f, d):

@@ -164,6 +164,10 @@ class ExecutionEngine:
         self._plan_memo_cap = 4 * max_plans
         self._executor: ThreadPoolExecutor | None = None
         self._executor_workers = 0
+        # pools replaced by growth stay alive here until shutdown():
+        # a concurrent sharded solve may still be submitting to one,
+        # and ThreadPoolExecutor raises on submit-after-shutdown
+        self._retired_executors: list = []
 
     @property
     def router_model_path(self) -> str | None:
@@ -419,6 +423,32 @@ class ExecutionEngine:
             except OSError:
                 pass  # a full or read-only disk never fails the solve
         return fact, "factored"
+
+    def factorization_for(
+        self,
+        plan: SolvePlan,
+        digest: str,
+        a,
+        b,
+        c,
+        *,
+        periodic: bool = False,
+        check: bool = True,
+    ):
+        """Fetch-or-build the factorization for a digested coefficient set.
+
+        The public seam over the engine's factorization cache for
+        callers that already know their digest (the service tier's
+        shared-factorization path).  Always factors on miss
+        (``force=True`` semantics — the caller has declared the
+        coefficients are worth keeping), consults the memory LRU and
+        the disk spill tier in order, and returns ``(factorization,
+        state)`` with ``state`` one of ``"hit"`` / ``"factored"``.
+        """
+        return self._factorization_for(
+            plan, digest, a, b, c,
+            force=True, periodic=periodic, check=check,
+        )
 
     def prepare(
         self,
@@ -1080,16 +1110,17 @@ class ExecutionEngine:
     def _thread_pool(self, workers: int) -> ThreadPoolExecutor:
         with self._lock:
             if self._executor is None or self._executor_workers < workers:
-                old = self._executor
+                # never shut the old pool down here: another thread may
+                # hold a reference from a racing thread_pool() call and
+                # still be submitting shards to it.  Retire it instead;
+                # shutdown() drains the graveyard.
+                if self._executor is not None:
+                    self._retired_executors.append(self._executor)
                 self._executor = ThreadPoolExecutor(
                     max_workers=workers, thread_name_prefix="repro-engine"
                 )
                 self._executor_workers = workers
-            else:
-                old = None
-        if old is not None:
-            old.shutdown(wait=False)
-        return self._executor
+            return self._executor
 
     # ---- lifecycle -----------------------------------------------------
     def clear(self) -> None:
@@ -1117,7 +1148,10 @@ class ExecutionEngine:
         sharded solve lazily builds a fresh pool)."""
         with self._lock:
             executor, self._executor = self._executor, None
+            retired, self._retired_executors = self._retired_executors, []
             self._executor_workers = 0
+        for old in retired:
+            old.shutdown(wait=True)
         if executor is not None:
             executor.shutdown(wait=True)
 

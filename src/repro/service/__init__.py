@@ -1,0 +1,38 @@
+"""Service tier: coalesce small solve requests into the large-M regime.
+
+The paper's thesis — and every BENCH artifact in this repo — says the
+fastest route is one *large* batched ``k = 0`` solve.  Real workloads
+arrive as many *small* compatible solves.  This package is the bridge:
+
+* :class:`~repro.service.service.SolveService` — the asyncio front
+  door: concurrent ``submit`` calls are grouped by compatibility,
+  coalesced along the batch axis under a tunable size/wait window,
+  executed as one registry dispatch, and scattered back bitwise
+  identical to solo ``k = 0`` execution.
+* :class:`~repro.service.sync.SyncSolveClient` — the thread-queue
+  adapter: a background event loop so plain synchronous (and
+  multi-threaded) callers coalesce too.
+* :class:`~repro.service.stats.ServiceStats` — per-tenant admission /
+  latency / trace aggregation behind ``repro serve-stats``.
+
+Quick start::
+
+    from repro.service import SyncSolveClient
+
+    with SyncSolveClient() as client:
+        x = client.solve(a, b, c, d)     # coalesces with other callers
+"""
+
+from repro.service.service import ServiceConfig, ServiceOverloaded, SolveService
+from repro.service.stats import LatencyReservoir, ServiceStats, TenantStats
+from repro.service.sync import SyncSolveClient
+
+__all__ = [
+    "LatencyReservoir",
+    "ServiceConfig",
+    "ServiceOverloaded",
+    "ServiceStats",
+    "SolveService",
+    "SyncSolveClient",
+    "TenantStats",
+]

@@ -10,6 +10,9 @@
 * :mod:`~repro.workloads.fluid` — the refs [4][5] fluid workload: a
   complete semi-Lagrangian + ADI scalar-transport simulator driven by
   the library's batched solves.
+* :mod:`~repro.workloads.traffic` — small-request traffic shapes
+  (independent fragments, shared-matrix ensembles) for the service
+  tier's coalescing benchmark and the ``serve-stats`` burst.
 """
 
 from repro.workloads.generators import (
@@ -23,6 +26,7 @@ from repro.workloads.generators import (
 )
 from repro.workloads.fluid import FluidSim, advect_semi_lagrangian, diffuse_adi
 from repro.workloads.poisson_fft import poisson_dirichlet_fft
+from repro.workloads.traffic import shared_matrix_traffic, small_request_traffic
 from repro.workloads.pde import (
     crank_nicolson_system,
     crank_nicolson_coefficients,
@@ -56,4 +60,6 @@ __all__ = [
     "adi_row_coefficients",
     "cubic_spline_system",
     "multigrid_line_systems",
+    "shared_matrix_traffic",
+    "small_request_traffic",
 ]
