@@ -97,9 +97,10 @@ from repro.service import (
     SolveService,
     SyncSolveClient,
 )
+from repro.distributed import DistributedWorkerError, partitioned_solve_reference
 from repro.util import BatchTridiagonal, TridiagonalSystem
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "solve",
@@ -132,6 +133,8 @@ __all__ = [
     "ServiceOverloaded",
     "SolveService",
     "SyncSolveClient",
+    "DistributedWorkerError",
+    "partitioned_solve_reference",
     "ExecutionEngine",
     "PreparedPlan",
     "SolvePlan",

@@ -67,7 +67,12 @@ def trace_markdown(trace) -> str:
         + f"  (M={info['m']}, N={info['n']}, {info['dtype']})",
         f"plan: k={info['k']} ({info['k_source']}), fuse={info['fuse']}, "
         f"windows={info['n_windows']}, workers={info['workers']}, "
-        f"plan cache: {info['plan_cache']}",
+        + (
+            f"ranks={info['ranks']}, "
+            if info.get("ranks", 1) and info["ranks"] > 1
+            else ""
+        )
+        + f"plan cache: {info['plan_cache']}",
         f"factorization: {info['factorization']}"
         + ("  (RHS-only fast path)" if info["rhs_only"] else ""),
     ]

@@ -55,11 +55,13 @@ __all__ = [
 ]
 
 #: schema version of the persisted JSON payload; foreign versions are
-#: discarded on load (stale calibration is worthless, not dangerous)
-MODEL_VERSION = 1
+#: discarded on load (stale calibration is worthless, not dangerous).
+#: v2 added the ``ranks`` route axis (distributed N-partitioning) —
+#: v1 files never measured it, so discarding them is the safe reload.
+MODEL_VERSION = 2
 
 #: the knobs a route pins, in canonical serialization order
-ROUTE_FIELDS = ("backend", "k", "workers", "fingerprint")
+ROUTE_FIELDS = ("backend", "k", "workers", "fingerprint", "ranks")
 
 
 class ModelLoadError(ValueError):
@@ -158,6 +160,7 @@ def route_from(request, trace) -> dict:
         "fingerprint": effective_fingerprint_tier(
             request.fingerprint, request.rtol, request.dtype, int(trace.k)
         ),
+        "ranks": int(getattr(trace, "ranks", 1) or 1),
     }
 
 

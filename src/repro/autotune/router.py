@@ -117,7 +117,33 @@ def candidate_routes(
                         "k": int(k),
                         "workers": int(w),
                         "fingerprint": tier,
+                        "ranks": 1,
                     })
+    # ranks axis: multi-rank backends partition N, so the variants only
+    # make sense where the interface exchange can amortize (large N)
+    if not banded:
+        for backend in sorted(candidates, key=lambda b: b.name):
+            caps = backend.capabilities()
+            if caps.simulated or caps.max_ranks <= 1:
+                continue
+            if request.ranks is not None:
+                ranks_opts = (
+                    (request.ranks,) if request.ranks > 1 else ()
+                )
+            elif request.n >= 4096:
+                ranks_opts = (2, 4)
+            else:
+                ranks_opts = ()
+            for r in ranks_opts:
+                routes.append({
+                    "backend": backend.name,
+                    # the partitioned pipeline is its own algorithm —
+                    # no PCR front-end, so k stays 0 unless pinned
+                    "k": int(request.k) if request.k is not None else 0,
+                    "workers": 1,
+                    "fingerprint": "auto",
+                    "ranks": int(min(r, caps.max_ranks)),
+                })
     return routes[:MAX_CANDIDATE_ROUTES]
 
 
@@ -281,10 +307,15 @@ class AdaptiveRouter(Router):
                 return False
         elif tier != "off":
             return False  # unknown tier from a foreign model
+        ranks = route.get("ranks", 1) or 1
+        if ranks > 1 and caps.max_ranks <= 1:
+            return False
         # caller-pinned knobs are contracts, not suggestions
         if request.k is not None and route.get("k") != request.k:
             return False
         if request.workers is not None and workers != request.workers:
+            return False
+        if request.ranks is not None and ranks != request.ranks:
             return False
         return True
 
@@ -315,6 +346,9 @@ class AdaptiveRouter(Router):
         if request.workers is None and route.get("workers", 1) > 1:
             request.workers = int(route["workers"])
             applied["workers"] = request.workers
+        if request.ranks is None and (route.get("ranks", 1) or 1) > 1:
+            request.ranks = int(route["ranks"])
+            applied["ranks"] = request.ranks
         if request.fingerprint is None:
             tier = route.get("fingerprint", "auto")
             if tier == "forced":

@@ -1,17 +1,18 @@
 """Unified backend dispatch: one protocol behind every execution path.
 
-The repo's four execution strategies — the single-call reference
-solver, the plan-caching engine, the thread-sharded executor, and the
-simulated-GPU solver — stand behind one two-method :class:`Backend`
-protocol (``capabilities()`` + ``execute(request)``) and one registry
-that negotiates a :class:`SolveRequest` against capabilities — plain,
+The repo's five execution strategies — the single-call reference
+solver, the plan-caching engine, the thread-sharded executor, the
+simulated-GPU solver, and the N-partitioned distributed solver —
+stand behind one two-method :class:`Backend` protocol
+(``capabilities()`` + ``execute(request)``) and one registry that
+negotiates a :class:`SolveRequest` against capabilities — plain,
 prepared, and periodic solves are all the same request shape:
 
 >>> import numpy as np
 >>> import repro
 >>> from repro.backends import list_backends
 >>> sorted(name for name, _ in list_backends())
-['engine', 'gpusim', 'numpy', 'threaded']
+['distributed', 'engine', 'gpusim', 'numpy', 'threaded']
 >>> rng = np.random.default_rng(0)
 >>> a = rng.standard_normal((4, 64)); a[:, 0] = 0
 >>> c = rng.standard_normal((4, 64)); c[:, -1] = 0

@@ -63,6 +63,10 @@ class Capabilities:
         contiguous ``(M, N)`` convention; adapters normalize first.
     max_workers:
         Largest useful ``workers=`` value (1 = no sharding).
+    max_ranks:
+        Largest useful ``ranks=`` value — the N-axis partition count of
+        the distributed tier (1 = cannot partition; requests with
+        ``ranks > 1`` negotiate only against multi-rank backends).
     simulated:
         True when the backend's timing report is a device-model
         prediction rather than a measurement.
@@ -85,6 +89,7 @@ class Capabilities:
     periodic: bool = True
     layouts: tuple = ("contiguous",)
     max_workers: int = 1
+    max_ranks: int = 1
     simulated: bool = False
     prepared: bool = False
     systems: tuple = ("tridiagonal",)
@@ -166,7 +171,8 @@ class BackendBase:
         inner = request.replace(
             a=ap, b=bp, c=cp, periodic=False, out=None, fingerprint=False
         )
-        y = self.execute(inner).x
+        y_outcome = self.execute(inner)
+        y = y_outcome.x
         q_outcome = self.execute(inner.replace(d=u))
         q = q_outcome.x
 
@@ -177,13 +183,21 @@ class BackendBase:
         x = apply_cyclic_correction(y, q, w, scale, out=request.out)
         t_correct = time.perf_counter() - t1
 
-        # the q-solve's trace carries the plan/stage detail; promote it
-        # to describe the whole cyclic solve
+        # the q-solve's trace carries the plan detail; promote it to
+        # describe the whole cyclic solve, keeping *both* inner solves'
+        # stage timings (prefixed, so stage() lookups stay unambiguous)
         trace = q_outcome.trace
         trace.periodic = True
         trace.stages = [
             StageTiming("cyclic-reduce", t_reduce),
-            *trace.stages,
+            *(
+                StageTiming(f"cyclic-y:{s.name}", s.seconds, s.predicted_us)
+                for s in y_outcome.trace.stages
+            ),
+            *(
+                StageTiming(f"cyclic-q:{s.name}", s.seconds, s.predicted_us)
+                for s in trace.stages
+            ),
             StageTiming("cyclic-correction", t_correct),
         ]
         self._set_trace(trace)

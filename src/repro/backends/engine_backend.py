@@ -13,11 +13,10 @@ normally sends those to the threaded backend instead.
 
 from __future__ import annotations
 
-import os
-
 from repro.backends.base import BackendBase, Capabilities
 from repro.backends.request import SolveOutcome, SolveRequest
 from repro.engine import ExecutionEngine, default_engine
+from repro.util.pools import executor_cap
 
 __all__ = ["EngineBackend"]
 
@@ -43,9 +42,12 @@ class EngineBackend(BackendBase):
         caps = getattr(self, "_caps", None)
         if caps is None:
             # max_workers is the accepted limit, not the core count —
-            # sharding stays functional (and bitwise-safe) on any machine.
+            # sharding stays functional (and bitwise-safe) on any
+            # machine — but it is a *cap*, proportional to the host:
+            # the old max(32, cpus) floor pinned >= 32 threads onto
+            # 2-core machines.
             caps = self._caps = Capabilities(
-                max_workers=max(32, os.cpu_count() or 1),
+                max_workers=executor_cap(),
                 prepared=True,
                 systems=("tridiagonal", "pentadiagonal", "block"),
                 description=(

@@ -19,6 +19,8 @@ path asserted in ``tests/test_backends.py``).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.backends.base import BackendBase, Capabilities
@@ -32,6 +34,18 @@ __all__ = ["GpuSimBackend"]
 #: positional measured-vs-predicted kernel pairing
 _HOST_STAGES = ("prepare", "fingerprint", "factorize")
 _HOST_STAGES_PERIODIC = _HOST_STAGES + ("cyclic-reduce",)
+
+
+@lru_cache(maxsize=64)
+def _distributed_plan_cached(
+    m: int, n: int, ranks: int, dtype_bytes: int, device
+) -> tuple:
+    """Memoized comm-kernel stage plan (DeviceSpec is frozen/hashable)."""
+    from repro.kernels.comm_kernel import distributed_plan
+
+    return tuple(
+        distributed_plan(m, n, ranks, dtype_bytes, device=device)
+    )
 
 
 class GpuSimBackend(BackendBase):
@@ -50,14 +64,121 @@ class GpuSimBackend(BackendBase):
             caps = self._caps = Capabilities(
                 simulated=True,
                 prepared=True,
+                max_ranks=64,
                 systems=("tridiagonal", "pentadiagonal", "block"),
                 description=(
                     f"engine numerics + {self.solver.device.name} "
                     "device-model pricing — trace shows predicted kernel "
-                    "times; prepared solves price the RHS-only kernels"
+                    "times; prepared solves price the RHS-only kernels; "
+                    "ranks>1 prices the N-partitioned multi-device pipeline"
                 ),
             )
         return caps
+
+    def _execute_distributed(
+        self, request: SolveRequest, ranks: int
+    ) -> SolveOutcome:
+        """Price a ``P``-rank N-partitioned solve on the device model.
+
+        Numerics run in-process through the same slab math the real
+        distributed backend ships to its workers
+        (:func:`~repro.distributed.partition.partitioned_solve_reference`
+        — bitwise identical to the multiprocess path by construction);
+        the predicted stage times come from the
+        :mod:`~repro.kernels.comm_kernel` ledgers, which model the
+        ranks as ``P`` concurrent devices exchanging interface rows
+        over a latency/bandwidth link.
+        """
+        import time as _time
+
+        from repro.distributed.partition import (
+            assemble_reduced,
+            backsub_slab,
+            eliminate_slab,
+            slab_bounds,
+            solve_reduced,
+        )
+
+        if request.periodic:
+            # corner-reduce + two plain distributed solves; the inner
+            # requests keep ranks=, so each re-enters this route
+            return self._periodic_fallback(request)
+
+        dtype_bytes = np.dtype(request.dtype).itemsize
+        predicted = {
+            name: us
+            for name, us in _distributed_plan_cached(
+                request.m, request.n, ranks, dtype_bytes,
+                self.solver.device,
+            )
+        }
+
+        t0 = _time.perf_counter()
+        bounds = slab_bounds(request.n, ranks)
+        at = np.ascontiguousarray(request.a.T)
+        bt = np.ascontiguousarray(request.b.T)
+        ct = np.ascontiguousarray(request.c.T)
+        dt = np.ascontiguousarray(request.d.T)
+        t_partition = _time.perf_counter() - t0
+
+        t0 = _time.perf_counter()
+        reps, reduced_rows = [], []
+        for lo, hi in bounds:
+            rep, reduced = eliminate_slab(
+                at[lo:hi], bt[lo:hi], ct[lo:hi], dt[lo:hi]
+            )
+            reps.append(rep)
+            reduced_rows.append(reduced)
+        t_eliminate = _time.perf_counter() - t0
+
+        t0 = _time.perf_counter()
+        xb = solve_reduced(*assemble_reduced(reduced_rows))
+        t_reduced = _time.perf_counter() - t0
+
+        t0 = _time.perf_counter()
+        xt = np.empty_like(bt)
+        for p, (lo, hi) in enumerate(bounds):
+            backsub_slab(
+                reps[p], xb[:, 2 * p], xb[:, 2 * p + 1], xt[lo:hi]
+            )
+        t_backsub = _time.perf_counter() - t0
+
+        t0 = _time.perf_counter()
+        if request.out is not None:
+            x = request.out
+            np.copyto(x, xt.T)
+        else:
+            x = np.ascontiguousarray(xt.T)
+        t_comms = _time.perf_counter() - t0
+
+        measured = [
+            ("partition", t_partition),
+            (f"local-eliminate [{ranks} ranks]", t_eliminate),
+            ("reduced-solve", t_reduced),
+            (f"backsub [{ranks} ranks]", t_backsub),
+            ("comms", t_comms),
+        ]
+        stages = [
+            StageTiming(name, secs, predicted.get(name))
+            for name, secs in measured
+        ]
+        trace = self._set_trace(
+            SolveTrace(
+                backend=request.label or self.name,
+                m=request.m,
+                n=request.n,
+                dtype=request.dtype,
+                k=0,
+                k_source="fixed",
+                ranks=ranks,
+                plan_cache="n/a",
+                factorization="n/a",
+                system=request.system.kind,
+                stages=stages,
+                predicted_total_us=sum(predicted.values()),
+            )
+        )
+        return SolveOutcome(x=x, trace=trace)
 
     def _execute_banded(self, request: SolveRequest) -> SolveOutcome:
         """Run a penta/block request on the engine and price its sweep."""
@@ -125,6 +246,13 @@ class GpuSimBackend(BackendBase):
 
         if request.system.kind != "tridiagonal":
             return self._execute_banded(request)
+
+        if request.ranks is not None and request.ranks > 1:
+            from repro.distributed.partition import effective_ranks
+
+            ranks = effective_ranks(request.n, request.ranks)
+            if ranks > 1:
+                return self._execute_distributed(request, ranks)
 
         dtype_bytes = np.dtype(request.dtype).itemsize
         if request.k is None:

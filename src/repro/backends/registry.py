@@ -77,6 +77,12 @@ def reject_reason(caps: Capabilities, request: SolveRequest) -> str | None:
         and caps.max_workers <= 1
     ):
         return f"workers={request.workers} unsupported (single-worker backend)"
+    if (
+        request.ranks is not None
+        and request.ranks > 1
+        and caps.max_ranks <= 1
+    ):
+        return f"ranks={request.ranks} unsupported (single-rank backend)"
     if (request.fingerprint is True or request.rhs_only) and not caps.prepared:
         return "prepared (fingerprinted) execution unsupported"
     return None
@@ -104,7 +110,16 @@ class Router:
     kind = "static"
 
     def __init__(self, rules: tuple = ()):
-        self.rules = tuple(rules) if rules else (self.route_workers,)
+        self.rules = (
+            tuple(rules) if rules else (self.route_ranks, self.route_workers)
+        )
+
+    @staticmethod
+    def route_ranks(request: SolveRequest) -> str | None:
+        """N-partitioning requested → the distributed tier."""
+        if request.ranks is not None and request.ranks > 1:
+            return "distributed"
+        return None
 
     @staticmethod
     def route_workers(request: SolveRequest) -> str | None:
@@ -243,11 +258,13 @@ def _populate(reg: BackendRegistry) -> None:
     from repro.backends.gpusim_backend import GpuSimBackend
     from repro.backends.numpy_ref import NumpyReferenceBackend
     from repro.backends.threaded import ThreadedBackend
+    from repro.distributed.backend import DistributedBackend
 
     reg.register(EngineBackend())
     reg.register(NumpyReferenceBackend())
     reg.register(ThreadedBackend())
     reg.register(GpuSimBackend())
+    reg.register(DistributedBackend())
 
 
 def register_backend(backend: Backend, *, replace: bool = False) -> Backend:

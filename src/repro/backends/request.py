@@ -122,6 +122,7 @@ OPTION_NAMES = (
     "heuristic",
     "fingerprint",
     "rtol",
+    "ranks",
 )
 
 
@@ -160,6 +161,11 @@ class SolveRequest:
         adaptive router to select forced-fingerprint routes.
     workers:
         Requested batch-axis shard count (``None`` = backend default).
+    ranks:
+        Requested N-axis partition count for the distributed tier
+        (``None`` = not partitioned; ``ranks > 1`` restricts
+        negotiation to backends advertising ``Capabilities.max_ranks``
+        above 1).
     k, fuse, n_windows, subtile_scale, parallelism, heuristic:
         Plan options, exactly as ``solve_batch`` takes them.
     factorization, plan:
@@ -198,6 +204,7 @@ class SolveRequest:
     fingerprint: bool | None = None
     rtol: float | None = None
     workers: int | None = None
+    ranks: int | None = None
     k: int | None = None
     fuse: bool = False
     n_windows: int = 1
@@ -262,6 +269,12 @@ class SolveRequest:
                     f"rtol must be a finite value >= 0 (or None), got {rtol}"
                 )
             opts["rtol"] = rtol
+        ranks = opts.get("ranks")
+        if ranks is not None:
+            ranks = int(ranks)
+            if ranks < 1:
+                raise ValueError(f"ranks must be >= 1 (or None), got {ranks}")
+            opts["ranks"] = ranks
         periodic = bool(opts.pop("periodic", periodic))
         if system is None:
             if e is not None or f is not None:

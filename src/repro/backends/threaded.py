@@ -31,6 +31,7 @@ from repro.backends.base import BackendBase, Capabilities
 from repro.backends.request import SolveOutcome, SolveRequest
 from repro.core.tiled_pcr import TilingCounters
 from repro.engine.executor import execute_plan
+from repro.util.pools import executor_cap
 
 __all__ = ["ThreadedBackend", "execute_sharded", "merge_shard_stage_times"]
 
@@ -180,9 +181,12 @@ class ThreadedBackend(BackendBase):
         caps = getattr(self, "_caps", None)
         if caps is None:
             # max_workers is the accepted limit, not the core count —
-            # sharding stays functional (and bitwise-safe) on any machine.
+            # sharding stays functional (and bitwise-safe) on any
+            # machine — but it is a *cap*, proportional to the host:
+            # the old max(32, cpus) floor pinned >= 32 threads onto
+            # 2-core machines.
             caps = self._caps = Capabilities(
-                max_workers=max(32, os.cpu_count() or 1),
+                max_workers=executor_cap(),
                 prepared=True,
                 systems=("tridiagonal", "pentadiagonal", "block"),
                 description=(

@@ -118,6 +118,10 @@ class SolveTrace:
         (``"fixed"`` / ``"analytic"`` / ``"heuristic"``).
     fuse, n_windows, workers:
         Remaining plan knobs (``workers`` is 1 for unsharded solves).
+    ranks:
+        N-axis partition count the solve ran under (1 = not
+        distributed; ``> 1`` only for the distributed tier and the
+        gpusim simulated-distributed route).
     plan_cache:
         ``"hit"`` / ``"miss"`` for plan-caching backends, ``"n/a"``
         otherwise.
@@ -158,6 +162,7 @@ class SolveTrace:
     fuse: bool = False
     n_windows: int = 1
     workers: int = 1
+    ranks: int = 1
     plan_cache: str = "n/a"
     factorization: str = "n/a"
     rhs_only: bool = False
@@ -191,6 +196,7 @@ class SolveTrace:
             "fuse": self.fuse,
             "n_windows": self.n_windows,
             "workers": self.workers,
+            "ranks": self.ranks,
             "plan_cache": self.plan_cache,
             "factorization": self.factorization,
             "rhs_only": self.rhs_only,

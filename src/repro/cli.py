@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the batch across this many threads",
     )
     solve.add_argument(
+        "--ranks", type=int, default=None, metavar="P",
+        help="partition each system's N rows across P ranks "
+        "(the distributed backend's reduced-interface pipeline)",
+    )
+    solve.add_argument(
         "--trace", action="store_true",
         help="print the per-solve instrumentation trace",
     )
@@ -291,11 +296,12 @@ def _cmd_solve(args) -> int:
     if not hybrid and (
         args.backend != "auto"
         or args.workers is not None
+        or args.ranks is not None
         or args.prepare is not None
     ):
         print(
-            f"--backend/--workers/--prepare apply to the hybrid/auto "
-            f"algorithms only, not {args.algorithm!r}",
+            f"--backend/--workers/--ranks/--prepare apply to the "
+            f"hybrid/auto algorithms only, not {args.algorithm!r}",
             file=sys.stderr,
         )
         return 2
@@ -317,6 +323,8 @@ def _cmd_solve(args) -> int:
         kwargs["backend"] = args.backend
         if args.workers is not None:
             kwargs["workers"] = args.workers
+        if args.ranks is not None:
+            kwargs["ranks"] = args.ranks
     if args.periodic:
         a, b, c, d = _random_cyclic_batch(args.M, args.N, args.seed)
         t0 = time.perf_counter()

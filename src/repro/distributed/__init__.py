@@ -1,0 +1,34 @@
+"""Distributed N-partition tier: one huge system across many workers.
+
+* :mod:`~repro.distributed.partition` — the slab math: modified-Thomas
+  elimination, the ``2P``-row reduced interface system, vectorized
+  back-substitution, and the in-process bitwise reference.
+* :mod:`~repro.distributed.pool` — persistent multiprocessing workers
+  fed through pickle-free shared-memory arenas.
+* :mod:`~repro.distributed.backend` — the ``distributed``
+  :class:`~repro.backends.base.Backend` the registry negotiates.
+"""
+
+from repro.distributed.backend import DistributedBackend
+from repro.distributed.partition import (
+    effective_ranks,
+    partitioned_solve_reference,
+    slab_bounds,
+)
+from repro.distributed.pool import (
+    DistributedWorkerError,
+    WorkerPool,
+    get_pool,
+    shutdown_pools,
+)
+
+__all__ = [
+    "DistributedBackend",
+    "DistributedWorkerError",
+    "WorkerPool",
+    "effective_ranks",
+    "get_pool",
+    "partitioned_solve_reference",
+    "shutdown_pools",
+    "slab_bounds",
+]

@@ -29,6 +29,7 @@ from __future__ import annotations
 import os
 import tempfile
 import threading
+import time
 
 import numpy as np
 
@@ -182,15 +183,34 @@ class FactorizationDiskCache:
         self.directory = os.fspath(directory)
         self.max_bytes = max_bytes
         self._lock = threading.Lock()
+        # monotonic recency clock (ns): freshened mtimes are forced
+        # strictly past the last stamp this cache issued, so recency
+        # never ties or goes backwards even on coarse-mtime filesystems
+        self._clock_ns = 0
         # hit/store/eviction tallies for instrumentation and tests
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
 
+    def _freshen(self, path: str) -> None:
+        """Stamp ``path`` with a strictly increasing recency mtime."""
+        with self._lock:
+            ns = max(time.time_ns(), self._clock_ns + 1)
+            self._clock_ns = ns
+        try:
+            os.utime(path, ns=(ns, ns))
+        except OSError:
+            pass
+
     # -- inventory ------------------------------------------------------
     def _entries(self) -> list:
-        """``(path, mtime, size)`` of every cache file, oldest first."""
+        """``(path, mtime_ns, size)`` of every cache file, oldest first.
+
+        Ordered by nanosecond mtime with the path as a deterministic
+        tiebreak — on 1-second-resolution filesystems, same-second
+        writes must not make eviction order arbitrary.
+        """
         try:
             names = os.listdir(self.directory)
         except FileNotFoundError:
@@ -204,8 +224,8 @@ class FactorizationDiskCache:
                 st = os.stat(path)
             except OSError:
                 continue
-            entries.append((path, st.st_mtime, st.st_size))
-        entries.sort(key=lambda e: e[1])
+            entries.append((path, st.st_mtime_ns, st.st_size))
+        entries.sort(key=lambda e: (e[1], e[0]))
         return entries
 
     def nbytes(self) -> int:
@@ -238,6 +258,12 @@ class FactorizationDiskCache:
                     pass
                 raise
             self.stores += 1
+            ns = max(time.time_ns(), self._clock_ns + 1)
+            self._clock_ns = ns
+            try:
+                os.utime(path, ns=(ns, ns))
+            except OSError:
+                pass
             self._evict_over_cap(keep=path)
         return path
 
@@ -260,11 +286,9 @@ class FactorizationDiskCache:
             except OSError:
                 pass
             return None
-        # freshen the mtime so eviction tracks recency of *use*
-        try:
-            os.utime(path)
-        except OSError:
-            pass
+        # freshen the mtime so eviction tracks recency of *use*, with a
+        # monotonic stamp so same-second loads keep a strict order
+        self._freshen(path)
         with self._lock:
             self.hits += 1
         return fact

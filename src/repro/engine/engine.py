@@ -52,6 +52,7 @@ from repro.engine.prepared import (
     rtol_permits_hybrid_reuse,
 )
 from repro.engine.workspace import PlanWorkspace, PreparedWorkspace
+from repro.util.pools import executor_cap
 
 __all__ = ["EngineStats", "ExecutionEngine", "default_engine"]
 
@@ -1108,6 +1109,11 @@ class ExecutionEngine:
         return self._thread_pool(workers)
 
     def _thread_pool(self, workers: int) -> ThreadPoolExecutor:
+        # cap the materialized pool at a machine-proportional size;
+        # oversized shard counts still complete (excess shards queue),
+        # and shard *results* are independent of the thread count, so
+        # clamping is bitwise-safe
+        workers = min(workers, executor_cap())
         with self._lock:
             if self._executor is None or self._executor_workers < workers:
                 # never shut the old pool down here: another thread may

@@ -22,6 +22,7 @@ from repro.util.numerics import (
     max_relative_error,
     residual_norm,
 )
+from repro.util.pools import executor_cap
 
 __all__ = [
     "BatchTridiagonal",
@@ -29,6 +30,7 @@ __all__ = [
     "as_batch",
     "dense_from_diagonals",
     "diagonal_dominance_margin",
+    "executor_cap",
     "is_diagonally_dominant",
     "max_relative_error",
     "residual_norm",

@@ -16,6 +16,7 @@
 """
 
 from repro.workloads.generators import (
+    huge_system_batch,
     random_batch,
     random_block_batch,
     random_penta_batch,
@@ -44,6 +45,7 @@ __all__ = [
     "advect_semi_lagrangian",
     "diffuse_adi",
     "poisson_dirichlet_fft",
+    "huge_system_batch",
     "random_batch",
     "random_block_batch",
     "random_penta_batch",

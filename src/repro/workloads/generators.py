@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "huge_system_batch",
     "random_batch",
     "random_block_batch",
     "random_penta_batch",
@@ -45,6 +46,30 @@ def random_batch(
     b = (dominance + np.abs(a) + np.abs(c)).astype(dtype)
     d = rng.standard_normal((m, n)).astype(dtype)
     return a, b, c, d
+
+
+def huge_system_batch(
+    n: int,
+    m: int = 4,
+    dtype=np.float64,
+    seed: int = 0,
+    dominance: float = 2.0,
+):
+    """A few very long systems — the distributed backend's home shape.
+
+    The evaluation sweeps stress large ``M`` with moderate ``N``; a
+    domain-decomposed solver stresses the opposite corner (one huge
+    grid line per system, split across ranks).  Memory-bound by
+    construction: the coefficient arrays alone dwarf every cache
+    level once ``N`` reaches the multi-million-row regime the
+    N-partition backend targets.
+
+    ``n`` leads the signature (it is the axis under study); the batch
+    width ``m`` defaults to a token handful of systems.
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    return random_batch(m, n, dtype=dtype, seed=seed, dominance=dominance)
 
 
 def random_penta_batch(

@@ -60,8 +60,10 @@ def _request(m=8, n=64, *, seed=0, dtype="float64", **opts):
 def test_model_running_mean_and_best():
     model = PerformanceModel(min_samples=2)
     cell = "c"
-    fast = {"backend": "engine", "k": 3, "workers": 1, "fingerprint": "auto"}
-    slow = {"backend": "numpy", "k": 0, "workers": 1, "fingerprint": "auto"}
+    fast = {"backend": "engine", "k": 3, "workers": 1,
+            "fingerprint": "auto", "ranks": 1}
+    slow = {"backend": "numpy", "k": 0, "workers": 1,
+            "fingerprint": "auto", "ranks": 1}
     model.observe(cell, fast, 1.0)
     assert model.best(cell) is None  # one sample is below min_samples
     model.observe(cell, fast, 3.0)
