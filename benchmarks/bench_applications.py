@@ -1,105 +1,339 @@
-"""Extension — application throughput (the paper's motivating workloads).
+#!/usr/bin/env python
+"""Application-tier throughput: bound sessions vs per-call prepared loops.
 
-End-to-end wall-clock of the cited applications, each dominated by
-batched tridiagonal solves: Crank–Nicolson heat stepping, ADI scalar
-diffusion, Hockney's fast Poisson solver (ref [6]), cubic-spline
-fitting (ref [8]), and cyclic systems.  Each benchmark validates its
-physics/algebra before timing.
+The session tier exists for time-stepping applications: the implicit
+matrices are fixed for the whole simulation while a fresh right-hand
+side arrives every step.  This benchmark measures the paper's
+motivating workloads written both ways:
+
+* **prepared** — the pre-session idiom: one :func:`repro.prepare`
+  handle per sweep direction, a naturally-written (allocating) loop
+  calling ``PreparedPlan.solve`` per step;
+* **sessions** — the workload simulators of
+  :mod:`repro.workloads.timestepping`: one bound session per sweep
+  direction, in-place right-hand-side construction, and the
+  transposed-layout ``step_t`` fast path that hands each Thomas sweep
+  its native ``(N, M)`` orientation (no staging transposes).
+
+Both loops run the identical discrete scheme — the Peaceman–Rachford
+identity ``(I + βx·Lx)·u* = 2·u* − d1`` included — so on the ``k = 0``
+Thomas routes the final fields are **bitwise identical** and the
+speedup is pure orchestration: no per-step validation, plan lookup,
+trace construction, output allocation, or redundant transposes.
+
+Cases: 2-D ADI diffusion (the headline, 1024x1024), 3-D LOD diffusion,
+and IMEX Crank–Nicolson with a cubic source.  Every case also reports
+accuracy against a dense ``reference_step`` on a small grid.  The
+headline acceptance — sessions >= 1.3x steps/sec over the per-call
+prepared loop on 2-D ADI at 1024x1024 — lands in
+``BENCH_applications.json``.
+
+Run:   python benchmarks/bench_applications.py
+Smoke: python benchmarks/bench_applications.py --smoke   (headline
+       shape, few steps, asserts bitwise + sessions not slower; no JSON)
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
 import numpy as np
-import pytest
 
 import repro
-from repro.core.factorize import HybridFactorization
-from repro.core.periodic import solve_periodic_batch
-from repro.workloads.fluid import FluidSim
-from repro.workloads.pde import crank_nicolson_system, cubic_spline_system
-from repro.workloads.poisson_fft import poisson_dirichlet_fft, poisson_residual
+from repro.workloads import (
+    ADIDiffusion2D,
+    ADIDiffusion3D,
+    CrankNicolsonCubic,
+    mirror_laplacian,
+)
+from repro.workloads.pde import adi_row_coefficients, crank_nicolson_rhs
 
 
-def test_app_crank_nicolson_step(benchmark):
-    m, n = 256, 512
-    xg = np.linspace(0, 1, n)
-    u = np.sin(np.pi * xg)[None, :] * np.ones((m, 1))
-    alpha, dt, dx = 0.1, 1e-4, 1.0 / (n - 1)
-
-    def step():
-        a, b, c, d = crank_nicolson_system(u, alpha, dt, dx)
-        return repro.solve_batch(a, b, c, d)
-
-    out = benchmark(step)
-    assert np.all(np.isfinite(out))
-    benchmark.extra_info.update({"suite": "applications", "app": "crank-nicolson"})
+def time_loop(fn, steps: int) -> float:
+    """Seconds per step over ``steps`` calls of ``fn`` (one warmup)."""
+    fn()
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        fn()
+    return (time.perf_counter() - t0) / steps
 
 
-def test_app_crank_nicolson_factored_step(benchmark):
-    """The factor-once path: per-step cost drops to two RHS sweeps."""
-    m, n = 256, 512
-    xg = np.linspace(0, 1, n)
-    u = np.sin(np.pi * xg)[None, :] * np.ones((m, 1))
-    alpha, dt, dx = 0.1, 1e-4, 1.0 / (n - 1)
-    a, b, c, _ = crank_nicolson_system(u, alpha, dt, dx)
-    fact = HybridFactorization.factor(a, b, c, k=0)
+def reference_error(sim_cls, shape, steps: int = 5, **kwargs) -> float:
+    """Max |session − dense reference| after ``steps`` on a small grid."""
+    rng = np.random.default_rng(11)
+    sim = sim_cls(rng.random(shape), **kwargs)
+    ref = sim.u.copy()
+    for _ in range(steps):
+        ref = sim.reference_step(ref)
+    sim.run(steps)
+    err = float(np.abs(sim.u - ref).max())
+    sim.close()
+    return err
 
-    def step():
-        _, _, _, d = crank_nicolson_system(u, alpha, dt, dx)
-        return fact.solve(d)
 
-    out = benchmark(step)
-    assert np.all(np.isfinite(out))
-    benchmark.extra_info.update(
-        {"suite": "applications", "app": "crank-nicolson (factored)"}
+def report(result: dict) -> dict:
+    agree = "bitwise" if result["bitwise_identical"] else (
+        "allclose" if result["allclose"] else "FAIL"
+    )
+    print(
+        f"{result['case']:16s} {result['grid']:>14s}  "
+        f"prepared {result['prepared_steps_per_sec']:7.2f} steps/s  "
+        f"sessions {result['session_steps_per_sec']:7.2f} steps/s  "
+        f"{result['speedup_sessions_vs_prepared']:5.2f}x  "
+        f"ref {result['reference_error']:.1e}  [{agree}]"
+    )
+    return result
+
+
+def bench_adi2d(ny: int, nx: int, steps: int, alpha=0.2, dt=0.8) -> dict:
+    rng = np.random.default_rng(3)
+    u0 = rng.random((ny, nx))
+    beta = alpha * dt / 2.0
+
+    # prepared baseline: handles once, per-call PreparedPlan.solve loop
+    ax, bx, cx = adi_row_coefficients(ny, nx, beta)
+    ay, by, cy = adi_row_coefficients(nx, ny, beta)
+    row = repro.prepare(ax, bx, cx)
+    col = repro.prepare(ay, by, cy)
+
+    def prepared_step(u):
+        d1 = u + beta * mirror_laplacian(u, axis=0)
+        ustar = row.solve(d1)
+        d2 = 2.0 * ustar - d1
+        return col.solve(np.ascontiguousarray(d2.T)).T.copy()
+
+    sim = ADIDiffusion2D(u0, alpha, dt)
+
+    # correctness first: both loops from the same state
+    u_pre = u0.copy()
+    for _ in range(3):
+        u_pre = prepared_step(u_pre)
+    sim.run(3)
+    bitwise = bool(np.array_equal(sim.u, u_pre))
+    close = bitwise or bool(np.allclose(sim.u, u_pre, rtol=1e-9, atol=1e-12))
+
+    state = {"u": u0.copy()}
+
+    def run_prepared():
+        state["u"] = prepared_step(state["u"])
+
+    t_pre = time_loop(run_prepared, steps)
+    t_ses = time_loop(sim.step, steps)
+    k_row = sim._row.describe().get("k")
+    sim.close()
+
+    return report({
+        "case": "adi-2d",
+        "grid": f"{ny}x{nx}",
+        "steps": steps,
+        "k": k_row,
+        "prepared_s_per_step": t_pre,
+        "session_s_per_step": t_ses,
+        "prepared_steps_per_sec": 1.0 / t_pre,
+        "session_steps_per_sec": 1.0 / t_ses,
+        "speedup_sessions_vs_prepared": t_pre / t_ses,
+        "bitwise_identical": bitwise,
+        "allclose": close,
+        "reference_error": reference_error(
+            ADIDiffusion2D, (48, 40), alpha=alpha, dt=dt
+        ),
+    })
+
+
+def bench_adi3d(nz: int, ny: int, nx: int, steps: int, alpha=0.2, dt=0.5) -> dict:
+    rng = np.random.default_rng(5)
+    u0 = rng.random((nz, ny, nx))
+    beta = alpha * dt / 2.0
+
+    handles = [
+        repro.prepare(*adi_row_coefficients(nz * ny, nx, beta)),
+        repro.prepare(*adi_row_coefficients(nz * nx, ny, beta)),
+        repro.prepare(*adi_row_coefficients(ny * nx, nz, beta)),
+    ]
+
+    def sweep(handle, v):
+        d = v + beta * mirror_laplacian(v)
+        shape = v.shape
+        return handle.solve(
+            d.reshape(shape[0] * shape[1], shape[2])
+        ).reshape(shape)
+
+    def prepared_step(u):
+        u = sweep(handles[0], u)
+        ut = np.ascontiguousarray(u.transpose(0, 2, 1))
+        ut = sweep(handles[1], ut)
+        u = ut.transpose(0, 2, 1)
+        ut = np.ascontiguousarray(u.transpose(1, 2, 0))
+        ut = sweep(handles[2], ut)
+        return np.ascontiguousarray(ut.transpose(2, 0, 1))
+
+    sim = ADIDiffusion3D(u0, alpha, dt)
+    u_pre = u0.copy()
+    for _ in range(2):
+        u_pre = prepared_step(u_pre)
+    sim.run(2)
+    bitwise = bool(np.array_equal(sim.u, u_pre))
+    close = bitwise or bool(np.allclose(sim.u, u_pre, rtol=1e-9, atol=1e-12))
+
+    state = {"u": u0.copy()}
+
+    def run_prepared():
+        state["u"] = prepared_step(state["u"])
+
+    t_pre = time_loop(run_prepared, steps)
+    t_ses = time_loop(sim.step, steps)
+    sim.close()
+
+    return report({
+        "case": "adi-3d",
+        "grid": f"{nz}x{ny}x{nx}",
+        "steps": steps,
+        "prepared_s_per_step": t_pre,
+        "session_s_per_step": t_ses,
+        "prepared_steps_per_sec": 1.0 / t_pre,
+        "session_steps_per_sec": 1.0 / t_ses,
+        "speedup_sessions_vs_prepared": t_pre / t_ses,
+        "bitwise_identical": bitwise,
+        "allclose": close,
+        "reference_error": reference_error(
+            ADIDiffusion3D, (7, 9, 11), alpha=alpha, dt=dt
+        ),
+    })
+
+
+def bench_cn_cubic(m: int, n: int, steps: int, alpha=0.1, dt=0.02) -> dict:
+    rng = np.random.default_rng(7)
+    u0 = 0.4 * rng.standard_normal((m, n))
+    eps = gamma = 1.0
+
+    from repro.workloads.pde import crank_nicolson_coefficients
+
+    a, b, c = crank_nicolson_coefficients(m, n, alpha, dt, 1.0)
+    handle = repro.prepare(a, b, c)
+
+    def prepared_step(u):
+        d = crank_nicolson_rhs(u, alpha, dt, 1.0)
+        react = u * u * u
+        react *= -gamma
+        react += eps * u
+        react *= dt
+        d[:, 1:-1] += react[:, 1:-1]
+        return handle.solve(d)
+
+    sim = CrankNicolsonCubic(u0, alpha, dt, eps=eps, gamma=gamma)
+    u_pre = u0.copy()
+    for _ in range(3):
+        u_pre = prepared_step(u_pre)
+    sim.run(3)
+    bitwise = bool(np.array_equal(sim.u, u_pre))
+    close = bitwise or bool(np.allclose(sim.u, u_pre, rtol=1e-9, atol=1e-12))
+
+    state = {"u": u0.copy()}
+
+    def run_prepared():
+        state["u"] = prepared_step(state["u"])
+
+    t_pre = time_loop(run_prepared, steps)
+    t_ses = time_loop(sim.step, steps)
+    sim.close()
+
+    return report({
+        "case": "cn-cubic",
+        "grid": f"{m}x{n}",
+        "steps": steps,
+        "prepared_s_per_step": t_pre,
+        "session_s_per_step": t_ses,
+        "prepared_steps_per_sec": 1.0 / t_pre,
+        "session_steps_per_sec": 1.0 / t_ses,
+        "speedup_sessions_vs_prepared": t_pre / t_ses,
+        "bitwise_identical": bitwise,
+        "allclose": close,
+        "reference_error": reference_error(
+            CrankNicolsonCubic, (6, 64), alpha=alpha, dt=dt
+        ),
+    })
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="headline shape, few steps, assert correctness + speed, no JSON",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_applications.json"
+        ),
+        help="output JSON path (ignored with --smoke)",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        res = bench_adi2d(1024, 1024, steps=3)
+        assert res["bitwise_identical"], (
+            f"session ADI must be bitwise identical to the prepared loop: {res}"
+        )
+        assert res["reference_error"] < 1e-10, (
+            f"session ADI diverged from the dense reference: {res}"
+        )
+        assert res["speedup_sessions_vs_prepared"] >= 1.05, (
+            f"sessions not faster than the per-call prepared loop: {res}"
+        )
+        print("smoke OK: sessions faster than prepared, bitwise, reference agrees")
+        return
+
+    results = [
+        # the acceptance case: the paper's ADI workload at 1024x1024 —
+        # k = 0 Thomas sweeps, transposed-layout sessions, bitwise
+        bench_adi2d(1024, 1024, steps=12),
+        bench_adi3d(96, 96, 96, steps=6),
+        bench_cn_cubic(4096, 512, steps=20),
+    ]
+
+    headline = results[0]
+    payload = {
+        "benchmark": "bench_applications",
+        "description": (
+            "time-stepping applications written as per-call "
+            "PreparedPlan.solve loops vs bound-session simulators "
+            "(in-place RHS construction, transposed-layout step_t); "
+            "steps per second and accuracy vs dense references"
+        ),
+        "acceptance": {
+            "target": (
+                "sessions >= 1.3x steps/sec over the per-call prepared "
+                "loop on 2-D ADI at 1024x1024, bitwise identical"
+            ),
+            "speedup_sessions_vs_prepared": headline[
+                "speedup_sessions_vs_prepared"
+            ],
+            "bitwise_identical": headline["bitwise_identical"],
+            "met": (
+                headline["speedup_sessions_vs_prepared"] >= 1.3
+                and headline["bitwise_identical"]
+            ),
+        },
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    if not payload["acceptance"]["met"]:
+        raise SystemExit(
+            "acceptance target missed: sessions < 1.3x over the per-call "
+            "prepared loop or not bitwise"
+        )
+    print(
+        f"acceptance met: session-driven ADI is "
+        f"{headline['speedup_sessions_vs_prepared']:.2f}x over the "
+        f"per-call prepared loop"
     )
 
 
-def test_app_fluid_frame(benchmark):
-    ny = nx = 128
-    u, v = FluidSim.vortex(ny, nx, strength=0.02)
-    sim = FluidSim(u=u, v=v, alpha=1e-3, dt=1.0)
-    q0 = np.zeros((ny, nx))
-    q0[56:72, 56:72] = 1.0
-
-    q1 = benchmark(sim.step, q0)
-    assert q1.min() >= -1e-9
-    benchmark.extra_info.update({"suite": "applications", "app": "fluid frame"})
-
-
-def test_app_fast_poisson(benchmark):
-    rng = np.random.default_rng(0)
-    f = rng.standard_normal((127, 127))
-
-    u = benchmark(poisson_dirichlet_fft, f)
-    assert poisson_residual(u, f) < 1e-9
-    benchmark.extra_info.update({"suite": "applications", "app": "hockney poisson"})
-
-
-def test_app_spline_fit(benchmark):
-    n, m = 128, 512
-    x = np.linspace(0, 2 * np.pi, n)
-    y = np.sin(np.linspace(0.5, 3, m))[:, None] * np.sin(x)[None, :]
-    a, b, c, d = cubic_spline_system(x, y)
-
-    m2 = benchmark(repro.solve_batch, a, b, c, d)
-    assert np.all(np.isfinite(m2))
-    benchmark.extra_info.update({"suite": "applications", "app": "cubic splines"})
-
-
-def test_app_cyclic_batch(benchmark):
-    rng = np.random.default_rng(1)
-    m, n = 128, 256
-    a = rng.standard_normal((m, n))
-    c = rng.standard_normal((m, n))
-    b = 4.0 + np.abs(a) + np.abs(c)
-    d = rng.standard_normal((m, n))
-
-    x = benchmark(solve_periodic_batch, a, b, c, d)
-    # verify one system against the dense cyclic matrix
-    A = np.zeros((n, n))
-    A[np.arange(n), np.arange(n)] = b[0]
-    A[np.arange(1, n), np.arange(n - 1)] = a[0, 1:]
-    A[np.arange(n - 1), np.arange(1, n)] = c[0, :-1]
-    A[0, -1] = a[0, 0]
-    A[-1, 0] = c[0, -1]
-    assert np.allclose(A @ x[0], d[0], atol=1e-8)
-    benchmark.extra_info.update({"suite": "applications", "app": "cyclic systems"})
+if __name__ == "__main__":
+    main()

@@ -70,9 +70,11 @@ from repro.core import (
 from repro.backends import (
     Backend,
     Capabilities,
+    PerStepSession,
     RouteDecision,
     SolveTrace,
     SystemDescriptor,
+    bind_via,
     get_backend,
     last_trace,
     list_backends,
@@ -85,6 +87,7 @@ from repro.autotune import (
     enable_adaptive_routing,
 )
 from repro.engine import (
+    BoundSolve,
     ExecutionEngine,
     PreparedPlan,
     SolvePlan,
@@ -100,7 +103,7 @@ from repro.service import (
 from repro.distributed import DistributedWorkerError, partitioned_solve_reference
 from repro.util import BatchTridiagonal, TridiagonalSystem
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "solve",
@@ -135,9 +138,12 @@ __all__ = [
     "SyncSolveClient",
     "DistributedWorkerError",
     "partitioned_solve_reference",
+    "BoundSolve",
     "ExecutionEngine",
+    "PerStepSession",
     "PreparedPlan",
     "SolvePlan",
+    "bind_via",
     "default_engine",
     "prepare",
     "AdaptiveRouter",

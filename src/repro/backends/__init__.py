@@ -36,6 +36,7 @@ from repro.backends.base import (
     Backend,
     BackendBase,
     Capabilities,
+    PerStepSession,
 )
 from repro.backends.engine_backend import EngineBackend
 from repro.backends.gpusim_backend import GpuSimBackend
@@ -44,6 +45,7 @@ from repro.backends.registry import (
     BackendError,
     BackendRegistry,
     Router,
+    bind_via,
     default_registry,
     get_backend,
     list_backends,
@@ -78,8 +80,10 @@ __all__ = [
     "GpuSimBackend",
     "NumpyReferenceBackend",
     "OPTION_NAMES",
+    "PerStepSession",
     "RouteDecision",
     "Router",
+    "bind_via",
     "SYSTEM_KINDS",
     "SolveOutcome",
     "SolveRequest",

@@ -32,6 +32,8 @@ import time
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from repro.backends.request import SolveOutcome, SolveRequest
 from repro.backends.trace import SolveTrace, StageTiming, record_trace
 
@@ -39,6 +41,7 @@ __all__ = [
     "Backend",
     "BackendBase",
     "Capabilities",
+    "PerStepSession",
     "SolveOutcome",
     "SolveRequest",
 ]
@@ -112,6 +115,84 @@ class Backend(Protocol):
         ...
 
 
+class PerStepSession:
+    """Generic bound-solve session: full dispatch on every step.
+
+    The fallback ``bind()`` result for backends with no native session
+    support (numpy reference, gpusim): the request is frozen once, and
+    each :meth:`step` re-dispatches it through the backend's
+    ``execute`` with a fresh right-hand side.  No per-step work is
+    saved — the value is *API parity*: callers hold one session type
+    (:class:`~repro.engine.session.BoundSolve` or this) and write the
+    same time-stepping loop against either.
+    """
+
+    mode = "dispatch"
+
+    def __init__(self, backend, request: SolveRequest):
+        self.backend = backend
+        self.request = request
+        self.steps = 0
+        self.closed = False
+
+    def step_once(self, d=None, out=None) -> SolveOutcome:
+        """One full instrumented dispatch (stats, trace, outcome)."""
+        if self.closed:
+            raise RuntimeError("session is closed")
+        request = self.request
+        if d is not None or out is not None:
+            request = request.replace(
+                d=d if d is not None else request.d,
+                out=out if out is not None else request.out,
+            )
+        outcome = self.backend.execute(request)
+        if outcome.trace is not None and outcome.trace.decision is None:
+            # bind-time provenance rides on every step's trace
+            outcome.trace.decision = request.decision
+        self.steps += 1
+        return outcome
+
+    def step(self, d, out=None):
+        """Solve one right-hand side; returns the solution array."""
+        return self.step_once(d, out=out).x
+
+    def step_t(self, dt, out_t=None):
+        """Transposed-layout step: ``(N, M)`` in, ``(N, M)`` out.
+
+        API parity with ``BoundSolve.step_t`` — here it is plain
+        transposes around :meth:`step` (this session saves no per-step
+        work anyway).
+        """
+        x = self.step(np.ascontiguousarray(dt.T))
+        if out_t is None:
+            return np.ascontiguousarray(x.T)
+        out_t[:] = x.T
+        return out_t
+
+    def describe(self) -> dict:
+        """Session summary (mirrors ``BoundSolve.describe``)."""
+        request = self.request
+        return {
+            "mode": self.mode,
+            "backend": getattr(self.backend, "name", "?"),
+            "m": request.m,
+            "n": request.n,
+            "dtype": request.dtype,
+            "workers": request.workers,
+            "steps": self.steps,
+        }
+
+    def close(self) -> None:
+        """Mark the session closed (nothing is held to release)."""
+        self.closed = True
+
+    def __enter__(self) -> "PerStepSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class BackendBase:
     """Shared plumbing for concrete backends.
 
@@ -119,10 +200,19 @@ class BackendBase:
     store their trace with :meth:`_set_trace`; this base supplies
     thread-local trace storage, the :meth:`instrument` accessor, the
     generic cyclic fallback (:meth:`_periodic_fallback`) for backends
-    with no native Sherman–Morrison pipeline, and the
+    with no native Sherman–Morrison pipeline, the generic per-step
+    :meth:`bind` (engine-family backends override it with native
+    :class:`~repro.engine.session.BoundSolve` sessions), and the
     :meth:`solve_batch` convenience wrapper (validate → build request →
     execute → record trace) used by standalone callers such as
     benchmarks.
+
+    ``bind`` is deliberately **not** part of the
+    :class:`Backend` protocol — the protocol is runtime-checkable and
+    third-party backends implementing just ``capabilities``/``execute``
+    must keep passing ``isinstance`` checks.  Callers probe for it
+    (``getattr(backend, "bind", None)``) and fall back to
+    :class:`PerStepSession`.
     """
 
     name = "base"
@@ -202,6 +292,17 @@ class BackendBase:
         ]
         self._set_trace(trace)
         return SolveOutcome(x=x, trace=trace, plan=q_outcome.plan)
+
+    # -- bind/execute split --------------------------------------------
+    def bind(self, request: SolveRequest) -> PerStepSession:
+        """Bind ``request`` into a reusable per-step session.
+
+        The generic fallback re-dispatches the full ``execute`` every
+        step; backends with real bind-time savings (plan resolution,
+        factorization fetch, workspace binding) override this to return
+        a native session.
+        """
+        return PerStepSession(self, request)
 
     # -- convenience entry point --------------------------------------
     def solve_batch(self, a, b, c, d, *, check: bool = True, out=None, **opts):

@@ -62,3 +62,12 @@ class EngineBackend(BackendBase):
         outcome = self.engine.run(request)
         self._set_trace(outcome.trace)
         return outcome
+
+    def bind(self, request: SolveRequest):
+        """Native session: the engine's bind/execute split.
+
+        Returns a :class:`~repro.engine.session.BoundSolve` — plan,
+        factorization, workspaces and shard geometry resolved once,
+        allocation-free ``step`` per right-hand side.
+        """
+        return self.engine.bind(request)

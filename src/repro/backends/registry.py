@@ -44,6 +44,7 @@ __all__ = [
     "BackendError",
     "BackendRegistry",
     "Router",
+    "bind_via",
     "default_registry",
     "get_backend",
     "list_backends",
@@ -330,6 +331,50 @@ def solve_via(
     if observe is not None:
         observe(request, trace)
     return outcome.x, trace
+
+
+def bind_via(
+    a,
+    b,
+    c,
+    d,
+    *,
+    backend: str = "auto",
+    periodic: bool = False,
+    check: bool = True,
+    coerced: bool = False,
+    registry: BackendRegistry | None = None,
+    **opts,
+):
+    """Bind one solve into a reusable session through the registry.
+
+    The session-tier sibling of :func:`solve_via`: validate → build
+    request → negotiate (the router's
+    :class:`~repro.backends.trace.RouteDecision` is pinned on the
+    request, so every step the session takes carries the same
+    provenance) → ``bind``.  Backends with a native bind (the engine
+    family) return a :class:`~repro.engine.session.BoundSolve`; others
+    fall back to a generic
+    :class:`~repro.backends.base.PerStepSession`.  ``d`` is the
+    template right-hand side — it fixes the shape/dtype the session is
+    bound for (and is the default argument of ``step_once()``).
+
+    Time-stepping loops then run ``session.step(d)`` per right-hand
+    side — allocation-free on native sessions — and ``close()`` when
+    done.
+    """
+    reg = registry if registry is not None else default_registry()
+    request = SolveRequest.build(
+        a, b, c, d,
+        periodic=periodic, check=check, coerced=coerced, **opts
+    )
+    chosen = reg.resolve(backend, request)
+    binder = getattr(chosen, "bind", None)
+    if binder is not None:
+        return binder(request)
+    from repro.backends.base import PerStepSession
+
+    return PerStepSession(chosen, request)
 
 
 def record_direct_trace(algorithm: str, b, seconds: float) -> SolveTrace:

@@ -214,3 +214,17 @@ class ThreadedBackend(BackendBase):
         )
         self._set_trace(outcome.trace)
         return outcome
+
+    def bind(self, request: SolveRequest):
+        """Native session with the shard count resolved at bind time.
+
+        The engine's :class:`~repro.engine.session.BoundSolve` computes
+        shard bounds once; every ``step`` then reuses the same shard
+        geometry across the engine's persistent thread pool.
+        """
+        return self.engine.bind(
+            request.replace(
+                workers=self._workers_for(request),
+                label=request.label or self.name,
+            )
+        )

@@ -184,8 +184,26 @@ def coerce_penta_batch_arrays(e, a, b, c, f, d):
     −2), ``a`` (−1), ``b`` (main), ``c`` (+1), ``f`` (+2).  All six
     arrays share one ``(M, N)`` shape; the out-of-matrix pads are
     ``e[:, :2]``, ``a[:, 0]``, ``c[:, -1]`` and ``f[:, -2:]``.
+
+    Canonical inputs (contiguous, one allowed float dtype, agreeing
+    2-D shapes) early-exit before any list building or per-name scan —
+    the same steady-state fast path the plain and cyclic coercers run
+    (see :func:`_already_canonical`).
     """
-    arrays = _uniform_float((e, a, b, c, f, d))
+    arrays = (e, a, b, c, f, d)
+    if _already_canonical(arrays):
+        shape = b.shape
+        if (
+            len(shape) == 2
+            and e.shape == shape
+            and a.shape == shape
+            and c.shape == shape
+            and f.shape == shape
+            and d.shape == shape
+            and 0 not in shape
+        ):
+            return arrays
+    arrays = _uniform_float(arrays)
     shape = arrays[2].shape
     for name, arr in zip("eabcfd", arrays):
         if arr.ndim != 2:
@@ -226,7 +244,21 @@ def coerce_block_batch_arrays(A, B, C, d):
 
     ``A``, ``B``, ``C`` are ``(M, N, B, B)`` stacks of sub-, main- and
     super-diagonal blocks; ``d`` is the ``(M, N, B)`` right-hand side.
+
+    Canonical inputs (contiguous, one allowed float dtype, agreeing
+    block shapes) early-exit before any coercion work — the
+    steady-state fast path for per-step block solves.
     """
+    if _already_canonical((A, B, C, d)) and B.ndim == 4:
+        m, n, bs, bs2 = B.shape
+        if (
+            bs == bs2
+            and A.shape == B.shape
+            and C.shape == B.shape
+            and d.shape == (m, n, bs)
+            and 0 not in (m, n, bs)
+        ):
+            return A, B, C, d
     A, B, C, d = _uniform_float((A, B, C, d))
     if B.ndim != 4:
         raise ValueError(f"block diagonals must be (M, N, B, B), got {B.ndim}-D")

@@ -9,7 +9,7 @@
   :class:`~repro.backends.base.Backend` the registry negotiates.
 """
 
-from repro.distributed.backend import DistributedBackend
+from repro.distributed.backend import DistributedBackend, DistributedBoundSolve
 from repro.distributed.partition import (
     effective_ranks,
     partitioned_solve_reference,
@@ -24,6 +24,7 @@ from repro.distributed.pool import (
 
 __all__ = [
     "DistributedBackend",
+    "DistributedBoundSolve",
     "DistributedWorkerError",
     "WorkerPool",
     "effective_ranks",

@@ -20,6 +20,14 @@ result is bitwise identical to
 :func:`~repro.distributed.partition.partitioned_solve_reference` at the
 same ``P`` (same functions, same values) and agrees with the global
 Thomas solve to reassociation-level rounding.
+
+Time-stepping loops bind instead of re-executing:
+:meth:`DistributedBackend.bind` returns a
+:class:`DistributedBoundSolve` whose per-step cost is one RHS scatter
+plus the pipeline — the coefficient slabs are transposed and shipped
+to the workers **once** (``eliminate_slab`` never mutates them), and
+the pool's ``epoch`` counter detects interleaved foreign scatters so
+sessions sharing the process-wide pool stay correct.
 """
 
 from __future__ import annotations
@@ -39,7 +47,12 @@ from repro.distributed.partition import (
 )
 from repro.distributed.pool import get_pool
 
-__all__ = ["DistributedBackend", "MAX_RANKS", "DEFAULT_RANKS"]
+__all__ = [
+    "DistributedBackend",
+    "DistributedBoundSolve",
+    "MAX_RANKS",
+    "DEFAULT_RANKS",
+]
 
 #: Largest rank count the backend will negotiate.
 MAX_RANKS = 64
@@ -93,6 +106,29 @@ class DistributedBackend(BackendBase):
         if ranks == 1:
             return self._delegate_single_rank(request)
         return self._execute_partitioned(request, ranks)
+
+    def bind(self, request: SolveRequest):
+        """Native session: coefficients partitioned and shipped once.
+
+        Periodic and RHS-only requests ride the generic
+        per-step-dispatch session (the corner-reduce pipeline rebuilds
+        per step anyway); ``ranks=1`` binds the engine directly so the
+        single-rank anchor stays bitwise identical to
+        ``solve_batch(..., k=0)``; everything else gets a
+        :class:`DistributedBoundSolve`.
+        """
+        if request.periodic or request.rhs_only:
+            return super().bind(request)
+        ranks = effective_ranks(
+            request.n, request.ranks or self.default_ranks
+        )
+        if ranks == 1:
+            from repro.engine import default_engine
+
+            return default_engine().bind(
+                request.replace(k=0, label=self.name)
+            )
+        return DistributedBoundSolve(self, request, ranks)
 
     def _delegate_single_rank(self, request: SolveRequest) -> SolveOutcome:
         """``ranks=1``: the engine's ``k = 0`` route *is* the slab solve.
@@ -182,3 +218,239 @@ class DistributedBackend(BackendBase):
         )
         self._set_trace(trace)
         return SolveOutcome(x=x, trace=trace)
+
+
+class DistributedBoundSolve:
+    """Bound session over the N-partition pipeline.
+
+    Bind transposes the coefficient slabs once and records the slab
+    geometry; the first step attaches the process-wide pool, ships the
+    coefficients, and notes the pool :attr:`~WorkerPool.epoch`.  Each
+    :meth:`step` then scatters **only the right-hand side** (a strided
+    transpose view — the arena assignment is the only copy) and runs
+    eliminate → reduced-solve → backsub → gather.  When the epoch moves
+    (another solve or session scattered into the shared arenas, or the
+    pool was rebuilt after a worker death) the coefficients are
+    re-shipped before the step — sessions never trust stale arenas.
+
+    Bitwise: every phase runs the same functions on the same values as
+    :meth:`DistributedBackend._execute_partitioned`, so stepped results
+    are identical to independent one-shot distributed solves.
+    """
+
+    mode = "distributed"
+
+    def __init__(self, backend: DistributedBackend, request: SolveRequest, ranks: int):
+        self.backend = backend
+        self.request = request
+        self.ranks = ranks
+        self.steps = 0
+        self.closed = False
+        t0 = time.perf_counter()
+        self.bounds = slab_bounds(request.n, ranks)
+        self._at = np.ascontiguousarray(request.a.T)
+        self._bt = np.ascontiguousarray(request.b.T)
+        self._ct = np.ascontiguousarray(request.c.T)
+        self._dtype = self._bt.dtype
+        self._dshape = (request.m, request.n)
+        self._xt = np.empty((request.n, request.m), dtype=self._dtype)
+        self._out = None
+        self.bind_stages = [("partition", time.perf_counter() - t0)]
+        self._pool = None
+        self._epoch = None
+
+    # -- arena currency ------------------------------------------------
+    def _attached_pool(self):
+        """The pool with this session's coefficients current in it."""
+        pool = self._pool
+        if (
+            pool is not None
+            and not pool.broken
+            and pool.epoch == self._epoch
+        ):
+            return pool
+        pool = get_pool(self.ranks, timeout_s=self.backend.timeout_s)
+        pool.attach(self.bounds, self.request.m, self._dtype)
+        # the RHS slot is overwritten by scatter_rhs before every
+        # eliminate, so the d shipped here is a placeholder
+        pool.scatter_slabs(self._at, self._bt, self._ct, self._at, self.bounds)
+        self._pool = pool
+        self._epoch = pool.epoch
+        return pool
+
+    def _canon_d(self, d):
+        d = np.asarray(d)
+        if d.shape != self._dshape:
+            raise ValueError(
+                f"d has shape {d.shape}, session bound for {self._dshape}"
+            )
+        if d.dtype != self._dtype:
+            d = d.astype(self._dtype)
+        return d
+
+    def _pipeline(self, d, out, timings=None):
+        """One RHS through scatter → eliminate → reduce → backsub."""
+        pool = self._attached_pool()
+        t_comms = 0.0
+
+        t1 = time.perf_counter()
+        pool.scatter_rhs(d.T, self.bounds)
+        t_comms += time.perf_counter() - t1
+
+        t1 = time.perf_counter()
+        pool.eliminate()
+        t_eliminate = time.perf_counter() - t1
+
+        t1 = time.perf_counter()
+        reduced_rows = pool.gather_reduced()
+        t_comms += time.perf_counter() - t1
+
+        t1 = time.perf_counter()
+        xb = solve_reduced(*assemble_reduced(reduced_rows))
+        t_reduced = time.perf_counter() - t1
+
+        t1 = time.perf_counter()
+        pool.scatter_boundary(xb)
+        t_comms += time.perf_counter() - t1
+
+        t1 = time.perf_counter()
+        pool.backsub()
+        t_backsub = time.perf_counter() - t1
+
+        t1 = time.perf_counter()
+        pool.gather_solution(self._xt, self.bounds)
+        if out is None:
+            out = np.ascontiguousarray(self._xt.T)
+        else:
+            np.copyto(out, self._xt.T)
+        t_comms += time.perf_counter() - t1
+
+        if timings is not None:
+            timings.append(
+                (f"local-eliminate [{self.ranks} ranks]", t_eliminate)
+            )
+            timings.append(("reduced-solve", t_reduced))
+            timings.append((f"backsub [{self.ranks} ranks]", t_backsub))
+            timings.append(("comms", t_comms))
+        return out
+
+    # -- execution -----------------------------------------------------
+    def step(self, d, out=None):
+        """The per-step hot loop: one RHS scatter + the pipeline.
+
+        Returns the session-owned output buffer when ``out`` is omitted
+        (reused across steps — copy it if you keep references).
+        """
+        if self.closed:
+            raise RuntimeError("session is closed")
+        d = self._canon_d(d)
+        if out is None:
+            out = self._out
+            if out is None:
+                out = self._out = np.empty(self._dshape, dtype=self._dtype)
+        self._pipeline(d, out)
+        self.steps += 1
+        return out
+
+    def step_t(self, dt, out_t=None):
+        """Transposed-layout hot step: ``(N, M)`` in, ``(N, M)`` out.
+
+        The distributed pipeline is transposed-native — the arenas hold
+        ``(L, M)`` slabs and the gathered solution is ``(N, M)`` — so a
+        caller already working in that orientation skips both the RHS
+        transpose view and the output transpose copy.  ``out_t``
+        defaults to the session's gather buffer (reused across steps —
+        copy it if you keep references).
+        """
+        if self.closed:
+            raise RuntimeError("session is closed")
+        dt = np.asarray(dt)
+        n, m = self.request.n, self.request.m
+        if dt.shape != (n, m):
+            raise ValueError(
+                f"dt has shape {dt.shape}, session bound for {(n, m)}"
+            )
+        if dt.dtype != self._dtype:
+            dt = dt.astype(self._dtype)
+        pool = self._attached_pool()
+        pool.scatter_rhs(dt, self.bounds)
+        pool.eliminate()
+        xb = solve_reduced(*assemble_reduced(pool.gather_reduced()))
+        pool.scatter_boundary(xb)
+        pool.backsub()
+        pool.gather_solution(self._xt, self.bounds)
+        if out_t is None:
+            out_t = self._xt
+        else:
+            np.copyto(out_t, self._xt)
+        self.steps += 1
+        return out_t
+
+    def step_once(self, d=None, out=None) -> SolveOutcome:
+        """One fully-instrumented step: the one-shot trace schema."""
+        request = self.request
+        if d is None:
+            d = request.d
+        if out is None:
+            out = request.out
+        d = self._canon_d(d)
+        timings = list(self.bind_stages)
+        x = self._pipeline(d, out, timings)
+        trace = SolveTrace(
+            backend=self.backend.name,
+            m=request.m,
+            n=request.n,
+            dtype=request.dtype,
+            k=0,
+            k_source="fixed",
+            workers=1,
+            ranks=self.ranks,
+            plan_cache="n/a",
+            factorization="n/a",
+            system=request.system.kind,
+            stages=[StageTiming(name, secs) for name, secs in timings],
+        )
+        trace.decision = request.decision
+        self.backend._set_trace(trace)
+        self.steps += 1
+        return SolveOutcome(x=x, trace=trace)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def m(self) -> int:
+        return self.request.m
+
+    @property
+    def n(self) -> int:
+        return self.request.n
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    def describe(self) -> dict:
+        """Session summary: mode, geometry, step count."""
+        return {
+            "mode": self.mode,
+            "m": self.request.m,
+            "n": self.request.n,
+            "dtype": np.dtype(self._dtype).name,
+            "ranks": self.ranks,
+            "bounds": list(self.bounds),
+            "steps": self.steps,
+        }
+
+    def close(self) -> None:
+        """Drop buffers and forget the pool (arenas stay with the pool)."""
+        if self.closed:
+            return
+        self.closed = True
+        self._pool = None
+        self._epoch = None
+        self._out = None
+
+    def __enter__(self) -> "DistributedBoundSolve":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

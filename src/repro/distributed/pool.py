@@ -140,6 +140,12 @@ class WorkerPool:
         self.ranks = int(ranks)
         self.timeout_s = DEFAULT_TIMEOUT_S if timeout_s is None else timeout_s
         self.broken = False
+        #: bumped whenever arena *contents other than the RHS* may have
+        #: changed (arena rebuilds, full slab scatters).  Bound sessions
+        #: record the epoch after scattering their coefficients and
+        #: re-scatter when it moves — the interleave detector that lets
+        #: a session skip the coefficient scatter in the steady state.
+        self.epoch = 0
         self._lock = threading.Lock()
         self._geometry = None  # (slab_row_counts, m, dtype_str)
         self._shms = []
@@ -234,6 +240,7 @@ class WorkerPool:
         geometry = (slab_rows, int(m), dtype.str)
         if geometry == self._geometry:
             return
+        self.epoch += 1
         self._release_arenas()
         views = []
         for rank, rows in enumerate(slab_rows):
@@ -261,12 +268,26 @@ class WorkerPool:
     # -- the four pipeline phases -------------------------------------
     def scatter_slabs(self, at, bt, ct, dt, bounds) -> None:
         """Copy the transposed ``(N, M)`` diagonals into the arenas."""
+        self.epoch += 1
         for rank, (lo, hi) in enumerate(bounds):
             views = self._views[rank]
             views["a"][:] = at[lo:hi]
             views["b"][:] = bt[lo:hi]
             views["c"][:] = ct[lo:hi]
             views["d"][:] = dt[lo:hi]
+
+    def scatter_rhs(self, dt, bounds) -> None:
+        """Copy only the transposed ``(N, M)`` right-hand side.
+
+        The per-step scatter of a bound session: the coefficient slabs
+        already live in the arenas (``eliminate_slab`` never mutates
+        them), so a new RHS against the same matrix ships one array
+        instead of four.  ``dt`` may be a strided transpose view — the
+        arena assignment is the only copy.  Does **not** bump
+        :attr:`epoch`: the coefficient contents are untouched.
+        """
+        for rank, (lo, hi) in enumerate(bounds):
+            self._views[rank]["d"][:] = dt[lo:hi]
 
     def eliminate(self) -> None:
         """All ranks run their local modified-Thomas elimination."""

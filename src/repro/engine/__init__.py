@@ -19,6 +19,17 @@ Typical use::
     handle = eng.prepare(a, b, c)            # factor once…
     x = handle.solve(d)                      # …solve RHS-only forever
 
+Time-stepping loops that own their request can go one layer lower and
+bind a session — plan, factorization, workspaces and shard geometry
+resolved once, then an allocation-free ``step`` per right-hand side::
+
+    from repro.backends.request import SolveRequest
+
+    session = eng.bind(SolveRequest.build(a, b, c, d))
+    for _ in range(steps):
+        x = session.step(d)                  # hot loop: no dispatch cost
+    session.close()
+
 ``repro.solve_batch(..., algorithm="auto")`` routes through
 :func:`default_engine` transparently, and by default fingerprints the
 coefficients so repeated solves of one matrix hit the factorization
@@ -36,9 +47,11 @@ from repro.engine.prepared import (
     coefficient_fingerprint,
     prepare,
 )
+from repro.engine.session import BoundSolve
 from repro.engine.workspace import PlanWorkspace, PreparedWorkspace
 
 __all__ = [
+    "BoundSolve",
     "CyclicRhsFactorization",
     "EngineStats",
     "ExecutionEngine",

@@ -46,7 +46,6 @@ from repro.engine.prepared import (
     build_cyclic_factorization,
     build_factorization,
     coefficient_fingerprint,
-    cyclic_rhs_only_sweep,
     factorization_nbytes,
     rhs_only_sweep,
     rtol_permits_hybrid_reuse,
@@ -585,6 +584,26 @@ class ExecutionEngine:
             self.stats.sharded_solves += 1
         return x
 
+    def bind(self, request, *, transient: bool = False):
+        """Bind a ``SolveRequest`` into a reusable :class:`BoundSolve`.
+
+        The bind phase runs once: plan resolution, the
+        fingerprint/factorization lifecycle, shard geometry, and the
+        trace template.  The returned session's
+        :meth:`~repro.engine.session.BoundSolve.step` is the
+        allocation-free per-step hot loop;
+        :meth:`~repro.engine.session.BoundSolve.step_once` is one
+        fully-instrumented execution (exact single-call semantics).
+
+        ``transient=True`` keeps the classic one-shot lifecycle (the
+        two-sighting fingerprint ledger); a persistent bind forces the
+        factorization whenever the fingerprint gate admits the plan, so
+        the first step already runs RHS-only.
+        """
+        from repro.engine.session import BoundSolve
+
+        return BoundSolve(self, request, transient=transient)
+
     def run(self, request) -> "object":
         """The one engine entrypoint: execute a ``SolveRequest``.
 
@@ -596,221 +615,18 @@ class ExecutionEngine:
         the same core), **trace** — and returns a
         :class:`~repro.backends.request.SolveOutcome`.
 
+        Since the bind/execute split, this is literally a transient
+        bind followed by one instrumented step — the session module
+        owns the whole spine, and the single-call path exercises the
+        same code a thousand-step session does.
+
         Every public path (``solve_batch``, ``solve_periodic``,
         ``PreparedPlan.solve``, and the engine-family backends) is a
         thin adapter that builds a request and calls this method.
         ``request.label`` overrides the trace's backend name so
         adapters keep their identity (``"threaded"``, ``"prepared"``).
         """
-        from repro.backends.request import SolveOutcome
-        from repro.backends.trace import SolveTrace, StageTiming
-
-        system = getattr(request, "system", None)
-        if system is not None and system.kind != "tridiagonal":
-            return self._run_banded(request)
-
-        stage_times: list = []
-        info: dict = {}
-        t0 = time.perf_counter()
-        if request.plan is not None:
-            plan = request.plan
-            cache = "hit"
-        else:
-            plan = self.plan_for(
-                request.m,
-                request.n,
-                np.dtype(request.dtype),
-                k=request.k,
-                fuse=request.fuse,
-                n_windows=request.n_windows,
-                subtile_scale=request.subtile_scale,
-                parallelism=request.parallelism,
-                heuristic=request.heuristic,
-                info=info,
-            )
-            cache = info.get("cache", "miss")
-        stage_times.append(("prepare", time.perf_counter() - t0))
-
-        workers = request.workers
-        if request.rhs_only:
-            # prepared handle: the factorization rode in on the request
-            fact, fp_state = request.factorization, "handle"
-            if request.periodic:
-                x = cyclic_rhs_only_sweep(
-                    self, plan, fact, request.d,
-                    out=request.out, workers=workers, check=request.check,
-                    stage_times=stage_times,
-                )
-            else:
-                x = rhs_only_sweep(
-                    self, plan, fact, request.d,
-                    out=request.out, workers=workers,
-                    stage_times=stage_times,
-                )
-            with self._lock:
-                self.stats.rhs_only_solves += 1
-                if workers is not None and workers > 1:
-                    self.stats.sharded_solves += 1
-            rhs_only = True
-        elif request.periodic:
-            x, fact, fp_state = self._run_periodic(plan, request, stage_times)
-            rhs_only = fact is not None
-        else:
-            counters = TilingCounters()
-            report = HybridReport(
-                m=request.m,
-                n=request.n,
-                k=plan.k,
-                k_source=plan.k_source,
-                subsystems=request.m * plan.g,
-                fused=plan.fuse,
-                n_windows=plan.n_windows,
-                tiling=counters,
-            )
-            x, fact, fp_state = self._run_plain(
-                plan,
-                request.a, request.b, request.c, request.d,
-                workers=workers,
-                fingerprint=request.fingerprint,
-                rtol=request.rtol,
-                counters=counters,
-                out=request.out,
-                stage_times=stage_times,
-            )
-            rhs_only = fact is not None
-            self.last_report = report
-
-        trace = SolveTrace(
-            backend=request.label or "engine",
-            m=request.m,
-            n=request.n,
-            dtype=request.dtype,
-            k=plan.k,
-            k_source=plan.k_source,
-            fuse=plan.fuse,
-            n_windows=plan.n_windows,
-            workers=workers if workers is not None else 1,
-            plan_cache=cache,
-            factorization=fp_state,
-            rhs_only=rhs_only,
-            periodic=request.periodic,
-            stages=[StageTiming(n_, s) for n_, s in stage_times],
-        )
-        return SolveOutcome(x=x, trace=trace, factorization=fact, plan=plan)
-
-    def _run_banded(self, request) -> "object":
-        """Execute a pentadiagonal / block-tridiagonal request.
-
-        The banded spine is the ``k = 0`` Thomas shape of its stencil:
-        plan (descriptor-tagged, cached), fingerprint + factorization
-        cache (the same LRU / disk / two-sighting lifecycle as the
-        tridiagonal path — banded RHS-only sweeps are bitwise identical
-        to the cold solve by construction, so auto fingerprinting
-        engages unconditionally), sweep (sharded along the batch axis
-        when ``workers > 1``), trace.
-        """
-        from repro.backends.request import SolveOutcome
-        from repro.backends.trace import SolveTrace, StageTiming
-        from repro.core.blocktridiag import BlockThomasFactorization
-        from repro.core.pentadiag import PentaFactorization
-
-        stage_times: list = []
-        info: dict = {}
-        kind = request.system.kind
-        tag = request.system.tag
-        t0 = time.perf_counter()
-        if request.plan is not None:
-            plan = request.plan
-            cache = "hit"
-        else:
-            plan = self.plan_for(
-                request.m,
-                request.n,
-                np.dtype(request.dtype),
-                k=request.k,
-                info=info,
-                system=tag,
-            )
-            cache = info.get("cache", "miss")
-        stage_times.append(("prepare", time.perf_counter() - t0))
-
-        if kind == "pentadiagonal":
-            coeffs = (request.e, request.a, request.b, request.c, request.f)
-
-            def builder():
-                return PentaFactorization.factor(*coeffs)
-
-        else:
-            coeffs = (request.a, request.b, request.c)
-
-            def builder():
-                return BlockThomasFactorization.factor(*coeffs)
-
-        fact = None
-        fp_state = "off" if request.fingerprint is False else "n/a"
-        if request.fingerprint is not False:
-            t_fp = time.perf_counter()
-            digest = coefficient_fingerprint(*coeffs)
-            stage_times.append(("fingerprint", time.perf_counter() - t_fp))
-            fact, fp_state = self._factorization_for(
-                plan, digest, request.a, request.b, request.c,
-                force=request.fingerprint is True,
-                stage_times=stage_times,
-                builder=builder,
-            )
-        rhs_only = fact is not None
-        if fact is None:
-            t_b = time.perf_counter()
-            fact = builder()
-            stage_times.append(("factorize", time.perf_counter() - t_b))
-
-        t_s = time.perf_counter()
-        out = request.out if request.out is not None else np.empty_like(request.d)
-        workers = request.workers
-        shards = (
-            shard_bounds(request.m, workers)
-            if workers is not None and workers > 1
-            else [(0, request.m)]
-        )
-        if len(shards) > 1:
-            pool = self.thread_pool(len(shards))
-            list(
-                pool.map(
-                    lambda s: fact.solve_shard(request.d, out, s[0], s[1]),
-                    shards,
-                )
-            )
-        else:
-            fact.solve_shard(request.d, out, 0, request.m)
-        sweep = "rhs-only" if rhs_only else "sweep"
-        shard_note = f" [{len(shards)} shards]" if len(shards) > 1 else ""
-        stage_times.append(
-            (f"{sweep} {tag}{shard_note}", time.perf_counter() - t_s)
-        )
-        with self._lock:
-            self.stats.solves += 1
-            if rhs_only:
-                self.stats.rhs_only_solves += 1
-            if len(shards) > 1:
-                self.stats.sharded_solves += 1
-
-        trace = SolveTrace(
-            backend=request.label or "engine",
-            m=request.m,
-            n=request.n,
-            dtype=request.dtype,
-            k=plan.k,
-            k_source=plan.k_source,
-            workers=workers if workers is not None else 1,
-            plan_cache=cache,
-            factorization=fp_state,
-            rhs_only=rhs_only,
-            periodic=False,
-            system=kind,
-            stages=[StageTiming(n_, s) for n_, s in stage_times],
-        )
-        kept = fact if fp_state in ("hit", "factored") else None
-        return SolveOutcome(x=out, trace=trace, factorization=kept, plan=plan)
+        return self.bind(request, transient=True).step_once()
 
     def _run_plain(
         self,
@@ -881,80 +697,6 @@ class ExecutionEngine:
             plan, a, b, c, d,
             counters=counters, out=out, stage_times=stage_times,
         )
-        return x, None, fp_state
-
-    def _run_periodic(self, plan: SolvePlan, request, stage_times: list):
-        """Cyclic execution under a frozen plan (Sherman–Morrison).
-
-        Repeat sightings of one cyclic coefficient set engage a stored
-        :class:`~repro.engine.prepared.CyclicRhsFactorization` and run
-        one RHS-only sweep plus the rank-one correction; first
-        sightings (and ``fingerprint=False``) run the classic
-        corner-reduce + two inner solves.  The inner solves disable
-        their own fingerprinting — caching happens at the cyclic level
-        only, never on the reduced ``A'`` diagonals.  Returns
-        ``(x, factorization | None, state)``.
-        """
-        a, b, c, d = request.a, request.b, request.c, request.d
-        workers = request.workers
-        check = request.check
-        fingerprint = request.fingerprint
-
-        fact = None
-        fp_state = "off" if fingerprint is False else "n/a"
-        if fingerprint is not False and (
-            plan.uses_thomas
-            or fingerprint
-            or rtol_permits_hybrid_reuse(request.rtol, plan.dtype)
-        ):
-            t_fp = time.perf_counter()
-            digest = coefficient_fingerprint(a, b, c)
-            stage_times.append(("fingerprint", time.perf_counter() - t_fp))
-            fact, fp_state = self._factorization_for(
-                plan, digest, a, b, c,
-                force=fingerprint is True,
-                periodic=True,
-                check=check,
-                stage_times=stage_times,
-            )
-
-        if fact is not None:
-            x = cyclic_rhs_only_sweep(
-                self, plan, fact, d,
-                out=request.out, workers=workers, check=check,
-                stage_times=stage_times,
-            )
-            with self._lock:
-                self.stats.solves += 1
-                self.stats.rhs_only_solves += 1
-                if workers is not None and workers > 1:
-                    self.stats.sharded_solves += 1
-            return x, fact, fp_state
-
-        from repro.core.periodic import (
-            apply_cyclic_correction,
-            correction_denominator,
-            correction_scale,
-            cyclic_reduce,
-        )
-
-        t0 = time.perf_counter()
-        ap, bp, cp, u, w = cyclic_reduce(a, b, c, check=check)
-        stage_times.append(("cyclic-reduce", time.perf_counter() - t0))
-        y, _, _ = self._run_plain(
-            plan, ap, bp, cp, d,
-            workers=workers, fingerprint=False, stage_times=stage_times,
-        )
-        q, _, _ = self._run_plain(
-            plan, ap, bp, cp, u,
-            workers=workers, fingerprint=False, stage_times=stage_times,
-        )
-        t1 = time.perf_counter()
-        scale = correction_scale(
-            correction_denominator(q, w), request.n, check=check
-        )
-        x = apply_cyclic_correction(y, q, w, scale, out=request.out)
-        stage_times.append(("cyclic-correction", time.perf_counter() - t1))
         return x, None, fp_state
 
     # ---- thin request-building adapters ------------------------------
@@ -1054,8 +796,9 @@ class ExecutionEngine:
         ``a[:, 0]`` / ``c[:, -1]``; see
         :func:`repro.core.validation.coerce_cyclic_batch_arrays`) — the
         public entry points validate before calling in.  The
-        ``fingerprint`` tri-state mirrors :meth:`solve_batch` (see
-        :meth:`_run_periodic` for the cyclic cache semantics).
+        ``fingerprint`` tri-state mirrors :meth:`solve_batch` (the
+        cyclic cache semantics live in the session's bind phase —
+        :class:`~repro.engine.session.BoundSolve`).
         """
         from repro.backends.request import SolveRequest
 

@@ -228,6 +228,34 @@ class ThomasRhsFactorization:
             np.subtract(dp[i, s], t1, out=xt[i, s])
         out[s] = xt[:, s].T
 
+    def solve_shard_t(self, ws, dt, out_t, lo: int, hi: int) -> None:
+        """Transposed-layout RHS sweep: ``(N, M)`` in, ``(N, M)`` out.
+
+        The sweep already runs in the transposed layout internally;
+        this entry point reads the right-hand side straight from the
+        caller's ``(N, M)`` array and writes the solution into the
+        caller's ``(N, M)`` output — no staging copies at all.  The
+        arithmetic is operation-for-operation :meth:`solve_shard`
+        (copies never change bits), so transposed-layout solves keep
+        the bitwise promise.  This is the ADI fast path: alternating
+        sweep directions hand each solve its input in exactly this
+        orientation.
+        """
+        n = self.n
+        ta, cp, denom = self.ta, self.cp, self.denom
+        dp = ws.dp
+        t1, t2 = ws.t1[lo:hi], ws.t2[lo:hi]
+        s = slice(lo, hi)
+        np.divide(dt[0, s], denom[0, s], out=dp[0, s])
+        for i in range(1, n):
+            np.multiply(dp[i - 1, s], ta[i, s], out=t2)
+            np.subtract(dt[i, s], t2, out=t2)
+            np.divide(t2, denom[i, s], out=dp[i, s])
+        out_t[n - 1, s] = dp[n - 1, s]
+        for i in range(n - 2, -1, -1):
+            np.multiply(cp[i, s], out_t[i + 1, s], out=t1)
+            np.subtract(dp[i, s], t1, out=out_t[i, s])
+
 
 def factorization_nbytes(fact) -> int:
     """Bytes of stored factorization state (for the engine's ledger)."""
@@ -463,6 +491,10 @@ class PreparedPlan:
         self.default_workers = workers
         self.periodic = periodic
         self.solves = 0
+        # (workers, check) -> BoundSolve: the handle is a thin wrapper
+        # over bound sessions since the bind/execute split — one bind
+        # per effective configuration, per-call costs amortized away
+        self._sessions: dict = {}
 
     @property
     def m(self) -> int:
@@ -494,6 +526,46 @@ class PreparedPlan:
         desc["periodic"] = self.periodic
         return desc
 
+    def _session(self, workers, check: bool):
+        """The bound session for this effective configuration."""
+        key = (workers, check)
+        session = self._sessions.get(key)
+        if session is None:
+            from repro.backends.request import SolveRequest
+
+            session = self.engine.bind(
+                SolveRequest(
+                    a=None,
+                    b=None,
+                    c=None,
+                    d=None,
+                    m=self.m,
+                    n=self.n,
+                    dtype=np.dtype(self.plan.dtype).name,
+                    periodic=self.periodic,
+                    rhs_only=True,
+                    factorization=self.factorization,
+                    plan=self.plan,
+                    workers=workers,
+                    check=check,
+                    label="prepared",
+                )
+            )
+            self._sessions[key] = session
+        return session
+
+    def bind(self, *, workers: int | None = None, check: bool = True):
+        """The handle's :class:`~repro.engine.session.BoundSolve`.
+
+        For callers who want the raw hot loop: ``session.step(d)``
+        reuses a session-owned output buffer and skips per-call
+        stats/trace entirely.  The session is cached — repeated calls
+        with one configuration return the same object.
+        """
+        if workers is None:
+            workers = self.default_workers
+        return self._session(workers, check)
+
     def solve(
         self,
         d,
@@ -504,11 +576,13 @@ class PreparedPlan:
     ) -> np.ndarray:
         """Solve the prepared system against a fresh ``(M, N)`` RHS.
 
-        A thin adapter: builds an ``rhs_only``
-        :class:`~repro.backends.request.SolveRequest` carrying the
-        stored factorization and runs it through the one engine
-        entrypoint, :meth:`ExecutionEngine.run
-        <repro.engine.engine.ExecutionEngine.run>`.
+        A thin wrapper over a cached
+        :class:`~repro.engine.session.BoundSolve`: the ``rhs_only``
+        request carrying the stored factorization is bound once per
+        ``(workers, check)`` configuration and each call runs one
+        instrumented session step — identical stats, stages and trace
+        to the classic per-call dispatch, without re-resolving the plan
+        or rebuilding the request every right-hand side.
         """
         d = np.asarray(d)
         if d.shape != (self.m, self.n):
@@ -517,34 +591,25 @@ class PreparedPlan:
             )
         if check and not np.all(np.isfinite(d)):
             raise ValueError("d contains non-finite values")
-        d = np.ascontiguousarray(d, dtype=self.plan.dtype)
+        dtype = self.plan.dtype
+        if d.dtype != dtype or not d.flags.c_contiguous:
+            d = np.ascontiguousarray(d, dtype=dtype)
         if workers is None:
             workers = self.default_workers
-        from repro.backends.request import SolveRequest
         from repro.backends.trace import record_trace
 
-        outcome = self.engine.run(
-            SolveRequest(
-                a=None,
-                b=None,
-                c=None,
-                d=d,
-                m=self.m,
-                n=self.n,
-                dtype=np.dtype(self.plan.dtype).name,
-                periodic=self.periodic,
-                rhs_only=True,
-                factorization=self.factorization,
-                plan=self.plan,
-                workers=workers,
-                check=check,
-                out=out,
-                label="prepared",
-            )
-        )
+        outcome = self._session(workers, check).step_once(d, out=out)
         self.solves += 1
         record_trace(outcome.trace)
         return outcome.x
+
+    def close(self) -> None:
+        """Release the handle's bound sessions (workspaces return to
+        the engine pool); the handle itself remains usable — the next
+        solve simply binds afresh."""
+        sessions, self._sessions = self._sessions, {}
+        for session in sessions.values():
+            session.close()
 
 
 def prepare(

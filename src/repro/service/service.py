@@ -36,9 +36,14 @@ digest-grouped: fragments carrying the *same coefficient digest* (a
 time-stepping ensemble solving one matrix) skip concatenating their
 coefficients entirely — the service fetches the fragment-level
 ``k = 0`` factorization from the engine's cache once, tiles it along
-the batch axis, and dispatches a single RHS-only request.  The sweep's
-operations are elementwise along ``M``, so the tiled sweep is bitwise
-identical to each caller's solo prepared solve.
+the batch axis, and **binds a session** for the aggregate RHS-only
+shape.  Repeat windows of the same digest group (the steady state of a
+time-stepping ensemble) re-enter the bound session: per dispatch the
+service concatenates the right-hand sides and calls ``step_once`` —
+no request rebuild, no registry negotiation, no factorization-cache
+round trip.  The sweep's operations are elementwise along ``M``, so
+the tiled sweep is bitwise identical to each caller's solo prepared
+solve.
 
 **Admission control.**  The service bounds *admitted-but-undelivered
 rows* (``max_pending_rows``); past the bound, ``submit`` sheds the
@@ -110,7 +115,9 @@ class ServiceConfig:
         blocks on NumPy sweeps and independent groups overlap.
     tile_cache:
         LRU entries for digest-tiled shared factorizations (one entry
-        per ``(digest, fragment count)`` actually seen).
+        per ``(digest, fragment count)`` actually seen) — and,
+        separately, for the bound sessions serving repeat digest
+        windows.
     """
 
     max_batch_rows: int = 2048
@@ -223,6 +230,9 @@ class SolveService:
         self._executor_lock = threading.Lock()
         self._tiled: OrderedDict = OrderedDict()  # (digest, reps) -> fact
         self._tiled_lock = threading.Lock()
+        # (digest, reps, m_frag, n, dtype, workers, check) -> bound session
+        self._sessions: OrderedDict = OrderedDict()
+        self._sessions_lock = threading.Lock()
 
     # ---- submission ---------------------------------------------------
     async def submit(
@@ -405,11 +415,18 @@ class SolveService:
     def _dispatch(self, bucket: _Bucket, cause: str) -> None:
         items = bucket.items
         try:
-            request, shared = self._coalesced_request(bucket)
-            outcome = self._execute(request)
+            bound = self._shared_session(bucket)
+            if bound is not None:
+                session, d = bound
+                outcome = self._execute_session(session, d)
+                rows, shared = session.request.m, True
+            else:
+                request, shared = self._coalesced_request(bucket)
+                outcome = self._execute(request)
+                rows = request.m
             self.stats.record_dispatch(
                 {p.tenant for p in items},
-                request.m,
+                rows,
                 outcome.trace,
                 cause=cause,
                 shared=shared,
@@ -425,17 +442,15 @@ class SolveService:
     def _coalesced_request(self, bucket: _Bucket):
         """Build the one request this bucket executes as.
 
-        Returns ``(request, shared)`` where ``shared`` marks the
-        digest-tiled RHS-only path.  Unset ``k`` on groupable fragments
-        is pinned to 0 here — the bitwise anchor of the whole tier.
+        Returns ``(request, shared)``; the digest-tiled RHS-only path
+        lives in :meth:`_shared_session` and is tried first by
+        ``_dispatch``, so ``shared`` is always ``False`` here.  Unset
+        ``k`` on groupable fragments is pinned to 0 — the bitwise
+        anchor of the whole tier.
         """
         items = bucket.items
         first = items[0].request
         pin_k = first.k is None and not bucket.solo
-        if bucket.digest is not None and self._shared_eligible(first, pin_k):
-            shared = self._shared_request(bucket)
-            if shared is not None:
-                return shared, True
         if len(items) == 1:
             request = first.replace(k=0) if pin_k else first
             return request, False
@@ -499,22 +514,74 @@ class SolveService:
             and k_eff == 0
         )
 
-    def _shared_request(self, bucket: _Bucket):
-        """Digest path: one fragment factorization, tiled ``reps`` ×.
+    def _shared_session(self, bucket: _Bucket):
+        """Digest path: a bound session over the tiled factorization.
 
         All fragments in a digest bucket carry *identical* coefficient
         arrays (the digest hashes shape + content), so the coalesced
         elimination state is the fragment's ``(N, m)`` factorization
         repeated along the batch axis — fetched from (or built into)
-        the engine's factorization cache once, then tiled.  Returns
-        ``None`` when the bucket turns out ineligible (mismatched
-        fragment shapes should be impossible, but fall back safely).
+        the engine's factorization cache once, tiled once, and **bound
+        once**: the session holding the tiled factorization, frozen
+        aggregate plan, and pinned route is LRU-cached, so every later
+        window of the same digest group concatenates its right-hand
+        sides and steps the existing session.  Returns ``(session, d)``
+        or ``None`` when the bucket is ineligible (falls back to plain
+        concatenation).
         """
         items = bucket.items
+        if bucket.digest is None:
+            return None
         first = items[0].request
+        pin_k = first.k is None and not bucket.solo
+        if not self._shared_eligible(first, pin_k):
+            return None
         m_frag = first.m
         if any(p.request.m != m_frag for p in items):
             return None
+        reps = len(items)
+        key = (
+            bucket.digest, reps, m_frag,
+            first.n, first.dtype, first.workers, first.check,
+        )
+        with self._sessions_lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self._sessions.move_to_end(key)
+        if session is None:
+            session = self._bind_shared(bucket, first, m_frag, reps)
+            if session is None:
+                return None
+            with self._sessions_lock:
+                raced = self._sessions.get(key)
+                if raced is not None:
+                    # another dispatch thread bound the same window
+                    # shape first; keep the incumbent
+                    session.close()
+                    session = raced
+                    self._sessions.move_to_end(key)
+                else:
+                    self._sessions[key] = session
+                    while len(self._sessions) > self.config.tile_cache:
+                        _, old = self._sessions.popitem(last=False)
+                        old.close()
+        d = (
+            first.d
+            if reps == 1
+            else np.concatenate([p.request.d for p in items], axis=0)
+        )
+        return session, d
+
+    def _bind_shared(self, bucket: _Bucket, first, m_frag: int, reps: int):
+        """Build the bound session behind one digest-window shape.
+
+        The RHS-only template request (no ``d`` — each window supplies
+        its own) resolves through the registry like any coalesced
+        dispatch, so the route decision is pinned at bind time and the
+        adaptive router still sees the aggregate shape; backends
+        without a native ``bind`` get the generic per-step-dispatch
+        session.
+        """
         engine = self._shared_engine()
         if engine is None:
             return None
@@ -524,20 +591,15 @@ class SolveService:
         )
         if not isinstance(fact, ThomasRhsFactorization):
             return None
-        reps = len(items)
         tiled = self._tiled_factorization(bucket.digest, fact, reps)
-        d = (
-            first.d
-            if reps == 1
-            else np.concatenate([p.request.d for p in items], axis=0)
-        )
-        plan = engine.plan_for(bucket.rows, first.n, np.dtype(first.dtype), k=0)
-        return SolveRequest(
+        rows = m_frag * reps
+        plan = engine.plan_for(rows, first.n, np.dtype(first.dtype), k=0)
+        template = SolveRequest(
             a=None,
             b=None,
             c=None,
-            d=d,
-            m=bucket.rows,
+            d=None,
+            m=rows,
             n=first.n,
             dtype=first.dtype,
             rhs_only=True,
@@ -547,6 +609,31 @@ class SolveService:
             workers=first.workers,
             check=first.check,
         )
+        chosen = self._registry.resolve(self.config.backend, template)
+        binder = getattr(chosen, "bind", None)
+        if binder is not None:
+            return binder(template)
+        from repro.backends.base import PerStepSession
+
+        return PerStepSession(chosen, template)
+
+    def _execute_session(self, session, d):
+        """One window through a bound session (solve_via shape).
+
+        The session's ``step_once`` replays the engine's one-shot
+        instrumentation; the service adds what ``_execute`` adds for
+        cold dispatches — decision stamp, thread-local trace, and the
+        router's ``observe`` hook on the aggregate shape.
+        """
+        outcome = session.step_once(d)
+        trace = outcome.trace
+        if trace.decision is None:
+            trace.decision = session.request.decision
+        record_trace(trace)
+        observe = getattr(self._registry.router, "observe", None)
+        if observe is not None:
+            observe(session.request, trace)
+        return outcome
 
     def _shared_engine(self):
         """The engine whose factorization cache backs the digest path."""
@@ -650,6 +737,8 @@ class SolveService:
             "dispatch_workers": self.config.dispatch_workers,
         }
         desc["pending_rows"] = self._pending_rows
+        with self._sessions_lock:
+            desc["bound_sessions"] = len(self._sessions)
         return desc
 
     @property
@@ -678,6 +767,10 @@ class SolveService:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        with self._sessions_lock:
+            sessions, self._sessions = self._sessions, OrderedDict()
+        for session in sessions.values():
+            session.close()
 
     async def __aenter__(self) -> "SolveService":
         return self

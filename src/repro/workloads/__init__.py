@@ -13,6 +13,9 @@
 * :mod:`~repro.workloads.traffic` — small-request traffic shapes
   (independent fragments, shared-matrix ensembles) for the service
   tier's coalescing benchmark and the ``serve-stats`` burst.
+* :mod:`~repro.workloads.timestepping` — session-driven simulators
+  (2-D/3-D ADI diffusion, IMEX Crank–Nicolson with a cubic source):
+  bind once per sweep direction, step thousands of right-hand sides.
 """
 
 from repro.workloads.generators import (
@@ -34,10 +37,18 @@ from repro.workloads.pde import (
     crank_nicolson_rhs,
     hyperdiffusion_coefficients,
     hyperdiffusion_rhs,
+    periodic_heat_coefficients,
+    periodic_heat_rhs,
     adi_row_systems,
     adi_row_coefficients,
     cubic_spline_system,
     multigrid_line_systems,
+)
+from repro.workloads.timestepping import (
+    ADIDiffusion2D,
+    ADIDiffusion3D,
+    CrankNicolsonCubic,
+    mirror_laplacian,
 )
 
 __all__ = [
@@ -53,11 +64,17 @@ __all__ = [
     "poisson1d_batch",
     "graded_batch",
     "near_singular_batch",
+    "ADIDiffusion2D",
+    "ADIDiffusion3D",
+    "CrankNicolsonCubic",
+    "mirror_laplacian",
     "crank_nicolson_system",
     "crank_nicolson_coefficients",
     "crank_nicolson_rhs",
     "hyperdiffusion_coefficients",
     "hyperdiffusion_rhs",
+    "periodic_heat_coefficients",
+    "periodic_heat_rhs",
     "adi_row_systems",
     "adi_row_coefficients",
     "cubic_spline_system",

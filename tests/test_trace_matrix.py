@@ -189,6 +189,60 @@ def test_tridiagonal_routes_stamp_default_system():
     assert "system" in trace.describe()
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("route", ROUTES)
+def test_session_step_once_populates_the_full_trace(route, backend):
+    """The session rows of the matrix: ``bind(...)`` + ``step_once()``
+    fills the identical trace vocabulary the one-shot dispatch does —
+    the bind/execute split changes when the work happens, never what
+    the trace says about it."""
+    from repro.backends import bind_via
+
+    a, b, c, d = _batch(route, backend)
+    opts = {}
+    if route == "prepared":
+        if backend == "numpy":
+            with pytest.raises(BackendError, match="prepared"):
+                bind_via(a, b, c, d, backend=backend, fingerprint=True)
+            return
+        opts["fingerprint"] = True
+
+    with bind_via(
+        a, b, c, d, backend=backend,
+        periodic=(route == "periodic"), **opts
+    ) as session:
+        outcome = session.step_once(d)
+        trace = outcome.trace
+        x = outcome.x
+
+    assert trace.backend == backend
+    assert trace.m == 8 and trace.n == 64
+    assert trace.dtype == "float64"
+    assert isinstance(trace.k, int) and trace.k >= 0
+    assert trace.workers >= 1
+    assert trace.plan_cache in _PLAN_CACHE_STATES
+    assert trace.factorization in _FACTORIZATION_STATES
+    assert isinstance(trace.rhs_only, bool)
+    assert trace.periodic is (route == "periodic")
+    if route == "prepared":
+        # a persistent fingerprinted bind forces the factorization at
+        # bind time, so the very first step already runs RHS-only
+        assert trace.rhs_only is True
+        assert trace.factorization in {"hit", "factored"}
+    assert trace.stages
+    assert all(s.seconds >= 0.0 for s in trace.stages)
+
+    # bind-time provenance rides on every step's trace
+    assert trace.decision is not None
+    assert trace.decision.router == "explicit"
+    assert trace.decision.chosen == backend
+
+    ref, _ = solve_via(
+        a, b, c, d, backend="numpy", periodic=(route == "periodic")
+    )
+    np.testing.assert_allclose(x, ref, rtol=1e-10, atol=1e-12)
+
+
 def test_prepared_handle_traces_use_the_same_schema():
     import repro
 
